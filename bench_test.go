@@ -1,0 +1,183 @@
+package gpurelay
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation as testing.B benchmarks. Each benchmark runs the relevant
+// experiment matrix once per iteration (each iteration is seconds of real
+// time, so b.N is typically 1) and reports the headline numbers as custom
+// metrics; the full rendered tables are logged.
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarked quantity is the wall-clock cost of the *simulation*; the
+// paper's quantities (virtual-time delays, round trips, traffic, energy)
+// are in the reported metrics and logs.
+
+import (
+	"testing"
+
+	"gpurelay/internal/experiments"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/record"
+)
+
+// benchModels keeps benchmark iterations affordable while covering the
+// small/large extremes; run cmd/grtbench for the full six-model matrix.
+func benchModels() []*mlfw.Model {
+	return []*mlfw.Model{mlfw.MNIST(), mlfw.AlexNet(), mlfw.VGG16()}
+}
+
+func BenchmarkFigure7WiFi(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchModels()...)
+		rows, err := s.Figure7(netsim.WiFi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderFigure7("Figure 7(a): WiFi", rows))
+			b.ReportMetric(rows[0].Delays[record.Naive].Seconds(), "naive-mnist-s")
+			b.ReportMetric(rows[0].Delays[record.OursMDS].Seconds(), "oursmds-mnist-s")
+		}
+	}
+}
+
+func BenchmarkFigure7Cellular(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchModels()...)
+		rows, err := s.Figure7(netsim.Cellular)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderFigure7("Figure 7(b): cellular", rows))
+			b.ReportMetric(rows[len(rows)-1].Delays[record.Naive].Seconds(), "naive-vgg16-s")
+			b.ReportMetric(rows[len(rows)-1].Delays[record.OursMDS].Seconds(), "oursmds-vgg16-s")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchModels()...)
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderTable1(rows))
+			b.ReportMetric(float64(rows[0].BlockingRTTs[record.OursM]), "mnist-oursm-rtts")
+			b.ReportMetric(float64(rows[0].BlockingRTTs[record.OursMDS]), "mnist-oursmds-rtts")
+			b.ReportMetric(rows[0].MemSyncMB[record.OursM], "mnist-oursm-MB")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchModels()...)
+		rows, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderTable2(rows))
+			b.ReportMetric(rows[0].NativeMS, "mnist-native-ms")
+			b.ReportMetric(rows[0].ReplayMS, "mnist-replay-ms")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchModels()...)
+		rows, err := s.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderFigure8(rows))
+			b.ReportMetric(float64(rows[0].Total), "mnist-spec-commits")
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchModels()...)
+		rows, err := s.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderFigure9(rows))
+			b.ReportMetric(rows[0].RecordOursJ, "mnist-record-J")
+			b.ReportMetric(rows[0].ReplayJ, "mnist-replay-J")
+		}
+	}
+}
+
+func BenchmarkValidation73(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(benchModels()...)
+		def, err := s.DeferralEfficacy(netsim.WiFi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec, err := s.SpeculationEfficacy(netsim.WiFi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mis, err := s.MispredictionCost("MNIST", "VGG16")
+		if err != nil {
+			b.Fatal(err)
+		}
+		poll, err := s.PollingOffload()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.RenderValidation(def, spec, mis, poll))
+			b.ReportMetric(def[0].DelayReductionPct, "deferral-delay-red-%")
+			b.ReportMetric(spec[0].CommitsSpeculatedPct, "commits-speculated-%")
+			b.ReportMetric(mis[1].RecoveryTime.Seconds(), "vgg16-rollback-s")
+		}
+	}
+}
+
+// BenchmarkRecordMNIST measures the end-to-end simulation cost of one full
+// record run — useful for tracking the simulator's own performance.
+func BenchmarkRecordMNIST(b *testing.B) {
+	client := NewClient("bench", MaliG71MP8)
+	svc := NewService()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := client.Record(svc, MNIST(), RecordOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayMNIST measures one in-TEE replay.
+func BenchmarkReplayMNIST(b *testing.B) {
+	client := NewClient("bench", MaliG71MP8)
+	svc := NewService()
+	rec, _, err := client.Record(svc, MNIST(), RecordOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := client.NewReplaySession(rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := make([]float32, 28*28)
+	if err := sess.SetInput(input); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

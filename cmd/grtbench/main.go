@@ -1,0 +1,134 @@
+// grtbench regenerates every table and figure of the paper's evaluation
+// (§7): Figure 7(a)/(b), Table 1, Table 2, Figure 8, Figure 9, and the §7.3
+// validation experiments. Everything runs on the virtual clock, so the full
+// matrix (six networks x four recorders x two network conditions, plus
+// replays and native baselines) completes in a few minutes of real time.
+//
+// Usage:
+//
+//	grtbench            # the full paper evaluation
+//	grtbench -fast      # MNIST + AlexNet only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpurelay/internal/experiments"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "run only MNIST and AlexNet")
+	flag.Parse()
+
+	var suite *experiments.Suite
+	if *fast {
+		suite = experiments.NewSuite(mlfw.MNIST(), mlfw.AlexNet())
+	} else {
+		suite = experiments.NewSuite()
+	}
+
+	fmt.Println("=== GR-T evaluation reproduction (all delays are virtual time) ===")
+
+	f7w, err := suite.Figure7(netsim.WiFi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.RenderFigure7("Figure 7(a): recording delays, WiFi (RTT 20ms, BW 80Mbps)", f7w))
+
+	f7c, err := suite.Figure7(netsim.Cellular)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.RenderFigure7("Figure 7(b): recording delays, cellular (RTT 50ms, BW 40Mbps)", f7c))
+
+	t1, err := suite.Table1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.RenderTable1(t1))
+
+	t2, err := suite.Table2()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.RenderTable2(t2))
+
+	f8, err := suite.Figure8()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.RenderFigure8(f8))
+
+	f9, err := suite.Figure9()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.RenderFigure9(f9))
+
+	def, err := suite.DeferralEfficacy(netsim.WiFi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := suite.SpeculationEfficacy(netsim.WiFi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	misModels := []string{"MNIST"}
+	if !*fast {
+		misModels = []string{"MNIST", "VGG16"}
+	}
+	mis, err := suite.MispredictionCost(misModels...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	poll, err := suite.PollingOffload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("=== §7.3 validation of key designs ===")
+	fmt.Print(experiments.RenderValidation(def, spec, mis, poll))
+
+	abl, err := suite.HistoryAblation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("Ablation: cross-workload speculation history (warm vs cold)")
+	fmt.Printf("%-12s %10s %10s %10s\n", "NN", "warm", "cold", "penalty")
+	for _, r := range abl {
+		fmt.Printf("%-12s %9.1fs %9.1fs %+9.1f%%\n", r.Model,
+			r.FullDelay.Seconds(), r.NoHistoryDelay.Seconds(), r.ColdHistoryCost)
+	}
+
+	ks, err := suite.KSweep("MNIST")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.RenderKSweep("MNIST", ks))
+
+	rtt, err := suite.RTTSweep("MNIST")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.RenderRTTSweep("MNIST", rtt))
+
+	seg, err := suite.SegmentationTradeoff()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(experiments.RenderSegmentation(seg))
+}

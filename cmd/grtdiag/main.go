@@ -1,0 +1,89 @@
+// grtdiag implements the paper's §3.4 remote-debugging application of GR-T:
+// it compares a subject device's recording against a reference recording of
+// the same workload and SKU, and reports divergences (firmware returning
+// different register values, control-flow differences, timing anomalies,
+// truncated executions).
+//
+// Usage:
+//
+//	grtrecord -model mnist -o ref.grt
+//	grtrecord -model mnist -o subject.grt
+//	grtdiag -ref ref.grt -subject subject.grt
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"gpurelay/internal/diag"
+	"gpurelay/internal/trace"
+)
+
+func readRecording(path string) (*trace.Recording, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != "GRTB" {
+		return nil, fmt.Errorf("%s is not a grtrecord bundle", path)
+	}
+	read := func() ([]byte, error) {
+		var n uint32
+		if err := binary.Read(f, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		b := make([]byte, n)
+		_, err := io.ReadFull(f, b)
+		return b, err
+	}
+	payload, err := read()
+	if err != nil {
+		return nil, err
+	}
+	mac, err := read()
+	if err != nil {
+		return nil, err
+	}
+	key, err := read()
+	if err != nil {
+		return nil, err
+	}
+	signed := &trace.Signed{Payload: payload}
+	copy(signed.MAC[:], mac)
+	return trace.Verify(signed, key)
+}
+
+func main() {
+	refFlag := flag.String("ref", "", "reference recording bundle (known-good device)")
+	subFlag := flag.String("subject", "", "subject recording bundle (device under diagnosis)")
+	maxFlag := flag.Int("max", 32, "maximum divergences to report")
+	flag.Parse()
+	if *refFlag == "" || *subFlag == "" {
+		log.Fatal("-ref and -subject are required")
+	}
+	ref, err := readRecording(*refFlag)
+	if err != nil {
+		log.Fatalf("reading reference: %v", err)
+	}
+	subject, err := readRecording(*subFlag)
+	if err != nil {
+		log.Fatalf("reading subject: %v", err)
+	}
+	fmt.Printf("reference: %s on product %#x (%d events)\n", ref.Workload, ref.ProductID, len(ref.Events))
+	fmt.Printf("subject:   %s on product %#x (%d events)\n", subject.Workload, subject.ProductID, len(subject.Events))
+
+	rep, err := diag.Compare(ref, subject, diag.Options{MaxDivergences: *maxFlag})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+	if !rep.Healthy() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+// grtrecord runs one GR-T record session: a simulated client device asks the
+// cloud service to dry run a workload's GPU stack against the client's GPU,
+// and saves the signed recording to a file for grtreplay.
+//
+// Usage:
+//
+//	grtrecord -model mnist -sku g71 -network wifi -variant oursmds -o mnist.grt
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"gpurelay"
+)
+
+func modelByName(name string) (*gpurelay.Model, error) {
+	switch strings.ToLower(name) {
+	case "mnist":
+		return gpurelay.MNIST(), nil
+	case "alexnet":
+		return gpurelay.AlexNet(), nil
+	case "mobilenet":
+		return gpurelay.MobileNet(), nil
+	case "squeezenet":
+		return gpurelay.SqueezeNet(), nil
+	case "resnet12":
+		return gpurelay.ResNet12(), nil
+	case "vgg16":
+		return gpurelay.VGG16(), nil
+	}
+	return nil, fmt.Errorf("unknown model %q (mnist|alexnet|mobilenet|squeezenet|resnet12|vgg16)", name)
+}
+
+func skuByName(name string) (*gpurelay.SKU, error) {
+	switch strings.ToLower(name) {
+	case "g71", "g71mp8":
+		return gpurelay.MaliG71MP8, nil
+	case "g72", "g72mp12":
+		return gpurelay.MaliG72MP12, nil
+	case "g52", "g52mp2":
+		return gpurelay.MaliG52MP2, nil
+	case "g76", "g76mp10":
+		return gpurelay.MaliG76MP10, nil
+	}
+	return nil, fmt.Errorf("unknown SKU %q (g71|g72|g52|g76)", name)
+}
+
+func variantByName(name string) (gpurelay.Variant, error) {
+	switch strings.ToLower(name) {
+	case "naive":
+		return gpurelay.Naive, nil
+	case "oursm":
+		return gpurelay.OursM, nil
+	case "oursmd":
+		return gpurelay.OursMD, nil
+	case "oursmds", "":
+		return gpurelay.OursMDS, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q (naive|oursm|oursmd|oursmds)", name)
+}
+
+func main() {
+	modelFlag := flag.String("model", "mnist", "workload: mnist|alexnet|mobilenet|squeezenet|resnet12|vgg16")
+	skuFlag := flag.String("sku", "g71", "client GPU SKU: g71|g72|g52|g76")
+	netFlag := flag.String("network", "wifi", "network condition: wifi|cellular")
+	variantFlag := flag.String("variant", "oursmds", "recorder: naive|oursm|oursmd|oursmds")
+	outFlag := flag.String("o", "", "write the recording bundle to this file (for grtreplay)")
+	flag.Parse()
+
+	model, err := modelByName(*modelFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sku, err := skuByName(*skuFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	variant, err := variantByName(*variantFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	network := gpurelay.WiFi
+	if strings.ToLower(*netFlag) == "cellular" {
+		network = gpurelay.Cellular
+	}
+
+	client := gpurelay.NewClient("grtrecord-cli", sku)
+	svc := gpurelay.NewService()
+	fmt.Printf("recording %s on %s over %s with %v...\n", model.Name, sku.Name, network.Name, variant)
+	rec, stats, err := client.Record(svc, model, gpurelay.RecordOptions{
+		Variant: variant, Network: network,
+	})
+	if err != nil {
+		log.Fatalf("record: %v", err)
+	}
+
+	fmt.Printf("recording delay:     %.1f s (virtual)\n", stats.RecordingDelay.Seconds())
+	fmt.Printf("GPU jobs:            %d\n", stats.Jobs)
+	fmt.Printf("register accesses:   %d (%.1f per commit)\n", stats.Shim.RegAccesses, stats.RegAccessesPerCommit)
+	fmt.Printf("blocking round trips:%d (plus %d hidden by speculation)\n",
+		stats.Link.BlockingRTTs, stats.Link.AsyncRTTs)
+	fmt.Printf("commits:             %d total, %d speculated, %d mispredicted\n",
+		stats.Shim.Commits, stats.Shim.AsyncCommits, stats.Shim.Mispredictions)
+	fmt.Printf("memory sync traffic: %.2f MB\n", float64(stats.MemSyncBytes)/1e6)
+	fmt.Printf("client energy:       %.2f J\n", float64(stats.Energy))
+
+	if *outFlag != "" {
+		if err := writeBundle(*outFlag, rec); err != nil {
+			log.Fatalf("writing %s: %v", *outFlag, err)
+		}
+		fmt.Printf("wrote recording bundle to %s\n", *outFlag)
+	}
+}
+
+// writeBundle serializes a recording for the demo CLIs. NOTE: it bundles the
+// session key so grtreplay can verify the signature; a real deployment keeps
+// that key in the TEE's secure storage.
+func writeBundle(path string, rec *gpurelay.Recording) error {
+	payload, mac, key := rec.Bundle()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := func(b []byte) error {
+		if err := binary.Write(f, binary.LittleEndian, uint32(len(b))); err != nil {
+			return err
+		}
+		_, err := f.Write(b)
+		return err
+	}
+	if _, err := f.WriteString("GRTB"); err != nil {
+		return err
+	}
+	if err := w(payload); err != nil {
+		return err
+	}
+	if err := w(mac); err != nil {
+		return err
+	}
+	return w(key)
+}

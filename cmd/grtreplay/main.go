@@ -1,0 +1,148 @@
+// grtreplay replays a recording bundle produced by grtrecord inside the
+// simulated TEE, on a device of the matching GPU SKU, with synthetic
+// parameters and input.
+//
+// Usage:
+//
+//	grtreplay -recording mnist.grt -sku g71 -n 3
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"gpurelay"
+)
+
+func readBundle(path string) (payload, mac, key []byte, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != "GRTB" {
+		return nil, nil, nil, fmt.Errorf("%s is not a grtrecord bundle", path)
+	}
+	read := func() ([]byte, error) {
+		var n uint32
+		if err := binary.Read(f, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		b := make([]byte, n)
+		_, err := io.ReadFull(f, b)
+		return b, err
+	}
+	if payload, err = read(); err != nil {
+		return
+	}
+	if mac, err = read(); err != nil {
+		return
+	}
+	key, err = read()
+	return
+}
+
+func main() {
+	recFlag := flag.String("recording", "", "recording bundle from grtrecord")
+	skuFlag := flag.String("sku", "g71", "device GPU SKU: g71|g72|g52|g76")
+	nFlag := flag.Int("n", 1, "number of replays")
+	flag.Parse()
+	if *recFlag == "" {
+		log.Fatal("-recording is required")
+	}
+
+	var sku *gpurelay.SKU
+	switch strings.ToLower(*skuFlag) {
+	case "g71", "g71mp8":
+		sku = gpurelay.MaliG71MP8
+	case "g72", "g72mp12":
+		sku = gpurelay.MaliG72MP12
+	case "g52", "g52mp2":
+		sku = gpurelay.MaliG52MP2
+	case "g76", "g76mp10":
+		sku = gpurelay.MaliG76MP10
+	default:
+		log.Fatalf("unknown SKU %q", *skuFlag)
+	}
+
+	payload, mac, key, err := readBundle(*recFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := gpurelay.RecordingFromBundle(payload, mac, key)
+	if err != nil {
+		log.Fatalf("verifying recording: %v", err)
+	}
+	fmt.Printf("verified recording of %s for GPU product %#x\n", rec.Workload, rec.ProductID)
+
+	client := gpurelay.NewClient("grtreplay-cli", sku)
+	sess, err := client.NewReplaySession(rec)
+	if err != nil {
+		log.Fatalf("replay session: %v", err)
+	}
+
+	// Synthetic parameters and input (a real app provisions its trained
+	// model inside the TEE).
+	state := uint64(7)
+	next := func() float32 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return (float32(state%2048)/1024 - 1) / 8
+	}
+	for _, r := range sess.WeightRegions() {
+		w := make([]float32, r.Elems)
+		for i := range w {
+			w[i] = next()
+		}
+		if err := sess.SetWeights(r.Name, w); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for run := 0; run < *nFlag; run++ {
+		input := make([]float32, inputElems(rec.Workload))
+		for i := range input {
+			input[i] = float32((i*(run+3) + run) % 256)
+		}
+		if err := sess.SetInput(input); err != nil {
+			log.Fatal(err)
+		}
+		res, err := sess.Run()
+		if err != nil {
+			log.Fatalf("replay %d: %v", run, err)
+		}
+		out, err := sess.Output()
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, bestP := 0, float32(0)
+		for i, p := range out {
+			if p > bestP {
+				best, bestP = i, p
+			}
+		}
+		fmt.Printf("replay %d: %.2f ms, %d events, class %d (p=%.3f)\n",
+			run, float64(res.Delay.Microseconds())/1000, res.Events, best, bestP)
+	}
+}
+
+func inputElems(workload string) int {
+	switch workload {
+	case "MNIST":
+		return 28 * 28
+	case "AlexNet":
+		return 3 * 227 * 227
+	case "MobileNet", "SqueezeNet":
+		return 3 * 224 * 224
+	case "ResNet12", "VGG16":
+		return 3 * 128 * 128
+	}
+	return 28 * 28
+}

@@ -1,0 +1,65 @@
+// Multi-SKU: demonstrates why GR-T exists. Recordings are bound to exact
+// GPU SKUs (§2.4): shader binaries are tiled for a specific core count and
+// page tables use SKU-specific formats, so a recording made for one GPU
+// cannot replay on another. GR-T's cloud drives each client's own GPU
+// through a devicetree-selected driver, so every device gets a recording for
+// exactly its SKU without the developer owning any of them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpurelay"
+)
+
+func main() {
+	svc := gpurelay.NewService()
+	phones := []struct {
+		id  string
+		sku *gpurelay.SKU
+	}{
+		{"flagship", gpurelay.MaliG76MP10},
+		{"midrange", gpurelay.MaliG71MP8},
+		{"budget", gpurelay.MaliG52MP2},
+	}
+
+	recs := map[string]*gpurelay.Recording{}
+	clients := map[string]*gpurelay.Client{}
+	for _, p := range phones {
+		client := gpurelay.NewClient(p.id, p.sku)
+		clients[p.id] = client
+		rec, stats, err := client.Record(svc, gpurelay.MNIST(), gpurelay.RecordOptions{})
+		if err != nil {
+			log.Fatalf("%s: record: %v", p.id, err)
+		}
+		recs[p.id] = rec
+		fmt.Printf("%-9s (%s): recorded for product %#x in %.1fs\n",
+			p.id, p.sku.Name, rec.ProductID, stats.RecordingDelay.Seconds())
+	}
+
+	// Each device replays its own recording fine.
+	fmt.Println("\nreplaying own recordings:")
+	for _, p := range phones {
+		sess, err := clients[p.id].NewReplaySession(recs[p.id])
+		if err != nil {
+			log.Fatalf("%s: %v", p.id, err)
+		}
+		input := make([]float32, 28*28)
+		if err := sess.SetInput(input); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := sess.Run(); err != nil {
+			log.Fatalf("%s: replay: %v", p.id, err)
+		}
+		fmt.Printf("  %-9s ok\n", p.id)
+	}
+
+	// Cross-SKU replay is refused before it can corrupt anything.
+	fmt.Println("\nattempting cross-SKU replay (midrange recording on budget phone):")
+	if _, err := clients["budget"].NewReplaySession(recs["midrange"]); err != nil {
+		fmt.Printf("  rejected as expected: %v\n", err)
+	} else {
+		log.Fatal("cross-SKU replay was accepted — SKU binding broken")
+	}
+}

@@ -1,0 +1,3 @@
+module gpurelay
+
+go 1.22

@@ -1,0 +1,465 @@
+// Package gpurelay is a full-system reproduction of "Safe and Practical GPU
+// Computation in TrustZone" (Park & Lin, EuroSys '23) — the GR-T system —
+// as a simulation-backed Go library.
+//
+// GR-T runs GPU compute inside a TrustZone TEE without porting the GPU
+// software stack into it. A workload is executed in two phases:
+//
+//   - Record (once, online): the client's TEE asks a cloud service to dry
+//     run the GPU stack; the cloud's driver accesses the client's physical
+//     GPU over the network while every CPU/GPU interaction is logged. Three
+//     I/O optimizations — register-access deferral, speculation, and
+//     polling-loop offload — plus meta-only memory synchronization make
+//     this practical over wireless latencies.
+//
+//   - Replay (repeatedly, offline): the TEE replays the signed recording
+//     against the GPU on fresh input, with no GPU stack and no cloud.
+//
+// The hardware and software environment of the paper (Mali Bifrost GPU,
+// kbase driver, ACL runtime, TrustZone, NetEm-shaped networking) is
+// reproduced by simulators under internal/; all delays are virtual time, so
+// recordings that "take" hundreds of seconds run in milliseconds.
+//
+// Basic use:
+//
+//	client := gpurelay.NewClient("phone-1", gpurelay.MaliG71MP8)
+//	svc := gpurelay.NewService()
+//	rec, stats, err := client.Record(svc, gpurelay.MNIST(), gpurelay.RecordOptions{})
+//	sess, err := client.NewReplaySession(rec)
+//	err = sess.SetInput(pixels)
+//	result, err := sess.Run()
+//	probs, err := sess.Output()
+package gpurelay
+
+import (
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"gpurelay/internal/cloud"
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/record"
+	"gpurelay/internal/replay"
+	"gpurelay/internal/shim"
+	"gpurelay/internal/tee"
+	"gpurelay/internal/timesim"
+	"gpurelay/internal/trace"
+)
+
+// SKU identifies a mobile GPU hardware model.
+type SKU = mali.SKU
+
+// The simulated GPU catalog. MaliG71MP8 is the paper's client GPU
+// (Hikey960).
+var (
+	MaliG71MP8  = mali.G71MP8
+	MaliG72MP12 = mali.G72MP12
+	MaliG52MP2  = mali.G52MP2
+	MaliG76MP10 = mali.G76MP10
+)
+
+// Network is a network condition between client and cloud.
+type Network = netsim.Condition
+
+// The paper's two evaluated network conditions (§7.2).
+var (
+	WiFi     = netsim.WiFi
+	Cellular = netsim.Cellular
+)
+
+// Model is a hardware-neutral ML workload (late-bound, as shipped by real
+// frameworks).
+type Model = mlfw.Model
+
+// The six evaluation networks of the paper (Table 1).
+var (
+	MNIST      = mlfw.MNIST
+	AlexNet    = mlfw.AlexNet
+	MobileNet  = mlfw.MobileNet
+	SqueezeNet = mlfw.SqueezeNet
+	ResNet12   = mlfw.ResNet12
+	VGG16      = mlfw.VGG16
+)
+
+// Benchmarks returns all six evaluation models.
+func Benchmarks() []*Model { return mlfw.Benchmarks() }
+
+// Variant selects the recorder implementation (§7.2): Naive, OursM, OursMD,
+// or OursMDS (all optimizations, the GR-T default).
+type Variant = record.Variant
+
+// Recorder variants.
+const (
+	Naive   = record.Naive
+	OursM   = record.OursM
+	OursMD  = record.OursMD
+	OursMDS = record.OursMDS
+)
+
+// RecordStats reports a record run's measurements (recording delay,
+// blocking round trips, synchronization traffic, speculation statistics,
+// client energy).
+type RecordStats = record.Stats
+
+// Recording is a signed, replayable capture of one workload on one GPU SKU.
+type Recording struct {
+	signed *trace.Signed
+	key    []byte
+	// Workload and ProductID echo the recording header for display.
+	Workload  string
+	ProductID uint32
+}
+
+// Bundle exports the recording's signed payload, authentication tag, and
+// session key for storage. A real deployment would keep the key in TEE
+// secure storage; the demo CLIs bundle all three in one file.
+func (r *Recording) Bundle() (payload, mac, key []byte) {
+	return r.signed.Payload, r.signed.MAC[:], r.key
+}
+
+// RecordingFromBundle reconstructs a Recording from Bundle output, verifying
+// the signature.
+func RecordingFromBundle(payload, mac, key []byte) (*Recording, error) {
+	if len(mac) != 32 {
+		return nil, fmt.Errorf("gpurelay: MAC must be 32 bytes, got %d", len(mac))
+	}
+	s := &trace.Signed{Payload: payload}
+	copy(s.MAC[:], mac)
+	rec, err := trace.Verify(s, key)
+	if err != nil {
+		return nil, err
+	}
+	return &Recording{
+		signed: s, key: append([]byte(nil), key...),
+		Workload: rec.Workload, ProductID: rec.ProductID,
+	}, nil
+}
+
+// Client is a simulated mobile device: a GPU of some SKU behind a TrustZone
+// controller, with a virtual clock and a device-unique sealing key (as fused
+// at manufacture).
+type Client struct {
+	ID  string
+	SKU *SKU
+
+	clock  *timesim.Clock
+	seed   uint64
+	sealer *tee.Sealer
+}
+
+// NewClient creates a simulated client device.
+func NewClient(id string, sku *SKU) *Client {
+	if sku == nil {
+		panic("gpurelay: nil SKU")
+	}
+	deviceKey := make([]byte, 32)
+	if _, err := rand.Read(deviceKey); err != nil {
+		panic(err)
+	}
+	sealer, err := tee.NewSealer(deviceKey)
+	if err != nil {
+		panic(err)
+	}
+	return &Client{ID: id, SKU: sku, clock: timesim.NewClock(), seed: 1, sealer: sealer}
+}
+
+// SealRecording encrypts a recording (and its session key) under this
+// device's unique key for storage on the untrusted filesystem. Only this
+// device can unseal it — the TEE secure-storage pattern for persisting
+// recordings across reboots.
+func (c *Client) SealRecording(rec *Recording) ([]byte, error) {
+	if rec == nil || rec.signed == nil {
+		return nil, fmt.Errorf("gpurelay: nil recording")
+	}
+	var buf []byte
+	appendChunk := func(b []byte) {
+		var n [4]byte
+		n[0], n[1], n[2], n[3] = byte(len(b)), byte(len(b)>>8), byte(len(b)>>16), byte(len(b)>>24)
+		buf = append(buf, n[:]...)
+		buf = append(buf, b...)
+	}
+	appendChunk(rec.signed.Payload)
+	appendChunk(rec.signed.MAC[:])
+	appendChunk(rec.key)
+	return c.sealer.Seal(rec.Workload, buf)
+}
+
+// UnsealRecording decrypts a sealed blob produced by SealRecording on this
+// device. workload must match the label it was sealed under.
+func (c *Client) UnsealRecording(workload string, blob []byte) (*Recording, error) {
+	buf, err := c.sealer.Unseal(workload, blob)
+	if err != nil {
+		return nil, err
+	}
+	next := func() ([]byte, error) {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("gpurelay: sealed blob truncated")
+		}
+		n := int(buf[0]) | int(buf[1])<<8 | int(buf[2])<<16 | int(buf[3])<<24
+		if len(buf) < 4+n {
+			return nil, fmt.Errorf("gpurelay: sealed blob truncated")
+		}
+		chunk := buf[4 : 4+n]
+		buf = buf[4+n:]
+		return chunk, nil
+	}
+	payload, err := next()
+	if err != nil {
+		return nil, err
+	}
+	mac, err := next()
+	if err != nil {
+		return nil, err
+	}
+	key, err := next()
+	if err != nil {
+		return nil, err
+	}
+	return RecordingFromBundle(payload, mac, key)
+}
+
+// Clock exposes the device's virtual clock (useful for measuring flows that
+// span record and replay).
+func (c *Client) Clock() *timesim.Clock { return c.clock }
+
+// compatible returns the devicetree compatible string for the client's GPU.
+func (c *Client) compatible() (string, error) {
+	for compat, sku := range mali.Catalog {
+		if sku == c.SKU {
+			return compat, nil
+		}
+	}
+	return "", fmt.Errorf("gpurelay: SKU %s not in catalog", c.SKU)
+}
+
+// Service is the cloud recording service.
+type Service struct {
+	svc   *cloud.Service
+	image *cloud.Image
+}
+
+// NewService creates a cloud service hosting the default Bifrost GPU-stack
+// image.
+func NewService() *Service {
+	img := cloud.DefaultImage()
+	return &Service{svc: cloud.NewService(img), image: img}
+}
+
+// RecordOptions tunes a record run. The zero value records with all
+// optimizations (OursMDS) over WiFi.
+type RecordOptions struct {
+	Variant Variant
+	Network Network
+	// History carries speculation history across recordings of multiple
+	// workloads (§7.3); nil uses a fresh history.
+	History *SpeculationHistory
+	// InjectMispredictionAt arms the §7.3 fault-injection experiment: the
+	// nth speculated commit is treated as mispredicted, forcing a
+	// detection + rollback cycle. Zero disables (use a positive index).
+	InjectMispredictionAt int
+}
+
+// SpeculationHistory is the cross-workload commit history (§4.2).
+type SpeculationHistory = shim.History
+
+// NewSpeculationHistory creates a history with the paper's confidence
+// threshold k=3.
+func NewSpeculationHistory() *SpeculationHistory { return shim.NewHistory(3) }
+
+// Record performs the full GR-T online-recording workflow: attest and launch
+// a dedicated cloud VM for this client's GPU, dry run the workload on the
+// cloud GPU stack against this device's GPU, and download the signed
+// recording.
+func (c *Client) Record(svc *Service, model *Model, opts RecordOptions) (*Recording, RecordStats, error) {
+	if opts.Network.Name == "" {
+		opts.Network = WiFi
+	}
+	compat, err := c.compatible()
+	if err != nil {
+		return nil, RecordStats{}, err
+	}
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, RecordStats{}, err
+	}
+	vm, err := svc.svc.Launch(c.ID, svc.image.Name, compat, nonce)
+	if err != nil {
+		return nil, RecordStats{}, fmt.Errorf("gpurelay: launching recording VM: %w", err)
+	}
+	defer svc.svc.Release(vm)
+	// Attestation: the client accepts only the measurement it expects for
+	// this image and GPU.
+	want, err := cloud.ExpectedMeasurement(svc.image, compat)
+	if err != nil {
+		return nil, RecordStats{}, err
+	}
+	if vm.Measurement != want {
+		return nil, RecordStats{}, fmt.Errorf("gpurelay: VM attestation failed")
+	}
+	key := append([]byte(nil), vm.SessionKey...)
+
+	c.seed += 0x9E3779B97F4A7C15
+	inject := -1
+	if opts.InjectMispredictionAt > 0 {
+		inject = opts.InjectMispredictionAt
+	}
+	res, err := record.Run(record.Config{
+		Variant: opts.Variant, Model: model, SKU: c.SKU, Network: opts.Network,
+		SessionKey: key, History: opts.History,
+		ClientSeed: c.seed, InjectMispredictionAt: inject,
+	})
+	if err != nil {
+		return nil, RecordStats{}, err
+	}
+	c.clock.Advance(res.Stats.RecordingDelay)
+	return &Recording{
+		signed: res.Signed, key: key,
+		Workload: res.Recording.Workload, ProductID: res.Recording.ProductID,
+	}, res.Stats, nil
+}
+
+// SegmentedRecording is a set of per-layer recordings of one workload
+// (Figure 2 of the paper): the developer-chosen granularity trading
+// composability against efficiency. Segments replay back-to-back on one
+// device.
+type SegmentedRecording struct {
+	segs []*trace.Signed
+	key  []byte
+	// Workload and ProductID echo the recording header.
+	Workload  string
+	ProductID uint32
+}
+
+// Layers returns the number of segments.
+func (s *SegmentedRecording) Layers() int { return len(s.segs) }
+
+// RecordSegmented records a workload like Record but splits the recording at
+// the model's layer boundaries, producing one independently signed recording
+// per layer.
+func (c *Client) RecordSegmented(svc *Service, model *Model, opts RecordOptions) (*SegmentedRecording, RecordStats, error) {
+	if opts.Network.Name == "" {
+		opts.Network = WiFi
+	}
+	compat, err := c.compatible()
+	if err != nil {
+		return nil, RecordStats{}, err
+	}
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, RecordStats{}, err
+	}
+	vm, err := svc.svc.Launch(c.ID, svc.image.Name, compat, nonce)
+	if err != nil {
+		return nil, RecordStats{}, err
+	}
+	defer svc.svc.Release(vm)
+	key := append([]byte(nil), vm.SessionKey...)
+
+	c.seed += 0x9E3779B97F4A7C15
+	res, err := record.Run(record.Config{
+		Variant: opts.Variant, Model: model, SKU: c.SKU, Network: opts.Network,
+		SessionKey: key, History: opts.History,
+		ClientSeed: c.seed, InjectMispredictionAt: -1,
+	})
+	if err != nil {
+		return nil, RecordStats{}, err
+	}
+	c.clock.Advance(res.Stats.RecordingDelay)
+	signeds, _, err := res.Segments(model.LayerBoundaries())
+	if err != nil {
+		return nil, RecordStats{}, err
+	}
+	return &SegmentedRecording{
+		segs: signeds, key: key,
+		Workload: res.Recording.Workload, ProductID: res.Recording.ProductID,
+	}, res.Stats, nil
+}
+
+// NewChainedReplaySession verifies every segment and prepares a replayer
+// that runs them back-to-back.
+func (c *Client) NewChainedReplaySession(rec *SegmentedRecording) (*ReplaySession, error) {
+	if rec == nil || len(rec.segs) == 0 {
+		return nil, fmt.Errorf("gpurelay: empty segmented recording")
+	}
+	first, err := trace.Verify(rec.segs[0], rec.key)
+	if err != nil {
+		return nil, err
+	}
+	pool := gpumem.NewPool(first.PoolSize)
+	gpu := mali.New(c.SKU, pool, c.clock, c.seed^0xC0DEC0DE)
+	ctrl := tee.NewController(gpu)
+	rp, err := replay.NewChained(rec.segs, rec.key, gpu, ctrl, c.clock)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplaySession{client: c, rp: rp, gpu: gpu}, nil
+}
+
+// ReplayResult reports one replay run.
+type ReplayResult = replay.Result
+
+// ReplaySession replays one recording on the client's GPU, inside its TEE.
+type ReplaySession struct {
+	client *Client
+	rp     *replay.Replayer
+	gpu    *mali.GPU
+}
+
+// NewReplaySession verifies the recording's signature and SKU binding and
+// prepares the TEE-side replayer. The device reserves secure memory sized to
+// the recording's footprint (§3.1).
+func (c *Client) NewReplaySession(rec *Recording) (*ReplaySession, error) {
+	if rec == nil || rec.signed == nil {
+		return nil, fmt.Errorf("gpurelay: nil recording")
+	}
+	// Peek at the pool size requirement (the payload is verified again by
+	// replay.New).
+	peek, err := trace.Verify(rec.signed, rec.key)
+	if err != nil {
+		return nil, err
+	}
+	pool := gpumem.NewPool(peek.PoolSize)
+	gpu := mali.New(c.SKU, pool, c.clock, c.seed^0xBADC0FFEE)
+	ctrl := tee.NewController(gpu)
+	rp, err := replay.New(rec.signed, rec.key, gpu, ctrl, c.clock)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplaySession{client: c, rp: rp, gpu: gpu}, nil
+}
+
+// SetInput stages fresh inference input.
+func (s *ReplaySession) SetInput(data []float32) error { return s.rp.SetInputF32(data) }
+
+// SetWeights stages model parameters for one weight region. Parameters stay
+// inside the TEE; they were never sent to the cloud (§7.1 confidentiality).
+func (s *ReplaySession) SetWeights(region string, data []float32) error {
+	return s.rp.SetWeightsF32(region, data)
+}
+
+// WeightRegion describes one parameter region of a recording.
+type WeightRegion struct {
+	Name  string
+	Elems int // float32 element count
+}
+
+// WeightRegions lists the recording's parameter regions in allocation order.
+func (s *ReplaySession) WeightRegions() []WeightRegion {
+	var out []WeightRegion
+	for _, r := range s.rp.Recording().RegionsOfKind(gpumem.KindWeights) {
+		out = append(out, WeightRegion{Name: r.Name, Elems: int(r.Size / 4)})
+	}
+	return out
+}
+
+// Run replays the recording on the staged input.
+func (s *ReplaySession) Run() (ReplayResult, error) { return s.rp.Run() }
+
+// Output reads the inference result.
+func (s *ReplaySession) Output() ([]float32, error) { return s.rp.OutputF32() }
+
+// Elapsed returns total virtual time the client has spent.
+func (c *Client) Elapsed() time.Duration { return c.clock.Now() }

@@ -1,0 +1,102 @@
+package cloud
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLaunchSelectsDeviceTree(t *testing.T) {
+	s := NewService(DefaultImage())
+	vm, err := s.Launch("client-1", "grt-bifrost", "arm,mali-g71-mp8", []byte("nonce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.DeviceTree.Compatible != "arm,mali-g71-mp8" {
+		t.Fatalf("devicetree = %q", vm.DeviceTree.Compatible)
+	}
+	if len(vm.SessionKey) != 32 {
+		t.Fatalf("session key %d bytes", len(vm.SessionKey))
+	}
+	if s.ActiveVMs() != 1 {
+		t.Fatalf("active VMs = %d", s.ActiveVMs())
+	}
+}
+
+func TestOneVMPerClient(t *testing.T) {
+	s := NewService(DefaultImage())
+	vm, err := s.Launch("client-1", "grt-bifrost", "arm,mali-g71-mp8", []byte("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Launch("client-1", "grt-bifrost", "arm,mali-g71-mp8", []byte("n")); err == nil {
+		t.Fatal("second concurrent VM for the same client allowed")
+	}
+	// A different client gets its own VM.
+	if _, err := s.Launch("client-2", "grt-bifrost", "arm,mali-g72-mp12", []byte("n")); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(vm)
+	if _, err := s.Launch("client-1", "grt-bifrost", "arm,mali-g71-mp8", []byte("n")); err != nil {
+		t.Fatalf("relaunch after release: %v", err)
+	}
+}
+
+func TestUnknownGPURejected(t *testing.T) {
+	s := NewService(DefaultImage())
+	if _, err := s.Launch("c", "grt-bifrost", "nvidia,gtx-4090", []byte("n")); err == nil {
+		t.Fatal("launched VM for a GPU the image cannot drive")
+	}
+	if _, err := s.Launch("c", "no-such-image", "arm,mali-g71-mp8", []byte("n")); err == nil {
+		t.Fatal("launched unknown image")
+	}
+}
+
+func TestAttestationMeasurementMatchesClientExpectation(t *testing.T) {
+	img := DefaultImage()
+	s := NewService(img)
+	want, err := ExpectedMeasurement(img, "arm,mali-g71-mp8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := s.Launch("c", "grt-bifrost", "arm,mali-g71-mp8", []byte("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Measurement != want {
+		t.Fatal("VM measurement differs from client's expected measurement")
+	}
+	// A different devicetree yields a different measurement: the client
+	// detects a VM configured for the wrong GPU.
+	other, _ := ExpectedMeasurement(img, "arm,mali-g52-mp2")
+	if other == want {
+		t.Fatal("measurements do not bind the devicetree")
+	}
+}
+
+func TestSessionKeysUniquePerLaunch(t *testing.T) {
+	s := NewService(DefaultImage())
+	vm1, err := s.Launch("c1", "grt-bifrost", "arm,mali-g71-mp8", []byte("same-nonce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2, err := s.Launch("c2", "grt-bifrost", "arm,mali-g71-mp8", []byte("same-nonce"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(vm1.SessionKey, vm2.SessionKey) {
+		t.Fatal("two sessions share a key")
+	}
+}
+
+func TestReleaseScrubsSessionKey(t *testing.T) {
+	s := NewService(DefaultImage())
+	vm, err := s.Launch("c", "grt-bifrost", "arm,mali-g71-mp8", []byte("n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := append([]byte(nil), vm.SessionKey...)
+	s.Release(vm)
+	if bytes.Equal(key, vm.SessionKey) {
+		t.Fatal("session key survived VM release")
+	}
+}

@@ -1,0 +1,156 @@
+package diag
+
+import (
+	"strings"
+	"testing"
+
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/record"
+	"gpurelay/internal/trace"
+)
+
+var testKey = []byte("diag-session-key-0123456789abcde")
+
+func recordWithSeed(t *testing.T, seed uint64) *trace.Recording {
+	t.Helper()
+	res, err := record.Run(record.Config{
+		Variant: record.OursMDS, Model: mlfw.MNIST(), SKU: mali.G71MP8,
+		Network: netsim.WiFi, SessionKey: testKey,
+		ClientSeed: seed, InjectMispredictionAt: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Recording
+}
+
+func TestHealthyDeviceMatchesReference(t *testing.T) {
+	// Two record runs of the same workload on two devices of the same SKU
+	// (different flush-ID seeds — the known nondeterminism) must compare
+	// healthy.
+	ref := recordWithSeed(t, 1)
+	subject := recordWithSeed(t, 999)
+	rep, err := Compare(ref, subject, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy() {
+		t.Fatalf("healthy devices diverged:\n%s", rep.Render())
+	}
+	if rep.EventsCompared < 500 {
+		t.Fatalf("only %d events compared", rep.EventsCompared)
+	}
+	if !strings.Contains(rep.Render(), "healthy") {
+		t.Fatalf("render: %q", rep.Render())
+	}
+}
+
+func TestDetectsValueDivergence(t *testing.T) {
+	ref := recordWithSeed(t, 1)
+	subject := recordWithSeed(t, 2)
+	// A firmware bug: a feature register reads back wrong on the subject.
+	for i := range subject.Events {
+		e := &subject.Events[i]
+		if e.Kind == trace.KRead && e.Reg == mali.THREAD_MAX_THREADS {
+			e.Value = 0xDEAD
+			break
+		}
+	}
+	rep, err := Compare(ref, subject, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() {
+		t.Fatal("corrupted register value not detected")
+	}
+	found := false
+	for _, d := range rep.Divergences {
+		if d.Kind == DivValue && d.Reg == mali.THREAD_MAX_THREADS && d.Observed == 0xDEAD {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wrong divergence report:\n%s", rep.Render())
+	}
+}
+
+func TestDetectsTruncatedExecution(t *testing.T) {
+	ref := recordWithSeed(t, 1)
+	subject := recordWithSeed(t, 2)
+	subject.Events = subject.Events[:len(subject.Events)/2] // device hung mid-run
+	rep, err := Compare(ref, subject, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rep.Divergences[len(rep.Divergences)-1]
+	if last.Kind != DivLength {
+		t.Fatalf("truncation not flagged:\n%s", rep.Render())
+	}
+}
+
+func TestDetectsTimingAnomaly(t *testing.T) {
+	ref := recordWithSeed(t, 1)
+	subject := recordWithSeed(t, 2)
+	for i := range subject.Events {
+		e := &subject.Events[i]
+		if e.Kind == trace.KPoll {
+			e.Iters = e.Iters * 50 // pathologically slow flush
+			e.MaxIters = e.Iters + 1
+			break
+		}
+	}
+	rep, err := Compare(ref, subject, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range rep.Divergences {
+		if d.Kind == DivTiming {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("timing anomaly not flagged:\n%s", rep.Render())
+	}
+}
+
+func TestStructureDivergence(t *testing.T) {
+	ref := recordWithSeed(t, 1)
+	subject := recordWithSeed(t, 2)
+	subject.Events[10].Reg = mali.GPU_FAULTSTATUS // control flow diverged
+	rep, err := Compare(ref, subject, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Healthy() || rep.Divergences[0].Kind != DivStructure {
+		t.Fatalf("structure divergence not flagged:\n%s", rep.Render())
+	}
+}
+
+func TestCrossSKUComparisonRejected(t *testing.T) {
+	ref := recordWithSeed(t, 1)
+	subject := recordWithSeed(t, 2)
+	subject.ProductID = mali.G52MP2.ProductID
+	if _, err := Compare(ref, subject, Options{}); err == nil {
+		t.Fatal("cross-SKU comparison accepted")
+	}
+}
+
+func TestReportTruncation(t *testing.T) {
+	ref := recordWithSeed(t, 1)
+	subject := recordWithSeed(t, 2)
+	for i := range subject.Events {
+		if subject.Events[i].Kind == trace.KRead {
+			subject.Events[i].Value ^= 0xFFFF
+		}
+	}
+	rep, err := Compare(ref, subject, Options{MaxDivergences: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || len(rep.Divergences) != 5 {
+		t.Fatalf("truncation broken: %d divergences, truncated=%v", len(rep.Divergences), rep.Truncated)
+	}
+}

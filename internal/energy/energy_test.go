@@ -1,0 +1,81 @@
+package energy
+
+import (
+	"testing"
+	"time"
+
+	"gpurelay/internal/netsim"
+)
+
+func TestRecordEnergyComponents(t *testing.T) {
+	m := Default()
+	stats := netsim.Stats{
+		BlockingRTTs: 100,
+		BytesSent:    1 << 20,
+		Busy:         time.Second,
+	}
+	e := m.Record(stats, 500*time.Millisecond, 200*time.Millisecond, time.Hour)
+	// radio: (1s + 100×20ms)×0.8 = 2.4J; gpu: 0.5×2 = 1J; cpu: 0.2×1.5 = 0.3J
+	want := 2.4 + 1.0 + 0.3
+	if float64(e) < want-0.01 || float64(e) > want+0.01 {
+		t.Fatalf("record energy = %v, want %v", e, want)
+	}
+}
+
+func TestRecordEnergyGrowsWithRTTs(t *testing.T) {
+	m := Default()
+	few := m.Record(netsim.Stats{BlockingRTTs: 65}, 0, 0, time.Hour)
+	many := m.Record(netsim.Stats{BlockingRTTs: 2837}, 0, 0, time.Hour)
+	if many <= few {
+		t.Fatalf("energy did not grow with round trips: %v vs %v", many, few)
+	}
+	// The ratio should track the RTT ratio (radio-tail dominated).
+	if float64(many)/float64(few) < 30 {
+		t.Fatalf("ratio %v too small for 43x the round trips", float64(many)/float64(few))
+	}
+}
+
+func TestAsyncRTTsStillCostRadioEnergy(t *testing.T) {
+	// Speculation hides latency, not radio airtime: an async round trip
+	// transmits the same bytes and wakes the radio just the same.
+	m := Default()
+	sync := m.Record(netsim.Stats{BlockingRTTs: 100}, 0, 0, time.Hour)
+	async := m.Record(netsim.Stats{AsyncRTTs: 100}, 0, 0, time.Hour)
+	if sync != async {
+		t.Fatalf("async RTTs cost %v, blocking %v; radio energy must not care", async, sync)
+	}
+}
+
+func TestReplayEnergyBand(t *testing.T) {
+	m := Default()
+	// MNIST-class replay: ~3ms GPU, ~3ms CPU → ~0.01 J (paper's floor).
+	small := m.Replay(3*time.Millisecond, 3*time.Millisecond)
+	if small <= 0 || small > 0.05 {
+		t.Fatalf("small replay energy = %v J", small)
+	}
+	// VGG-class replay: ~400ms GPU → ~1 J (paper's ceiling 1.3 J).
+	big := m.Replay(400*time.Millisecond, 50*time.Millisecond)
+	if big < 0.3 || big > 2 {
+		t.Fatalf("big replay energy = %v J", big)
+	}
+}
+
+func TestRadioCappedByDuration(t *testing.T) {
+	m := Default()
+	// 10k exchanges in a 30-second run: the radio never sleeps, but it
+	// also cannot be active for 200 seconds.
+	capped := m.Record(netsim.Stats{BlockingRTTs: 10000}, 0, 0, 30*time.Second)
+	if got := float64(capped); got < 23 || got > 25 {
+		t.Fatalf("capped radio energy = %v J, want 30s x 0.8W = 24 J", got)
+	}
+}
+
+func TestZeroActivityZeroEnergy(t *testing.T) {
+	m := Default()
+	if e := m.Record(netsim.Stats{}, 0, 0, time.Hour); e != 0 {
+		t.Fatalf("idle record energy = %v", e)
+	}
+	if e := m.Replay(0, 0); e != 0 {
+		t.Fatalf("idle replay energy = %v", e)
+	}
+}

@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"gpurelay/internal/kbase"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/record"
+)
+
+// fastSuite covers a small and a large model — enough to exercise every
+// experiment's shape assertions without running all 48 configurations in
+// unit tests (the full matrix runs in the benchmarks and cmd/grtbench).
+func fastSuite() *Suite {
+	return NewSuite(mlfw.MNIST(), mlfw.AlexNet())
+}
+
+func TestFigure7Shape(t *testing.T) {
+	s := fastSuite()
+	for _, cond := range []netsim.Condition{netsim.WiFi, netsim.Cellular} {
+		rows, err := s.Figure7(cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("%s: %d rows", cond.Name, len(rows))
+		}
+		for _, r := range rows {
+			d := r.Delays
+			if !(d[record.Naive] > d[record.OursM] &&
+				d[record.OursM] > d[record.OursMD] &&
+				d[record.OursMD] > d[record.OursMDS]) {
+				t.Errorf("%s/%s: ordering violated: %v", cond.Name, r.Model, d)
+			}
+			// Paper: OursMDS reduces Naive delays by up to 95%; always >75% here.
+			if d[record.OursMDS].Seconds() > 0.25*d[record.Naive].Seconds() {
+				t.Errorf("%s/%s: OursMDS %.1fs vs Naive %.1fs — reduction too small",
+					cond.Name, r.Model, d[record.OursMDS].Seconds(), d[record.Naive].Seconds())
+			}
+		}
+	}
+}
+
+func TestFigure7PaperBands(t *testing.T) {
+	// Absolute sanity on the WiFi numbers for MNIST: paper reports Naive
+	// 52s and OursMDS in the tens of seconds overall; stay within 3x.
+	s := fastSuite()
+	rows, err := s.Figure7(netsim.WiFi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rows[0]
+	if m.Model != "MNIST" {
+		t.Fatalf("row order: %v", m.Model)
+	}
+	if naive := m.Delays[record.Naive].Seconds(); naive < 17 || naive > 160 {
+		t.Errorf("Naive MNIST WiFi = %.1fs, paper 52s", naive)
+	}
+	if mds := m.Delays[record.OursMDS].Seconds(); mds < 1 || mds > 25 {
+		t.Errorf("OursMDS MNIST WiFi = %.1fs, paper ~13s class", mds)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := fastSuite()
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Jobs != mlfw.PaperJobCounts[r.Model] {
+			t.Errorf("%s: %d jobs", r.Model, r.Jobs)
+		}
+		if !(r.BlockingRTTs[record.OursM] > r.BlockingRTTs[record.OursMD] &&
+			r.BlockingRTTs[record.OursMD] > r.BlockingRTTs[record.OursMDS]) {
+			t.Errorf("%s: RTT ordering violated: %v", r.Model, r.BlockingRTTs)
+		}
+		if r.MemSyncMB[record.OursM] >= r.MemSyncMB[record.Naive]/2 {
+			t.Errorf("%s: meta-only sync %.2fMB not well below naive %.2fMB",
+				r.Model, r.MemSyncMB[record.OursM], r.MemSyncMB[record.Naive])
+		}
+	}
+	// Cross-model: AlexNet's naive sync must dwarf MNIST's (weights).
+	if rows[1].MemSyncMB[record.Naive] < 20*rows[0].MemSyncMB[record.Naive] {
+		t.Errorf("AlexNet naive sync %.1fMB vs MNIST %.1fMB: weight-driven spread lost",
+			rows[1].MemSyncMB[record.Naive], rows[0].MemSyncMB[record.Naive])
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	s := fastSuite()
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ReplayMS <= 0 || r.NativeMS <= 0 {
+			t.Fatalf("%s: %+v", r.Model, r)
+		}
+		// Paper: replay is 68% lower to 3% higher than native.
+		if r.ReplayMS > 1.1*r.NativeMS {
+			t.Errorf("%s: replay %.1fms much slower than native %.1fms", r.Model, r.ReplayMS, r.NativeMS)
+		}
+	}
+	// MNIST is stack-overhead dominated: replay clearly faster.
+	if rows[0].ReplayMS > 0.7*rows[0].NativeMS {
+		t.Errorf("MNIST: replay %.1fms vs native %.1fms — expected large win", rows[0].ReplayMS, rows[0].NativeMS)
+	}
+	// Paper band: MNIST native 15.2ms, replay 4.8ms; allow 3x.
+	if rows[0].NativeMS < 5 || rows[0].NativeMS > 45 {
+		t.Errorf("MNIST native = %.1fms, paper 15.2ms", rows[0].NativeMS)
+	}
+	if rows[0].ReplayMS < 1.5 || rows[0].ReplayMS > 15 {
+		t.Errorf("MNIST replay = %.1fms, paper 4.8ms", rows[0].ReplayMS)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	s := fastSuite()
+	rows, err := s.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Total == 0 {
+			t.Fatalf("%s: no speculated commits", r.Model)
+		}
+		var sum float64
+		for _, share := range r.Share {
+			sum += share
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("%s: shares sum to %v", r.Model, sum)
+		}
+		for _, cat := range []kbase.Category{kbase.CatInterrupt, kbase.CatPower, kbase.CatPolling} {
+			if r.Share[cat] == 0 {
+				t.Errorf("%s: category %s empty", r.Model, cat)
+			}
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	s := fastSuite()
+	rows, err := s.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Paper: GR-T reduces record energy by 84-99%.
+		if r.SavingPercent < 80 {
+			t.Errorf("%s: energy saving only %.1f%%", r.Model, r.SavingPercent)
+		}
+		// Replay energy band: paper 0.01-1.3 J.
+		if r.ReplayJ <= 0 || r.ReplayJ > 3 {
+			t.Errorf("%s: replay energy %.3fJ", r.Model, r.ReplayJ)
+		}
+		// Record energy for the optimized recorder: paper 1.8-8.2 J.
+		if r.RecordOursJ <= 0.1 || r.RecordOursJ > 30 {
+			t.Errorf("%s: record energy %.2fJ", r.Model, r.RecordOursJ)
+		}
+	}
+}
+
+func TestDeferralEfficacyBands(t *testing.T) {
+	s := fastSuite()
+	rows, err := s.DeferralEfficacy(netsim.WiFi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Paper: 65-69% delay reduction, 73% fewer RTTs, 3.8 acc/commit.
+		if r.DelayReductionPct < 40 || r.DelayReductionPct > 90 {
+			t.Errorf("%s: deferral delay reduction %.1f%%, paper ~65%%", r.Model, r.DelayReductionPct)
+		}
+		if r.RTTReductionPct < 50 || r.RTTReductionPct > 95 {
+			t.Errorf("%s: deferral RTT reduction %.1f%%, paper ~73%%", r.Model, r.RTTReductionPct)
+		}
+		if r.AccessesPerCommit < 2 || r.AccessesPerCommit > 8 {
+			t.Errorf("%s: %.1f accesses/commit, paper 3.8", r.Model, r.AccessesPerCommit)
+		}
+	}
+}
+
+func TestSpeculationEfficacyBands(t *testing.T) {
+	s := fastSuite()
+	rows, err := s.SpeculationEfficacy(netsim.WiFi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.DelayReductionPct < 40 {
+			t.Errorf("%s: speculation delay reduction %.1f%%, paper 60-74%%", r.Model, r.DelayReductionPct)
+		}
+		// Paper: 95% of commits meet the criteria (with warm history).
+		if r.CommitsSpeculatedPct < 70 {
+			t.Errorf("%s: only %.1f%% commits speculated, paper 95%%", r.Model, r.CommitsSpeculatedPct)
+		}
+		if r.Mispredictions != 0 {
+			t.Errorf("%s: %d natural mispredictions (paper: none in 1000 runs)", r.Model, r.Mispredictions)
+		}
+	}
+}
+
+func TestMispredictionCostBands(t *testing.T) {
+	s := fastSuite()
+	rows, err := s.MispredictionCost("MNIST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if !r.Detected {
+		t.Fatal("injected misprediction not detected")
+	}
+	// Paper: 1s for MNIST, 3s for VGG16.
+	if r.RecoveryTime < 300*time.Millisecond || r.RecoveryTime > 4*time.Second {
+		t.Errorf("MNIST rollback %.2fs, paper ~1s", r.RecoveryTime.Seconds())
+	}
+}
+
+func TestPollingOffloadBands(t *testing.T) {
+	s := fastSuite()
+	rows, err := s.PollingOffload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Instances == 0 || r.RTTsSaved == 0 {
+			t.Fatalf("%s: %+v", r.Model, r)
+		}
+		if r.RTTsSaved >= r.RTTsWithout {
+			t.Fatalf("%s: saved %d of %d RTTs", r.Model, r.RTTsSaved, r.RTTsWithout)
+		}
+	}
+	// Paper: 117 poll instances for MNIST; within 3x.
+	if rows[0].Instances < 40 || rows[0].Instances > 400 {
+		t.Errorf("MNIST poll instances = %d, paper 117", rows[0].Instances)
+	}
+}
+
+func TestHistoryAblation(t *testing.T) {
+	s := fastSuite()
+	// Warm the shared history first.
+	if _, err := s.Record("MNIST", record.OursMDS, netsim.WiFi); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.HistoryAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.NoHistoryDelay < r.FullDelay {
+			t.Errorf("%s: cold history (%v) beat warm history (%v)",
+				r.Model, r.NoHistoryDelay, r.FullDelay)
+		}
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	s := NewSuite(mlfw.MNIST())
+	f7, err := s.Figure7(netsim.WiFi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f8, err := s.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f9, err := s.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string]string{
+		"fig7": RenderFigure7("Figure 7(a)", f7),
+		"t1":   RenderTable1(t1),
+		"t2":   RenderTable2(t2),
+		"fig8": RenderFigure8(f8),
+		"fig9": RenderFigure9(f9),
+	} {
+		if len(out) < 50 {
+			t.Errorf("%s render too short: %q", name, out)
+		}
+	}
+}
+
+func TestKSweepAblation(t *testing.T) {
+	s := NewSuite(mlfw.MNIST())
+	rows, err := s.KSweep("MNIST", 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k3 := rows[0], rows[1]
+	// k=1 trusts a single past outcome: it predicts the nondeterministic
+	// flush-ID commits and pays rollbacks for it.
+	if k1.Mispredictions == 0 {
+		t.Fatal("k=1 never mispredicted; flush-ID nondeterminism lost")
+	}
+	if k3.Mispredictions != 0 {
+		t.Fatalf("k=3 mispredicted %d times", k3.Mispredictions)
+	}
+	// Rollbacks cost seconds; k=3 must beat k=1 end to end.
+	if k3.Delay >= k1.Delay {
+		t.Fatalf("k=3 (%v) not faster than k=1 (%v) despite k=1's %d rollbacks",
+			k3.Delay, k1.Delay, k1.Mispredictions)
+	}
+	if out := RenderKSweep("MNIST", rows); len(out) < 50 {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func TestRTTSweepShowsLatencyInsensitivity(t *testing.T) {
+	s := NewSuite(mlfw.MNIST())
+	rows, err := s.RTTSweep("MNIST", 10*time.Millisecond, 80*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high := rows[0], rows[1]
+	// Both recorders' delays grow with RTT (round trips cannot be
+	// eliminated entirely), but the optimized recorder pays far fewer of
+	// them: its marginal cost per ms of RTT — the slope — must be an
+	// order of magnitude smaller.
+	naiveSlope := (high.Delays[record.Naive] - low.Delays[record.Naive]).Seconds()
+	oursSlope := (high.Delays[record.OursMDS] - low.Delays[record.OursMDS]).Seconds()
+	if naiveSlope <= 0 {
+		t.Fatalf("naive delay did not grow with RTT: %v -> %v",
+			low.Delays[record.Naive], high.Delays[record.Naive])
+	}
+	if oursSlope*5 > naiveSlope {
+		t.Errorf("OursMDS RTT slope %.2fs not well below naive %.2fs (per 70ms RTT)",
+			oursSlope, naiveSlope)
+	}
+	// And at every RTT the optimized recorder wins by a wide margin.
+	for _, r := range rows {
+		if r.Delays[record.OursMDS]*4 > r.Delays[record.Naive] {
+			t.Errorf("at RTT %v: OursMDS %v vs Naive %v", r.RTT,
+				r.Delays[record.OursMDS], r.Delays[record.Naive])
+		}
+	}
+	if out := RenderRTTSweep("MNIST", rows); len(out) < 50 {
+		t.Fatalf("render: %q", out)
+	}
+}
+
+func TestSegmentationTradeoff(t *testing.T) {
+	s := NewSuite(mlfw.MNIST())
+	rows, err := s.SegmentationTradeoff("MNIST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Segments != 9 {
+		t.Fatalf("MNIST segments = %d, want 9 layers", r.Segments)
+	}
+	// Segmentation adds per-segment headers, region maps and signatures —
+	// real but modest overhead.
+	if r.OverheadPct <= 0 {
+		t.Fatalf("segmentation shows no overhead (%+.1f%%)", r.OverheadPct)
+	}
+	if r.OverheadPct > 60 {
+		t.Fatalf("segmentation overhead %.1f%% implausibly high", r.OverheadPct)
+	}
+	if out := RenderSegmentation(rows); len(out) < 50 {
+		t.Fatalf("render: %q", out)
+	}
+}

@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gpurelay/internal/energy"
+	"gpurelay/internal/kbase"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/record"
+)
+
+// Figure7Row is one model's recording delays across the four recorder
+// variants under one network condition.
+type Figure7Row struct {
+	Model  string
+	Delays map[record.Variant]time.Duration
+}
+
+// Figure7 reproduces Figure 7(a) (WiFi) or 7(b) (cellular): end-to-end
+// recording delays for Naive, OursM, OursMD, OursMDS.
+func (s *Suite) Figure7(cond netsim.Condition) ([]Figure7Row, error) {
+	var rows []Figure7Row
+	for _, m := range s.Models {
+		row := Figure7Row{Model: m.Name, Delays: map[record.Variant]time.Duration{}}
+		for _, v := range record.Variants {
+			res, err := s.Record(m.Name, v, cond)
+			if err != nil {
+				return nil, err
+			}
+			row.Delays[v] = res.Stats.RecordingDelay
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1Row is one model's row of Table 1.
+type Table1Row struct {
+	Model        string
+	Jobs         int
+	BlockingRTTs map[record.Variant]int
+	MemSyncMB    map[record.Variant]float64
+}
+
+// Table1 reproduces Table 1: blocking round trips for OursM/OursMD/OursMDS
+// and memory-synchronization traffic for Naive vs OursM, all under WiFi.
+func (s *Suite) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, m := range s.Models {
+		row := Table1Row{
+			Model:        m.Name,
+			BlockingRTTs: map[record.Variant]int{},
+			MemSyncMB:    map[record.Variant]float64{},
+		}
+		for _, v := range record.Variants {
+			res, err := s.Record(m.Name, v, netsim.WiFi)
+			if err != nil {
+				return nil, err
+			}
+			row.Jobs = res.Stats.Jobs
+			row.BlockingRTTs[v] = res.Stats.Link.BlockingRTTs
+			row.MemSyncMB[v] = float64(res.Stats.MemSyncBytes) / 1e6
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table2Row is one model's replay-vs-native delay comparison.
+type Table2Row struct {
+	Model    string
+	NativeMS float64
+	ReplayMS float64
+}
+
+// Table2 reproduces Table 2: replay delay (in-TEE, no GPU stack) against
+// native execution (full stack, normal world, same device).
+func (s *Suite) Table2() ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, m := range s.Models {
+		native, err := s.Native(m.Name)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := s.Replay(m.Name)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Model:    m.Name,
+			NativeMS: float64(native) / float64(time.Millisecond),
+			ReplayMS: float64(rp.Delay) / float64(time.Millisecond),
+		})
+	}
+	return rows, nil
+}
+
+// Figure8Row is one model's speculated-commit breakdown.
+type Figure8Row struct {
+	Model string
+	// Total is the number of speculated commits (the parenthesized count
+	// in the paper's Figure 8).
+	Total int
+	// Share is the fraction per driver-routine category.
+	Share map[kbase.Category]float64
+}
+
+// Figure8 reproduces Figure 8: the breakdown of speculative commits by the
+// driver routine that issued them (init / interrupt / power state /
+// polling), normalized to 100%.
+func (s *Suite) Figure8() ([]Figure8Row, error) {
+	var rows []Figure8Row
+	for _, m := range s.Models {
+		res, err := s.Record(m.Name, record.OursMDS, netsim.WiFi)
+		if err != nil {
+			return nil, err
+		}
+		spec := res.Stats.Shim.SpeculatedByCategory
+		total := 0
+		for _, n := range spec {
+			total += n
+		}
+		row := Figure8Row{Model: m.Name, Total: total, Share: map[kbase.Category]float64{}}
+		for cat, n := range spec {
+			row.Share[cat] = float64(n) / float64(total)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure9Row is one model's record/replay energy.
+type Figure9Row struct {
+	Model         string
+	RecordNaiveJ  float64
+	RecordOursJ   float64
+	ReplayJ       float64
+	SavingPercent float64
+}
+
+// Figure9 reproduces Figure 9: client system energy for record (Naive vs
+// OursMDS) and replay.
+func (s *Suite) Figure9() ([]Figure9Row, error) {
+	var rows []Figure9Row
+	model := energy.Default()
+	for _, m := range s.Models {
+		naive, err := s.Record(m.Name, record.Naive, netsim.WiFi)
+		if err != nil {
+			return nil, err
+		}
+		ours, err := s.Record(m.Name, record.OursMDS, netsim.WiFi)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := s.Replay(m.Name)
+		if err != nil {
+			return nil, err
+		}
+		row := Figure9Row{
+			Model:        m.Name,
+			RecordNaiveJ: float64(naive.Stats.Energy),
+			RecordOursJ:  float64(ours.Stats.Energy),
+			ReplayJ:      float64(model.Replay(rp.GPUBusy, rp.CPUTime)),
+		}
+		row.SavingPercent = 100 * (1 - row.RecordOursJ/row.RecordNaiveJ)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFigure7 formats Figure 7 rows as a text table.
+func RenderFigure7(title string, rows []Figure7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-12s %10s %10s %10s %10s\n", title,
+		"NN", "Naive", "OursM", "OursMD", "OursMDS")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9.1fs %9.1fs %9.1fs %9.1fs\n", r.Model,
+			r.Delays[record.Naive].Seconds(), r.Delays[record.OursM].Seconds(),
+			r.Delays[record.OursMD].Seconds(), r.Delays[record.OursMDS].Seconds())
+	}
+	return b.String()
+}
+
+// RenderTable1 formats Table 1 rows as a text table.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: record-run statistics\n")
+	fmt.Fprintf(&b, "%-12s %6s | %8s %8s %8s | %10s %10s\n", "NN (#jobs)", "",
+		"OursM", "OursMD", "OursMDS", "Naive(MB)", "OursM(MB)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s (%3d) | %8d %8d %8d | %10.2f %10.2f\n",
+			r.Model, r.Jobs,
+			r.BlockingRTTs[record.OursM], r.BlockingRTTs[record.OursMD],
+			r.BlockingRTTs[record.OursMDS],
+			r.MemSyncMB[record.Naive], r.MemSyncMB[record.OursM])
+	}
+	return b.String()
+}
+
+// RenderTable2 formats Table 2 rows.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: replay vs native delays (ms)\n%-12s %10s %10s %8s\n",
+		"NN", "Native", "OursMDS", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10.1f %10.1f %+7.0f%%\n", r.Model, r.NativeMS, r.ReplayMS,
+			100*(r.ReplayMS-r.NativeMS)/r.NativeMS)
+	}
+	return b.String()
+}
+
+// RenderFigure8 formats Figure 8 rows.
+func RenderFigure8(rows []Figure8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: speculative commits by category (normalized; total in parens)\n")
+	cats := []kbase.Category{kbase.CatInit, kbase.CatInterrupt, kbase.CatPower, kbase.CatPolling, kbase.CatSubmit}
+	fmt.Fprintf(&b, "%-12s %8s", "NN", "(total)")
+	for _, c := range cats {
+		fmt.Fprintf(&b, " %10s", c)
+	}
+	fmt.Fprintln(&b)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8s", r.Model, fmt.Sprintf("(%d)", r.Total))
+		for _, c := range cats {
+			fmt.Fprintf(&b, " %9.1f%%", 100*r.Share[c])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderFigure9 formats Figure 9 rows.
+func RenderFigure9(rows []Figure9Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: client energy (J)\n%-12s %12s %12s %10s %8s\n",
+		"NN", "Rec(Naive)", "Rec(Ours)", "Replay", "saving")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12.2f %12.2f %10.3f %7.1f%%\n",
+			r.Model, r.RecordNaiveJ, r.RecordOursJ, r.ReplayJ, r.SavingPercent)
+	}
+	return b.String()
+}

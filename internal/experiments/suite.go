@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§7): Figure 7 (recording delays under WiFi and cellular),
+// Table 1 (round trips and synchronization traffic), Table 2 (replay vs
+// native delays), Figure 8 (speculated-commit breakdown), Figure 9 (record
+// and replay energy), and the §7.3 validation experiments (deferral
+// efficacy, speculation efficacy, misprediction cost, polling offload).
+//
+// All experiments run on the virtual clock: a "795-second" cellular Naive
+// recording completes in well under a second of real time.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/kbase"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/record"
+	"gpurelay/internal/replay"
+	"gpurelay/internal/shim"
+	"gpurelay/internal/tee"
+	"gpurelay/internal/timesim"
+)
+
+// sessionKey is the fixed benchmark session key (a real deployment derives
+// one per attested session; see internal/cloud).
+var sessionKey = []byte("grt-experiments-key-0123456789ab")
+
+// Suite runs and caches record/replay/native executions so that experiments
+// sharing a configuration do not repeat work. The speculation history is
+// retained across OursMDS runs, as the paper's evaluation does (§7.3).
+type Suite struct {
+	Models []*mlfw.Model
+	SKU    *mali.SKU
+
+	mu      sync.Mutex
+	history *shim.History
+	records map[string]*record.Result
+	replays map[string]*replay.Result
+	natives map[string]time.Duration
+	gpuBusy map[string]time.Duration // native-run GPU busy time
+}
+
+// NewSuite builds a suite over the given models (defaults to the paper's six
+// benchmarks on the G71 MP8 client).
+func NewSuite(models ...*mlfw.Model) *Suite {
+	if len(models) == 0 {
+		models = mlfw.Benchmarks()
+	}
+	return &Suite{
+		Models:  models,
+		SKU:     mali.G71MP8,
+		history: shim.NewHistory(3),
+		records: map[string]*record.Result{},
+		replays: map[string]*replay.Result{},
+		natives: map[string]time.Duration{},
+		gpuBusy: map[string]time.Duration{},
+	}
+}
+
+func (s *Suite) model(name string) *mlfw.Model {
+	for _, m := range s.Models {
+		if m.Name == name {
+			return m
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown model %q", name))
+}
+
+// Record runs (or returns the cached) record run for a model, variant and
+// network condition.
+func (s *Suite) Record(model string, v record.Variant, cond netsim.Condition) (*record.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := fmt.Sprintf("%s/%v/%s", model, v, cond.Name)
+	if r, ok := s.records[key]; ok {
+		return r, nil
+	}
+	var hist *shim.History
+	if v == record.OursMDS {
+		hist = s.history
+	}
+	res, err := record.Run(record.Config{
+		Variant: v, Model: s.model(model), SKU: s.SKU, Network: cond,
+		SessionKey: sessionKey, History: hist,
+		ClientSeed: 42, InjectMispredictionAt: -1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: recording %s: %w", key, err)
+	}
+	// Only the OursMDS/WiFi recordings are replayed later; drop the other
+	// variants' event logs (a naive VGG16 recording embeds hundreds of MB
+	// of raw memory dumps) and keep just their statistics.
+	if !(v == record.OursMDS && cond.Name == netsim.WiFi.Name) {
+		res.Recording.Events = nil
+		res.Signed = nil
+	}
+	s.records[key] = res
+	return res, nil
+}
+
+// Replay runs (or returns the cached) replay of a model's OursMDS WiFi
+// recording on a fresh simulated device.
+func (s *Suite) Replay(model string) (*replay.Result, error) {
+	rec, err := s.Record(model, record.OursMDS, netsim.WiFi)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.replays[model]; ok {
+		return r, nil
+	}
+	clock := timesim.NewClock()
+	gpu := mali.New(s.SKU, gpumem.NewPool(rec.Recording.PoolSize), clock, 777)
+	ctrl := tee.NewController(gpu)
+	rp, err := replay.New(rec.Signed, sessionKey, gpu, ctrl, clock)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rp.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: replaying %s: %w", model, err)
+	}
+	s.replays[model] = &res
+	return &res, nil
+}
+
+// Native runs (or returns the cached) native execution: the full GPU stack
+// in the normal world of the client device, pipelined, no TEE.
+func (s *Suite) Native(model string) (time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.natives[model]; ok {
+		return d, nil
+	}
+	m := s.model(model)
+	clock := timesim.NewClock()
+	pool := gpumem.NewPool(m.TotalBytes()*3/2 + (64 << 20))
+	gpu := mali.New(s.SKU, pool, clock, 31)
+	dev, err := kbase.Probe(kbase.NewDirectBus(gpu, clock), kbase.NewStdKernel(clock), pool)
+	if err != nil {
+		return 0, err
+	}
+	rt, err := mlfw.NewRuntime(dev, clock, m, mlfw.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	busyBefore := gpu.Stats().Busy
+	res, err := rt.Run(kbase.SyncHooks{})
+	if err != nil {
+		return 0, fmt.Errorf("experiments: native %s: %w", model, err)
+	}
+	s.natives[model] = res.Duration
+	s.gpuBusy[model] = gpu.Stats().Busy - busyBefore
+	return res.Duration, nil
+}

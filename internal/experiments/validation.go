@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/record"
+	"gpurelay/internal/shim"
+)
+
+// This file reproduces the §7.3 "validation of key designs" experiments.
+
+// DeferralRow quantifies register-access deferral for one model.
+type DeferralRow struct {
+	Model string
+	// DelayReductionPct is OursM→OursMD (paper: 65% WiFi, 69% cellular).
+	DelayReductionPct float64
+	// RTTReductionPct is the blocking-round-trip reduction (paper: 73%).
+	RTTReductionPct float64
+	// AccessesPerCommit is the §7.3 batching statistic (paper: 3.8).
+	AccessesPerCommit float64
+}
+
+// DeferralEfficacy measures §7.3 "Efficacy of deferral" under cond.
+func (s *Suite) DeferralEfficacy(cond netsim.Condition) ([]DeferralRow, error) {
+	var rows []DeferralRow
+	for _, m := range s.Models {
+		base, err := s.Record(m.Name, record.OursM, cond)
+		if err != nil {
+			return nil, err
+		}
+		def, err := s.Record(m.Name, record.OursMD, cond)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DeferralRow{
+			Model: m.Name,
+			DelayReductionPct: 100 * (1 - def.Stats.RecordingDelay.Seconds()/
+				base.Stats.RecordingDelay.Seconds()),
+			RTTReductionPct: 100 * (1 - float64(def.Stats.Link.BlockingRTTs)/
+				float64(base.Stats.Link.BlockingRTTs)),
+			AccessesPerCommit: def.Stats.RegAccessesPerCommit,
+		})
+	}
+	return rows, nil
+}
+
+// SpeculationRow quantifies speculation for one model.
+type SpeculationRow struct {
+	Model string
+	// DelayReductionPct is OursMD→OursMDS (paper: 60-74%).
+	DelayReductionPct float64
+	// RTTReductionPct is the further blocking-RTT reduction (paper: 86%
+	// on average vs OursM... measured here vs OursMD).
+	RTTReductionPct float64
+	// CommitsSpeculatedPct is the fraction of commits meeting the
+	// criteria (paper: 95%).
+	CommitsSpeculatedPct float64
+	Mispredictions       int
+}
+
+// SpeculationEfficacy measures §7.3 "Efficacy of speculation" under cond,
+// with history retained across the benchmarks (as the paper does).
+func (s *Suite) SpeculationEfficacy(cond netsim.Condition) ([]SpeculationRow, error) {
+	var rows []SpeculationRow
+	for _, m := range s.Models {
+		def, err := s.Record(m.Name, record.OursMD, cond)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := s.Record(m.Name, record.OursMDS, cond)
+		if err != nil {
+			return nil, err
+		}
+		st := spec.Stats.Shim
+		rows = append(rows, SpeculationRow{
+			Model: m.Name,
+			DelayReductionPct: 100 * (1 - spec.Stats.RecordingDelay.Seconds()/
+				def.Stats.RecordingDelay.Seconds()),
+			RTTReductionPct: 100 * (1 - float64(spec.Stats.Link.BlockingRTTs)/
+				float64(def.Stats.Link.BlockingRTTs)),
+			CommitsSpeculatedPct: 100 * float64(st.AsyncCommits) / float64(st.Commits),
+			Mispredictions:       st.Mispredictions,
+		})
+	}
+	return rows, nil
+}
+
+// MispredictionRow is one §7.3 fault-injection measurement.
+type MispredictionRow struct {
+	Model        string
+	Detected     bool
+	RecoveryTime time.Duration
+}
+
+// MispredictionCost injects a wrong register value into a warm record run of
+// each model and reports the rollback delay (paper: 1 s MNIST, 3 s VGG16;
+// always detected).
+func (s *Suite) MispredictionCost(models ...string) ([]MispredictionRow, error) {
+	if len(models) == 0 {
+		models = []string{"MNIST", "VGG16"}
+	}
+	var rows []MispredictionRow
+	for _, name := range models {
+		// Warm the (suite-shared) history first.
+		if _, err := s.Record(name, record.OursMDS, netsim.WiFi); err != nil {
+			return nil, err
+		}
+		res, err := record.Run(record.Config{
+			Variant: record.OursMDS, Model: s.model(name), SKU: s.SKU,
+			Network: netsim.WiFi, SessionKey: sessionKey, History: s.history,
+			ClientSeed: 77, InjectMispredictionAt: 10,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MispredictionRow{
+			Model:        name,
+			Detected:     res.Stats.Shim.Mispredictions > 0,
+			RecoveryTime: res.Stats.Shim.RecoveryTime,
+		})
+	}
+	return rows, nil
+}
+
+// PollingRow quantifies polling-loop offloading for one model.
+type PollingRow struct {
+	Model string
+	// Instances is the number of polling-loop executions (paper: 117
+	// MNIST to 492 VGG16).
+	Instances int
+	// RTTsWithout is the round trips the loops would cost one-per-read.
+	RTTsWithout int
+	// RTTsSaved is the reduction from offloading (paper: 13-58 saved per
+	// benchmark beyond deferral's batching).
+	RTTsSaved int
+}
+
+// PollingOffload measures §4.3's effect by comparing loop iterations
+// executed client-side against the single round trip each offloaded loop
+// costs.
+func (s *Suite) PollingOffload() ([]PollingRow, error) {
+	var rows []PollingRow
+	for _, m := range s.Models {
+		res, err := s.Record(m.Name, record.OursMD, netsim.WiFi)
+		if err != nil {
+			return nil, err
+		}
+		st := res.Stats.Shim
+		rows = append(rows, PollingRow{
+			Model:       m.Name,
+			Instances:   st.PollLoops,
+			RTTsWithout: st.PollLoopsOffloaded + st.PollRTTsSaved,
+			RTTsSaved:   st.PollRTTsSaved,
+		})
+	}
+	return rows, nil
+}
+
+// AblationRow compares a full OursMDS run against one with a shim feature
+// knocked out, for the DESIGN.md ablation benches.
+type AblationRow struct {
+	Model           string
+	FullDelay       time.Duration
+	NoHistoryDelay  time.Duration // fresh history: speculation must warm up
+	ColdHistoryCost float64       // percent slower without cross-run history
+}
+
+// HistoryAblation quantifies how much cross-workload history retention
+// (§4.2/§7.3) buys: an OursMDS run with a cold, per-run history versus the
+// suite's warm shared history.
+func (s *Suite) HistoryAblation() ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, m := range s.Models {
+		warm, err := s.Record(m.Name, record.OursMDS, netsim.WiFi)
+		if err != nil {
+			return nil, err
+		}
+		cold, err := record.Run(record.Config{
+			Variant: record.OursMDS, Model: s.model(m.Name), SKU: s.SKU,
+			Network: netsim.WiFi, SessionKey: sessionKey,
+			History:    shim.NewHistory(3), // cold
+			ClientSeed: 42, InjectMispredictionAt: -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := AblationRow{
+			Model: m.Name, FullDelay: warm.Stats.RecordingDelay,
+			NoHistoryDelay: cold.Stats.RecordingDelay,
+		}
+		row.ColdHistoryCost = 100 * (cold.Stats.RecordingDelay.Seconds()/
+			warm.Stats.RecordingDelay.Seconds() - 1)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// KSweepRow measures one confidence threshold in the speculation-criteria
+// sweep.
+type KSweepRow struct {
+	K              int
+	Delay          time.Duration
+	Speculated     int
+	Mispredictions int
+	RecoveryTime   time.Duration
+}
+
+// KSweep ablates the §4.2 confidence parameter k (the paper fixes k=3): it
+// records the model once per k with a fresh history warmed by one prior run.
+// Low k speculates aggressively and mispredicts on the nondeterministic
+// flush-ID commits (paying seconds of rollback each time); high k forfeits
+// speculation opportunities. k=3 is the paper's sweet spot.
+func (s *Suite) KSweep(model string, ks ...int) ([]KSweepRow, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 2, 3, 5}
+	}
+	var rows []KSweepRow
+	for _, k := range ks {
+		hist := shim.NewHistory(k)
+		// Warm-up run builds history at this k.
+		if _, err := record.Run(record.Config{
+			Variant: record.OursMDS, Model: s.model(model), SKU: s.SKU,
+			Network: netsim.WiFi, SessionKey: sessionKey, History: hist,
+			ClientSeed: 11, InjectMispredictionAt: -1,
+		}); err != nil {
+			return nil, err
+		}
+		res, err := record.Run(record.Config{
+			Variant: record.OursMDS, Model: s.model(model), SKU: s.SKU,
+			Network: netsim.WiFi, SessionKey: sessionKey, History: hist,
+			ClientSeed: 12, InjectMispredictionAt: -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, KSweepRow{
+			K: k, Delay: res.Stats.RecordingDelay,
+			Speculated:     res.Stats.Shim.AsyncCommits,
+			Mispredictions: res.Stats.Shim.Mispredictions,
+			RecoveryTime:   res.Stats.Shim.RecoveryTime,
+		})
+	}
+	return rows, nil
+}
+
+// RenderKSweep formats the k-sweep ablation.
+func RenderKSweep(model string, rows []KSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: speculation confidence k (%s; paper uses k=3)\n", model)
+	fmt.Fprintf(&b, "%4s %10s %12s %10s %10s\n", "k", "delay", "speculated", "mispred", "rollback")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%4d %9.1fs %12d %10d %9.1fs\n",
+			r.K, r.Delay.Seconds(), r.Speculated, r.Mispredictions, r.RecoveryTime.Seconds())
+	}
+	return b.String()
+}
+
+// RTTSweepRow measures recording delay under one synthetic RTT.
+type RTTSweepRow struct {
+	RTT    time.Duration
+	Delays map[record.Variant]time.Duration
+}
+
+// RTTSweep records a model under a range of round-trip times (at WiFi
+// bandwidth) for all four variants. It quantifies the paper's central claim:
+// the optimizations make recording delay nearly insensitive to network
+// latency, while the naive recorder's delay grows linearly with RTT.
+func (s *Suite) RTTSweep(model string, rtts ...time.Duration) ([]RTTSweepRow, error) {
+	if len(rtts) == 0 {
+		rtts = []time.Duration{5 * time.Millisecond, 20 * time.Millisecond,
+			50 * time.Millisecond, 100 * time.Millisecond}
+	}
+	var rows []RTTSweepRow
+	for _, rtt := range rtts {
+		cond := netsim.Condition{
+			Name: fmt.Sprintf("rtt-%dms", rtt.Milliseconds()),
+			RTT:  rtt, Bandwidth: netsim.WiFi.Bandwidth,
+		}
+		row := RTTSweepRow{RTT: rtt, Delays: map[record.Variant]time.Duration{}}
+		for _, v := range record.Variants {
+			res, err := s.Record(model, v, cond)
+			if err != nil {
+				return nil, err
+			}
+			row.Delays[v] = res.Stats.RecordingDelay
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderRTTSweep formats the RTT sweep.
+func RenderRTTSweep(model string, rows []RTTSweepRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation: recording delay vs network RTT (%s)\n", model)
+	fmt.Fprintf(&b, "%8s %10s %10s %10s %10s\n", "RTT", "Naive", "OursM", "OursMD", "OursMDS")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6dms %9.1fs %9.1fs %9.1fs %9.1fs\n", r.RTT.Milliseconds(),
+			r.Delays[record.Naive].Seconds(), r.Delays[record.OursM].Seconds(),
+			r.Delays[record.OursMD].Seconds(), r.Delays[record.OursMDS].Seconds())
+	}
+	return b.String()
+}
+
+// SegmentationRow measures the Figure 2 composability/efficiency tradeoff
+// for one model: per-layer recordings versus one monolithic recording.
+type SegmentationRow struct {
+	Model string
+	// Segments is the number of per-layer recordings.
+	Segments int
+	// MonolithicBytes and SegmentedBytes compare total recording sizes
+	// (segmentation duplicates region maps and signatures).
+	MonolithicBytes int64
+	SegmentedBytes  int64
+	// OverheadPct is the size overhead of per-layer granularity.
+	OverheadPct float64
+}
+
+// SegmentationTradeoff quantifies Figure 2's "granularity of recordings is a
+// developer's choice as the tradeoff between composability and efficiency".
+func (s *Suite) SegmentationTradeoff(models ...string) ([]SegmentationRow, error) {
+	if len(models) == 0 {
+		for _, m := range s.Models {
+			models = append(models, m.Name)
+		}
+	}
+	var rows []SegmentationRow
+	for _, name := range models {
+		res, err := s.Record(name, record.OursMDS, netsim.WiFi)
+		if err != nil {
+			return nil, err
+		}
+		if res.Signed == nil {
+			return nil, fmt.Errorf("experiments: %s recording was trimmed", name)
+		}
+		signeds, _, err := res.Segments(s.model(name).LayerBoundaries())
+		if err != nil {
+			return nil, err
+		}
+		var segBytes int64
+		for _, sg := range signeds {
+			segBytes += int64(len(sg.Payload)) + 32
+		}
+		mono := int64(len(res.Signed.Payload)) + 32
+		rows = append(rows, SegmentationRow{
+			Model: name, Segments: len(signeds),
+			MonolithicBytes: mono, SegmentedBytes: segBytes,
+			OverheadPct: 100 * (float64(segBytes)/float64(mono) - 1),
+		})
+	}
+	return rows, nil
+}
+
+// RenderSegmentation formats the Figure 2 tradeoff table.
+func RenderSegmentation(rows []SegmentationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2 tradeoff: per-layer vs monolithic recordings\n")
+	fmt.Fprintf(&b, "%-12s %8s %14s %14s %10s\n", "NN", "layers", "monolithic", "segmented", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8d %11.2fMB %11.2fMB %+9.1f%%\n", r.Model, r.Segments,
+			float64(r.MonolithicBytes)/1e6, float64(r.SegmentedBytes)/1e6, r.OverheadPct)
+	}
+	return b.String()
+}
+
+// RenderValidation formats the §7.3 experiment outputs.
+func RenderValidation(def []DeferralRow, spec []SpeculationRow, mis []MispredictionRow, poll []PollingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Deferral efficacy (OursM -> OursMD)\n%-12s %10s %10s %12s\n",
+		"NN", "delay -%", "RTTs -%", "accesses/commit")
+	for _, r := range def {
+		fmt.Fprintf(&b, "%-12s %9.1f%% %9.1f%% %12.1f\n", r.Model,
+			r.DelayReductionPct, r.RTTReductionPct, r.AccessesPerCommit)
+	}
+	fmt.Fprintf(&b, "\nSpeculation efficacy (OursMD -> OursMDS)\n%-12s %10s %10s %12s %8s\n",
+		"NN", "delay -%", "RTTs -%", "spec'd", "mispred")
+	for _, r := range spec {
+		fmt.Fprintf(&b, "%-12s %9.1f%% %9.1f%% %11.1f%% %8d\n", r.Model,
+			r.DelayReductionPct, r.RTTReductionPct, r.CommitsSpeculatedPct, r.Mispredictions)
+	}
+	fmt.Fprintf(&b, "\nMisprediction injection\n%-12s %10s %12s\n", "NN", "detected", "rollback")
+	for _, r := range mis {
+		fmt.Fprintf(&b, "%-12s %10v %11.1fs\n", r.Model, r.Detected, r.RecoveryTime.Seconds())
+	}
+	fmt.Fprintf(&b, "\nPolling offload\n%-12s %10s %12s %10s\n", "NN", "loops", "RTTs w/o", "saved")
+	for _, r := range poll {
+		fmt.Fprintf(&b, "%-12s %10d %12d %10d\n", r.Model, r.Instances, r.RTTsWithout, r.RTTsSaved)
+	}
+	return b.String()
+}

@@ -1,0 +1,235 @@
+package gpumem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Snapshot is the contents of a set of regions at one synchronization point.
+// Snapshots are exchanged between DriverShim and GPUShim at job boundaries
+// (§5: cloud→client right before the job-start register write, client→cloud
+// right after the completion interrupt).
+type Snapshot struct {
+	Regions []RegionSnapshot
+}
+
+// RegionSnapshot is one region's captured bytes.
+type RegionSnapshot struct {
+	Name string
+	Kind RegionKind
+	VA   VA
+	PA   PA
+	Data []byte
+}
+
+// RawBytes returns the uncompressed size of the snapshot — the traffic a
+// synchronization scheme without compression would ship.
+func (s *Snapshot) RawBytes() int64 {
+	var n int64
+	for _, r := range s.Regions {
+		n += int64(len(r.Data))
+	}
+	return n
+}
+
+// Capture reads every region accepted by filter out of pool. A nil filter
+// captures everything. Regions are captured in the order given, which both
+// sides must agree on for delta encoding to line up.
+func Capture(pool *Pool, regions []*Region, filter func(*Region) bool) *Snapshot {
+	s := &Snapshot{}
+	for _, r := range regions {
+		if filter != nil && !filter(r) {
+			continue
+		}
+		data := make([]byte, r.Size)
+		pool.ReadMaterialized(r.PA, data) // fresh buffer: already zeroed
+		s.Regions = append(s.Regions, RegionSnapshot{
+			Name: r.Name, Kind: r.Kind, VA: r.VA, PA: r.PA, Data: data,
+		})
+	}
+	return s
+}
+
+// MetastateOnly is a Capture filter selecting only GPU metastate, the core of
+// meta-only synchronization.
+func MetastateOnly(r *Region) bool { return r.Kind.Metastate() }
+
+// Restore writes the snapshot's regions back into pool at their physical
+// addresses. The receiving shim uses this to reconstruct the shared-memory
+// view.
+func (s *Snapshot) Restore(pool *Pool) {
+	for _, r := range s.Regions {
+		pool.Write(r.PA, r.Data)
+	}
+}
+
+// Clone deep-copies the snapshot, so a retained baseline is immune to later
+// Restore/patch operations.
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{Regions: make([]RegionSnapshot, len(s.Regions))}
+	for i, r := range s.Regions {
+		r.Data = append([]byte(nil), r.Data...)
+		c.Regions[i] = r
+	}
+	return c
+}
+
+// EncodeOptions controls how a snapshot is serialized for the wire.
+type EncodeOptions struct {
+	// Delta XORs each region against the previous snapshot before coding,
+	// so unchanged bytes become zero. Requires a structurally matching
+	// previous snapshot (same regions in the same order).
+	Delta bool
+	// Compress range-codes the payload. The naive recorder ships raw bytes.
+	Compress bool
+}
+
+const wireMagic = 0x47524D44 // "GRMD"
+
+// Encode serializes the snapshot. prev is the previous snapshot at the last
+// synchronization point (nil for the first sync or when opts.Delta is
+// false). The returned buffer is what crosses the network; its length is the
+// MemSync traffic Table 1 accounts.
+func (s *Snapshot) Encode(prev *Snapshot, opts EncodeOptions) ([]byte, error) {
+	var payload bytes.Buffer
+	var hdr bytes.Buffer
+	binary.Write(&hdr, binary.LittleEndian, uint32(wireMagic))
+	flags := uint8(0)
+	if opts.Delta {
+		flags |= 1
+	}
+	if opts.Compress {
+		flags |= 2
+	}
+	hdr.WriteByte(flags)
+	binary.Write(&hdr, binary.LittleEndian, uint32(len(s.Regions)))
+
+	if opts.Delta && prev != nil {
+		if len(prev.Regions) != len(s.Regions) {
+			return nil, fmt.Errorf("gpumem: delta base has %d regions, snapshot has %d",
+				len(prev.Regions), len(s.Regions))
+		}
+	}
+	for i, r := range s.Regions {
+		binary.Write(&hdr, binary.LittleEndian, uint16(len(r.Name)))
+		hdr.WriteString(r.Name)
+		hdr.WriteByte(uint8(r.Kind))
+		binary.Write(&hdr, binary.LittleEndian, uint64(r.VA))
+		binary.Write(&hdr, binary.LittleEndian, uint64(r.PA))
+		binary.Write(&hdr, binary.LittleEndian, uint32(len(r.Data)))
+		if opts.Delta && prev != nil {
+			p := prev.Regions[i]
+			if p.Name != r.Name || len(p.Data) != len(r.Data) {
+				return nil, fmt.Errorf("gpumem: delta base region %q/%d mismatches %q/%d",
+					p.Name, len(p.Data), r.Name, len(r.Data))
+			}
+			delta := make([]byte, len(r.Data))
+			for j := range delta {
+				delta[j] = r.Data[j] ^ p.Data[j]
+			}
+			payload.Write(delta)
+		} else {
+			payload.Write(r.Data)
+		}
+	}
+
+	body := payload.Bytes()
+	if opts.Compress {
+		body = RangeEncode(body)
+	}
+	out := hdr
+	binary.Write(&out, binary.LittleEndian, uint32(len(body)))
+	out.Write(body)
+	return out.Bytes(), nil
+}
+
+// Decode reconstructs a snapshot from wire bytes. prev must be the same
+// previous snapshot the encoder used when the stream is delta-encoded.
+func Decode(wire []byte, prev *Snapshot) (*Snapshot, error) {
+	r := bytes.NewReader(wire)
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil || magic != wireMagic {
+		return nil, fmt.Errorf("gpumem: bad dump magic")
+	}
+	flags, err := r.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	delta, compressed := flags&1 != 0, flags&2 != 0
+	var nRegions uint32
+	if err := binary.Read(r, binary.LittleEndian, &nRegions); err != nil {
+		return nil, err
+	}
+	s := &Snapshot{Regions: make([]RegionSnapshot, nRegions)}
+	total := 0
+	for i := range s.Regions {
+		var nameLen uint16
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := r.Read(name); err != nil {
+			return nil, err
+		}
+		kind, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		var va, pa uint64
+		var dataLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &va); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &pa); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &dataLen); err != nil {
+			return nil, err
+		}
+		s.Regions[i] = RegionSnapshot{
+			Name: string(name), Kind: RegionKind(kind), VA: VA(va), PA: PA(pa),
+			Data: make([]byte, dataLen),
+		}
+		total += int(dataLen)
+	}
+	var bodyLen uint32
+	if err := binary.Read(r, binary.LittleEndian, &bodyLen); err != nil {
+		return nil, err
+	}
+	body := make([]byte, bodyLen)
+	if _, err := r.Read(body); err != nil {
+		return nil, err
+	}
+	if compressed {
+		body, err = RangeDecode(body, total)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(body) != total {
+		return nil, fmt.Errorf("gpumem: dump payload %d bytes, regions need %d", len(body), total)
+	}
+	if delta && prev == nil {
+		return nil, fmt.Errorf("gpumem: delta stream requires its base snapshot")
+	}
+	if delta && len(prev.Regions) != int(nRegions) {
+		return nil, fmt.Errorf("gpumem: delta stream with mismatched base")
+	}
+	off := 0
+	for i := range s.Regions {
+		d := s.Regions[i].Data
+		copy(d, body[off:off+len(d)])
+		off += len(d)
+		if delta && prev != nil {
+			p := prev.Regions[i].Data
+			if len(p) != len(d) {
+				return nil, fmt.Errorf("gpumem: delta region %d size mismatch", i)
+			}
+			for j := range d {
+				d[j] ^= p[j]
+			}
+		}
+	}
+	return s, nil
+}

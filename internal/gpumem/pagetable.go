@@ -1,0 +1,231 @@
+package gpumem
+
+import "fmt"
+
+// PTEFlag is a page permission flag in the canonical (format-independent)
+// encoding used by callers. Page-table formats map these to SKU-specific bit
+// positions — the paper notes that GPU page-table formats vary across SKUs
+// and that such variation breaks cross-SKU replay (§2.4).
+type PTEFlag uint8
+
+// Canonical permission flags.
+const (
+	PTERead PTEFlag = 1 << iota
+	PTEWrite
+	// PTEExec marks pages containing GPU shader code. Mali maps metastate
+	// executable (KBASE_REG_GPU_NX absent), which GR-T exploits to locate
+	// metastate in the shared memory (§5).
+	PTEExec
+)
+
+// Format describes one SKU's page-table entry layout. Only the permission
+// bit positions vary in this model; address bits and the valid marker are
+// shared. Replaying a recording whose page tables were produced with a
+// different format yields wrong permissions and faults, reproducing the
+// paper's observation.
+type Format struct {
+	Name     string
+	ReadBit  uint // bit position of the read-allow bit
+	WriteBit uint
+	ExecBit  uint
+}
+
+// Standard formats used by the SKU catalog.
+var (
+	// FormatLPAE is a Bifrost-era LPAE-like layout.
+	FormatLPAE = Format{Name: "lpae", ReadBit: 2, WriteBit: 3, ExecBit: 4}
+	// FormatAArch64 is a later layout with shuffled permission bits.
+	FormatAArch64 = Format{Name: "aarch64", ReadBit: 4, WriteBit: 2, ExecBit: 3}
+)
+
+const (
+	pteValid   = uint64(1) // bit 0: entry present
+	pteTable   = uint64(2) // bit 1: points to next-level table (else page)
+	pteAddrLo  = 12
+	pteAddrMsk = uint64(0xFFFFFFFFF) << pteAddrLo // bits 12..47
+)
+
+func (f Format) encode(pa PA, flags PTEFlag, table bool) uint64 {
+	e := pteValid | (uint64(pa) & pteAddrMsk)
+	if table {
+		e |= pteTable
+	}
+	if flags&PTERead != 0 {
+		e |= 1 << f.ReadBit
+	}
+	if flags&PTEWrite != 0 {
+		e |= 1 << f.WriteBit
+	}
+	if flags&PTEExec != 0 {
+		e |= 1 << f.ExecBit
+	}
+	return e
+}
+
+func (f Format) decode(e uint64) (pa PA, flags PTEFlag, table, valid bool) {
+	if e&pteValid == 0 {
+		return 0, 0, false, false
+	}
+	pa = PA(e & pteAddrMsk)
+	if e&(1<<f.ReadBit) != 0 {
+		flags |= PTERead
+	}
+	if e&(1<<f.WriteBit) != 0 {
+		flags |= PTEWrite
+	}
+	if e&(1<<f.ExecBit) != 0 {
+		flags |= PTEExec
+	}
+	return pa, flags, e&pteTable != 0, true
+}
+
+// PageTable is a 3-level GPU page table stored *inside* the shared memory
+// pool, exactly as the real Mali MMU expects: page-table pages are ordinary
+// memory, so memory dumps naturally capture address-space snapshots, which is
+// how GR-T records dynamic GPU address-space updates (§2.3 "completeness").
+//
+// The virtual address space is 39-bit: three 9-bit indices plus a 12-bit page
+// offset.
+type PageTable struct {
+	pool   *Pool
+	format Format
+	root   PA
+	pages  []PA // every table page, root first
+}
+
+const (
+	vaBits    = 39
+	levelBits = 9
+	ptEntries = 1 << levelBits
+)
+
+// NewPageTable allocates an empty top-level table in pool.
+func NewPageTable(pool *Pool, format Format) (*PageTable, error) {
+	root, err := pool.AllocPages(1)
+	if err != nil {
+		return nil, fmt.Errorf("allocating page table root: %w", err)
+	}
+	return &PageTable{pool: pool, format: format, root: root, pages: []PA{root}}, nil
+}
+
+// Pages returns the physical addresses of every page-table page (root and
+// intermediate levels). Memory synchronization treats these as metastate:
+// shipping them is how GR-T records the GPU address space (§2.3, §5).
+func (t *PageTable) Pages() []PA {
+	return append([]PA(nil), t.pages...)
+}
+
+// Root returns the physical address of the top-level table, which the driver
+// programs into the GPU's AS_TRANSTAB register.
+func (t *PageTable) Root() PA { return t.root }
+
+// Format returns the entry layout this table was built with.
+func (t *PageTable) Format() Format { return t.format }
+
+func levelIndex(va VA, level int) uint64 {
+	shift := uint(12 + levelBits*(2-level))
+	return (uint64(va) >> shift) & (ptEntries - 1)
+}
+
+func checkVA(va VA) {
+	if uint64(va)>>vaBits != 0 {
+		panic(fmt.Sprintf("gpumem: VA %#x exceeds %d-bit space", va, vaBits))
+	}
+	if uint64(va)%PageSize != 0 {
+		panic(fmt.Sprintf("gpumem: unaligned VA %#x", va))
+	}
+}
+
+// Map installs a translation for one page at va to pa with flags, allocating
+// intermediate tables as needed.
+func (t *PageTable) Map(va VA, pa PA, flags PTEFlag) error {
+	checkVA(va)
+	table := t.root
+	for level := 0; level < 2; level++ {
+		slot := table + PA(levelIndex(va, level)*8)
+		e := t.pool.Read64(slot)
+		next, _, isTable, valid := t.format.decode(e)
+		if !valid {
+			var err error
+			next, err = t.pool.AllocPages(1)
+			if err != nil {
+				return fmt.Errorf("allocating L%d table: %w", level+1, err)
+			}
+			t.pages = append(t.pages, next)
+			t.pool.Write64(slot, t.format.encode(next, 0, true))
+		} else if !isTable {
+			return fmt.Errorf("gpumem: L%d entry for VA %#x is a page, not a table", level, va)
+		}
+		table = next
+	}
+	slot := table + PA(levelIndex(va, 2)*8)
+	t.pool.Write64(slot, t.format.encode(pa, flags, false))
+	return nil
+}
+
+// MapRange maps n contiguous bytes from va to pa, page by page.
+func (t *PageTable) MapRange(va VA, pa PA, n uint64, flags PTEFlag) error {
+	for off := uint64(0); off < n; off += PageSize {
+		if err := t.Map(va+VA(off), pa+PA(off), flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unmap removes the translation for the page at va. Unmapping an absent page
+// is a no-op. GR-T's continuous-validation safety net (§5) unmaps regions so
+// spurious accesses trap.
+func (t *PageTable) Unmap(va VA) {
+	checkVA(va)
+	table := t.root
+	for level := 0; level < 2; level++ {
+		slot := table + PA(levelIndex(va, level)*8)
+		next, _, isTable, valid := t.format.decode(t.pool.Read64(slot))
+		if !valid || !isTable {
+			return
+		}
+		table = next
+	}
+	t.pool.Write64(table+PA(levelIndex(va, 2)*8), 0)
+}
+
+// UnmapRange unmaps n contiguous bytes starting at va.
+func (t *PageTable) UnmapRange(va VA, n uint64) {
+	for off := uint64(0); off < n; off += PageSize {
+		t.Unmap(va + VA(off))
+	}
+}
+
+// Walker resolves GPU virtual addresses against a table rooted at an
+// arbitrary PA — this is the MMU's view: it only knows the root register
+// value and the format baked into the hardware.
+type Walker struct {
+	Pool   *Pool
+	Format Format
+	Root   PA
+}
+
+// Translate walks the table for va and returns the physical address and
+// flags. ok is false on any fault (unmapped, bad level).
+func (w Walker) Translate(va VA) (pa PA, flags PTEFlag, ok bool) {
+	if uint64(va)>>vaBits != 0 {
+		return 0, 0, false
+	}
+	page := VA(uint64(va) &^ uint64(PageSize-1))
+	table := w.Root
+	for level := 0; level < 2; level++ {
+		slot := table + PA(levelIndex(page, level)*8)
+		next, _, isTable, valid := w.Format.decode(w.Pool.Read64(slot))
+		if !valid || !isTable {
+			return 0, 0, false
+		}
+		table = next
+	}
+	slot := table + PA(levelIndex(page, 2)*8)
+	base, flags, isTable, valid := w.Format.decode(w.Pool.Read64(slot))
+	if !valid || isTable {
+		return 0, 0, false
+	}
+	return base + PA(uint64(va)%PageSize), flags, true
+}

@@ -1,0 +1,145 @@
+package gpumem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestTable(t *testing.T, format Format) (*Pool, *PageTable) {
+	t.Helper()
+	pool := NewPool(16 << 20)
+	pt, err := NewPageTable(pool, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool, pt
+}
+
+func TestPageTableMapTranslate(t *testing.T) {
+	pool, pt := newTestTable(t, FormatLPAE)
+	if err := pt.Map(0x40000000, 0x5000, PTERead|PTEWrite); err != nil {
+		t.Fatal(err)
+	}
+	w := Walker{Pool: pool, Format: FormatLPAE, Root: pt.Root()}
+	pa, flags, ok := w.Translate(0x40000123)
+	if !ok {
+		t.Fatal("translate faulted")
+	}
+	if pa != 0x5123 {
+		t.Fatalf("pa = %#x, want 0x5123", pa)
+	}
+	if flags != PTERead|PTEWrite {
+		t.Fatalf("flags = %v, want RW", flags)
+	}
+}
+
+func TestPageTableUnmappedFaults(t *testing.T) {
+	pool, pt := newTestTable(t, FormatLPAE)
+	w := Walker{Pool: pool, Format: FormatLPAE, Root: pt.Root()}
+	if _, _, ok := w.Translate(0x1234000); ok {
+		t.Fatal("translate of unmapped VA succeeded")
+	}
+}
+
+func TestPageTableUnmap(t *testing.T) {
+	pool, pt := newTestTable(t, FormatLPAE)
+	if err := pt.Map(0x1000, 0x2000, PTERead); err != nil {
+		t.Fatal(err)
+	}
+	pt.Unmap(0x1000)
+	w := Walker{Pool: pool, Format: FormatLPAE, Root: pt.Root()}
+	if _, _, ok := w.Translate(0x1000); ok {
+		t.Fatal("translate after unmap succeeded")
+	}
+	pt.Unmap(0x999000) // unmapping absent VA is a no-op
+}
+
+func TestPageTableMapRange(t *testing.T) {
+	pool, pt := newTestTable(t, FormatLPAE)
+	const n = 10 * PageSize
+	if err := pt.MapRange(0x80000000, 0x10000, n, PTERead|PTEExec); err != nil {
+		t.Fatal(err)
+	}
+	w := Walker{Pool: pool, Format: FormatLPAE, Root: pt.Root()}
+	for off := uint64(0); off < n; off += PageSize / 2 {
+		pa, flags, ok := w.Translate(VA(0x80000000 + off))
+		if !ok {
+			t.Fatalf("fault at offset %#x", off)
+		}
+		if want := PA(0x10000 + off); pa != want {
+			t.Fatalf("pa = %#x, want %#x", pa, want)
+		}
+		if flags&PTEExec == 0 {
+			t.Fatal("lost exec flag")
+		}
+	}
+	pt.UnmapRange(0x80000000, n)
+	if _, _, ok := w.Translate(0x80000000 + 5*PageSize); ok {
+		t.Fatal("translate after UnmapRange succeeded")
+	}
+}
+
+// TestCrossFormatWalkBreaks reproduces the paper's §2.4 observation: page
+// tables built for one SKU's format read back with wrong permissions on
+// another SKU. The recorder must therefore run against the exact SKU.
+func TestCrossFormatWalkBreaks(t *testing.T) {
+	pool, pt := newTestTable(t, FormatLPAE)
+	if err := pt.Map(0x1000, 0x3000, PTEExec); err != nil {
+		t.Fatal(err)
+	}
+	right := Walker{Pool: pool, Format: FormatLPAE, Root: pt.Root()}
+	wrong := Walker{Pool: pool, Format: FormatAArch64, Root: pt.Root()}
+	_, rf, ok := right.Translate(0x1000)
+	if !ok || rf != PTEExec {
+		t.Fatalf("native walk = (%v, %v)", rf, ok)
+	}
+	_, wf, ok := wrong.Translate(0x1000)
+	if ok && wf == rf {
+		t.Fatal("foreign-format walk produced identical permissions; SKU variation lost")
+	}
+}
+
+func TestPageTableUnalignedPanics(t *testing.T) {
+	_, pt := newTestTable(t, FormatLPAE)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned Map did not panic")
+		}
+	}()
+	pt.Map(0x1001, 0x2000, PTERead)
+}
+
+func TestFormatEncodeDecodeRoundTrip(t *testing.T) {
+	for _, f := range []Format{FormatLPAE, FormatAArch64} {
+		for _, flags := range []PTEFlag{0, PTERead, PTEWrite, PTEExec, PTERead | PTEWrite | PTEExec} {
+			e := f.encode(0x123000, flags, false)
+			pa, got, table, valid := f.decode(e)
+			if !valid || table || pa != 0x123000 || got != flags {
+				t.Fatalf("%s/%v: decode(encode) = (%#x,%v,%v,%v)", f.Name, flags, pa, got, table, valid)
+			}
+		}
+	}
+}
+
+// Property: a set of random page mappings translates back exactly.
+func TestPropertyPageTableRoundTrip(t *testing.T) {
+	pool := NewPool(64 << 20)
+	pt, err := NewPageTable(pool, FormatLPAE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Walker{Pool: pool, Format: FormatLPAE, Root: pt.Root()}
+	f := func(vaPage, paPage uint32, flagBits uint8) bool {
+		va := VA(uint64(vaPage%(1<<20)) * PageSize) // keep within 39-bit space
+		pa := PA(uint64(paPage%1024)*PageSize) + 0x100000
+		flags := PTEFlag(flagBits) & (PTERead | PTEWrite | PTEExec)
+		if err := pt.Map(va, pa, flags); err != nil {
+			return false
+		}
+		gotPA, gotFlags, ok := w.Translate(va + 7)
+		return ok && gotPA == pa+7 && gotFlags == flags
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+// Package gpumem models the CPU/GPU shared physical memory of a mobile SoC
+// and the structures GR-T needs on top of it: GPU page tables, typed memory
+// regions, and the snapshot/delta/compression machinery behind meta-only
+// memory synchronization (§5 of the paper).
+//
+// Physical memory is sparse: pages are materialized only when written, and
+// absent pages read as zero. This directly mirrors the paper's dry-run
+// insight — during recording DriverShim fills ML inputs and parameters with
+// zeros, so a multi-hundred-MB VGG16 weight buffer occupies no storage here
+// while still contributing its true size to synchronization traffic.
+package gpumem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageSize is the granularity of physical allocation and page-table mapping.
+const PageSize = 4096
+
+// PA is a physical address in the shared memory pool.
+type PA uint64
+
+// VA is a GPU virtual address.
+type VA uint64
+
+// Pool is a sparse physical memory of a fixed capacity. The zero value is
+// unusable; create pools with NewPool.
+type Pool struct {
+	mu    sync.Mutex
+	size  uint64
+	pages map[uint64][]byte // page index -> contents; absent pages read as zero
+
+	// first-fit free list of page ranges, kept sorted by start.
+	free []pageRange
+
+	// guards are the §5 continuous-validation traps; onViolation is the
+	// installed handler.
+	guards      []guardRange
+	onViolation func(*GuardViolation)
+}
+
+type pageRange struct{ start, count uint64 } // in pages
+
+// NewPool creates a pool of the given capacity in bytes, rounded down to a
+// whole number of pages. Capacity must be at least one page.
+func NewPool(size uint64) *Pool {
+	size -= size % PageSize
+	if size < PageSize {
+		panic(fmt.Sprintf("gpumem: pool size %d smaller than a page", size))
+	}
+	return &Pool{
+		size:  size,
+		pages: make(map[uint64][]byte),
+		free:  []pageRange{{start: 0, count: size / PageSize}},
+	}
+}
+
+// Size returns the pool capacity in bytes.
+func (p *Pool) Size() uint64 { return p.size }
+
+// MaterializedBytes returns how much backing storage is actually allocated —
+// the measure of how sparse the pool is.
+func (p *Pool) MaterializedBytes() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return uint64(len(p.pages)) * PageSize
+}
+
+// AllocPages allocates n contiguous pages first-fit and returns the physical
+// address of the first. It returns an error when the pool is exhausted or
+// fragmented beyond the request.
+func (p *Pool) AllocPages(n uint64) (PA, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("gpumem: zero-page allocation")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, r := range p.free {
+		if r.count >= n {
+			pa := PA(r.start * PageSize)
+			if r.count == n {
+				p.free = append(p.free[:i], p.free[i+1:]...)
+			} else {
+				p.free[i] = pageRange{start: r.start + n, count: r.count - n}
+			}
+			return pa, nil
+		}
+	}
+	return 0, fmt.Errorf("gpumem: out of memory allocating %d pages", n)
+}
+
+// Alloc allocates enough pages to hold size bytes.
+func (p *Pool) Alloc(size uint64) (PA, error) {
+	return p.AllocPages((size + PageSize - 1) / PageSize)
+}
+
+// FreePages returns n pages starting at pa to the free list and drops their
+// backing storage. Freeing coalesces adjacent ranges.
+func (p *Pool) FreePages(pa PA, n uint64) {
+	if uint64(pa)%PageSize != 0 {
+		panic(fmt.Sprintf("gpumem: free of unaligned PA %#x", pa))
+	}
+	start := uint64(pa) / PageSize
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := uint64(0); i < n; i++ {
+		delete(p.pages, start+i)
+	}
+	idx := sort.Search(len(p.free), func(i int) bool { return p.free[i].start >= start })
+	p.free = append(p.free, pageRange{})
+	copy(p.free[idx+1:], p.free[idx:])
+	p.free[idx] = pageRange{start: start, count: n}
+	// Coalesce around idx.
+	merged := p.free[:0]
+	for _, r := range p.free {
+		if n := len(merged); n > 0 && merged[n-1].start+merged[n-1].count == r.start {
+			merged[n-1].count += r.count
+		} else {
+			merged = append(merged, r)
+		}
+	}
+	p.free = merged
+}
+
+func (p *Pool) check(pa PA, n int) {
+	if uint64(pa)+uint64(n) > p.size {
+		panic(fmt.Sprintf("gpumem: access [%#x,+%d) beyond pool size %#x", pa, n, p.size))
+	}
+}
+
+// Read copies len(buf) bytes starting at pa into buf. Unmaterialized pages
+// read as zero.
+func (p *Pool) Read(pa PA, buf []byte) {
+	p.check(pa, len(buf))
+	p.mu.Lock()
+	v := p.checkGuards(pa, len(buf), false)
+	p.mu.Unlock()
+	if v != nil {
+		p.trap(v)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off := uint64(pa)
+	for len(buf) > 0 {
+		page, in := off/PageSize, off%PageSize
+		n := PageSize - in
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		if pg, ok := p.pages[page]; ok {
+			copy(buf[:n], pg[in:in+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				buf[i] = 0
+			}
+		}
+		buf = buf[n:]
+		off += n
+	}
+}
+
+// Write copies data into the pool starting at pa. Pages are materialized
+// lazily: writing all zeros to an unmaterialized page is a no-op, which
+// keeps dry-run recordings sparse even when zero-filled snapshots are
+// restored wholesale (the §5 zero-fill property).
+func (p *Pool) Write(pa PA, data []byte) {
+	p.check(pa, len(data))
+	p.mu.Lock()
+	v := p.checkGuards(pa, len(data), true)
+	p.mu.Unlock()
+	if v != nil {
+		p.trap(v)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off := uint64(pa)
+	for len(data) > 0 {
+		page, in := off/PageSize, off%PageSize
+		n := PageSize - in
+		if uint64(len(data)) < n {
+			n = uint64(len(data))
+		}
+		pg, ok := p.pages[page]
+		if !ok {
+			if allZero(data[:n]) {
+				data = data[n:]
+				off += n
+				continue
+			}
+			pg = make([]byte, PageSize)
+			p.pages[page] = pg
+		}
+		copy(pg[in:in+n], data[:n])
+		data = data[n:]
+		off += n
+	}
+}
+
+func allZero(b []byte) bool {
+	for len(b) >= 8 {
+		if b[0]|b[1]|b[2]|b[3]|b[4]|b[5]|b[6]|b[7] != 0 {
+			return false
+		}
+		b = b[8:]
+	}
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadMaterialized copies only materialized pages of [pa, pa+len(buf)) into
+// buf, assuming buf is already zeroed (as a fresh allocation is). It is the
+// fast path for capturing large, mostly-sparse snapshots.
+func (p *Pool) ReadMaterialized(pa PA, buf []byte) {
+	p.check(pa, len(buf))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off := uint64(pa)
+	for len(buf) > 0 {
+		page, in := off/PageSize, off%PageSize
+		n := PageSize - in
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		if pg, ok := p.pages[page]; ok {
+			copy(buf[:n], pg[in:in+n])
+		}
+		buf = buf[n:]
+		off += n
+	}
+}
+
+// Read32 reads a little-endian 32-bit word.
+func (p *Pool) Read32(pa PA) uint32 {
+	var b [4]byte
+	p.Read(pa, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Write32 writes a little-endian 32-bit word.
+func (p *Pool) Write32(pa PA, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	p.Write(pa, b[:])
+}
+
+// Read64 reads a little-endian 64-bit word.
+func (p *Pool) Read64(pa PA) uint64 {
+	var b [8]byte
+	p.Read(pa, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Write64 writes a little-endian 64-bit word.
+func (p *Pool) Write64(pa PA, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	p.Write(pa, b[:])
+}
+
+// GuardViolation describes a trapped access to a guarded range — the §5
+// continuous-validation safety net: after a memory dump is synchronized, the
+// dumped ranges are "unmapped" and any spurious access is reported instead
+// of silently desynchronizing the two views.
+type GuardViolation struct {
+	PA    PA
+	Write bool
+	Label string
+}
+
+func (v *GuardViolation) Error() string {
+	op := "read"
+	if v.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("gpumem: spurious %s at PA %#x inside guarded range %q", op, v.PA, v.Label)
+}
+
+type guardRange struct {
+	start, end uint64 // bytes, [start, end)
+	label      string
+}
+
+// Guard arms a trap on [pa, pa+n): until Unguard, any Read or Write
+// overlapping the range invokes the violation handler installed with
+// OnGuardViolation (or panics if none is installed).
+func (p *Pool) Guard(pa PA, n uint64, label string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.guards = append(p.guards, guardRange{start: uint64(pa), end: uint64(pa) + n, label: label})
+}
+
+// UnguardAll disarms every guard.
+func (p *Pool) UnguardAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.guards = nil
+}
+
+// OnGuardViolation installs the trap handler. The handler runs with the pool
+// unlocked; returning from it lets the access proceed (report-and-continue,
+// as the paper's error reporting does).
+func (p *Pool) OnGuardViolation(fn func(*GuardViolation)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onViolation = fn
+}
+
+// checkGuards must be called with p.mu held; it returns a violation to
+// deliver after unlocking, or nil.
+func (p *Pool) checkGuards(pa PA, n int, write bool) *GuardViolation {
+	if len(p.guards) == 0 {
+		return nil
+	}
+	start, end := uint64(pa), uint64(pa)+uint64(n)
+	for _, g := range p.guards {
+		if start < g.end && g.start < end {
+			return &GuardViolation{PA: pa, Write: write, Label: g.label}
+		}
+	}
+	return nil
+}
+
+func (p *Pool) trap(v *GuardViolation) {
+	if v == nil {
+		return
+	}
+	p.mu.Lock()
+	fn := p.onViolation
+	p.mu.Unlock()
+	if fn == nil {
+		panic(v.Error())
+	}
+	fn(v)
+}
+
+// RangeMaterialized reports whether any page overlapping [pa, pa+n) has
+// backing storage. A false result guarantees the range reads as zero, which
+// is the dry-run fast-path test used by the shader interpreter.
+func (p *Pool) RangeMaterialized(pa PA, n uint64) bool {
+	if n == 0 {
+		return false
+	}
+	p.check(pa, int(n))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for page := uint64(pa) / PageSize; page <= (uint64(pa)+n-1)/PageSize; page++ {
+		if _, ok := p.pages[page]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ZeroRange drops the backing storage of whole pages within [pa, pa+n) so
+// they read as zero again, and explicitly zeroes partial pages at the edges.
+func (p *Pool) ZeroRange(pa PA, n uint64) {
+	p.check(pa, int(n))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off, end := uint64(pa), uint64(pa)+n
+	for off < end {
+		page, in := off/PageSize, off%PageSize
+		step := PageSize - in
+		if end-off < step {
+			step = end - off
+		}
+		if in == 0 && step == PageSize {
+			delete(p.pages, page)
+		} else if pg, ok := p.pages[page]; ok {
+			for i := in; i < in+step; i++ {
+				pg[i] = 0
+			}
+		}
+		off += step
+	}
+}

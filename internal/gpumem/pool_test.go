@@ -1,0 +1,191 @@
+package gpumem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolReadZeroFill(t *testing.T) {
+	p := NewPool(1 << 20)
+	buf := make([]byte, 100)
+	for i := range buf {
+		buf[i] = 0xAA
+	}
+	p.Read(0x1000, buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0 from unmaterialized page", i, b)
+		}
+	}
+	if p.MaterializedBytes() != 0 {
+		t.Fatalf("read materialized %d bytes", p.MaterializedBytes())
+	}
+}
+
+func TestPoolWriteRead(t *testing.T) {
+	p := NewPool(1 << 20)
+	data := []byte("hello gpu shared memory")
+	p.Write(0x2FF0, data) // crosses a page boundary
+	got := make([]byte, len(data))
+	p.Read(0x2FF0, got)
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip = %q, want %q", got, data)
+	}
+}
+
+func TestPoolWords(t *testing.T) {
+	p := NewPool(1 << 20)
+	p.Write32(0x100, 0xDEADBEEF)
+	if got := p.Read32(0x100); got != 0xDEADBEEF {
+		t.Fatalf("Read32 = %#x", got)
+	}
+	p.Write64(0x200, 0x0123456789ABCDEF)
+	if got := p.Read64(0x200); got != 0x0123456789ABCDEF {
+		t.Fatalf("Read64 = %#x", got)
+	}
+}
+
+func TestPoolBoundsPanic(t *testing.T) {
+	p := NewPool(PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds write did not panic")
+		}
+	}()
+	p.Write(PageSize-2, []byte{1, 2, 3})
+}
+
+func TestAllocFreeCoalesce(t *testing.T) {
+	p := NewPool(16 * PageSize)
+	a, err := p.AllocPages(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.AllocPages(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.AllocPages(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AllocPages(1); err == nil {
+		t.Fatal("allocation from exhausted pool succeeded")
+	}
+	// Free middle, then first, then last: must coalesce back to one range.
+	p.FreePages(b, 4)
+	p.FreePages(a, 4)
+	p.FreePages(c, 8)
+	if got, err := p.AllocPages(16); err != nil || got != 0 {
+		t.Fatalf("re-alloc after coalescing = (%#x, %v), want (0, nil)", got, err)
+	}
+}
+
+func TestFreeDropsStorage(t *testing.T) {
+	p := NewPool(8 * PageSize)
+	pa, _ := p.AllocPages(2)
+	p.Write(pa, bytes.Repeat([]byte{0xFF}, 2*PageSize))
+	if p.MaterializedBytes() != 2*PageSize {
+		t.Fatalf("materialized %d", p.MaterializedBytes())
+	}
+	p.FreePages(pa, 2)
+	if p.MaterializedBytes() != 0 {
+		t.Fatalf("free kept %d bytes materialized", p.MaterializedBytes())
+	}
+	// Re-allocated pages must read zero, not stale data.
+	pa2, _ := p.AllocPages(2)
+	if got := p.Read32(pa2); got != 0 {
+		t.Fatalf("recycled page reads %#x, want 0", got)
+	}
+}
+
+func TestZeroRange(t *testing.T) {
+	p := NewPool(1 << 20)
+	p.Write(0, bytes.Repeat([]byte{0x55}, 3*PageSize))
+	// Zero a span covering a partial page, a full page, and a partial page.
+	p.ZeroRange(100, 2*PageSize)
+	buf := make([]byte, 3*PageSize)
+	p.Read(0, buf)
+	for i, b := range buf {
+		want := byte(0x55)
+		if i >= 100 && i < 100+2*PageSize {
+			want = 0
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+	// The wholly-zeroed middle page should be dematerialized.
+	if p.MaterializedBytes() != 2*PageSize {
+		t.Fatalf("materialized %d, want 2 pages (edges only)", p.MaterializedBytes())
+	}
+}
+
+// Property: write-then-read returns what was written, at arbitrary offsets
+// and lengths.
+func TestPropertyPoolRoundTrip(t *testing.T) {
+	p := NewPool(1 << 22)
+	f := func(off uint32, data []byte) bool {
+		pa := PA(off % (1<<22 - 70000))
+		if len(data) > 65536 {
+			data = data[:65536]
+		}
+		p.Write(pa, data)
+		got := make([]byte, len(data))
+		p.Read(pa, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardTrapsAccess(t *testing.T) {
+	p := NewPool(1 << 20)
+	var violations []*GuardViolation
+	p.OnGuardViolation(func(v *GuardViolation) { violations = append(violations, v) })
+	p.Guard(0x2000, 2*PageSize, "dumped-metastate")
+
+	p.Write(0x1000, []byte{1}) // outside: fine
+	p.Write(0x2800, []byte{1}) // inside: trapped
+	p.Read(0x3000, make([]byte, 8))
+	p.Read(0x4000, make([]byte, 8)) // just past the range end: fine
+	if len(violations) != 2 {
+		t.Fatalf("%d violations, want 2: %+v", len(violations), violations)
+	}
+	if !violations[0].Write || violations[0].Label != "dumped-metastate" {
+		t.Fatalf("first violation: %+v", violations[0])
+	}
+	if violations[1].Write {
+		t.Fatalf("second violation should be a read: %+v", violations[1])
+	}
+	p.UnguardAll()
+	p.Write(0x2800, []byte{2})
+	if len(violations) != 2 {
+		t.Fatal("access trapped after UnguardAll")
+	}
+}
+
+func TestGuardStraddlingAccess(t *testing.T) {
+	p := NewPool(1 << 20)
+	hit := 0
+	p.OnGuardViolation(func(*GuardViolation) { hit++ })
+	p.Guard(0x2000, PageSize, "g")
+	// A write that begins before the range but overlaps it must trap.
+	p.Write(0x1FF0, make([]byte, 64))
+	if hit != 1 {
+		t.Fatalf("straddling write not trapped (hit=%d)", hit)
+	}
+}
+
+func TestGuardWithoutHandlerPanics(t *testing.T) {
+	p := NewPool(1 << 20)
+	p.Guard(0, PageSize, "g")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("guarded access without handler did not panic")
+		}
+	}()
+	p.Write(0, []byte{1})
+}

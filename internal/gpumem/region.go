@@ -1,0 +1,81 @@
+package gpumem
+
+import "fmt"
+
+// RegionKind classifies what a shared-memory region holds. The split between
+// metastate and program data drives meta-only synchronization (§5): GR-T
+// transfers GPU commands, shaders, job descriptors and page tables, but not
+// input/output/weight/intermediate buffers.
+type RegionKind uint8
+
+// Region kinds.
+const (
+	KindCommands  RegionKind = iota // GPU command stream emitted by the runtime
+	KindShader                      // JIT-compiled shader binaries
+	KindJobDesc                     // job descriptor chains
+	KindPageTable                   // GPU page-table pages
+	KindInput                       // workload input buffers
+	KindOutput                      // workload output buffers
+	KindWeights                     // model parameters
+	KindScratch                     // intermediate tensors
+)
+
+var kindNames = [...]string{
+	KindCommands: "commands", KindShader: "shader", KindJobDesc: "jobdesc",
+	KindPageTable: "pagetable", KindInput: "input", KindOutput: "output",
+	KindWeights: "weights", KindScratch: "scratch",
+}
+
+func (k RegionKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Metastate reports whether regions of this kind must be synchronized between
+// the cloud and the client for recording to be faithful.
+func (k RegionKind) Metastate() bool {
+	switch k {
+	case KindCommands, KindShader, KindJobDesc, KindPageTable:
+		return true
+	}
+	return false
+}
+
+// Region is a contiguous shared-memory allocation visible to both CPU and
+// GPU. PA is its physical base; VA its GPU-virtual base once mapped.
+type Region struct {
+	Name string
+	Kind RegionKind
+	VA   VA
+	PA   PA
+	Size uint64
+	// Flags are the GPU-side permissions the region is mapped with. The
+	// permission heuristics of §5 key off these: executable regions hold
+	// shader metastate, read-only regions cannot hold command streams.
+	Flags PTEFlag
+}
+
+// PagesSpanned returns the number of pages the region occupies.
+func (r *Region) PagesSpanned() uint64 {
+	return (r.Size + PageSize - 1) / PageSize
+}
+
+// DefaultFlags returns the natural GPU mapping permissions for a region kind,
+// following the Mali convention the paper exploits: shader/command metastate
+// is executable, weights and inputs are read-only to the GPU.
+func DefaultFlags(k RegionKind) PTEFlag {
+	switch k {
+	case KindShader, KindCommands, KindJobDesc:
+		return PTERead | PTEExec
+	case KindPageTable:
+		return PTERead | PTEWrite
+	case KindInput, KindWeights:
+		return PTERead
+	case KindOutput, KindScratch:
+		return PTERead | PTEWrite
+	default:
+		return PTERead
+	}
+}

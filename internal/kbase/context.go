@@ -1,0 +1,120 @@
+package kbase
+
+import (
+	"fmt"
+
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/mali"
+)
+
+// Context is a per-application GPU address space, the analogue of a kbase
+// context: it owns a hardware AS slot, a page table in shared memory, and
+// the regions mapped into it.
+type Context struct {
+	dev     *Device
+	as      int
+	pt      *gpumem.PageTable
+	regions []*gpumem.Region
+	nextVA  gpumem.VA
+	closed  bool
+}
+
+// contextVABase is where context allocations start in GPU VA space.
+const contextVABase = 0x0_1000_0000
+
+// CreateContext allocates a hardware address space and builds its page
+// table.
+func (d *Device) CreateContext() (*Context, error) {
+	as := -1
+	for i, used := range d.asUsed {
+		if !used {
+			as = i
+			break
+		}
+	}
+	if as < 0 {
+		return nil, fmt.Errorf("kbase: no free address space")
+	}
+	pt, err := gpumem.NewPageTable(d.pool, d.cfg.ptFormat)
+	if err != nil {
+		return nil, fmt.Errorf("kbase: creating page table: %w", err)
+	}
+	d.asUsed[as] = true
+	ctx := &Context{dev: d, as: as, pt: pt, nextVA: contextVABase}
+	// The page-table pages themselves are a metastate region: dumps of
+	// them capture the GPU address space (§2.3 completeness).
+	ctx.regions = append(ctx.regions, &gpumem.Region{
+		Name: fmt.Sprintf("as%d-pagetable", as), Kind: gpumem.KindPageTable,
+		PA: pt.Root(), VA: 0, Size: gpumem.PageSize,
+		Flags: gpumem.DefaultFlags(gpumem.KindPageTable),
+	})
+	d.programAS(as, pt.Root())
+	return ctx, nil
+}
+
+// AS returns the hardware address-space index the context occupies.
+func (ctx *Context) AS() int { return ctx.as }
+
+// PageTable returns the context's page table.
+func (ctx *Context) PageTable() *gpumem.PageTable { return ctx.pt }
+
+// Regions returns all live regions, page-table region included. The
+// recorder snapshots memory through this list.
+func (ctx *Context) Regions() []*gpumem.Region { return ctx.regions }
+
+// Alloc allocates physical pages, maps them into the context at the next
+// free VA with the kind's default GPU permissions, and flushes the GPU TLB
+// for the new mapping — each allocation costs an MMU operation with its
+// polling loop, as on real hardware.
+func (ctx *Context) Alloc(name string, kind gpumem.RegionKind, size uint64) (*gpumem.Region, error) {
+	if ctx.closed {
+		return nil, fmt.Errorf("kbase: alloc on closed context")
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("kbase: zero-size allocation %q", name)
+	}
+	mapped := (size + gpumem.PageSize - 1) &^ uint64(gpumem.PageSize-1)
+	pa, err := ctx.dev.pool.Alloc(mapped)
+	if err != nil {
+		return nil, fmt.Errorf("kbase: allocating %q: %w", name, err)
+	}
+	flags := gpumem.DefaultFlags(kind)
+	va := ctx.nextVA
+	if err := ctx.pt.MapRange(va, pa, mapped, flags); err != nil {
+		return nil, fmt.Errorf("kbase: mapping %q: %w", name, err)
+	}
+	ctx.nextVA += gpumem.VA(mapped) + gpumem.PageSize // guard page
+	r := &gpumem.Region{Name: name, Kind: kind, VA: va, PA: pa, Size: size, Flags: flags}
+	ctx.regions = append(ctx.regions, r)
+	// kbase brackets page-table updates with an AS lock, flushes the
+	// stale TLB entries, and unlocks — three hardware operations with
+	// their polling loops per mapping.
+	ctx.dev.mmuOp(ctx.as, mali.ASCommandLock)
+	ctx.dev.mmuOp(ctx.as, mali.ASCommandFlushPT)
+	ctx.dev.mmuOp(ctx.as, mali.ASCommandUnlock)
+	return r, nil
+}
+
+// Free unmaps and releases a region.
+func (ctx *Context) Free(r *gpumem.Region) {
+	mapped := (r.Size + gpumem.PageSize - 1) &^ uint64(gpumem.PageSize-1)
+	ctx.pt.UnmapRange(r.VA, mapped)
+	ctx.dev.pool.FreePages(r.PA, mapped/gpumem.PageSize)
+	ctx.dev.mmuOp(ctx.as, mali.ASCommandFlushPT)
+	for i, rr := range ctx.regions {
+		if rr == r {
+			ctx.regions = append(ctx.regions[:i], ctx.regions[i+1:]...)
+			break
+		}
+	}
+}
+
+// Close releases the hardware address space. Regions are left to the pool's
+// owner (a closing app's memory is reclaimed wholesale).
+func (ctx *Context) Close() {
+	if ctx.closed {
+		return
+	}
+	ctx.closed = true
+	ctx.dev.asUsed[ctx.as] = false
+}

@@ -1,0 +1,345 @@
+package kbase
+
+import (
+	"fmt"
+	"time"
+
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/val"
+)
+
+// Driver function names. These label every register access with its source
+// location: they key the speculation history (§4.2), scope deferral to hot
+// functions (§4.1 optimization), and bucket commits into the Figure 8
+// categories.
+const (
+	FnProbe      = "kbase_device_probe"
+	FnReset      = "kbase_pm_init_hw"
+	FnQuirks     = "kbase_set_hw_quirks"
+	FnPowerOn    = "kbase_pm_do_poweron"
+	FnPowerOff   = "kbase_pm_do_poweroff"
+	FnCacheClean = "kbase_gpu_cache_clean"
+	FnMMUOp      = "kbase_mmu_hw_do_operation"
+	FnSubmit     = "kbase_job_hw_submit"
+	FnJobIRQ     = "kbase_job_irq_handler"
+	FnGPUIRQ     = "kbase_gpu_irq_handler"
+	FnMMUIRQ     = "kbase_mmu_irq_handler"
+)
+
+// Category classifies driver routines for the Figure 8 commit breakdown.
+type Category string
+
+// Commit categories from §7.3 of the paper.
+const (
+	CatInit      Category = "init"
+	CatInterrupt Category = "interrupt"
+	CatPower     Category = "power"
+	CatPolling   Category = "polling"
+	CatSubmit    Category = "submit" // job submission; nondeterministic flush IDs live here
+)
+
+// FnCategory maps driver functions to their Figure 8 category.
+var FnCategory = map[string]Category{
+	FnProbe:      CatInit,
+	FnReset:      CatInit,
+	FnQuirks:     CatInit,
+	FnPowerOn:    CatPower,
+	FnPowerOff:   CatPower,
+	FnCacheClean: CatPolling,
+	FnMMUOp:      CatPolling,
+	FnSubmit:     CatSubmit,
+	FnJobIRQ:     CatInterrupt,
+	FnGPUIRQ:     CatInterrupt,
+	FnMMUIRQ:     CatInterrupt,
+}
+
+// HotFunctions is the profiled list of driver functions that issue >90 % of
+// register accesses (§4.1 "Optimizations"). A deferring bus only defers
+// inside these.
+var HotFunctions = map[string]bool{
+	FnProbe: true, FnReset: true, FnQuirks: true,
+	FnPowerOn: true, FnPowerOff: true,
+	FnCacheClean: true, FnMMUOp: true,
+	FnSubmit: true, FnJobIRQ: true, FnGPUIRQ: true, FnMMUIRQ: true,
+}
+
+// hwConfig is the driver's per-product configuration table — the analogue of
+// the gpu_product_table in the real kbase driver, which is how one driver
+// binary supports a whole GPU family (§3.1 "Will the cloud have too many GPU
+// drivers?").
+type hwConfig struct {
+	name       string
+	ptFormat   gpumem.Format
+	snoopQuirk bool
+}
+
+var productTable = map[uint32]hwConfig{
+	0x6000_0001: {name: "g71", ptFormat: gpumem.FormatLPAE, snoopQuirk: true},
+	0x6001_0000: {name: "g72", ptFormat: gpumem.FormatLPAE},
+	0x7000_0000: {name: "g51", ptFormat: gpumem.FormatLPAE, snoopQuirk: true},
+	0x7002_0000: {name: "g52", ptFormat: gpumem.FormatAArch64},
+	0x7003_0000: {name: "g31", ptFormat: gpumem.FormatAArch64},
+	0x7201_0000: {name: "g76", ptFormat: gpumem.FormatAArch64},
+	0x9000_0000: {name: "g77", ptFormat: gpumem.FormatAArch64},
+}
+
+// quirk bit from Listing 1(a).
+const mmuAllowSnoopDisparity = 0x10
+
+// Stats counts driver-level activity.
+type Stats struct {
+	Submissions    int
+	JobsCompleted  int
+	JobsFailed     int
+	IRQsHandled    int
+	PowerCycles    int
+	MMUOps         int
+	CacheFlushes   int
+	PollLoops      int
+	PollIterations int
+}
+
+// Device is one probed GPU device instance.
+type Device struct {
+	bus  Bus
+	k    Kernel
+	pool *gpumem.Pool
+
+	cfg       hwConfig
+	productID uint32
+	coreMask  uint32
+	numAS     int
+	numSlots  int
+
+	asUsed   []bool
+	shaderOn bool
+	l2On     bool
+
+	stats Stats
+}
+
+// Probe discovers the GPU behind bus, resets it, applies hardware quirks and
+// powers up the L2 — the boot half of the real driver's kbase_device_init.
+func Probe(bus Bus, k Kernel, pool *gpumem.Pool) (*Device, error) {
+	d := &Device{bus: bus, k: k, pool: pool}
+
+	// Hardware discovery: the driver reads the ID and feature registers.
+	// This is the "repeated hardware discovery" recurring segment of
+	// §4.2 — the values never change for a given SKU.
+	gpuID := bus.Concretize(FnProbe, bus.Read(FnProbe, mali.GPU_ID))
+	cfg, ok := productTable[gpuID]
+	if !ok {
+		return nil, fmt.Errorf("kbase: unsupported GPU product %#x", gpuID)
+	}
+	d.cfg, d.productID = cfg, gpuID
+
+	for _, r := range []mali.Reg{
+		mali.L2_FEATURES, mali.TILER_FEATURES, mali.MEM_FEATURES,
+		mali.MMU_FEATURES, mali.THREAD_MAX_THREADS, mali.THREAD_MAX_WORKGROUP,
+		mali.THREAD_MAX_BARRIER, mali.THREAD_FEATURES,
+		mali.TEXTURE_FEATURES_0, mali.TEXTURE_FEATURES_1, mali.TEXTURE_FEATURES_2,
+		mali.COHERENCY_FEATURES,
+	} {
+		bus.Read(FnProbe, r) // cached into the driver's gpu_props
+	}
+	d.coreMask = bus.Concretize(FnProbe, bus.Read(FnProbe, mali.SHADER_PRESENT_LO))
+	bus.Read(FnProbe, mali.SHADER_PRESENT_HI)
+	bus.Read(FnProbe, mali.TILER_PRESENT_LO)
+	bus.Read(FnProbe, mali.L2_PRESENT_LO)
+	d.numAS = popcount(bus.Concretize(FnProbe, bus.Read(FnProbe, mali.AS_PRESENT)))
+	d.numSlots = popcount(bus.Concretize(FnProbe, bus.Read(FnProbe, mali.JS_PRESENT)))
+	d.asUsed = make([]bool, d.numAS)
+
+	if err := d.resetHW(); err != nil {
+		return nil, err
+	}
+	d.setQuirks()
+	d.powerOnL2()
+	d.k.Log("kbase: probed %s (product %#x), %d cores, %d AS, %d slots",
+		cfg.name, gpuID, popcount(d.coreMask), d.numAS, d.numSlots)
+	return d, nil
+}
+
+func popcount(v uint32) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// resetHW soft-resets the GPU and reinstalls interrupt masks.
+func (d *Device) resetHW() error {
+	d.k.Lock("hwaccess")
+	defer d.k.Unlock("hwaccess")
+	d.bus.Write(FnReset, mali.GPU_IRQ_CLEAR, val.Const(0xFFFFFFFF))
+	d.bus.Write(FnReset, mali.GPU_COMMAND, val.Const(mali.GPUCommandSoftReset))
+	res := d.pollReg(FnReset, mali.GPU_IRQ_RAWSTAT, mali.GPUIRQResetCompleted, mali.GPUIRQResetCompleted, 64)
+	if res.TimedOut {
+		return fmt.Errorf("kbase: GPU reset timed out")
+	}
+	d.bus.Write(FnReset, mali.GPU_IRQ_CLEAR, val.Const(mali.GPUIRQResetCompleted))
+	// Unmask the three interrupt blocks.
+	d.bus.Write(FnReset, mali.GPU_IRQ_MASK, val.Const(0xFFFFFFFF))
+	d.bus.Write(FnReset, mali.JOB_IRQ_MASK, val.Const(0xFFFFFFFF))
+	d.bus.Write(FnReset, mali.MMU_IRQ_MASK, val.Const(0xFFFFFFFF))
+	d.shaderOn, d.l2On = false, false
+	return nil
+}
+
+// setQuirks reproduces Listing 1(a): quirk registers are read, combined
+// symbolically, and written back — a pure data-dependency chain that a
+// deferring bus keeps symbolic end to end.
+func (d *Device) setQuirks() {
+	qrkShader := d.bus.Read(FnQuirks, mali.SHADER_CONFIG)
+	qrkTiler := d.bus.Read(FnQuirks, mali.TILER_CONFIG)
+	qrkMMU := d.bus.Read(FnQuirks, mali.L2_MMU_CONFIG)
+	if d.cfg.snoopQuirk {
+		qrkMMU = qrkMMU.Or(val.Const(mmuAllowSnoopDisparity))
+	}
+	d.bus.Write(FnQuirks, mali.SHADER_CONFIG, qrkShader.Or(val.Const(1<<16)))
+	d.bus.Write(FnQuirks, mali.TILER_CONFIG, qrkTiler)
+	d.bus.Write(FnQuirks, mali.L2_MMU_CONFIG, qrkMMU)
+}
+
+// pollReg wraps Bus.Poll with stats accounting.
+func (d *Device) pollReg(fn string, r mali.Reg, mask, want uint32, max int) PollResult {
+	res := d.bus.Poll(PollSpec{Fn: fn, Reg: r, DoneMask: mask, DoneVal: want, Max: max})
+	d.stats.PollLoops++
+	d.stats.PollIterations += res.Iters
+	return res
+}
+
+// powerOnL2 brings up the L2 and tiler, which stay on for the device's
+// lifetime (shader cores cycle per job).
+func (d *Device) powerOnL2() {
+	d.k.Lock("pm")
+	defer d.k.Unlock("pm")
+	d.bus.Write(FnPowerOn, mali.L2_PWRON_LO, val.Const(1))
+	d.pollReg(FnPowerOn, mali.L2_PWRTRANS_LO, 0xFFFFFFFF, 0, 64)
+	d.bus.Read(FnPowerOn, mali.L2_READY_LO)
+	d.bus.Write(FnPowerOn, mali.TILER_PWRON_LO, val.Const(1))
+	d.pollReg(FnPowerOn, mali.TILER_PWRTRANS_LO, 0xFFFFFFFF, 0, 64)
+	d.bus.Read(FnPowerOn, mali.TILER_READY_LO)
+	d.ackPowerIRQ()
+	d.l2On = true
+}
+
+// PowerOnShaders wakes the shader cores; the power state machine here is the
+// "repeated GPU state transitions" recurring segment of §4.2.
+func (d *Device) PowerOnShaders() {
+	if d.shaderOn {
+		return
+	}
+	d.k.Lock("pm")
+	defer d.k.Unlock("pm")
+	ready := d.bus.Read(FnPowerOn, mali.SHADER_READY_LO)
+	want := val.Const(d.coreMask)
+	if d.bus.Truthy(FnPowerOn, ready.Eq(want)) {
+		d.shaderOn = true
+		return
+	}
+	// Power on exactly the cores that are not yet ready: a symbolic
+	// expression over the READY read.
+	d.bus.Write(FnPowerOn, mali.SHADER_PWRON_LO, want.And(ready.Not()))
+	d.pollReg(FnPowerOn, mali.SHADER_PWRTRANS_LO, 0xFFFFFFFF, 0, 64)
+	d.bus.Read(FnPowerOn, mali.SHADER_READY_LO)
+	d.ackPowerIRQ()
+	d.shaderOn = true
+	d.stats.PowerCycles++
+}
+
+// PowerOffShaders idles the shader cores, as runtime PM does between jobs.
+func (d *Device) PowerOffShaders() {
+	if !d.shaderOn {
+		return
+	}
+	d.k.Lock("pm")
+	defer d.k.Unlock("pm")
+	d.bus.Write(FnPowerOff, mali.SHADER_PWROFF_LO, val.Const(d.coreMask))
+	d.pollReg(FnPowerOff, mali.SHADER_PWRTRANS_LO, 0xFFFFFFFF, 0, 64)
+	d.bus.Read(FnPowerOff, mali.SHADER_READY_LO)
+	d.ackPowerIRQ()
+	d.shaderOn = false
+}
+
+// ackPowerIRQ drains the POWER_CHANGED interrupt bits raised by transitions.
+func (d *Device) ackPowerIRQ() {
+	st := d.bus.Read(FnGPUIRQ, mali.GPU_IRQ_RAWSTAT)
+	mask := val.Const(mali.GPUIRQPowerChanged | mali.GPUIRQPowerChangedAll)
+	if d.bus.Truthy(FnGPUIRQ, st.And(mask)) {
+		d.bus.Write(FnGPUIRQ, mali.GPU_IRQ_CLEAR, st.And(mask))
+	}
+}
+
+// CacheClean flushes and invalidates the GPU caches, polling for completion
+// — the canonical §4.3 polling loop (Listing 2's shape).
+func (d *Device) CacheClean() {
+	d.k.Lock("hwaccess")
+	defer d.k.Unlock("hwaccess")
+	d.bus.Write(FnCacheClean, mali.GPU_COMMAND, val.Const(mali.GPUCommandCleanInvCaches))
+	d.pollReg(FnCacheClean, mali.GPU_IRQ_RAWSTAT,
+		mali.GPUIRQCleanCachesCompleted, mali.GPUIRQCleanCachesCompleted, 64)
+	d.bus.Write(FnCacheClean, mali.GPU_IRQ_CLEAR, val.Const(mali.GPUIRQCleanCachesCompleted))
+	d.stats.CacheFlushes++
+}
+
+// mmuOp issues an address-space command and waits for it to retire.
+func (d *Device) mmuOp(as int, cmd uint32) {
+	d.k.Lock("mmu_hw")
+	defer d.k.Unlock("mmu_hw")
+	d.bus.Write(FnMMUOp, mali.ASReg(as, mali.AS_COMMAND), val.Const(cmd))
+	d.pollReg(FnMMUOp, mali.ASReg(as, mali.AS_STATUS), mali.ASStatusActive, 0, 64)
+	d.stats.MMUOps++
+}
+
+// programAS points hardware address space as at the context's page table.
+func (d *Device) programAS(as int, transtab gpumem.PA) {
+	d.k.Lock("mmu_hw")
+	d.bus.Write(FnMMUOp, mali.ASReg(as, mali.AS_TRANSTAB_LO), val.Const(uint32(transtab)))
+	d.bus.Write(FnMMUOp, mali.ASReg(as, mali.AS_TRANSTAB_HI), val.Const(uint32(uint64(transtab)>>32)))
+	d.bus.Write(FnMMUOp, mali.ASReg(as, mali.AS_MEMATTR_LO), val.Const(0x88))
+	d.bus.Write(FnMMUOp, mali.ASReg(as, mali.AS_MEMATTR_HI), val.Const(0x88))
+	d.k.Unlock("mmu_hw")
+	d.mmuOp(as, mali.ASCommandUpdate)
+}
+
+// QueryProps services a userspace GET_GPUPROPS-style query: the runtime
+// issues one per kernel it JIT-compiles (clGetDeviceInfo and friends), and
+// each re-reads the discovery registers. These are the "repeated hardware
+// discovery" recurring segments of §4.2 — prime speculation targets, since
+// the values never change.
+func (d *Device) QueryProps() uint32 {
+	for _, r := range []mali.Reg{
+		mali.L2_FEATURES, mali.TILER_FEATURES, mali.MEM_FEATURES,
+		mali.THREAD_MAX_THREADS, mali.THREAD_MAX_WORKGROUP,
+		mali.THREAD_FEATURES, mali.SHADER_PRESENT_LO,
+	} {
+		d.bus.Read(FnProbe, r)
+	}
+	return d.bus.Concretize(FnProbe, d.bus.Read(FnProbe, mali.GPU_ID))
+}
+
+// Stats returns a snapshot of the driver counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Bus returns the driver's bus, mainly for tests and the recorder.
+func (d *Device) Bus() Bus { return d.bus }
+
+// PTFormat returns the page-table format for the probed product.
+func (d *Device) PTFormat() gpumem.Format { return d.cfg.ptFormat }
+
+// ProductID returns the discovered GPU product.
+func (d *Device) ProductID() uint32 { return d.productID }
+
+// Cores returns the discovered shader-core count (from SHADER_PRESENT).
+func (d *Device) Cores() int { return popcount(d.coreMask) }
+
+// Pool returns the driver's view of shared memory (the cloud VM's local
+// memory during recording).
+func (d *Device) Pool() *gpumem.Pool { return d.pool }
+
+// idleDelay is the runtime-PM autosuspend interval the driver waits before
+// powering the shader cores down after a job.
+const idleDelay = 100 * time.Microsecond

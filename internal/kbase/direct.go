@@ -1,0 +1,146 @@
+package kbase
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gpurelay/internal/mali"
+	"gpurelay/internal/timesim"
+	"gpurelay/internal/val"
+)
+
+// regAccessTime is the cost of one MMIO register access when CPU and GPU
+// share an interconnect — sub-microsecond, per §3.3 of the paper.
+const regAccessTime = 500 * time.Nanosecond
+
+// DirectBus executes register accesses synchronously against a local GPU.
+// It is the bus of native (non-TEE) execution and of unit tests, and the
+// baseline that remote recording is compared against.
+type DirectBus struct {
+	GPU   *mali.GPU
+	Clock *timesim.Clock
+	// Accesses counts register reads+writes, the denominator of the
+	// paper's round-trip statistics.
+	mu       sync.Mutex
+	accesses int
+}
+
+// NewDirectBus creates a bus bound to a local GPU.
+func NewDirectBus(g *mali.GPU, clock *timesim.Clock) *DirectBus {
+	return &DirectBus{GPU: g, Clock: clock}
+}
+
+// Accesses returns the number of register accesses performed.
+func (b *DirectBus) Accesses() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.accesses
+}
+
+func (b *DirectBus) tick() {
+	b.mu.Lock()
+	b.accesses++
+	b.mu.Unlock()
+	b.Clock.Advance(regAccessTime)
+}
+
+// Read implements Bus.
+func (b *DirectBus) Read(fn string, r mali.Reg) val.Value {
+	b.tick()
+	return val.Const(b.GPU.ReadReg(r))
+}
+
+// Write implements Bus.
+func (b *DirectBus) Write(fn string, r mali.Reg, v val.Value) {
+	b.tick()
+	b.GPU.WriteReg(r, v.MustConcrete())
+}
+
+// Truthy implements Bus.
+func (b *DirectBus) Truthy(fn string, v val.Value) bool {
+	return v.MustConcrete() != 0
+}
+
+// Concretize implements Bus.
+func (b *DirectBus) Concretize(fn string, v val.Value) uint32 {
+	return v.MustConcrete()
+}
+
+// Poll implements Bus by spinning on the local register.
+func (b *DirectBus) Poll(spec PollSpec) PollResult {
+	var res PollResult
+	for i := 0; i < spec.Max; i++ {
+		b.tick()
+		res.Value = b.GPU.ReadReg(spec.Reg)
+		res.Iters++
+		if spec.Done(res.Value) {
+			return res
+		}
+	}
+	res.TimedOut = true
+	return res
+}
+
+// WaitIRQ implements Bus. The hardware model completes work synchronously in
+// virtual time, so a pending line is available as soon as the triggering
+// write retires; a genuinely idle GPU yields a zero state after a bounded
+// wait, letting callers detect wedged hardware instead of hanging.
+func (b *DirectBus) WaitIRQ(fn string) IRQState {
+	for i := 0; i < 1000; i++ {
+		job, gpu, mmu := b.GPU.PendingIRQ()
+		if job != 0 || gpu != 0 || mmu != 0 {
+			return IRQState{Job: job, GPU: gpu, MMU: mmu}
+		}
+		b.Clock.Advance(time.Microsecond)
+	}
+	return IRQState{}
+}
+
+// StdKernel is the Kernel implementation for local execution: locks are real
+// mutexes, delays advance the virtual clock, logs are discarded (or captured
+// for tests).
+type StdKernel struct {
+	Clock *timesim.Clock
+
+	mu    sync.Mutex
+	locks map[string]*sync.Mutex
+	// Logs retains formatted log lines when Capture is set.
+	Capture bool
+	Logs    []string
+}
+
+// NewStdKernel creates a kernel facade on the virtual clock.
+func NewStdKernel(clock *timesim.Clock) *StdKernel {
+	return &StdKernel{Clock: clock, locks: make(map[string]*sync.Mutex)}
+}
+
+func (k *StdKernel) lock(name string) *sync.Mutex {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	m, ok := k.locks[name]
+	if !ok {
+		m = &sync.Mutex{}
+		k.locks[name] = m
+	}
+	return m
+}
+
+// Lock implements Kernel.
+func (k *StdKernel) Lock(name string) { k.lock(name).Lock() }
+
+// Unlock implements Kernel.
+func (k *StdKernel) Unlock(name string) { k.lock(name).Unlock() }
+
+// Delay implements Kernel by advancing virtual time.
+func (k *StdKernel) Delay(d time.Duration) { k.Clock.Advance(d) }
+
+// Log implements Kernel.
+func (k *StdKernel) Log(format string, args ...any) {
+	if !k.Capture {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.Logs = append(k.Logs, fmt.Sprintf(format, args...))
+}

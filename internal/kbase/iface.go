@@ -1,0 +1,105 @@
+// Package kbase implements a Mali kbase-style GPU kernel driver for the
+// simulated Bifrost GPU: hardware probing, the power-management state
+// machine, GPU MMU and address-space management, job submission, and
+// interrupt handling.
+//
+// The driver is written against two narrow interfaces, Bus and Kernel,
+// instead of touching the GPU and the OS directly. These interfaces are the
+// exact interposition points the paper's Clang plugin instruments in the C
+// driver (§4.1, §6): every register access, every polling loop, every
+// kernel-API call that constitutes a commit point flows through them. A
+// DirectBus executes against local hardware (native runs, replay
+// validation); the shim package provides deferring/speculating
+// implementations for cloud recording.
+//
+// Register values travel as val.Value so that a deferring Bus can hand the
+// driver unresolved symbols and the driver's arithmetic on them stays
+// symbolic — mirroring how the instrumented C driver propagates symbols for
+// pending register reads.
+package kbase
+
+import (
+	"time"
+
+	"gpurelay/internal/mali"
+	"gpurelay/internal/val"
+)
+
+// PollSpec describes a "simple polling loop" in the §4.3 sense: the
+// termination predicate is a pure function of the polled register value and
+// an iteration bound, with no side effects in the loop body. Because the
+// predicate is data rather than code, a Bus implementation may execute the
+// loop locally, ship it to the remote GPU in one round trip, or speculate on
+// its outcome.
+type PollSpec struct {
+	// Fn is the driver source location issuing the loop, used as the
+	// commit-history key for speculation.
+	Fn string
+	// Reg is the register being polled.
+	Reg mali.Reg
+	// The loop exits when (value & DoneMask) == DoneVal.
+	DoneMask, DoneVal uint32
+	// Max bounds the iterations, like the MAX_LOOP guards in real drivers.
+	Max int
+}
+
+// Done evaluates the termination predicate against a concrete value.
+func (s *PollSpec) Done(v uint32) bool { return v&s.DoneMask == s.DoneVal }
+
+// PollResult is the outcome of a polling loop.
+type PollResult struct {
+	// Value is the final value read from the register.
+	Value uint32
+	// Iters is how many reads the loop performed.
+	Iters int
+	// TimedOut is set when Max was reached before the predicate held.
+	TimedOut bool
+}
+
+// IRQState is a snapshot of the GPU's three masked interrupt lines.
+type IRQState struct {
+	Job, GPU, MMU uint32
+}
+
+// Any reports whether any line is asserted.
+func (s IRQState) Any() bool { return s.Job != 0 || s.GPU != 0 || s.MMU != 0 }
+
+// Bus is the driver's window onto GPU hardware. Implementations decide
+// whether accesses execute synchronously (local hardware), are deferred and
+// batched (recording, §4.1), or are speculated (§4.2).
+type Bus interface {
+	// Read returns the value of a GPU register. The result may be
+	// symbolic under a deferring implementation; callers that need a
+	// concrete value use Concretize or Truthy.
+	Read(fn string, r mali.Reg) val.Value
+	// Write writes a GPU register. v may be a symbolic expression over
+	// earlier reads (Listing 1(a) of the paper).
+	Write(fn string, r mali.Reg, v val.Value)
+	// Truthy resolves v for a conditional branch — a control dependency,
+	// which forces deferred accesses to commit (§4.1).
+	Truthy(fn string, v val.Value) bool
+	// Concretize resolves v to a concrete word, committing if needed.
+	Concretize(fn string, v val.Value) uint32
+	// Poll executes a simple polling loop (§4.3).
+	Poll(spec PollSpec) PollResult
+	// WaitIRQ blocks until at least one interrupt line is pending and
+	// returns the line snapshot. It is a scheduling point: all deferred
+	// accesses commit first.
+	WaitIRQ(fn string) IRQState
+}
+
+// Kernel is the slice of kernel API the driver uses. Every method is a
+// commit point for a deferring Bus (§4.1 "invocations of kernel APIs"), and
+// Log additionally externalizes state, stalling speculation (§4.2).
+type Kernel interface {
+	// Lock and Unlock bracket driver critical sections. A deferring Bus
+	// commits before Unlock to preserve release consistency.
+	Lock(name string)
+	Unlock(name string)
+	// Delay is the kernel delay family; drivers use it as a hardware
+	// barrier, so deferred accesses must commit before it elapses.
+	Delay(d time.Duration)
+	// Log is printk: it externalizes kernel state, so all outstanding
+	// speculation must validate before it runs.
+	Log(format string, args ...any)
+}

@@ -1,0 +1,169 @@
+package kbase
+
+import (
+	"fmt"
+
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/val"
+)
+
+// JobResult reports the outcome of one job chain.
+type JobResult struct {
+	Slot    int
+	Status  uint32
+	Failed  bool
+	FaultVA uint64
+}
+
+// SyncHooks lets the recorder interpose on the two §5 synchronization
+// points: right before the register write that starts a job (cloud→client
+// memory push) and right after the completion interrupt (client→cloud pull).
+// Both are nil in local execution.
+type SyncHooks struct {
+	BeforeJobStart func(ctx *Context)
+	AfterJobIRQ    func(ctx *Context)
+	// AfterJobComplete fires after all post-job maintenance (TLB flush,
+	// cache clean, power-down) has retired — the clean cut point between
+	// jobs, used for segmenting recordings (Figure 2 of the paper).
+	AfterJobComplete func(ctx *Context)
+}
+
+// RunJob executes one job chain end to end under the serialized,
+// queue-length-1 discipline GR-T configures (§5): power up, flush caches,
+// submit, wait for the interrupt, handle it, flush the MMU, and let the
+// cores idle. This sequencing is what makes the driver's register traffic
+// the recurring segments speculation feeds on.
+func (d *Device) RunJob(ctx *Context, descVA gpumem.VA, slot int, hooks SyncHooks) (JobResult, error) {
+	if slot < 0 || slot >= d.numSlots {
+		return JobResult{}, fmt.Errorf("kbase: bad job slot %d", slot)
+	}
+	d.PowerOnShaders()
+	d.CacheClean()
+
+	if hooks.BeforeJobStart != nil {
+		hooks.BeforeJobStart(ctx)
+	}
+	d.submit(ctx, descVA, slot)
+	d.stats.Submissions++
+
+	irq := d.bus.WaitIRQ(FnJobIRQ)
+	if hooks.AfterJobIRQ != nil {
+		hooks.AfterJobIRQ(ctx)
+	}
+	results := d.HandleIRQ(irq)
+
+	// Post-job maintenance: invalidate the context's TLB entries, flush
+	// the GPU caches so results are memory-coherent, and let the shader
+	// cores power down after the autosuspend delay.
+	d.mmuOp(ctx.as, mali.ASCommandFlushMem)
+	d.CacheClean()
+	d.k.Delay(idleDelay)
+	d.PowerOffShaders()
+	if hooks.AfterJobComplete != nil {
+		hooks.AfterJobComplete(ctx)
+	}
+
+	for _, r := range results {
+		if r.Slot == slot {
+			return r, nil
+		}
+	}
+	return JobResult{}, fmt.Errorf("kbase: no completion event for slot %d (irq %+v)", slot, irq)
+}
+
+// submit programs the next-job registers and starts the slot — the paper's
+// non-speculable commit: it begins by reading LATEST_FLUSH_ID, whose value
+// is nondeterministic (§7.3).
+func (d *Device) submit(ctx *Context, descVA gpumem.VA, slot int) {
+	d.k.Lock("hwaccess")
+	defer d.k.Unlock("hwaccess")
+	// The slot must be idle and the GPU quiescent before programming the
+	// next-job registers.
+	if d.bus.Truthy(FnSubmit, d.bus.Read(FnSubmit, mali.JSReg(slot, mali.JS_COMMAND_NEXT))) {
+		d.k.Log("kbase: slot %d busy at submit", slot)
+	}
+	d.bus.Read(FnSubmit, mali.JSReg(slot, mali.JS_STATUS))
+	d.bus.Read(FnSubmit, mali.GPU_STATUS)
+	flushID := d.bus.Read(FnSubmit, mali.LATEST_FLUSH_ID)
+	d.bus.Write(FnSubmit, mali.JSReg(slot, mali.JS_FLUSH_ID_NEXT), flushID)
+	d.bus.Write(FnSubmit, mali.JSReg(slot, mali.JS_HEAD_NEXT_LO), val.Const(uint32(descVA)))
+	d.bus.Write(FnSubmit, mali.JSReg(slot, mali.JS_HEAD_NEXT_HI), val.Const(uint32(uint64(descVA)>>32)))
+	d.bus.Write(FnSubmit, mali.JSReg(slot, mali.JS_AFFINITY_LO), val.Const(d.coreMask))
+	d.bus.Write(FnSubmit, mali.JSReg(slot, mali.JS_CONFIG_NEXT), val.Const(uint32(ctx.as)&mali.JSConfigASMask))
+	d.bus.Write(FnSubmit, mali.JSReg(slot, mali.JS_COMMAND_NEXT), val.Const(mali.JSCommandStart))
+}
+
+// HandleIRQ dispatches a pending interrupt snapshot to the three handlers,
+// mirroring the shared-IRQ dispatch in the real driver.
+func (d *Device) HandleIRQ(irq IRQState) []JobResult {
+	var results []JobResult
+	if irq.Job != 0 {
+		results = d.jobIRQHandler()
+	}
+	if irq.GPU != 0 {
+		d.gpuIRQHandler()
+	}
+	if irq.MMU != 0 {
+		d.mmuIRQHandler()
+	}
+	d.stats.IRQsHandled++
+	return results
+}
+
+// jobIRQHandler is Listing 1(b) of the paper: read the status, branch on it
+// (control dependency), write the read value back to the clear register
+// (data dependency), then interrogate per-slot state.
+func (d *Device) jobIRQHandler() []JobResult {
+	done := d.bus.Read(FnJobIRQ, mali.JOB_IRQ_STATUS)
+	if !d.bus.Truthy(FnJobIRQ, done) {
+		return nil // IRQ_NONE
+	}
+	d.bus.Write(FnJobIRQ, mali.JOB_IRQ_CLEAR, done)
+	var results []JobResult
+	for slot := 0; slot < d.numSlots; slot++ {
+		okBit := done.And(val.Const(1 << uint(slot)))
+		failBit := done.And(val.Const(1 << uint(16+slot)))
+		if d.bus.Truthy(FnJobIRQ, okBit) {
+			status := d.bus.Concretize(FnJobIRQ, d.bus.Read(FnJobIRQ, mali.JSReg(slot, mali.JS_STATUS)))
+			d.bus.Read(FnJobIRQ, mali.JSReg(slot, mali.JS_TAIL_LO))
+			results = append(results, JobResult{Slot: slot, Status: status})
+			d.stats.JobsCompleted++
+		} else if d.bus.Truthy(FnJobIRQ, failBit) {
+			status := d.bus.Concretize(FnJobIRQ, d.bus.Read(FnJobIRQ, mali.JSReg(slot, mali.JS_STATUS)))
+			d.k.Log("kbase: job fault on slot %d status %#x", slot, status)
+			results = append(results, JobResult{Slot: slot, Status: status, Failed: true})
+			d.stats.JobsFailed++
+		}
+	}
+	return results
+}
+
+func (d *Device) gpuIRQHandler() {
+	st := d.bus.Read(FnGPUIRQ, mali.GPU_IRQ_STATUS)
+	if !d.bus.Truthy(FnGPUIRQ, st) {
+		return
+	}
+	d.bus.Write(FnGPUIRQ, mali.GPU_IRQ_CLEAR, st)
+	if d.bus.Truthy(FnGPUIRQ, st.And(val.Const(mali.GPUIRQFault))) {
+		fault := d.bus.Concretize(FnGPUIRQ, d.bus.Read(FnGPUIRQ, mali.GPU_FAULTSTATUS))
+		d.k.Log("kbase: GPU fault status %#x", fault)
+	}
+}
+
+func (d *Device) mmuIRQHandler() {
+	st := d.bus.Read(FnMMUIRQ, mali.MMU_IRQ_STATUS)
+	if !d.bus.Truthy(FnMMUIRQ, st) {
+		return
+	}
+	d.bus.Write(FnMMUIRQ, mali.MMU_IRQ_CLEAR, st)
+	for as := 0; as < d.numAS; as++ {
+		if !d.bus.Truthy(FnMMUIRQ, st.And(val.Const(1<<uint(as)))) {
+			continue
+		}
+		fs := d.bus.Concretize(FnMMUIRQ, d.bus.Read(FnMMUIRQ, mali.ASReg(as, mali.AS_FAULTSTATUS)))
+		lo := d.bus.Concretize(FnMMUIRQ, d.bus.Read(FnMMUIRQ, mali.ASReg(as, mali.AS_FAULTADDRESS_LO)))
+		hi := d.bus.Concretize(FnMMUIRQ, d.bus.Read(FnMMUIRQ, mali.ASReg(as, mali.AS_FAULTADDRESS_HI)))
+		d.k.Log("kbase: MMU fault as%d status %#x addr %#x", as, fs, uint64(hi)<<32|uint64(lo))
+	}
+}

@@ -1,0 +1,81 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Disassemble renders a compiled shader stream as human-readable text, one
+// line per instruction. It is the debugging companion to the JIT: cmd tools
+// and the diag workflow use it to inspect what a recording actually asks the
+// GPU to run.
+func Disassemble(stream []byte) (string, error) {
+	hdr, err := DecodeHeader(stream)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; shader stream: product=%#x cores=%d instrs=%d\n",
+		hdr.ProductID, hdr.CoreCount, hdr.NumInstr)
+	if want := HeaderSize + int(hdr.NumInstr)*InstrSize; len(stream) < want {
+		return "", fmt.Errorf("isa: stream truncated: %d bytes, header says %d", len(stream), want)
+	}
+	for i := uint32(0); i < hdr.NumInstr; i++ {
+		in, err := DecodeInstr(stream[HeaderSize+int(i)*InstrSize:])
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%4d: %s\n", i, FormatInstr(&in))
+	}
+	return b.String(), nil
+}
+
+// FormatInstr renders one instruction with operands decoded per opcode.
+func FormatInstr(in *Instr) string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpConvTile:
+		return fmt.Sprintf("conv.tile  core=%d in=%#x w=%#x out=%#x  C%dx%dx%d k%d s%d p%d oc[%d:%d)",
+			in.Core, in.Src0, in.Src1, in.Dst,
+			in.P[0], in.P[1], in.P[2], in.P[4], in.P[5], in.P[6], in.P[7], in.P[8])
+	case OpDWConvTile:
+		return fmt.Sprintf("dwconv.tile core=%d in=%#x w=%#x out=%#x  C%dx%dx%d k%d s%d p%d c[%d:%d)",
+			in.Core, in.Src0, in.Src1, in.Dst,
+			in.P[0], in.P[1], in.P[2], in.P[3], in.P[4], in.P[5], in.P[6], in.P[7])
+	case OpGemmTile:
+		acc := ""
+		if in.P[5] != 0 {
+			acc = " +="
+		}
+		return fmt.Sprintf("gemm.tile  core=%d a=%#x b=%#x c=%#x  %dx%dx%d m[%d:%d)%s",
+			in.Core, in.Src0, in.Src1, in.Dst,
+			in.P[0], in.P[1], in.P[2], in.P[3], in.P[4], acc)
+	case OpBiasAct:
+		act := "none"
+		if in.P[2] == 1 {
+			act = "relu"
+		}
+		return fmt.Sprintf("bias.act   x=%#x b=%#x out=%#x  n=%d ch=%d act=%s",
+			in.Src0, in.Src1, in.Dst, in.P[0], in.P[1], act)
+	case OpPoolMax, OpPoolAvg:
+		kind := "max"
+		if in.Op == OpPoolAvg {
+			kind = "avg"
+		}
+		return fmt.Sprintf("pool.%s   core=%d in=%#x out=%#x  C%dx%dx%d k%d s%d p%d c[%d:%d)",
+			kind, in.Core, in.Src0, in.Dst,
+			in.P[0], in.P[1], in.P[2], in.P[3], in.P[4], in.P[5], in.P[6], in.P[7])
+	case OpAdd:
+		return fmt.Sprintf("add        a=%#x b=%#x out=%#x  n=%d", in.Src0, in.Src1, in.Dst, in.P[0])
+	case OpCopy:
+		return fmt.Sprintf("copy       src=%#x dst=%#x  n=%d", in.Src0, in.Dst, in.P[0])
+	case OpSoftmax:
+		return fmt.Sprintf("softmax    src=%#x dst=%#x  n=%d", in.Src0, in.Dst, in.P[0])
+	case OpScale:
+		return fmt.Sprintf("scale      src=%#x dst=%#x  n=%d f=%g",
+			in.Src0, in.Dst, in.P[0], math.Float32frombits(in.P[1]))
+	}
+	return fmt.Sprintf("illegal(%d)", uint32(in.Op))
+}

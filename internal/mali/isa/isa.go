@@ -1,0 +1,140 @@
+// Package isa defines the shader instruction set executed by the simulated
+// Mali-like GPU's compute cores, and its interpreter.
+//
+// The instruction set is deliberately "macro-op" shaped: each instruction is
+// one tile of a neural-network kernel (a slice of a convolution's output
+// channels, a band of GEMM rows, a pooling pass). This is the granularity at
+// which a mobile GPU JIT actually partitions work across shader cores, and it
+// is what makes shader binaries SKU-specific — the tiling in a compiled
+// stream depends on the core count of the GPU it was compiled for, which is
+// exactly why GR recordings are bound to exact GPU SKUs (§2.4 of the paper).
+//
+// The interpreter computes on real f32 data resolved through the GPU MMU. It
+// has a dry-run fast path: when every input page of a zero-preserving op is
+// unmaterialized (reads as zero), the output is provably zero and the
+// interpreter skips the arithmetic while still accounting the FLOPs. This
+// mirrors the paper's observation that recording does not need computational
+// correctness — dry runs execute on zero-filled data at full fidelity of
+// CPU/GPU interaction.
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gpurelay/internal/gpumem"
+)
+
+// Op identifies an instruction's operation.
+type Op uint32
+
+// Instruction operations.
+const (
+	OpNop        Op = iota
+	OpConvTile      // direct 2D convolution over an output-channel tile
+	OpDWConvTile    // depthwise convolution over a channel tile
+	OpGemmTile      // C[m0:m1,:] = A[m0:m1,:] * B, row-band tile
+	OpBiasAct       // dst[i] = act(src0[i] + src1[i mod n])
+	OpPoolMax       // 2D max pooling
+	OpPoolAvg       // 2D average pooling
+	OpAdd           // dst[i] = src0[i] + src1[i] (residual connections)
+	OpCopy          // dst[i] = src0[i] (concat, reshape)
+	OpSoftmax       // dst = softmax(src0)
+	OpScale         // dst[i] = src0[i] * f32(P[0]) (input normalization)
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpConvTile: "conv", OpDWConvTile: "dwconv", OpGemmTile: "gemm",
+	OpBiasAct: "biasact", OpPoolMax: "maxpool", OpPoolAvg: "avgpool",
+	OpAdd: "add", OpCopy: "copy", OpSoftmax: "softmax", OpScale: "scale",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint32(o))
+}
+
+// InstrSize is the fixed encoded size of one instruction in shader memory.
+const InstrSize = 80
+
+// Instr is one decoded shader instruction.
+type Instr struct {
+	Op   Op
+	Core uint32 // which shader core the tile is scheduled on (diagnostic)
+	Src0 gpumem.VA
+	Src1 gpumem.VA
+	Dst  gpumem.VA
+	P    [10]uint32 // op-specific parameters
+}
+
+// Encode writes the instruction into buf, which must be at least InstrSize
+// bytes.
+func (in *Instr) Encode(buf []byte) {
+	_ = buf[InstrSize-1]
+	binary.LittleEndian.PutUint32(buf[0:], uint32(in.Op))
+	binary.LittleEndian.PutUint32(buf[4:], in.Core)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(in.Src0))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(in.Src1))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(in.Dst))
+	for i, p := range in.P {
+		binary.LittleEndian.PutUint32(buf[32+4*i:], p)
+	}
+}
+
+// DecodeInstr parses one instruction from buf.
+func DecodeInstr(buf []byte) (Instr, error) {
+	if len(buf) < InstrSize {
+		return Instr{}, fmt.Errorf("isa: short instruction: %d bytes", len(buf))
+	}
+	var in Instr
+	in.Op = Op(binary.LittleEndian.Uint32(buf[0:]))
+	in.Core = binary.LittleEndian.Uint32(buf[4:])
+	in.Src0 = gpumem.VA(binary.LittleEndian.Uint64(buf[8:]))
+	in.Src1 = gpumem.VA(binary.LittleEndian.Uint64(buf[16:]))
+	in.Dst = gpumem.VA(binary.LittleEndian.Uint64(buf[24:]))
+	for i := range in.P {
+		in.P[i] = binary.LittleEndian.Uint32(buf[32+4*i:])
+	}
+	return in, nil
+}
+
+// Header prefixes every compiled shader stream. The ProductID pins the
+// binary to the GPU SKU it was compiled for; executing it on a different SKU
+// faults, reproducing the paper's early-binding problem.
+type Header struct {
+	ProductID uint32
+	CoreCount uint32
+	NumInstr  uint32
+}
+
+// HeaderSize is the encoded size of a shader stream header.
+const HeaderSize = 16
+
+// ShaderMagic identifies a compiled shader stream.
+const ShaderMagic = 0x53484452 // "SHDR"
+
+// EncodeHeader writes the header into buf.
+func EncodeHeader(h Header, buf []byte) {
+	_ = buf[HeaderSize-1]
+	binary.LittleEndian.PutUint32(buf[0:], ShaderMagic)
+	binary.LittleEndian.PutUint32(buf[4:], h.ProductID)
+	binary.LittleEndian.PutUint32(buf[8:], h.CoreCount)
+	binary.LittleEndian.PutUint32(buf[12:], h.NumInstr)
+}
+
+// DecodeHeader parses a shader stream header.
+func DecodeHeader(buf []byte) (Header, error) {
+	if len(buf) < HeaderSize {
+		return Header{}, fmt.Errorf("isa: short shader header")
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != ShaderMagic {
+		return Header{}, fmt.Errorf("isa: bad shader magic %#x", binary.LittleEndian.Uint32(buf[0:]))
+	}
+	return Header{
+		ProductID: binary.LittleEndian.Uint32(buf[4:]),
+		CoreCount: binary.LittleEndian.Uint32(buf[8:]),
+		NumInstr:  binary.LittleEndian.Uint32(buf[12:]),
+	}, nil
+}

@@ -1,0 +1,188 @@
+// Package mlfw is the ML-framework substrate of the reproduction: the
+// analogue of ARM Compute Library + the OpenCL runtime in the paper's GPU
+// stack (§2.1). It provides:
+//
+//   - a hardware-neutral kernel IR (the "ship OpenCL, JIT on device" late
+//     binding the paper's §2.4 revolves around),
+//   - a shape-propagating model builder and the six evaluation networks,
+//   - a JIT that lowers IR kernels to SKU-specific shader streams (tiling
+//     depends on the GPU's core count, making binaries SKU-bound),
+//   - a runtime that allocates GPU memory through the kbase driver, emits
+//     command streams and job descriptors, and submits jobs one at a time.
+package mlfw
+
+import (
+	"fmt"
+
+	"gpurelay/internal/gpumem"
+)
+
+// OpKind is a hardware-neutral kernel operation — what a framework would
+// express in OpenCL C before JIT compilation.
+type OpKind uint8
+
+// Kernel operations.
+const (
+	OpConv OpKind = iota
+	OpDWConv
+	OpGemm
+	OpBiasAct
+	OpMaxPool
+	OpAvgPool
+	OpAdd
+	OpCopy
+	OpSoftmax
+	OpScale
+	// OpPrepare models the runtime's one-shot housekeeping kernels
+	// (weight reshapes, border fills) that real frameworks enqueue as
+	// ordinary GPU jobs.
+	OpPrepare
+)
+
+var opKindNames = [...]string{
+	OpConv: "conv", OpDWConv: "dwconv", OpGemm: "gemm", OpBiasAct: "biasact",
+	OpMaxPool: "maxpool", OpAvgPool: "avgpool", OpAdd: "add", OpCopy: "copy",
+	OpSoftmax: "softmax", OpScale: "scale", OpPrepare: "prepare",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// BufRef indexes a model's buffer table.
+type BufRef int32
+
+// NoBuf marks an absent operand.
+const NoBuf BufRef = -1
+
+// Buffer is one logical GPU allocation of a model.
+type Buffer struct {
+	Name string
+	Kind gpumem.RegionKind
+	// Elems is the number of f32 elements.
+	Elems uint64
+}
+
+// Bytes returns the buffer size in bytes.
+func (b *Buffer) Bytes() uint64 { return b.Elems * 4 }
+
+// Kernel is one GPU job in hardware-neutral form.
+type Kernel struct {
+	Name string
+	Op   OpKind
+	// Operand buffers; Src1 is NoBuf for unary ops.
+	Src0, Src1, Dst BufRef
+	// Spatial parameters (conv/pool): input channels/height/width, output
+	// channels, kernel size, stride, padding.
+	InC, InH, InW  uint32
+	OutC           uint32
+	K, Stride, Pad uint32
+	// GEMM parameters.
+	M, N, KDim uint32
+	// Elementwise parameters.
+	Count    uint32
+	Channels uint32
+	Act      uint32 // 0 = none, 1 = ReLU
+	Scale    float32
+	// DstOffset is an element offset into Dst (for concat).
+	DstOffset uint32
+	// SrcOffset and Src1Offset are element offsets into Src0/Src1, used
+	// by grouped convolutions (per-group input-channel slices) and
+	// K-split GEMMs (weight column blocks).
+	SrcOffset, Src1Offset uint32
+	// Accumulate makes a GEMM add into Dst instead of overwriting it,
+	// for K-split partial sums.
+	Accumulate bool
+}
+
+// Model is a compiled-from-source network: buffers plus an ordered list of
+// kernels, each of which becomes exactly one GPU job chain.
+type Model struct {
+	Name    string
+	Buffers []Buffer
+	Kernels []Kernel
+	Input   BufRef
+	Output  BufRef
+}
+
+// NumJobs returns the number of GPU jobs one inference enqueues — the
+// "# GPU jobs" column of Table 1.
+func (m *Model) NumJobs() int { return len(m.Kernels) }
+
+// WeightBytes totals the parameter storage.
+func (m *Model) WeightBytes() uint64 {
+	var n uint64
+	for _, b := range m.Buffers {
+		if b.Kind == gpumem.KindWeights {
+			n += b.Bytes()
+		}
+	}
+	return n
+}
+
+// TotalBytes totals all model buffers.
+func (m *Model) TotalBytes() uint64 {
+	var n uint64
+	for _, b := range m.Buffers {
+		n += b.Bytes()
+	}
+	return n
+}
+
+// LayerBoundaries returns the job indices at which NN layers end (the index
+// of each layer's last job). Kernels share a layer when their names share
+// the prefix before the first '.', which is how the builder names them
+// ("conv1.reshape", "conv1.im2col", ...). The boundaries are the natural
+// per-layer recording granularity of the paper's Figure 2.
+func (m *Model) LayerBoundaries() []int {
+	var cuts []int
+	layerOf := func(name string) string {
+		for i := 0; i < len(name); i++ {
+			if name[i] == '.' {
+				return name[:i]
+			}
+		}
+		return name
+	}
+	for i := 0; i < len(m.Kernels)-1; i++ {
+		if layerOf(m.Kernels[i].Name) != layerOf(m.Kernels[i+1].Name) {
+			cuts = append(cuts, i)
+		}
+	}
+	return append(cuts, len(m.Kernels)-1)
+}
+
+// Validate checks referential integrity of the kernel list.
+func (m *Model) Validate() error {
+	check := func(k *Kernel, ref BufRef, operand string, optional bool) error {
+		if ref == NoBuf {
+			if optional {
+				return nil
+			}
+			return fmt.Errorf("mlfw: %s/%s: kernel %q missing %s", m.Name, k.Op, k.Name, operand)
+		}
+		if int(ref) >= len(m.Buffers) || ref < 0 {
+			return fmt.Errorf("mlfw: %s: kernel %q %s out of range: %d", m.Name, k.Name, operand, ref)
+		}
+		return nil
+	}
+	for i := range m.Kernels {
+		k := &m.Kernels[i]
+		if err := check(k, k.Src0, "src0", false); err != nil {
+			return err
+		}
+		if err := check(k, k.Src1, "src1", true); err != nil {
+			return err
+		}
+		if err := check(k, k.Dst, "dst", false); err != nil {
+			return err
+		}
+	}
+	if int(m.Input) >= len(m.Buffers) || int(m.Output) >= len(m.Buffers) {
+		return fmt.Errorf("mlfw: %s: input/output refs out of range", m.Name)
+	}
+	return nil
+}

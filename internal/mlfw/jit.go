@@ -1,0 +1,212 @@
+package mlfw
+
+import (
+	"fmt"
+	"math"
+
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/mali/isa"
+)
+
+// Target describes the GPU a model is compiled for. This is the late-binding
+// moment the paper centres on: the same hardware-neutral Model lowers to
+// different shader streams on different SKUs because the tiling below splits
+// work across the physical shader cores.
+type Target struct {
+	ProductID uint32
+	Cores     int
+}
+
+// CompiledModel holds one SKU-specific lowering of a model.
+type CompiledModel struct {
+	Target  Target
+	Streams [][]byte // one encoded shader stream per kernel/job
+}
+
+// TotalBytes returns the shader metastate footprint.
+func (c *CompiledModel) TotalBytes() uint64 {
+	var n uint64
+	for _, s := range c.Streams {
+		n += uint64(len(s))
+	}
+	return n
+}
+
+// Compile lowers every kernel of m to a shader stream for target. bufVA maps
+// buffer references to the GPU virtual addresses the runtime mapped them at.
+func Compile(m *Model, target Target, bufVA func(BufRef) gpumem.VA) (*CompiledModel, error) {
+	if target.Cores <= 0 {
+		return nil, fmt.Errorf("mlfw: target has %d cores", target.Cores)
+	}
+	c := &CompiledModel{Target: target, Streams: make([][]byte, len(m.Kernels))}
+	for i := range m.Kernels {
+		instrs, err := lower(&m.Kernels[i], target, bufVA)
+		if err != nil {
+			return nil, fmt.Errorf("mlfw: compiling %s kernel %q: %w", m.Name, m.Kernels[i].Name, err)
+		}
+		stream := make([]byte, isa.HeaderSize+len(instrs)*isa.InstrSize)
+		isa.EncodeHeader(isa.Header{
+			ProductID: target.ProductID,
+			CoreCount: uint32(target.Cores),
+			NumInstr:  uint32(len(instrs)),
+		}, stream)
+		for j := range instrs {
+			instrs[j].Encode(stream[isa.HeaderSize+j*isa.InstrSize:])
+		}
+		c.Streams[i] = stream
+	}
+	return c, nil
+}
+
+// tileWorkElems bounds the output elements one tile instruction covers. Big
+// layers therefore lower to many tiles regardless of core count, which is
+// how real command streams and shader footprints grow with layer size.
+const tileWorkElems = 16384
+
+// tileRange splits [lo, hi) into tiles: at least one per core (SKU-specific
+// tiling, the §2.4 early-binding property) and enough that no tile exceeds
+// tileWorkElems of output, given elemsPerUnit output elements per unit of
+// the [lo, hi) dimension.
+func tileRange(lo, hi uint32, cores int, elemsPerUnit uint64) [][2]uint32 {
+	width := hi - lo
+	if width == 0 {
+		return nil
+	}
+	n := cores
+	if byWork := int((uint64(width)*elemsPerUnit + tileWorkElems - 1) / tileWorkElems); byWork > n {
+		n = byWork
+	}
+	if uint32(n) > width {
+		n = int(width)
+	}
+	tiles := make([][2]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		a := lo + uint32(i)*width/uint32(n)
+		b := lo + uint32(i+1)*width/uint32(n)
+		tiles = append(tiles, [2]uint32{a, b})
+	}
+	return tiles
+}
+
+func lower(k *Kernel, target Target, bufVA func(BufRef) gpumem.VA) ([]isa.Instr, error) {
+	src0 := bufVA(k.Src0) + gpumem.VA(uint64(k.SrcOffset)*4)
+	var src1 gpumem.VA
+	if k.Src1 != NoBuf {
+		src1 = bufVA(k.Src1) + gpumem.VA(uint64(k.Src1Offset)*4)
+	}
+	dst := bufVA(k.Dst) + gpumem.VA(uint64(k.DstOffset)*4)
+
+	var out []isa.Instr
+	switch k.Op {
+	case OpConv:
+		oh := uint64((k.InH+2*k.Pad-k.K)/k.Stride + 1)
+		ow := uint64((k.InW+2*k.Pad-k.K)/k.Stride + 1)
+		for core, t := range tileRange(k.M, k.N, target.Cores, oh*ow) {
+			out = append(out, isa.Instr{
+				Op: isa.OpConvTile, Core: uint32(core), Src0: src0, Src1: src1, Dst: dst,
+				P: [10]uint32{k.InC, k.InH, k.InW, k.OutC, k.K, k.Stride, k.Pad, t[0], t[1]},
+			})
+		}
+	case OpDWConv:
+		oh := uint64((k.InH+2*k.Pad-k.K)/k.Stride + 1)
+		ow := uint64((k.InW+2*k.Pad-k.K)/k.Stride + 1)
+		for core, t := range tileRange(0, k.InC, target.Cores, oh*ow) {
+			out = append(out, isa.Instr{
+				Op: isa.OpDWConvTile, Core: uint32(core), Src0: src0, Src1: src1, Dst: dst,
+				P: [10]uint32{k.InC, k.InH, k.InW, k.K, k.Stride, k.Pad, t[0], t[1]},
+			})
+		}
+	case OpGemm:
+		acc := uint32(0)
+		if k.Accumulate {
+			acc = 1
+		}
+		for core, t := range tileRange(0, k.M, target.Cores, uint64(k.N)) {
+			out = append(out, isa.Instr{
+				Op: isa.OpGemmTile, Core: uint32(core), Src0: src0, Src1: src1, Dst: dst,
+				P: [10]uint32{k.M, k.N, k.KDim, t[0], t[1], acc},
+			})
+		}
+	case OpBiasAct:
+		// Bias+activation works in place on its (possibly concat-offset)
+		// slice: source and destination share the offset.
+		out = append(out, isa.Instr{
+			Op: isa.OpBiasAct, Src0: bufVA(k.Src0) + gpumem.VA(uint64(k.DstOffset)*4),
+			Src1: src1, Dst: dst,
+			P: [10]uint32{k.Count, k.Channels, k.Act},
+		})
+	case OpMaxPool, OpAvgPool:
+		op := isa.OpPoolMax
+		if k.Op == OpAvgPool {
+			op = isa.OpPoolAvg
+		}
+		oh := uint64((k.InH+2*k.Pad-k.K)/k.Stride + 1)
+		ow := uint64((k.InW+2*k.Pad-k.K)/k.Stride + 1)
+		for core, t := range tileRange(0, k.InC, target.Cores, oh*ow) {
+			out = append(out, isa.Instr{
+				Op: op, Core: uint32(core), Src0: src0, Dst: dst,
+				P: [10]uint32{k.InC, k.InH, k.InW, k.K, k.Stride, k.Pad, t[0], t[1]},
+			})
+		}
+	case OpAdd:
+		out = append(out, isa.Instr{
+			Op: isa.OpAdd, Src0: src0, Src1: src1, Dst: dst, P: [10]uint32{k.Count},
+		})
+	case OpCopy, OpPrepare:
+		out = append(out, isa.Instr{
+			Op: isa.OpCopy, Src0: src0, Dst: dst, P: [10]uint32{k.Count},
+		})
+	case OpSoftmax:
+		out = append(out, isa.Instr{
+			Op: isa.OpSoftmax, Src0: src0, Dst: dst, P: [10]uint32{k.Count},
+		})
+	case OpScale:
+		out = append(out, isa.Instr{
+			Op: isa.OpScale, Src0: src0, Dst: dst,
+			P: [10]uint32{k.Count, math.Float32bits(k.Scale)},
+		})
+	default:
+		return nil, fmt.Errorf("unknown op %v", k.Op)
+	}
+	return out, nil
+}
+
+// KernelFLOPs estimates one kernel's arithmetic, matching the interpreter's
+// accounting — the basis of calibration tests and the duration model.
+func KernelFLOPs(k *Kernel) int64 {
+	switch k.Op {
+	case OpConv:
+		oh := (k.InH + 2*k.Pad - k.K) / k.Stride
+		ow := (k.InW + 2*k.Pad - k.K) / k.Stride
+		oh, ow = oh+1, ow+1
+		band := int64(k.N - k.M)
+		return band * int64(oh) * int64(ow) * int64(k.InC) * int64(k.K) * int64(k.K) * 2
+	case OpDWConv:
+		oh := (k.InH+2*k.Pad-k.K)/k.Stride + 1
+		ow := (k.InW+2*k.Pad-k.K)/k.Stride + 1
+		return int64(k.InC) * int64(oh) * int64(ow) * int64(k.K) * int64(k.K) * 2
+	case OpGemm:
+		return int64(k.M) * int64(k.N) * int64(k.KDim) * 2
+	case OpBiasAct:
+		return int64(k.Count) * 2
+	case OpMaxPool, OpAvgPool:
+		oh := (k.InH+2*k.Pad-k.K)/k.Stride + 1
+		ow := (k.InW+2*k.Pad-k.K)/k.Stride + 1
+		return int64(k.InC) * int64(oh) * int64(ow) * int64(k.K) * int64(k.K)
+	case OpAdd, OpScale:
+		return int64(k.Count)
+	case OpSoftmax:
+		return int64(k.Count) * 4
+	default:
+		return 0
+	}
+}
+
+// FLOPs totals the model's arithmetic per inference.
+func (m *Model) FLOPs() int64 {
+	var n int64
+	for i := range m.Kernels {
+		n += KernelFLOPs(&m.Kernels[i])
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+package mlfw
+
+// The six evaluation networks of the paper (Table 1), defined at the layer
+// level with the job decomposition a real GPU runtime produces. The
+// decomposition knobs (weight-reshape prepare kernels, border fills for
+// padded convolutions, grouped-convolution per-group streams, channel-band
+// splits for large layers) are calibrated so each model enqueues exactly the
+// GPU job count Table 1 reports: MNIST 23, AlexNet 60, MobileNet 104,
+// SqueezeNet 98, ResNet12 111, VGG16 96.
+//
+// Input resolutions are chosen so the models' arithmetic, at the simulated
+// G71's sustained throughput, lands near the native delays of Table 2 (the
+// paper does not state resolutions). See EXPERIMENTS.md.
+
+// MNIST returns a LeNet-style MNIST classifier (23 jobs).
+func MNIST() *Model {
+	b := newBuilder("MNIST")
+	b.input(1, 28, 28)
+	b.conv("conv1", 32, 5, 1, 0, convOpts{relu: true})
+	b.pool("pool1", OpMaxPool, 2, 2, 0)
+	b.conv("conv2", 64, 5, 1, 0, convOpts{relu: true})
+	b.pool("pool2", OpMaxPool, 2, 2, 0)
+	b.fc("fc1", 512, true, 1)
+	b.fc("fc2", 256, true, 1)
+	b.fc("fc3", 10, false, 1)
+	b.softmax("softmax")
+	return b.build()
+}
+
+// AlexNet returns the classic AlexNet with its two grouped convolutions
+// (60 jobs).
+func AlexNet() *Model {
+	b := newBuilder("AlexNet")
+	b.input(3, 227, 227)
+	b.conv("conv1", 96, 11, 4, 0, convOpts{relu: true, splits: 2})
+	b.lrn("lrn1")
+	b.pool("pool1", OpMaxPool, 3, 2, 0)
+	b.conv("conv2", 256, 5, 1, 2, convOpts{relu: true, groups: 2, splits: 2})
+	b.lrn("lrn2")
+	b.pool("pool2", OpMaxPool, 3, 2, 0)
+	b.conv("conv3", 384, 3, 1, 1, convOpts{relu: true, splits: 2})
+	b.conv("conv4", 384, 3, 1, 1, convOpts{relu: true, groups: 2, splits: 2})
+	b.conv("conv5", 256, 3, 1, 1, convOpts{relu: true, groups: 2, splits: 2})
+	b.pool("pool5", OpMaxPool, 3, 2, 0)
+	b.fc("fc6", 4096, true, 3)
+	b.fc("fc7", 4096, true, 1)
+	b.fc("fc8", 1000, false, 1)
+	b.softmax("softmax")
+	return b.build()
+}
+
+// MobileNet returns MobileNetV1 with its 13 depthwise-separable blocks
+// (104 jobs).
+func MobileNet() *Model {
+	b := newBuilder("MobileNet")
+	b.input(3, 224, 224)
+	b.conv("conv1", 32, 3, 2, 1, convOpts{relu: true})
+	type block struct {
+		stride uint32
+		outC   uint32
+	}
+	blocks := []block{
+		{1, 64}, {2, 128}, {1, 128}, {2, 256}, {1, 256},
+		{2, 512}, {1, 512}, {1, 512}, {1, 512}, {1, 512}, {1, 512},
+		{2, 1024}, {1, 1024},
+	}
+	for i, blk := range blocks {
+		name := "dw" + string(rune('a'+i))
+		b.dwconv(name, 3, blk.stride, 1, true)
+		b.conv("pw"+string(rune('a'+i)), blk.outC, 1, 1, 0, convOpts{relu: true})
+	}
+	b.globalAvgPool("avgpool")
+	b.fc("fc", 1000, false, 1)
+	b.softmax("softmax")
+	return b.build()
+}
+
+// fire emits one SqueezeNet Fire module: a 1x1 squeeze followed by 1x1 and
+// 3x3 expands that concatenate by writing into a shared buffer.
+func (b *builder) fire(name string, squeezeC, expandC uint32) {
+	b.conv(name+".squeeze", squeezeC, 1, 1, 0, convOpts{relu: true})
+	oh, ow := b.h, b.w
+	cat := b.concatBuf(2*expandC, oh, ow)
+	b.conv(name+".expand1", expandC, 1, 1, 0, convOpts{relu: true, intoBuf: cat})
+	b.conv(name+".expand3", expandC, 3, 1, 1, convOpts{relu: true, noBorder: true,
+		intoBuf: cat, intoOffset: expandC * oh * ow})
+	b.cur, b.c = cat, 2*expandC
+}
+
+// SqueezeNet returns SqueezeNet v1.0 with eight Fire modules (98 jobs).
+func SqueezeNet() *Model {
+	b := newBuilder("SqueezeNet")
+	b.input(3, 224, 224)
+	b.conv("conv1", 96, 7, 2, 0, convOpts{relu: true})
+	b.pool("pool1", OpMaxPool, 3, 2, 0)
+	b.fire("fire2", 16, 64)
+	b.fire("fire3", 16, 64)
+	b.fire("fire4", 32, 128)
+	b.pool("pool4", OpMaxPool, 3, 2, 0)
+	b.fire("fire5", 32, 128)
+	b.fire("fire6", 48, 192)
+	b.fire("fire7", 48, 192)
+	b.fire("fire8", 64, 256)
+	b.pool("pool8", OpMaxPool, 3, 2, 0)
+	b.fire("fire9", 64, 256)
+	b.conv("conv10", 1000, 1, 1, 0, convOpts{relu: true, splits: 4})
+	b.globalAvgPool("avgpool")
+	b.softmax("softmax")
+	return b.build()
+}
+
+// ResNet12 returns the four-block ResNet-12 used in few-shot learning
+// (111 jobs), scaled to a 128x128 input.
+func ResNet12() *Model {
+	b := newBuilder("ResNet12")
+	b.input(3, 128, 128)
+	channels := []uint32{64, 160, 320, 640}
+	for blk, c := range channels {
+		shortcutFrom := b.cur
+		shortcutC, shortcutH, shortcutW := b.c, b.h, b.w
+		splits := 2
+		if blk >= 2 {
+			splits = 3
+		}
+		name := "blk" + string(rune('1'+blk))
+		b.conv(name+".c1", c, 3, 1, 1, convOpts{relu: true, splits: splits})
+		b.conv(name+".c2", c, 3, 1, 1, convOpts{relu: true, splits: splits})
+		b.conv(name+".c3", c, 3, 1, 1, convOpts{splits: splits})
+		// 1x1 projection shortcut.
+		saved, sc, sh, sw := b.cur, b.c, b.h, b.w
+		b.cur, b.c, b.h, b.w = shortcutFrom, shortcutC, shortcutH, shortcutW
+		b.conv(name+".proj", c, 1, 1, 0, convOpts{splits: 2})
+		proj := b.cur
+		b.cur, b.c, b.h, b.w = saved, sc, sh, sw
+		b.residualAdd(name+".add", proj)
+		b.pool(name+".pool", OpMaxPool, 2, 2, 0)
+	}
+	b.globalAvgPool("avgpool")
+	b.fc("fc", 64, false, 2)
+	b.softmax("softmax")
+	return b.build()
+}
+
+// VGG16 returns VGG-16 at a 128x128 input (96 jobs).
+func VGG16() *Model {
+	b := newBuilder("VGG16")
+	b.input(3, 128, 128)
+	cfg := []struct {
+		convs  int
+		outC   uint32
+		splits []int
+	}{
+		{2, 64, []int{1, 1}},
+		{2, 128, []int{1, 1}},
+		{3, 256, []int{2, 2, 2}},
+		{3, 512, []int{2, 3, 3}},
+		{3, 512, []int{3, 2, 2}},
+	}
+	for gi, g := range cfg {
+		for ci := 0; ci < g.convs; ci++ {
+			name := "conv" + string(rune('1'+gi)) + "_" + string(rune('1'+ci))
+			b.conv(name, g.outC, 3, 1, 1, convOpts{relu: true, splits: g.splits[ci]})
+		}
+		b.pool("pool"+string(rune('1'+gi)), OpMaxPool, 2, 2, 0)
+	}
+	b.fc("fc1", 4096, true, 2)
+	b.fc("fc2", 4096, true, 1)
+	b.fc("fc3", 1000, false, 1)
+	b.softmax("softmax")
+	return b.build()
+}
+
+// Benchmarks returns the paper's six evaluation models in Table 1 order.
+func Benchmarks() []*Model {
+	return []*Model{MNIST(), AlexNet(), MobileNet(), SqueezeNet(), ResNet12(), VGG16()}
+}
+
+// PaperJobCounts is Table 1's "# GPU jobs" column, asserted by tests.
+var PaperJobCounts = map[string]int{
+	"MNIST": 23, "AlexNet": 60, "MobileNet": 104,
+	"SqueezeNet": 98, "ResNet12": 111, "VGG16": 96,
+}

@@ -1,0 +1,83 @@
+package mlfw
+
+import (
+	"testing"
+
+	"gpurelay/internal/gpumem"
+)
+
+func TestJobCountsMatchTable1(t *testing.T) {
+	for _, m := range Benchmarks() {
+		want := PaperJobCounts[m.Name]
+		if want == 0 {
+			t.Fatalf("%s missing from PaperJobCounts", m.Name)
+		}
+		if got := m.NumJobs(); got != want {
+			t.Errorf("%s: %d GPU jobs, want %d (Table 1)", m.Name, got, want)
+		}
+	}
+}
+
+func TestModelsValidate(t *testing.T) {
+	for _, m := range Benchmarks() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestModelShapes(t *testing.T) {
+	for _, m := range Benchmarks() {
+		if m.Buffers[m.Output].Kind != gpumem.KindOutput {
+			t.Errorf("%s: output buffer kind %v", m.Name, m.Buffers[m.Output].Kind)
+		}
+		if m.Buffers[m.Input].Kind != gpumem.KindInput {
+			t.Errorf("%s: input buffer kind %v", m.Name, m.Buffers[m.Input].Kind)
+		}
+		// All six are classifiers: output is a probability vector.
+		if n := m.Buffers[m.Output].Elems; n < 10 || n > 1000 {
+			t.Errorf("%s: output has %d elems", m.Name, n)
+		}
+	}
+}
+
+func TestWeightFootprints(t *testing.T) {
+	// Sanity-check the parameter budgets against the architectures:
+	// AlexNet and VGG16 are weight-heavy (hundreds of MB), MobileNet and
+	// SqueezeNet small — that contrast drives Table 1's MemSync spread.
+	wb := map[string]uint64{}
+	for _, m := range Benchmarks() {
+		wb[m.Name] = m.WeightBytes()
+	}
+	if wb["AlexNet"] < 150<<20 {
+		t.Errorf("AlexNet weights = %d MB, want >150 MB", wb["AlexNet"]>>20)
+	}
+	if wb["VGG16"] < 100<<20 {
+		t.Errorf("VGG16 weights = %d MB, want >100 MB", wb["VGG16"]>>20)
+	}
+	if wb["SqueezeNet"] > 20<<20 {
+		t.Errorf("SqueezeNet weights = %d MB, want <20 MB", wb["SqueezeNet"]>>20)
+	}
+	if wb["MobileNet"] > 40<<20 {
+		t.Errorf("MobileNet weights = %d MB, want <40 MB", wb["MobileNet"]>>20)
+	}
+	if wb["MNIST"] > 10<<20 {
+		t.Errorf("MNIST weights = %d MB, want <10 MB", wb["MNIST"]>>20)
+	}
+}
+
+func TestValidateCatchesBadRefs(t *testing.T) {
+	m := &Model{
+		Name:    "bad",
+		Buffers: []Buffer{{Name: "a", Elems: 4}},
+		Kernels: []Kernel{{Name: "k", Op: OpCopy, Src0: 0, Src1: NoBuf, Dst: 7}},
+	}
+	if err := m.Validate(); err == nil {
+		t.Fatal("out-of-range Dst accepted")
+	}
+	m.Kernels[0].Dst = 0
+	m.Kernels[0].Src0 = NoBuf
+	if err := m.Validate(); err == nil {
+		t.Fatal("missing Src0 accepted")
+	}
+}

@@ -1,0 +1,240 @@
+package mlfw
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/kbase"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/timesim"
+)
+
+type rig struct {
+	clock *timesim.Clock
+	pool  *gpumem.Pool
+	gpu   *mali.GPU
+	dev   *kbase.Device
+}
+
+func newRig(t *testing.T, sku *mali.SKU, poolSize uint64) *rig {
+	t.Helper()
+	clock := timesim.NewClock()
+	pool := gpumem.NewPool(poolSize)
+	gpu := mali.New(sku, pool, clock, 99)
+	dev, err := kbase.Probe(kbase.NewDirectBus(gpu, clock), kbase.NewStdKernel(clock), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{clock: clock, pool: pool, gpu: gpu, dev: dev}
+}
+
+func mnistInput() []float32 {
+	in := make([]float32, 28*28)
+	for i := range in {
+		in[i] = float32((i * 37) % 256) // synthetic "digit"
+	}
+	return in
+}
+
+func TestMNISTInferenceEndToEnd(t *testing.T) {
+	r := newRig(t, mali.G71MP8, 256<<20)
+	rt, err := NewRuntime(r.dev, r.clock, MNIST(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.InitWeights(7)
+	if err := rt.SetInput(mnistInput()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(kbase.SyncHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != 23 {
+		t.Fatalf("ran %d jobs, want 23", res.Jobs)
+	}
+	out := rt.Output()
+	if len(out) != 10 {
+		t.Fatalf("output has %d elems", len(out))
+	}
+	var sum float64
+	for _, v := range out {
+		if v < 0 || v > 1 || math.IsNaN(float64(v)) {
+			t.Fatalf("output %v is not a probability", v)
+		}
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("softmax output sums to %v", sum)
+	}
+	// With random weights and a nonzero input the distribution must not
+	// be degenerate (all classes equal would mean the net computed zeros).
+	uniform := true
+	for _, v := range out {
+		if math.Abs(float64(v)-0.1) > 1e-6 {
+			uniform = false
+		}
+	}
+	if uniform {
+		t.Fatal("output is exactly uniform; inference produced zeros")
+	}
+	if res.Duration <= 0 {
+		t.Fatal("inference took no virtual time")
+	}
+}
+
+func TestInferenceDeterministic(t *testing.T) {
+	run := func() []float32 {
+		r := newRig(t, mali.G71MP8, 256<<20)
+		rt, err := NewRuntime(r.dev, r.clock, MNIST(), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.InitWeights(7)
+		if err := rt.SetInput(mnistInput()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(kbase.SyncHooks{}); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Output()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run-to-run mismatch at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDifferentInputsDifferentOutputs(t *testing.T) {
+	r := newRig(t, mali.G71MP8, 256<<20)
+	rt, err := NewRuntime(r.dev, r.clock, MNIST(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.InitWeights(7)
+	infer := func(in []float32) []float32 {
+		if err := rt.SetInput(in); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(kbase.SyncHooks{}); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Output()
+	}
+	a := infer(mnistInput())
+	in2 := make([]float32, 28*28)
+	for i := range in2 {
+		in2[i] = float32((i * i) % 199)
+	}
+	b := infer(in2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different inputs produced identical outputs")
+	}
+}
+
+func TestDryRunStaysSparse(t *testing.T) {
+	// Recording's dry run: zero weights and input. The big models must
+	// run to completion without materializing their program data — the
+	// property that makes cloud recording of VGG-scale workloads cheap.
+	r := newRig(t, mali.G71MP8, 2<<30)
+	rt, err := NewRuntime(r.dev, r.clock, VGG16(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(kbase.SyncHooks{}); err != nil {
+		t.Fatal(err)
+	}
+	mat := r.pool.MaterializedBytes()
+	total := rt.Model().TotalBytes()
+	if mat > total/10 {
+		t.Fatalf("dry run materialized %d MB of a %d MB model", mat>>20, total>>20)
+	}
+	if st := r.gpu.Stats(); st.FastPathed == 0 {
+		t.Fatal("dry run never took the zero fast path")
+	}
+}
+
+func TestAllModelsDryRun(t *testing.T) {
+	for _, m := range Benchmarks() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			r := newRig(t, mali.G71MP8, 2<<30)
+			rt, err := NewRuntime(r.dev, r.clock, m, DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := rt.Run(kbase.SyncHooks{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Jobs != PaperJobCounts[m.Name] {
+				t.Fatalf("ran %d jobs, want %d", res.Jobs, PaperJobCounts[m.Name])
+			}
+			if got := r.gpu.Stats().JobsExecuted; got != res.Jobs {
+				t.Fatalf("GPU executed %d chains, runtime submitted %d", got, res.Jobs)
+			}
+		})
+	}
+}
+
+func TestCompiledStreamsDifferAcrossSKUs(t *testing.T) {
+	// The late-binding core of the paper: the same model compiles to
+	// different shader streams on different SKUs (tiling tracks cores).
+	m := MNIST()
+	va := func(ref BufRef) gpumem.VA { return gpumem.VA(0x1000000 + uint64(ref)*0x100000) }
+	c8, err := Compile(m, Target{ProductID: mali.G71MP8.ProductID, Cores: 8}, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Compile(m, Target{ProductID: mali.G52MP2.ProductID, Cores: 2}, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c8.TotalBytes() == c2.TotalBytes() {
+		t.Fatal("8-core and 2-core compilations have identical footprints; tiling lost")
+	}
+}
+
+func TestRuntimeFLOPsMatchGPU(t *testing.T) {
+	// The static FLOP estimate used for calibration must agree with what
+	// the GPU actually executes.
+	r := newRig(t, mali.G71MP8, 256<<20)
+	m := MNIST()
+	rt, err := NewRuntime(r.dev, r.clock, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(kbase.SyncHooks{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r.gpu.Stats().FLOPs, m.FLOPs(); got != want {
+		t.Fatalf("GPU executed %d FLOPs, static estimate %d", got, want)
+	}
+}
+
+func TestNativeDelaysInPaperBand(t *testing.T) {
+	// Coarse calibration: native MNIST should land within 2x of Table 2's
+	// 15.2 ms. (Tight calibration is asserted in the experiments package.)
+	r := newRig(t, mali.G71MP8, 256<<20)
+	rt, err := NewRuntime(r.dev, r.clock, MNIST(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(kbase.SyncHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration < 5*time.Millisecond || res.Duration > 40*time.Millisecond {
+		t.Fatalf("native MNIST = %v, want O(15ms)", res.Duration)
+	}
+}

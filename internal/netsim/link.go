@@ -1,0 +1,218 @@
+// Package netsim models the cloud↔client network path of GR-T.
+//
+// The paper shapes the path with NetEm into two conditions (§7.2): a WiFi-like
+// link (20 ms RTT, 80 Mbps) and a cellular-like link (50 ms RTT, 40 Mbps).
+// netsim reproduces the same first-order model — a fixed propagation RTT plus
+// store-and-forward serialization at the bottleneck bandwidth — on top of the
+// virtual clock, and keeps the traffic statistics that the paper's Table 1
+// reports (blocking round trips, synchronization bytes).
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gpurelay/internal/timesim"
+)
+
+// Condition describes a network condition, mirroring a NetEm configuration.
+type Condition struct {
+	Name string
+	// RTT is the round-trip propagation delay (both directions combined).
+	RTT time.Duration
+	// Bandwidth is the bottleneck bandwidth in bits per second, applied to
+	// payloads in each direction.
+	Bandwidth int64
+	// Jitter adds a deterministic pseudo-random delay in [0, Jitter) to
+	// each round trip, like NetEm's delay variance.
+	Jitter time.Duration
+	// LossPct is the per-round-trip probability (in percent) of a lost
+	// exchange; a loss costs a retransmission timeout plus a retry. The
+	// paper's §3.1 limitation — "poor network condition can slow down the
+	// entire recording" — shows up through this knob.
+	LossPct float64
+}
+
+// retransmitTimeout is the cost of detecting one lost exchange before the
+// retry, a TCP-like RTO floor.
+const retransmitTimeout = 200 * time.Millisecond
+
+// The two conditions evaluated in the paper (§7.2), plus a loopback used to
+// model local (on-device) recording baselines and unit tests.
+var (
+	WiFi     = Condition{Name: "wifi", RTT: 20 * time.Millisecond, Bandwidth: 80_000_000}
+	Cellular = Condition{Name: "cellular", RTT: 50 * time.Millisecond, Bandwidth: 40_000_000}
+	Loopback = Condition{Name: "loopback", RTT: 10 * time.Microsecond, Bandwidth: 10_000_000_000}
+	// PoorCellular models the §3.1 "poor network condition" limitation:
+	// higher latency, jitter, and packet loss.
+	PoorCellular = Condition{Name: "poor-cellular", RTT: 120 * time.Millisecond,
+		Bandwidth: 10_000_000, Jitter: 40 * time.Millisecond, LossPct: 1}
+)
+
+// TransferTime returns the serialization delay of n payload bytes at the
+// condition's bandwidth.
+func (c Condition) TransferTime(n int64) time.Duration {
+	if n < 0 {
+		panic(fmt.Sprintf("netsim: negative payload %d", n))
+	}
+	if c.Bandwidth <= 0 {
+		panic(fmt.Sprintf("netsim: condition %q has no bandwidth", c.Name))
+	}
+	bits := n * 8
+	return time.Duration(float64(bits) / float64(c.Bandwidth) * float64(time.Second))
+}
+
+// Stats accumulates traffic statistics for one link.
+type Stats struct {
+	// BlockingRTTs counts round trips during which the initiator stalled.
+	// This is the "# Blocking RTTs" column of Table 1.
+	BlockingRTTs int
+	// AsyncRTTs counts round trips whose latency was hidden by speculation.
+	AsyncRTTs int
+	// BytesSent and BytesReceived count payload bytes from the initiator's
+	// point of view (cloud → client and client → cloud respectively).
+	BytesSent     int64
+	BytesReceived int64
+	// Busy is the total virtual time the radio spent transmitting or
+	// receiving, used by the energy model.
+	Busy time.Duration
+	// Retransmits counts lost exchanges that had to be retried.
+	Retransmits int
+}
+
+// TotalRTTs returns all round trips regardless of blocking behaviour.
+func (s Stats) TotalRTTs() int { return s.BlockingRTTs + s.AsyncRTTs }
+
+// TotalBytes returns payload bytes in both directions.
+func (s Stats) TotalBytes() int64 { return s.BytesSent + s.BytesReceived }
+
+// Link is one end-to-end path between the cloud VM and the client TEE,
+// bound to a virtual clock. Methods advance that clock; they never sleep.
+type Link struct {
+	cond  Condition
+	clock *timesim.Clock
+
+	mu    sync.Mutex
+	stats Stats
+	rng   uint64
+}
+
+// NewLink creates a link with the given condition on clock. Jitter and loss
+// draws are deterministic for a given condition (seeded from its name), so
+// experiments stay reproducible.
+func NewLink(cond Condition, clock *timesim.Clock) *Link {
+	if clock == nil {
+		panic("netsim: nil clock")
+	}
+	seed := uint64(88172645463325252)
+	for _, c := range cond.Name {
+		seed = seed*31 + uint64(c)
+	}
+	return &Link{cond: cond, clock: clock, rng: seed | 1}
+}
+
+// draw returns a deterministic pseudo-random float64 in [0, 1).
+func (l *Link) draw() float64 {
+	l.rng ^= l.rng << 13
+	l.rng ^= l.rng >> 7
+	l.rng ^= l.rng << 17
+	return float64(l.rng%1_000_000) / 1_000_000
+}
+
+// perturb applies jitter and loss to one exchange's base latency, updating
+// the retransmit counter under l.mu.
+func (l *Link) perturb(base time.Duration) time.Duration {
+	if l.cond.Jitter > 0 {
+		base += time.Duration(l.draw() * float64(l.cond.Jitter))
+	}
+	for l.cond.LossPct > 0 && l.draw()*100 < l.cond.LossPct {
+		base += retransmitTimeout + l.cond.RTT
+		l.stats.Retransmits++
+	}
+	return base
+}
+
+// Condition returns the link's network condition.
+func (l *Link) Condition() Condition { return l.cond }
+
+// Stats returns a snapshot of the link's accumulated statistics.
+func (l *Link) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// ResetStats zeroes the statistics, e.g. between the warm-up and measured
+// phases of an experiment.
+func (l *Link) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stats = Stats{}
+}
+
+// cost returns the end-to-end latency of one round trip carrying the given
+// payloads.
+func (l *Link) cost(reqBytes, respBytes int64) (total, busy time.Duration) {
+	busy = l.cond.TransferTime(reqBytes) + l.cond.TransferTime(respBytes)
+	return l.cond.RTT + busy, busy
+}
+
+// RoundTrip performs a synchronous (blocking) round trip: the initiator sends
+// reqBytes, the peer replies with respBytes, and the initiator stalls for the
+// whole exchange. The virtual clock advances by RTT plus serialization time.
+// It returns the time at which the response arrived.
+func (l *Link) RoundTrip(reqBytes, respBytes int64) time.Duration {
+	total, busy := l.cost(reqBytes, respBytes)
+	l.mu.Lock()
+	total = l.perturb(total)
+	l.mu.Unlock()
+	done := l.clock.Advance(total)
+	l.mu.Lock()
+	l.stats.BlockingRTTs++
+	l.stats.BytesSent += reqBytes
+	l.stats.BytesReceived += respBytes
+	l.stats.Busy += busy
+	l.mu.Unlock()
+	return done
+}
+
+// AsyncRoundTrip initiates a round trip whose latency is overlapped with the
+// initiator's continued execution (a speculative commit, §4.2). The clock is
+// NOT advanced; instead the completion time is returned so the caller can
+// later wait for it with WaitUntil if and when validation requires it.
+func (l *Link) AsyncRoundTrip(reqBytes, respBytes int64) (completion time.Duration) {
+	total, busy := l.cost(reqBytes, respBytes)
+	l.mu.Lock()
+	total = l.perturb(total)
+	l.stats.AsyncRTTs++
+	l.stats.BytesSent += reqBytes
+	l.stats.BytesReceived += respBytes
+	l.stats.Busy += busy
+	l.mu.Unlock()
+	return l.clock.Now() + total
+}
+
+// WaitUntil blocks (in virtual time) until t: if t is still in the future the
+// clock advances to it, otherwise nothing happens. It returns the stall
+// duration that was actually incurred.
+func (l *Link) WaitUntil(t time.Duration) time.Duration {
+	now := l.clock.Now()
+	if t <= now {
+		return 0
+	}
+	l.clock.AdvanceTo(t)
+	return t - now
+}
+
+// OneWay models a unidirectional message (e.g. the final recording download
+// or an interrupt notification) of n bytes: half an RTT plus serialization.
+func (l *Link) OneWay(n int64) time.Duration {
+	busy := l.cond.TransferTime(n)
+	done := l.clock.Advance(l.cond.RTT/2 + busy)
+	l.mu.Lock()
+	l.stats.BytesSent += n
+	l.stats.Busy += busy
+	l.mu.Unlock()
+	return done
+}

@@ -1,0 +1,320 @@
+// Package record orchestrates GR-T's online recording (§3): a cloud VM dry
+// runs the GPU stack (driver + runtime + workload) while every CPU/GPU
+// interaction is tunnelled to the client's TEE-isolated GPU over the
+// network, logged, and finally signed and returned as a replayable
+// recording.
+//
+// The four recorder variants of the evaluation (§7.2) are composed from a
+// shim mode and a memory-synchronization policy:
+//
+//	Naive   = per-access round trips + raw full-memory sync
+//	OursM   = per-access round trips + meta-only delta sync (§5)
+//	OursMD  = + register access deferral (§4.1) and poll offload (§4.3)
+//	OursMDS = + speculation (§4.2)
+package record
+
+import (
+	"fmt"
+	"time"
+
+	"gpurelay/internal/energy"
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/kbase"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/shim"
+	"gpurelay/internal/tee"
+	"gpurelay/internal/timesim"
+	"gpurelay/internal/trace"
+)
+
+// Variant selects the recorder implementation (§7.2 methodology).
+type Variant int
+
+// Recorder variants. The zero value is OursMDS — the full GR-T recorder —
+// so that zero-valued configurations default to the paper's system.
+const (
+	OursMDS Variant = iota
+	OursMD
+	OursM
+	Naive
+)
+
+var variantNames = [...]string{OursMDS: "OursMDS", OursMD: "OursMD", OursM: "OursM", Naive: "Naive"}
+
+func (v Variant) String() string {
+	if int(v) < len(variantNames) {
+		return variantNames[v]
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// ShimMode returns the DriverShim mode the variant uses.
+func (v Variant) ShimMode() shim.Mode {
+	switch v {
+	case OursMD:
+		return shim.ModeDefer
+	case OursMDS:
+		return shim.ModeDeferSpec
+	default:
+		return shim.ModeSync
+	}
+}
+
+// MetaOnly reports whether the variant uses §5 meta-only synchronization.
+func (v Variant) MetaOnly() bool { return v != Naive }
+
+// Variants lists all four in evaluation order.
+var Variants = []Variant{Naive, OursM, OursMD, OursMDS}
+
+// Config describes one record run.
+type Config struct {
+	Variant Variant
+	Model   *mlfw.Model
+	SKU     *mali.SKU
+	Network netsim.Condition
+	// SessionKey signs the recording; empty keys fail.
+	SessionKey []byte
+	// History carries speculation history across runs (the §7.3
+	// evaluation retains it between benchmarks). Nil allocates a fresh
+	// one with k=3.
+	History *shim.History
+	// ClientSeed seeds the GPU's nondeterministic flush IDs.
+	ClientSeed uint64
+	// InjectMispredictionAt arms the §7.3 fault-injection experiment
+	// (the nth speculated commit mispredicts); negative disables.
+	InjectMispredictionAt int
+	// PoolSize overrides the shared-memory size (0 = sized from the
+	// model).
+	PoolSize uint64
+}
+
+// Stats aggregates everything the evaluation reports about a record run.
+type Stats struct {
+	// RecordingDelay is the end-to-end wall-clock (virtual) time of the
+	// record run: Figure 7.
+	RecordingDelay time.Duration
+	// Link is the network-side view (blocking RTTs: Table 1).
+	Link netsim.Stats
+	// MemSyncBytes is the §5 synchronization traffic (Table 1's MemSync
+	// column), both directions.
+	MemSyncBytes int64
+	// Shim holds the DriverShim counters (commits, speculation, Figure 8).
+	Shim shim.Stats
+	// GPUBusy is the client GPU's busy time; ClientCPU the client-side
+	// shim CPU time. Both feed the Figure 9 energy model.
+	GPUBusy   time.Duration
+	ClientCPU time.Duration
+	// Energy is the client's record-run energy (Figure 9).
+	Energy energy.Joules
+	Jobs   int
+	// RegAccessesPerCommit is the §7.3 deferral statistic (3.8 in the
+	// paper).
+	RegAccessesPerCommit float64
+	// GuardViolations counts §5 continuous-validation traps: spurious
+	// cloud-side accesses to memory already synchronized to the client.
+	// Zero in any healthy record run.
+	GuardViolations int
+}
+
+// Result is a completed record run.
+type Result struct {
+	Recording *trace.Recording
+	Signed    *trace.Signed
+	Stats     Stats
+	// JobLogOffsets[j] is the event-log length right after job j fully
+	// completed — the clean cut points for segmenting the recording.
+	JobLogOffsets []int
+	sessionKey    []byte
+}
+
+// Segments splits the recording at the given job boundaries (each entry is
+// the index of a segment's LAST job) and signs each segment independently —
+// the per-layer recordings of the paper's Figure 2. The first segment
+// includes the driver/runtime initialization prologue. Segments share the
+// recording's region map and replay back-to-back on one device.
+func (r *Result) Segments(boundaries []int) ([]*trace.Signed, []*trace.Recording, error) {
+	if len(boundaries) == 0 {
+		return nil, nil, fmt.Errorf("record: no segment boundaries")
+	}
+	if last := boundaries[len(boundaries)-1]; last != len(r.JobLogOffsets)-1 {
+		return nil, nil, fmt.Errorf("record: last boundary %d must be the final job %d",
+			last, len(r.JobLogOffsets)-1)
+	}
+	var signeds []*trace.Signed
+	var recs []*trace.Recording
+	prevOff := 0
+	for i, b := range boundaries {
+		if b < 0 || b >= len(r.JobLogOffsets) {
+			return nil, nil, fmt.Errorf("record: boundary %d out of range", b)
+		}
+		if i > 0 && b <= boundaries[i-1] {
+			return nil, nil, fmt.Errorf("record: boundaries not increasing at %d", b)
+		}
+		off := r.JobLogOffsets[b]
+		seg := &trace.Recording{
+			Workload:  fmt.Sprintf("%s[%d/%d]", r.Recording.Workload, i+1, len(boundaries)),
+			ProductID: r.Recording.ProductID,
+			PoolSize:  r.Recording.PoolSize,
+			Events:    r.Recording.Events[prevOff:off],
+			Regions:   r.Recording.Regions,
+		}
+		signed, err := trace.Sign(seg, r.sessionKey)
+		if err != nil {
+			return nil, nil, err
+		}
+		signeds = append(signeds, signed)
+		recs = append(recs, seg)
+		prevOff = off
+	}
+	return signeds, recs, nil
+}
+
+// poolSizeFor sizes the shared memory for a model: its buffers plus headroom
+// for metastate and page tables, mirroring the §3.1 requirement that the TEE
+// reserve as much secure memory as the workload needs.
+func poolSizeFor(m *mlfw.Model) uint64 {
+	size := m.TotalBytes()*3/2 + (64 << 20)
+	return size &^ (gpumem.PageSize - 1)
+}
+
+// Run performs one complete record run and returns the signed recording plus
+// its statistics.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Model == nil || cfg.SKU == nil {
+		return nil, fmt.Errorf("record: config needs a model and a SKU")
+	}
+	if len(cfg.SessionKey) == 0 {
+		return nil, fmt.Errorf("record: missing session key")
+	}
+	clock := timesim.NewClock()
+	poolSize := cfg.PoolSize
+	if poolSize == 0 {
+		poolSize = poolSizeFor(cfg.Model)
+	}
+
+	// Client side: physical GPU, TEE isolation, GPUShim.
+	clientPool := gpumem.NewPool(poolSize)
+	gpu := mali.New(cfg.SKU, clientPool, clock, cfg.ClientSeed|1)
+	ctrl := tee.NewController(gpu)
+	ctrl.ClaimForSecure()
+	defer ctrl.ReleaseToNormal()
+	gshim := shim.NewGPUShim(gpu, clock)
+	gshim.SetLocked(true)
+
+	// Cloud side: VM-local memory, DriverShim, kernel facade.
+	cloudPool := gpumem.NewPool(poolSize)
+	link := netsim.NewLink(cfg.Network, clock)
+	kern := kbase.NewStdKernel(clock)
+	dshim := shim.NewDriverShim(shim.Config{
+		Mode: cfg.Variant.ShimMode(), Link: link, Client: gshim, Clock: clock,
+		Kernel: kern, History: cfg.History,
+		Recovery: shim.DefaultRecovery(cfg.Model.FLOPs()),
+	})
+	if cfg.InjectMispredictionAt >= 0 {
+		dshim.InjectMispredictionAt(cfg.InjectMispredictionAt)
+	}
+
+	start := timesim.StartWatch(clock)
+	gpuBusyStart := gpu.Stats().Busy
+
+	// The cloud VM boots its GPU stack: driver probe runs against the
+	// remote GPU through the shim.
+	dev, err := kbase.Probe(dshim, dshim, cloudPool)
+	if err != nil {
+		return nil, fmt.Errorf("record: driver probe over %v: %w", cfg.Network.Name, err)
+	}
+	rt, err := mlfw.NewRuntime(dev, clock, cfg.Model, mlfw.Options{
+		StackOverheadPerJob: 450 * time.Microsecond,
+		Pipelined:           false, // dry runs are serialized (§5)
+		Slot:                1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("record: runtime init: %w", err)
+	}
+
+	sync := &syncer{
+		metaOnly: cfg.Variant.MetaOnly(),
+		cloud:    cloudPool, client: clientPool,
+		ctx: rt.Context(), rt: rt,
+	}
+	guardViolations := 0
+	cloudPool.OnGuardViolation(func(v *gpumem.GuardViolation) {
+		guardViolations++
+		kern.Log("grt: continuous validation trapped %v", v)
+	})
+	jobIdx := 0
+	var syncErr error
+	gshim.OnIRQDump = func() []byte {
+		wire, err := sync.afterJob(jobIdx)
+		if err != nil {
+			syncErr = err
+			return nil
+		}
+		return wire
+	}
+	var jobLogOffsets []int
+	hooks := kbase.SyncHooks{
+		BeforeJobStart: func(*kbase.Context) {
+			wire, err := sync.beforeJob(jobIdx)
+			if err != nil {
+				syncErr = err
+				return
+			}
+			dshim.StageDumpToClient(wire)
+		},
+		AfterJobIRQ: func(*kbase.Context) { jobIdx++ },
+		AfterJobComplete: func(*kbase.Context) {
+			jobLogOffsets = append(jobLogOffsets, len(dshim.EventLog()))
+		},
+	}
+
+	runRes, err := rt.Run(hooks)
+	if err != nil {
+		return nil, fmt.Errorf("record: dry run: %w", err)
+	}
+	if syncErr != nil {
+		return nil, fmt.Errorf("record: memory synchronization: %w", syncErr)
+	}
+
+	// Finalize: assemble, sign, and "download" the recording.
+	var regions []trace.RegionInfo
+	for _, r := range rt.Context().Regions() {
+		regions = append(regions, trace.RegionInfo{
+			Name: r.Name, Kind: r.Kind, VA: r.VA, PA: r.PA, Size: r.Size,
+		})
+	}
+	rec := &trace.Recording{
+		Workload:  cfg.Model.Name,
+		ProductID: cfg.SKU.ProductID,
+		PoolSize:  poolSize,
+		Events:    dshim.EventLog(),
+		Regions:   regions,
+	}
+	signed, err := trace.Sign(rec, cfg.SessionKey)
+	if err != nil {
+		return nil, fmt.Errorf("record: signing: %w", err)
+	}
+	link.OneWay(int64(len(signed.Payload)) / 50) // download rides compressed
+
+	st := Stats{
+		RecordingDelay:  start.Elapsed(),
+		Link:            link.Stats(),
+		MemSyncBytes:    sync.bytesOut + sync.bytesIn,
+		Shim:            dshim.Stats(),
+		GPUBusy:         gpu.Stats().Busy - gpuBusyStart,
+		ClientCPU:       gshim.CPUTime(),
+		Jobs:            runRes.Jobs,
+		GuardViolations: guardViolations,
+	}
+	if st.Shim.Commits > 0 {
+		st.RegAccessesPerCommit = float64(st.Shim.RegAccesses) / float64(st.Shim.Commits)
+	}
+	st.Energy = energy.Default().Record(st.Link, st.GPUBusy, st.ClientCPU, st.RecordingDelay)
+	return &Result{
+		Recording: rec, Signed: signed, Stats: st,
+		JobLogOffsets: jobLogOffsets,
+		sessionKey:    append([]byte(nil), cfg.SessionKey...),
+	}, nil
+}

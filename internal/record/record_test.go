@@ -1,0 +1,321 @@
+package record
+
+import (
+	"testing"
+	"time"
+
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/shim"
+	"gpurelay/internal/trace"
+)
+
+var testKey = []byte("grt-session-key-0123456789abcdef")
+
+func recordMNIST(t *testing.T, v Variant, hist *shim.History) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		Variant: v, Model: mlfw.MNIST(), SKU: mali.G71MP8,
+		Network: netsim.WiFi, SessionKey: testKey, History: hist,
+		ClientSeed: 42, InjectMispredictionAt: -1,
+	})
+	if err != nil {
+		t.Fatalf("record %v: %v", v, err)
+	}
+	return res
+}
+
+func TestRecordMNISTAllVariants(t *testing.T) {
+	for _, v := range Variants {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			res := recordMNIST(t, v, nil)
+			if res.Stats.Jobs != 23 {
+				t.Fatalf("jobs = %d", res.Stats.Jobs)
+			}
+			if res.Stats.RecordingDelay <= 0 {
+				t.Fatal("no recording delay")
+			}
+			c := res.Recording.Counts()
+			if c[trace.KWrite] == 0 || c[trace.KRead] == 0 {
+				t.Fatalf("log misses event kinds: %v", c)
+			}
+			// Deferring variants offload polling loops as whole events;
+			// sync variants record each iteration as a read.
+			if v.ShimMode() != shim.ModeSync && c[trace.KPoll] == 0 {
+				t.Fatalf("no poll events in deferring variant: %v", c)
+			}
+			if c[trace.KIRQ] != 23 {
+				t.Fatalf("%d IRQ events, want 23", c[trace.KIRQ])
+			}
+			if c[trace.KDumpToClient] != 23 || c[trace.KDumpToCloud] != 23 {
+				t.Fatalf("dump events = %d/%d, want 23/23",
+					c[trace.KDumpToClient], c[trace.KDumpToCloud])
+			}
+		})
+	}
+}
+
+func TestVariantOrderingMNIST(t *testing.T) {
+	// The paper's headline (Figure 7): every optimization strictly
+	// improves the recording delay, and Naive ≫ OursMDS.
+	delays := map[Variant]time.Duration{}
+	hist := shim.NewHistory(3)
+	for _, v := range Variants {
+		delays[v] = recordMNIST(t, v, hist).Stats.RecordingDelay
+	}
+	if !(delays[Naive] > delays[OursM] && delays[OursM] > delays[OursMD] && delays[OursMD] > delays[OursMDS]) {
+		t.Fatalf("delay ordering violated: %v", delays)
+	}
+	if delays[Naive] < 4*delays[OursMDS] {
+		t.Fatalf("Naive (%v) should dwarf OursMDS (%v)", delays[Naive], delays[OursMDS])
+	}
+}
+
+func TestBlockingRTTShrinkAcrossVariants(t *testing.T) {
+	// Table 1's # Blocking RTTs column: OursM > OursMD > OursMDS.
+	hist := shim.NewHistory(3)
+	m := recordMNIST(t, OursM, hist).Stats.Link.BlockingRTTs
+	md := recordMNIST(t, OursMD, hist).Stats.Link.BlockingRTTs
+	mds := recordMNIST(t, OursMDS, hist).Stats.Link.BlockingRTTs
+	if !(m > md && md > mds) {
+		t.Fatalf("RTTs not shrinking: %d / %d / %d", m, md, mds)
+	}
+	// Paper bands: MNIST 2837 / 585 / 65. Stay within the right decades.
+	if m < 1500 || m > 6000 {
+		t.Errorf("OursM blocking RTTs = %d, paper 2837", m)
+	}
+	if md < 300 || md > 1500 {
+		t.Errorf("OursMD blocking RTTs = %d, paper 585", md)
+	}
+	if mds < 30 || mds > 260 {
+		t.Errorf("OursMDS blocking RTTs = %d, paper 65", mds)
+	}
+}
+
+func TestMemSyncShrinksWithMetaOnly(t *testing.T) {
+	naive := recordMNIST(t, Naive, nil).Stats.MemSyncBytes
+	meta := recordMNIST(t, OursM, nil).Stats.MemSyncBytes
+	if meta*2 > naive {
+		t.Fatalf("meta-only sync %d not well below naive %d", meta, naive)
+	}
+}
+
+func TestRecordingSignedAndVerifiable(t *testing.T) {
+	res := recordMNIST(t, OursMDS, nil)
+	rec, err := trace.Verify(res.Signed, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Workload != "MNIST" || rec.ProductID != mali.G71MP8.ProductID {
+		t.Fatalf("recording header: %+v", rec)
+	}
+	if len(rec.Regions) == 0 {
+		t.Fatal("no regions in recording")
+	}
+	if _, err := trace.Verify(res.Signed, []byte("wrong-key-wrong-key-wrong-key-00")); err == nil {
+		t.Fatal("recording verified under wrong key")
+	}
+}
+
+func TestSpeculationStatsPopulated(t *testing.T) {
+	hist := shim.NewHistory(3)
+	recordMNIST(t, OursMDS, hist) // warm up history
+	res := recordMNIST(t, OursMDS, hist)
+	st := res.Stats.Shim
+	if st.AsyncCommits == 0 {
+		t.Fatal("no speculated commits on a warm history")
+	}
+	if st.Mispredictions != 0 {
+		t.Fatalf("unexpected mispredictions: %+v", st)
+	}
+	// Figure 8: all four categories must appear among speculated commits.
+	for _, cat := range []string{"init", "interrupt", "power", "polling"} {
+		found := false
+		for c := range st.SpeculatedByCategory {
+			if string(c) == cat {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("category %q missing from speculated commits: %v", cat, st.SpeculatedByCategory)
+		}
+	}
+	// The flush-ID-carrying submission commit must never speculate
+	// (nondeterministic LATEST_FLUSH_ID, §7.3): at least one submit
+	// commit per job stays synchronous.
+	syncSubmits := st.CommitsByCategory["submit"] - st.SpeculatedByCategory["submit"]
+	if syncSubmits < res.Stats.Jobs {
+		t.Fatalf("only %d synchronous submit commits for %d jobs: %v / %v",
+			syncSubmits, res.Stats.Jobs, st.CommitsByCategory, st.SpeculatedByCategory)
+	}
+}
+
+func TestDeferralAccessesPerCommit(t *testing.T) {
+	res := recordMNIST(t, OursMD, nil)
+	apc := res.Stats.RegAccessesPerCommit
+	// §7.3: each commit encloses 3.8 register accesses on average.
+	if apc < 2 || apc > 8 {
+		t.Fatalf("accesses per commit = %.2f, paper reports 3.8", apc)
+	}
+}
+
+func TestRegAccessCountsNearPaper(t *testing.T) {
+	// Table 1 note: MNIST's driver issues ~2800 register accesses.
+	res := recordMNIST(t, OursM, nil)
+	n := res.Stats.Shim.RegAccesses
+	if n < 1500 || n > 6000 {
+		t.Fatalf("MNIST register accesses = %d, paper ~2800", n)
+	}
+}
+
+func TestCellularSlowerThanWiFi(t *testing.T) {
+	wifi := recordMNIST(t, OursMDS, nil).Stats.RecordingDelay
+	res, err := Run(Config{
+		Variant: OursMDS, Model: mlfw.MNIST(), SKU: mali.G71MP8,
+		Network: netsim.Cellular, SessionKey: testKey,
+		ClientSeed: 42, InjectMispredictionAt: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RecordingDelay <= wifi {
+		t.Fatalf("cellular (%v) not slower than wifi (%v)", res.Stats.RecordingDelay, wifi)
+	}
+}
+
+func TestMispredictionInjection(t *testing.T) {
+	hist := shim.NewHistory(3)
+	recordMNIST(t, OursMDS, hist)
+	res, err := Run(Config{
+		Variant: OursMDS, Model: mlfw.MNIST(), SKU: mali.G71MP8,
+		Network: netsim.WiFi, SessionKey: testKey, History: hist,
+		ClientSeed: 43, InjectMispredictionAt: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats.Shim
+	if st.Mispredictions != 1 || st.Recoveries != 1 {
+		t.Fatalf("injection not detected: %+v", st)
+	}
+	if st.RecoveryTime < 500*time.Millisecond || st.RecoveryTime > 5*time.Second {
+		t.Fatalf("recovery time %v outside the paper's 1-3s band", st.RecoveryTime)
+	}
+}
+
+func TestRecordRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Model: mlfw.MNIST(), SKU: mali.G71MP8}); err == nil {
+		t.Fatal("run without session key succeeded")
+	}
+	if _, err := Run(Config{SessionKey: testKey}); err == nil {
+		t.Fatal("run without model succeeded")
+	}
+}
+
+func TestEnergyPositiveAndOrdered(t *testing.T) {
+	naive := recordMNIST(t, Naive, nil).Stats.Energy
+	opt := recordMNIST(t, OursMDS, nil).Stats.Energy
+	if opt <= 0 || naive <= 0 {
+		t.Fatalf("energies: naive=%v opt=%v", naive, opt)
+	}
+	if float64(opt) > 0.4*float64(naive) {
+		t.Fatalf("OursMDS energy %v not well below naive %v (paper: 84-99%% less)", opt, naive)
+	}
+}
+
+func TestNoGuardViolationsInHealthyRuns(t *testing.T) {
+	// The §5 continuous-validation safety net is armed between every
+	// cloud→client dump and the job's completion; a correct GPU stack
+	// never trips it.
+	for _, v := range []Variant{OursM, OursMDS} {
+		res := recordMNIST(t, v, nil)
+		if res.Stats.GuardViolations != 0 {
+			t.Fatalf("%v: %d guard violations in a healthy run", v, res.Stats.GuardViolations)
+		}
+	}
+}
+
+func TestRecordSurvivesPoorNetwork(t *testing.T) {
+	// §3.1 limitation: poor networks slow recording down but do not break
+	// it. Jitter and 1% loss with retransmission must still yield a
+	// complete, verifiable recording — just slower than clean cellular.
+	poor, err := Run(Config{
+		Variant: OursMDS, Model: mlfw.MNIST(), SKU: mali.G71MP8,
+		Network: netsim.PoorCellular, SessionKey: testKey,
+		ClientSeed: 42, InjectMispredictionAt: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(Config{
+		Variant: OursMDS, Model: mlfw.MNIST(), SKU: mali.G71MP8,
+		Network: netsim.Cellular, SessionKey: testKey,
+		ClientSeed: 42, InjectMispredictionAt: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poor.Stats.Jobs != 23 {
+		t.Fatalf("poor-network run incomplete: %d jobs", poor.Stats.Jobs)
+	}
+	if poor.Stats.Link.Retransmits == 0 {
+		t.Fatal("no retransmits on a 1%-loss link")
+	}
+	if poor.Stats.RecordingDelay <= clean.Stats.RecordingDelay {
+		t.Fatalf("poor network (%v) not slower than clean cellular (%v)",
+			poor.Stats.RecordingDelay, clean.Stats.RecordingDelay)
+	}
+	if _, err := trace.Verify(poor.Signed, testKey); err != nil {
+		t.Fatalf("poor-network recording does not verify: %v", err)
+	}
+}
+
+func TestRecordAllCatalogSKUs(t *testing.T) {
+	// Every SKU the driver's product table claims to support must record
+	// end to end — the single-driver-many-SKUs property of §3.1.
+	for compatible, sku := range mali.Catalog {
+		sku := sku
+		t.Run(compatible, func(t *testing.T) {
+			res, err := Run(Config{
+				Variant: OursMDS, Model: mlfw.MNIST(), SKU: sku,
+				Network: netsim.WiFi, SessionKey: testKey,
+				ClientSeed: 9, InjectMispredictionAt: -1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Recording.ProductID != sku.ProductID {
+				t.Fatalf("recording pinned to %#x, want %#x",
+					res.Recording.ProductID, sku.ProductID)
+			}
+		})
+	}
+}
+
+func TestRecordingDeterministic(t *testing.T) {
+	// Two record runs with identical seeds and configuration must produce
+	// byte-identical recordings — determinism is what makes GR replay
+	// sound (§2.3) and keeps diag comparisons meaningful.
+	run := func() []byte {
+		res, err := Run(Config{
+			Variant: OursMDS, Model: mlfw.MNIST(), SKU: mali.G71MP8,
+			Network: netsim.WiFi, SessionKey: testKey,
+			ClientSeed: 1234, InjectMispredictionAt: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Signed.Payload
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("payload lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("recordings diverge at byte %d", i)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package record
+
+import (
+	"fmt"
+
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/kbase"
+	"gpurelay/internal/mlfw"
+)
+
+// syncer implements the §5 memory-synchronization policies.
+//
+// Naive ships, raw and uncompressed, every region the CPU side has touched
+// (on the first sync that is the entire workload footprint, zero-filled
+// program data included) before each job, and the job's output buffer after
+// each job. OursM/MD/MDS ship only GPU metastate — command streams, shader
+// binaries, job descriptors, and page-table pages — as range-coded deltas
+// against the previous synchronization point.
+type syncer struct {
+	metaOnly bool
+	cloud    *gpumem.Pool
+	client   *gpumem.Pool
+	ctx      *kbase.Context
+	rt       *mlfw.Runtime
+
+	firstDone bool
+	prevOutFP string
+	prevOut   *gpumem.Snapshot
+	prevInFP  string
+	prevIn    *gpumem.Snapshot
+	bytesOut  int64
+	bytesIn   int64
+}
+
+// regions returns the current synchronization region list: the context's
+// regions (minus the root-only page-table placeholder) plus one pseudo-region
+// per live page-table page.
+func (s *syncer) regions() []*gpumem.Region {
+	var out []*gpumem.Region
+	for _, r := range s.ctx.Regions() {
+		if r.Kind == gpumem.KindPageTable {
+			continue // replaced by per-page entries below
+		}
+		out = append(out, r)
+	}
+	for _, pa := range s.ctx.PageTable().Pages() {
+		out = append(out, &gpumem.Region{
+			Name: fmt.Sprintf("pt@%x", pa), Kind: gpumem.KindPageTable,
+			PA: pa, Size: gpumem.PageSize,
+			Flags: gpumem.DefaultFlags(gpumem.KindPageTable),
+		})
+	}
+	return out
+}
+
+func fingerprint(regions []*gpumem.Region) string {
+	fp := ""
+	for _, r := range regions {
+		fp += fmt.Sprintf("%s:%x:%x;", r.Name, r.PA, r.Size)
+	}
+	return fp
+}
+
+// beforeJob produces the cloud→client dump for job j and applies it to the
+// client pool, returning the wire bytes (for traffic accounting and the
+// recording log).
+func (s *syncer) beforeJob(j int) ([]byte, error) {
+	if s.metaOnly {
+		return s.metaDump(j)
+	}
+	return s.naiveBefore(j)
+}
+
+// metaDump captures cloud-side metastate as a delta against the previous
+// sync point.
+func (s *syncer) metaDump(j int) ([]byte, error) {
+	regions := s.regions()
+	fp := fingerprint(regions)
+	snap := gpumem.Capture(s.cloud, regions, gpumem.MetastateOnly)
+	prev := s.prevOut
+	if fp != s.prevOutFP {
+		prev = nil // structural change (new allocations): full dump
+	}
+	wire, err := snap.Encode(prev, gpumem.EncodeOptions{Delta: prev != nil, Compress: true})
+	if err != nil {
+		return nil, fmt.Errorf("record: encoding meta dump for job %d: %w", j, err)
+	}
+	decoded, err := gpumem.Decode(wire, prev)
+	if err != nil {
+		return nil, fmt.Errorf("record: self-check decode: %w", err)
+	}
+	decoded.Restore(s.client)
+	s.prevOut, s.prevOutFP = snap.Clone(), fp
+	s.bytesOut += int64(len(wire))
+	// Continuous validation (§5): the dumped metastate is now the
+	// client's to use; until the job completes, any spurious cloud-side
+	// access to it is trapped and reported.
+	for _, r := range regions {
+		if r.Kind.Metastate() {
+			s.cloud.Guard(r.PA, r.Size, r.Name)
+		}
+	}
+	return wire, nil
+}
+
+// naiveBefore ships raw dirty memory: everything on the first sync
+// (zero-filled program data included), afterwards the job's command-stream
+// slice, the job descriptors, and the page tables.
+func (s *syncer) naiveBefore(j int) ([]byte, error) {
+	var snap *gpumem.Snapshot
+	if !s.firstDone {
+		s.firstDone = true
+		snap = gpumem.Capture(s.cloud, s.regions(), nil)
+	} else {
+		pa, size := s.rt.CmdSlice(j)
+		regions := []*gpumem.Region{{
+			Name: fmt.Sprintf("cmd-slice-%d", j), Kind: gpumem.KindCommands,
+			PA: pa, Size: size,
+		}}
+		for _, r := range s.regions() {
+			if r.Kind == gpumem.KindJobDesc || r.Kind == gpumem.KindPageTable {
+				regions = append(regions, r)
+			}
+		}
+		snap = gpumem.Capture(s.cloud, regions, nil)
+	}
+	wire, err := snap.Encode(nil, gpumem.EncodeOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("record: encoding naive dump for job %d: %w", j, err)
+	}
+	snap.Restore(s.client)
+	s.bytesOut += int64(len(wire))
+	return wire, nil
+}
+
+// afterJob produces the client→cloud dump once job j's completion interrupt
+// fired, applies it to the cloud pool, and returns the wire bytes.
+func (s *syncer) afterJob(j int) ([]byte, error) {
+	// The job is done: the client's view flows back, so the cloud-side
+	// guards drop before the incoming dump is applied.
+	s.cloud.UnguardAll()
+	if s.metaOnly {
+		regions := s.regions()
+		fp := fingerprint(regions)
+		snap := gpumem.Capture(s.client, regions, gpumem.MetastateOnly)
+		prev := s.prevIn
+		if fp != s.prevInFP {
+			prev = nil
+		}
+		wire, err := snap.Encode(prev, gpumem.EncodeOptions{Delta: prev != nil, Compress: true})
+		if err != nil {
+			return nil, fmt.Errorf("record: encoding client meta dump after job %d: %w", j, err)
+		}
+		decoded, err := gpumem.Decode(wire, prev)
+		if err != nil {
+			return nil, err
+		}
+		decoded.Restore(s.cloud)
+		s.prevIn, s.prevInFP = snap.Clone(), fp
+		s.bytesIn += int64(len(wire))
+		return wire, nil
+	}
+	// Naive: ship the job's destination buffer raw, whatever its size.
+	k := &s.rt.Model().Kernels[j]
+	dst := s.rt.Region(k.Dst)
+	snap := gpumem.Capture(s.client, []*gpumem.Region{dst}, nil)
+	wire, err := snap.Encode(nil, gpumem.EncodeOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("record: encoding naive output dump after job %d: %w", j, err)
+	}
+	snap.Restore(s.cloud)
+	s.bytesIn += int64(len(wire))
+	return wire, nil
+}

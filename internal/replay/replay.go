@@ -1,0 +1,329 @@
+// Package replay implements GR-T's in-TEE replayer (§2.3, §3.2): a few-KSLoC
+// component that reproduces recorded GPU computation on new input without
+// any GPU stack. It verifies the recording's signature, pins it to the exact
+// GPU SKU, isolates the GPU for the session, feeds the recorded CPU stimuli
+// (register writes, memory snapshots) to the hardware, consumes the GPU's
+// responses (register reads, polls, interrupts) while checking them against
+// the recording, injects fresh program data, and harvests the output.
+package replay
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/tee"
+	"gpurelay/internal/timesim"
+	"gpurelay/internal/trace"
+)
+
+// Per-event replayer overheads: a TEE-resident replayer pays a secure-world
+// MMIO access per register event and memory bandwidth for restoring dumps.
+const (
+	replayRegOpTime  = 2 * time.Microsecond
+	replayPollStep   = time.Microsecond
+	restorePerByte   = 1 * time.Nanosecond // ~1 GB/s secure-memory restore
+	irqWaitSliceTime = time.Microsecond
+	maxIRQWaitSlices = 10000
+)
+
+// nondetRegs lists registers whose values legitimately differ between record
+// and replay (§7.3: LATEST_FLUSH_ID "reflects the GPU cache state and can be
+// nondeterministic"). Reads of these are performed but not verified.
+var nondetRegs = map[mali.Reg]bool{
+	mali.LATEST_FLUSH_ID: true,
+}
+
+// Mismatch describes a divergence between the recording and the hardware.
+type Mismatch struct {
+	EventIndex int
+	Reg        mali.Reg
+	Recorded   uint32
+	Observed   uint32
+}
+
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("replay: event %d: %s read %#x, recording expects %#x",
+		m.EventIndex, mali.RegName(m.Reg), m.Observed, m.Recorded)
+}
+
+// Result summarizes a replay run.
+type Result struct {
+	// Delay is the end-to-end replay time (Table 2).
+	Delay time.Duration
+	// Events is the number of log events replayed.
+	Events int
+	// VerifiedReads counts reads checked against the recording.
+	VerifiedReads int
+	// SkippedNondet counts reads excused by the nondeterminism whitelist.
+	SkippedNondet int
+	// GPUBusy is the GPU's busy time during the replay, for energy.
+	GPUBusy time.Duration
+	// CPUTime is the replayer's own processing time.
+	CPUTime time.Duration
+}
+
+// Replayer replays one verified recording on the local GPU.
+type Replayer struct {
+	rec   *trace.Recording
+	gpu   *mali.GPU
+	ctrl  *tee.Controller
+	clock *timesim.Clock
+
+	// inject holds program data to (re)apply after every restored dump:
+	// fresh input, and the model parameters that never left the TEE.
+	inject map[string][]byte
+
+	prevOut *gpumem.Snapshot
+	cpu     time.Duration
+
+	// Strict makes any read mismatch fatal; otherwise mismatches are
+	// collected.
+	Strict     bool
+	Mismatches []Mismatch
+}
+
+// New verifies a signed recording against the session key and binds it to
+// the local GPU. It refuses recordings for a different GPU SKU — the
+// early-binding property of §2.4.
+func New(signed *trace.Signed, key []byte, gpu *mali.GPU, ctrl *tee.Controller, clock *timesim.Clock) (*Replayer, error) {
+	rec, err := trace.Verify(signed, key)
+	if err != nil {
+		return nil, err
+	}
+	if rec.ProductID != gpu.SKU().ProductID {
+		return nil, fmt.Errorf("replay: recording is for GPU product %#x, this device is %#x",
+			rec.ProductID, gpu.SKU().ProductID)
+	}
+	if gpu.Pool().Size() < rec.PoolSize {
+		return nil, fmt.Errorf("replay: recording needs %d MB of secure memory, have %d MB",
+			rec.PoolSize>>20, gpu.Pool().Size()>>20)
+	}
+	return &Replayer{
+		rec: rec, gpu: gpu, ctrl: ctrl, clock: clock,
+		inject: map[string][]byte{},
+		Strict: true,
+	}, nil
+}
+
+// NewChained builds a replayer from a sequence of independently signed
+// recording segments (per-layer recordings, Figure 2 of the paper). Each
+// segment is verified on its own; all must target the same GPU product and
+// share the region map. The segments replay back-to-back: intermediate
+// activations persist in shared memory across segment boundaries, exactly as
+// on one device.
+func NewChained(segs []*trace.Signed, key []byte, gpu *mali.GPU, ctrl *tee.Controller, clock *timesim.Clock) (*Replayer, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("replay: empty segment chain")
+	}
+	var merged *trace.Recording
+	for i, s := range segs {
+		rec, err := trace.Verify(s, key)
+		if err != nil {
+			return nil, fmt.Errorf("replay: segment %d: %w", i, err)
+		}
+		if merged == nil {
+			merged = &trace.Recording{
+				Workload:  rec.Workload,
+				ProductID: rec.ProductID,
+				PoolSize:  rec.PoolSize,
+				Regions:   rec.Regions,
+			}
+		} else if rec.ProductID != merged.ProductID {
+			return nil, fmt.Errorf("replay: segment %d targets product %#x, chain is %#x",
+				i, rec.ProductID, merged.ProductID)
+		}
+		merged.Events = append(merged.Events, rec.Events...)
+	}
+	if merged.ProductID != gpu.SKU().ProductID {
+		return nil, fmt.Errorf("replay: chain is for GPU product %#x, this device is %#x",
+			merged.ProductID, gpu.SKU().ProductID)
+	}
+	if gpu.Pool().Size() < merged.PoolSize {
+		return nil, fmt.Errorf("replay: chain needs %d MB of secure memory", merged.PoolSize>>20)
+	}
+	return &Replayer{
+		rec: merged, gpu: gpu, ctrl: ctrl, clock: clock,
+		inject: map[string][]byte{},
+		Strict: true,
+	}, nil
+}
+
+// Recording exposes the verified recording.
+func (r *Replayer) Recording() *trace.Recording { return r.rec }
+
+// SetRegionData stages raw program data for a named region (model
+// parameters, auxiliary inputs). It is injected before the first job and
+// re-applied after every restored memory dump.
+func (r *Replayer) SetRegionData(name string, data []byte) error {
+	reg, ok := r.rec.FindRegion(name)
+	if !ok {
+		return fmt.Errorf("replay: recording has no region %q", name)
+	}
+	if uint64(len(data)) > reg.Size {
+		return fmt.Errorf("replay: %d bytes exceed region %q size %d", len(data), name, reg.Size)
+	}
+	r.inject[name] = data
+	return nil
+}
+
+// SetInputF32 stages float32 input into the recording's (single) input
+// region.
+func (r *Replayer) SetInputF32(data []float32) error {
+	ins := r.rec.RegionsOfKind(gpumem.KindInput)
+	if len(ins) != 1 {
+		return fmt.Errorf("replay: recording has %d input regions", len(ins))
+	}
+	return r.SetRegionData(ins[0].Name, f32Bytes(data))
+}
+
+// SetWeightsF32 stages float32 parameters into a named weights region.
+func (r *Replayer) SetWeightsF32(name string, data []float32) error {
+	return r.SetRegionData(name, f32Bytes(data))
+}
+
+func f32Bytes(data []float32) []byte {
+	raw := make([]byte, len(data)*4)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	return raw
+}
+
+// OutputF32 reads the recording's output region after a replay.
+func (r *Replayer) OutputF32() ([]float32, error) {
+	outs := r.rec.RegionsOfKind(gpumem.KindOutput)
+	if len(outs) != 1 {
+		return nil, fmt.Errorf("replay: recording has %d output regions", len(outs))
+	}
+	raw := make([]byte, outs[0].Size)
+	r.gpu.Pool().Read(outs[0].PA, raw)
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+func (r *Replayer) spend(d time.Duration) {
+	r.cpu += d
+	r.clock.Advance(d)
+}
+
+// applyInjections writes the staged program data into shared memory.
+func (r *Replayer) applyInjections() {
+	for name, data := range r.inject {
+		reg, _ := r.rec.FindRegion(name)
+		r.gpu.Pool().Write(reg.PA, data)
+		r.spend(time.Duration(len(data)) * restorePerByte)
+	}
+}
+
+// Run replays the recording end to end. The GPU is claimed by the secure
+// world for the whole session and scrubbed on both ends (§3.2).
+func (r *Replayer) Run() (Result, error) {
+	start := r.clock.Now()
+	busyStart := r.gpu.Stats().Busy
+	r.ctrl.ClaimForSecure()
+	defer r.ctrl.ReleaseToNormal()
+	r.gpu.HardReset()
+	r.prevOut = nil
+	r.Mismatches = nil
+	r.cpu = 0
+	r.applyInjections()
+
+	var res Result
+	for i := range r.rec.Events {
+		e := &r.rec.Events[i]
+		if err := r.step(i, e, &res); err != nil {
+			return res, err
+		}
+		res.Events++
+	}
+	res.Delay = r.clock.Now() - start
+	res.GPUBusy = r.gpu.Stats().Busy - busyStart
+	res.CPUTime = r.cpu
+	return res, nil
+}
+
+func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
+	switch e.Kind {
+	case trace.KWrite:
+		r.spend(replayRegOpTime)
+		r.gpu.WriteReg(e.Reg, e.Value)
+	case trace.KRead:
+		r.spend(replayRegOpTime)
+		v := r.gpu.ReadReg(e.Reg)
+		if nondetRegs[e.Reg] {
+			res.SkippedNondet++
+			return nil
+		}
+		res.VerifiedReads++
+		if v != e.Value {
+			m := Mismatch{EventIndex: i, Reg: e.Reg, Recorded: e.Value, Observed: v}
+			if r.Strict {
+				return &m
+			}
+			r.Mismatches = append(r.Mismatches, m)
+		}
+	case trace.KPoll:
+		done := false
+		for it := uint32(0); it < e.MaxIters; it++ {
+			r.spend(replayPollStep)
+			v := r.gpu.ReadReg(e.Reg)
+			if v&e.DoneMask == e.DoneVal {
+				done = true
+				break
+			}
+		}
+		if !done {
+			m := Mismatch{EventIndex: i, Reg: e.Reg, Recorded: e.DoneVal}
+			if r.Strict {
+				return fmt.Errorf("replay: event %d: poll of %s never satisfied", i, mali.RegName(e.Reg))
+			}
+			r.Mismatches = append(r.Mismatches, m)
+		}
+	case trace.KIRQ:
+		// Wait for the hardware to raise at least the recorded lines.
+		for slice := 0; ; slice++ {
+			job, gpu, mmu := r.gpu.PendingIRQ()
+			if job&e.IRQJob == e.IRQJob && gpu&e.IRQGPU == e.IRQGPU && mmu&e.IRQMMU == e.IRQMMU {
+				break
+			}
+			if slice >= maxIRQWaitSlices {
+				return fmt.Errorf("replay: event %d: interrupt never arrived (want job=%#x gpu=%#x mmu=%#x)",
+					i, e.IRQJob, e.IRQGPU, e.IRQMMU)
+			}
+			r.spend(irqWaitSliceTime)
+		}
+	case trace.KDumpToClient:
+		// Non-delta dumps (first sync, or a structural change at record
+		// time) decode standalone; delta dumps chain off the previous
+		// restored snapshot, mirroring the record-side encoder.
+		snap, err := gpumem.Decode(e.Dump, r.prevOut)
+		if err != nil {
+			return fmt.Errorf("replay: event %d: decoding memory dump: %w", i, err)
+		}
+		snap.Restore(r.gpu.Pool())
+		r.prevOut = snap
+		r.spend(time.Duration(len(e.Dump)) * restorePerByte)
+		// Meta-only dumps never touch program data; only a naive
+		// recording's full dumps (zero-filled program data) can clobber
+		// injected input/parameters and force re-injection.
+		for _, reg := range snap.Regions {
+			if !reg.Kind.Metastate() {
+				r.applyInjections()
+				break
+			}
+		}
+	case trace.KDumpToCloud:
+		// Client→cloud synchronization has no replay-side effect: the
+		// GPU's real results already live in local memory.
+	default:
+		return fmt.Errorf("replay: event %d has unknown kind %v", i, e.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package shim implements GR-T's two recording shims (§3.2):
+//
+//   - GPUShim runs on the client inside the TEE: it owns the physical GPU
+//     during recording, executes batched register operations on the cloud's
+//     behalf, runs offloaded polling loops (§4.3), reports interrupts, and
+//     exchanges memory dumps at job boundaries.
+//
+//   - DriverShim runs under the GPU driver in the cloud VM: it implements
+//     the driver's Bus/Kernel interfaces and hides the network latency to
+//     the client GPU with register-access deferral (§4.1), speculation
+//     (§4.2), and polling-loop offloading (§4.3).
+//
+// The two communicate over a netsim.Link; every blocking round trip advances
+// the virtual clock, which is what the Figure 7 recording delays measure.
+package shim
+
+import (
+	"fmt"
+	"time"
+
+	"gpurelay/internal/kbase"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/timesim"
+	"gpurelay/internal/val"
+)
+
+// OpKind discriminates batched register operations.
+type OpKind uint8
+
+// Batched operation kinds.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpPoll
+)
+
+// RegOp is one operation in a commit batch. Write values may be symbolic
+// expressions over reads earlier in the same batch; the client resolves them
+// in order, exactly as the paper's DriverShim encodes symbols into queued
+// writes (Listing 1(a)).
+type RegOp struct {
+	Kind OpKind
+	Fn   string
+	Reg  mali.Reg
+	// Sym is the symbol bound to a read's (future) value.
+	Sym *val.Symbol
+	// WriteVal is the (possibly symbolic) value of a write.
+	WriteVal val.Value
+	// Polling predicate (§4.3): loop until (v & DoneMask) == DoneVal.
+	DoneMask, DoneVal uint32
+	MaxIters          int
+}
+
+// OpResult is the client's answer for one operation.
+type OpResult struct {
+	// Value is the read value, the concrete written value, or the final
+	// polled value.
+	Value uint32
+	// Iters and TimedOut describe an offloaded polling loop's execution.
+	Iters    int
+	TimedOut bool
+}
+
+// wireSizes approximates the serialized message sizes, matching the paper's
+// observation that commit payloads are small (200-400 bytes).
+const (
+	opWireBytes      = 16
+	commitHdrBytes   = 48
+	respHdrBytes     = 32
+	respPerReadBytes = 8
+	irqReqBytes      = 32
+	irqRespBytes     = 32
+	clientRegOpTime  = 500 * time.Nanosecond
+	clientPollStep   = time.Microsecond
+)
+
+// GPUShim is the client-side executor. It is deliberately thin — the TEE
+// module the paper sizes at ~1 KSLoC — because everything clever lives on
+// the cloud side.
+type GPUShim struct {
+	GPU   *mali.GPU
+	Clock *timesim.Clock
+	// OnIRQDump, when set, captures the client→cloud memory dump that
+	// rides along with interrupt notifications (§5). Installed by the
+	// recorder.
+	OnIRQDump func() []byte
+	// locked mirrors the TEE's exclusive hold on the GPU; Execute panics
+	// if the shim is used while unlocked, catching isolation bugs.
+	locked bool
+	// cpuTime accumulates client-side processing time, for the Figure 9
+	// energy model.
+	cpuTime time.Duration
+}
+
+// CPUTime returns the client-side CPU time spent executing batches.
+func (s *GPUShim) CPUTime() time.Duration { return s.cpuTime }
+
+func (s *GPUShim) spend(d time.Duration) {
+	s.cpuTime += d
+	s.Clock.Advance(d)
+}
+
+// NewGPUShim wraps the client GPU.
+func NewGPUShim(g *mali.GPU, clock *timesim.Clock) *GPUShim {
+	return &GPUShim{GPU: g, Clock: clock}
+}
+
+// SetLocked marks whether the TEE holds the GPU exclusively.
+func (s *GPUShim) SetLocked(v bool) { s.locked = v }
+
+// Execute applies a batch of operations to the GPU in exact program order,
+// resolving intra-batch symbolic write values as reads produce results.
+func (s *GPUShim) Execute(ops []RegOp) []OpResult {
+	if !s.locked {
+		panic("shim: GPUShim.Execute while GPU not TEE-locked")
+	}
+	env := val.MapEnv{}
+	results := make([]OpResult, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpRead:
+			s.spend(clientRegOpTime)
+			v := s.GPU.ReadReg(op.Reg)
+			results[i] = OpResult{Value: v}
+			if op.Sym != nil {
+				env[op.Sym.ID] = v
+			}
+		case OpWrite:
+			s.spend(clientRegOpTime)
+			resolved, ok := op.WriteVal.Resolve(env)
+			if !ok {
+				panic(fmt.Sprintf("shim: write to %s references unresolved symbol %s",
+					mali.RegName(op.Reg), op.WriteVal))
+			}
+			v := resolved.MustConcrete()
+			s.GPU.WriteReg(op.Reg, v)
+			results[i] = OpResult{Value: v}
+		case OpPoll:
+			r := OpResult{TimedOut: true}
+			for it := 0; it < op.MaxIters; it++ {
+				s.spend(clientPollStep)
+				v := s.GPU.ReadReg(op.Reg)
+				r.Value, r.Iters = v, it+1
+				if v&op.DoneMask == op.DoneVal {
+					r.TimedOut = false
+					break
+				}
+			}
+			results[i] = r
+			if op.Sym != nil {
+				env[op.Sym.ID] = r.Value
+			}
+		default:
+			panic(fmt.Sprintf("shim: bad op kind %d", op.Kind))
+		}
+	}
+	return results
+}
+
+// IRQ snapshots the pending interrupt lines.
+func (s *GPUShim) IRQ() kbase.IRQState {
+	job, gpu, mmu := s.GPU.PendingIRQ()
+	return kbase.IRQState{Job: job, GPU: gpu, MMU: mmu}
+}

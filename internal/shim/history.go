@@ -1,0 +1,118 @@
+package shim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Outcome is what the GPU answered for one commit: read values in order,
+// plus the predicate result and final value of each offloaded polling loop.
+// Iteration counts are deliberately excluded — the paper speculates on the
+// polling predicate, not the count, because counts track nondeterministic
+// GPU timing (§4.3).
+type Outcome struct {
+	Reads     []uint32
+	PollDone  []bool
+	PollFinal []uint32
+	// PollIters records loop iteration counts for statistics; it is NOT
+	// part of outcome equality (counts track GPU timing and may vary
+	// without invalidating a prediction).
+	PollIters []int
+}
+
+// Equal reports whether two outcomes match, the speculation-validation test.
+func (o Outcome) Equal(p Outcome) bool {
+	if len(o.Reads) != len(p.Reads) || len(o.PollDone) != len(p.PollDone) ||
+		len(o.PollFinal) != len(p.PollFinal) {
+		return false
+	}
+	for i := range o.Reads {
+		if o.Reads[i] != p.Reads[i] {
+			return false
+		}
+	}
+	for i := range o.PollDone {
+		if o.PollDone[i] != p.PollDone[i] || o.PollFinal[i] != p.PollFinal[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CommitSignature identifies "the same register access sequence at the same
+// driver source location" (§4.2): the history key. Writes contribute their
+// concrete values when known; symbolic writes contribute their expression
+// structure.
+func CommitSignature(ops []RegOp) string {
+	var b strings.Builder
+	if len(ops) > 0 {
+		b.WriteString(ops[0].Fn)
+	}
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpRead:
+			fmt.Fprintf(&b, "|r%x", uint32(op.Reg))
+		case OpWrite:
+			if c, ok := op.WriteVal.Concrete(); ok {
+				fmt.Fprintf(&b, "|w%x=%x", uint32(op.Reg), c)
+			} else {
+				// Symbolic writes render canonically (symbols by
+				// origin, not unique ID) so recurring segments with
+				// embedded symbols still match across runs.
+				fmt.Fprintf(&b, "|w%x=%s", uint32(op.Reg), op.WriteVal.CanonicalString())
+			}
+		case OpPoll:
+			fmt.Fprintf(&b, "|p%x:%x:%x:%d", uint32(op.Reg), op.DoneMask, op.DoneVal, op.MaxIters)
+		}
+	}
+	return b.String()
+}
+
+// History is the commit history driving speculation. The paper retains it
+// across workloads on the same GPU stack instance ("recurring segments ...
+// across workloads", §4.2; the evaluation reuses history across the six
+// benchmarks, §7.3).
+type History struct {
+	// K is the confidence threshold: predictions require the K most
+	// recent outcomes for a signature to be identical. The paper uses 3.
+	K int
+	m map[string][]Outcome
+}
+
+// NewHistory creates a history with confidence threshold k.
+func NewHistory(k int) *History {
+	if k < 1 {
+		panic(fmt.Sprintf("shim: history threshold %d < 1", k))
+	}
+	return &History{K: k, m: make(map[string][]Outcome)}
+}
+
+// Predict returns the predicted outcome for a commit signature if the
+// speculation criteria hold: at least K recorded outcomes, the most recent K
+// of which are identical.
+func (h *History) Predict(sig string) (Outcome, bool) {
+	hist := h.m[sig]
+	if len(hist) < h.K {
+		return Outcome{}, false
+	}
+	last := hist[len(hist)-1]
+	for i := len(hist) - h.K; i < len(hist); i++ {
+		if !hist[i].Equal(last) {
+			return Outcome{}, false
+		}
+	}
+	return last, true
+}
+
+// Record appends an observed outcome. Only a bounded window is retained.
+func (h *History) Record(sig string, o Outcome) {
+	hist := append(h.m[sig], o)
+	if len(hist) > 2*h.K+4 {
+		hist = hist[len(hist)-(2*h.K+4):]
+	}
+	h.m[sig] = hist
+}
+
+// Signatures returns the number of distinct commit signatures seen.
+func (h *History) Signatures() int { return len(h.m) }

@@ -1,0 +1,91 @@
+package shim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpurelay/internal/mali"
+	"gpurelay/internal/val"
+)
+
+func TestHistoryWindowBounded(t *testing.T) {
+	h := NewHistory(3)
+	for i := 0; i < 1000; i++ {
+		h.Record("sig", Outcome{Reads: []uint32{uint32(i)}})
+	}
+	if n := len(h.m["sig"]); n > 2*3+4 {
+		t.Fatalf("history window grew to %d", n)
+	}
+}
+
+func TestHistoryBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 accepted")
+		}
+	}()
+	NewHistory(0)
+}
+
+func TestOutcomeEqualEdgeCases(t *testing.T) {
+	a := Outcome{Reads: []uint32{1, 2}}
+	if a.Equal(Outcome{Reads: []uint32{1}}) {
+		t.Fatal("length mismatch equal")
+	}
+	if a.Equal(Outcome{Reads: []uint32{1, 3}}) {
+		t.Fatal("value mismatch equal")
+	}
+	if !a.Equal(Outcome{Reads: []uint32{1, 2}}) {
+		t.Fatal("identical unequal")
+	}
+	p := Outcome{PollDone: []bool{true}, PollFinal: []uint32{1}}
+	if p.Equal(Outcome{PollDone: []bool{false}, PollFinal: []uint32{1}}) {
+		t.Fatal("poll predicate mismatch equal")
+	}
+	if p.Equal(Outcome{PollDone: []bool{true}, PollFinal: []uint32{2}}) {
+		t.Fatal("poll final-value mismatch equal")
+	}
+}
+
+// Property: the commit signature is a pure function of the op structure —
+// stable across re-creations with fresh symbols (the cross-run matching
+// §4.2 requires) — and sensitive to every structural component.
+func TestPropertySignatureStableAcrossSymbolIdentity(t *testing.T) {
+	f := func(reg uint16, writeVal uint32, mask uint32) bool {
+		build := func() []RegOp {
+			sym := val.NewSymbol(mali.RegName(mali.Reg(reg)))
+			return []RegOp{
+				{Kind: OpRead, Fn: "fn", Reg: mali.Reg(reg), Sym: sym},
+				{Kind: OpWrite, Fn: "fn", Reg: mali.Reg(reg),
+					WriteVal: val.Sym(sym).Or(val.Const(writeVal))},
+				{Kind: OpPoll, Fn: "fn", Reg: mali.Reg(reg),
+					DoneMask: mask, DoneVal: 0, MaxIters: 64},
+			}
+		}
+		// Two independent constructions allocate different symbol IDs
+		// but must produce identical signatures.
+		return CommitSignature(build()) == CommitSignature(build())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySignatureSensitivity(t *testing.T) {
+	base := func() []RegOp {
+		return []RegOp{{Kind: OpRead, Fn: "fn", Reg: mali.GPU_ID}}
+	}
+	mutants := [][]RegOp{
+		{{Kind: OpRead, Fn: "other_fn", Reg: mali.GPU_ID}},
+		{{Kind: OpRead, Fn: "fn", Reg: mali.GPU_STATUS}},
+		{{Kind: OpWrite, Fn: "fn", Reg: mali.GPU_ID, WriteVal: val.Const(0)}},
+		{{Kind: OpPoll, Fn: "fn", Reg: mali.GPU_ID, DoneMask: 1, MaxIters: 8}},
+		{{Kind: OpRead, Fn: "fn", Reg: mali.GPU_ID}, {Kind: OpRead, Fn: "fn", Reg: mali.GPU_ID}},
+	}
+	ref := CommitSignature(base())
+	for i, m := range mutants {
+		if CommitSignature(m) == ref {
+			t.Fatalf("mutant %d shares the base signature", i)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package ta packages the GR-T replayer as a GlobalPlatform-style trusted
+// application, the way the paper's prototype exposes GPUShim/replay under
+// OP-TEE (§6: "Following the TrustZone convention, GPUShim communicates ...
+// using the GlobalPlatform APIs implemented by OPTEE").
+//
+// The normal-world client application opens a TA session and drives the
+// replayer through numbered commands with memref/value parameters, exactly
+// the GlobalPlatform TEE Client API shape. All verification (recording
+// signatures, SKU binding) happens inside the TA; the untrusted caller only
+// moves opaque buffers.
+package ta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"gpurelay/internal/mali"
+	"gpurelay/internal/replay"
+	"gpurelay/internal/tee"
+	"gpurelay/internal/timesim"
+	"gpurelay/internal/trace"
+)
+
+// UUID identifies the GR-T replayer TA, in the GlobalPlatform convention.
+const UUID = "8aaaf200-2450-11e4-abe2-0002a5d5c51b"
+
+// Result mirrors the GlobalPlatform TEE_Result codes the TA returns.
+type Result uint32
+
+// GlobalPlatform result codes (subset).
+const (
+	Success          Result = 0x00000000
+	ErrBadParameters Result = 0xFFFF0006
+	ErrBadState      Result = 0xFFFF0007
+	ErrItemNotFound  Result = 0xFFFF0008
+	ErrSecurity      Result = 0xFFFF000F
+	ErrOutOfMemory   Result = 0xFFFF000C
+	ErrGeneric       Result = 0xFFFF0000
+)
+
+func (r Result) String() string {
+	switch r {
+	case Success:
+		return "TEE_SUCCESS"
+	case ErrBadParameters:
+		return "TEE_ERROR_BAD_PARAMETERS"
+	case ErrBadState:
+		return "TEE_ERROR_BAD_STATE"
+	case ErrItemNotFound:
+		return "TEE_ERROR_ITEM_NOT_FOUND"
+	case ErrSecurity:
+		return "TEE_ERROR_SECURITY"
+	case ErrOutOfMemory:
+		return "TEE_ERROR_OUT_OF_MEMORY"
+	}
+	return fmt.Sprintf("TEE_ERROR_%#x", uint32(r))
+}
+
+// Command numbers the TA's invocable operations.
+type Command uint32
+
+// TA commands.
+const (
+	CmdLoadRecording Command = iota + 1
+	CmdSetInput
+	CmdSetWeights
+	CmdRun
+	CmdGetOutput
+	CmdGetInfo
+)
+
+// Params is the GlobalPlatform parameter block: one input memref, one output
+// memref, one value, and one short string (standing in for a second memref
+// carrying a region name).
+type Params struct {
+	// Buf is the input memref.
+	Buf []byte
+	// Name selects a region for CmdSetWeights.
+	Name string
+	// Out is filled by output commands.
+	Out []byte
+	// Val carries a scalar result (event counts, replay µs).
+	Val uint32
+}
+
+// App is one installed instance of the replayer TA on a device.
+type App struct {
+	gpu   *mali.GPU
+	ctrl  *tee.Controller
+	clock *timesim.Clock
+	// key verifies recording signatures; provisioned during the attested
+	// cloud session and kept in TA secure storage.
+	key []byte
+
+	mu       sync.Mutex
+	sessions map[uint32]*session
+	nextID   uint32
+}
+
+type session struct {
+	rp *replay.Replayer
+}
+
+// NewApp installs the TA on a device.
+func NewApp(gpu *mali.GPU, ctrl *tee.Controller, clock *timesim.Clock, sessionKey []byte) *App {
+	return &App{
+		gpu: gpu, ctrl: ctrl, clock: clock,
+		key:      append([]byte(nil), sessionKey...),
+		sessions: make(map[uint32]*session),
+	}
+}
+
+// OpenSession creates a TA session, as TEEC_OpenSession does.
+func (a *App) OpenSession() (uint32, Result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextID++
+	a.sessions[a.nextID] = &session{}
+	return a.nextID, Success
+}
+
+// CloseSession tears a session down.
+func (a *App) CloseSession(id uint32) Result {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.sessions[id]; !ok {
+		return ErrItemNotFound
+	}
+	delete(a.sessions, id)
+	return Success
+}
+
+func (a *App) session(id uint32) (*session, Result) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, ok := a.sessions[id]
+	if !ok {
+		return nil, ErrItemNotFound
+	}
+	return s, Success
+}
+
+// Invoke executes one TA command, as TEEC_InvokeCommand does.
+func (a *App) Invoke(id uint32, cmd Command, p *Params) Result {
+	s, res := a.session(id)
+	if res != Success {
+		return res
+	}
+	if p == nil {
+		return ErrBadParameters
+	}
+	switch cmd {
+	case CmdLoadRecording:
+		return a.loadRecording(s, p)
+	case CmdSetInput:
+		return a.setInput(s, p)
+	case CmdSetWeights:
+		return a.setWeights(s, p)
+	case CmdRun:
+		return a.run(s, p)
+	case CmdGetOutput:
+		return a.getOutput(s, p)
+	case CmdGetInfo:
+		return a.getInfo(s, p)
+	}
+	return ErrBadParameters
+}
+
+// loadRecording parses a payload||mac buffer, verifies it, and binds the
+// replayer.
+func (a *App) loadRecording(s *session, p *Params) Result {
+	if len(p.Buf) < 36 {
+		return ErrBadParameters
+	}
+	signed := &trace.Signed{Payload: p.Buf[:len(p.Buf)-32]}
+	copy(signed.MAC[:], p.Buf[len(p.Buf)-32:])
+	rp, err := replay.New(signed, a.key, a.gpu, a.ctrl, a.clock)
+	if err != nil {
+		return ErrSecurity
+	}
+	s.rp = rp
+	return Success
+}
+
+func (a *App) setInput(s *session, p *Params) Result {
+	if s.rp == nil {
+		return ErrBadState
+	}
+	data, ok := bytesToF32(p.Buf)
+	if !ok {
+		return ErrBadParameters
+	}
+	if err := s.rp.SetInputF32(data); err != nil {
+		return ErrBadParameters
+	}
+	return Success
+}
+
+func (a *App) setWeights(s *session, p *Params) Result {
+	if s.rp == nil {
+		return ErrBadState
+	}
+	data, ok := bytesToF32(p.Buf)
+	if !ok {
+		return ErrBadParameters
+	}
+	if err := s.rp.SetWeightsF32(p.Name, data); err != nil {
+		return ErrItemNotFound
+	}
+	return Success
+}
+
+func (a *App) run(s *session, p *Params) Result {
+	if s.rp == nil {
+		return ErrBadState
+	}
+	res, err := s.rp.Run()
+	if err != nil {
+		return ErrGeneric
+	}
+	p.Val = uint32(res.Events)
+	return Success
+}
+
+func (a *App) getOutput(s *session, p *Params) Result {
+	if s.rp == nil {
+		return ErrBadState
+	}
+	out, err := s.rp.OutputF32()
+	if err != nil {
+		return ErrGeneric
+	}
+	p.Out = f32ToBytes(out)
+	return Success
+}
+
+// getInfo reports the loaded recording's workload and SKU binding.
+func (a *App) getInfo(s *session, p *Params) Result {
+	if s.rp == nil {
+		return ErrBadState
+	}
+	rec := s.rp.Recording()
+	p.Name = rec.Workload
+	p.Val = rec.ProductID
+	return Success
+}
+
+func bytesToF32(raw []byte) ([]float32, bool) {
+	if len(raw)%4 != 0 || len(raw) == 0 {
+		return nil, false
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, true
+}
+
+func f32ToBytes(data []float32) []byte {
+	raw := make([]byte, len(data)*4)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	return raw
+}

@@ -1,0 +1,149 @@
+package ta
+
+import (
+	"testing"
+
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/record"
+	"gpurelay/internal/tee"
+	"gpurelay/internal/timesim"
+)
+
+var testKey = []byte("ta-session-key-0123456789abcdef0")
+
+func recordBundle(t *testing.T) (bundle []byte, poolSize uint64) {
+	t.Helper()
+	res, err := record.Run(record.Config{
+		Variant: record.OursMDS, Model: mlfw.MNIST(), SKU: mali.G71MP8,
+		Network: netsim.WiFi, SessionKey: testKey,
+		ClientSeed: 5, InjectMispredictionAt: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle = append(append([]byte(nil), res.Signed.Payload...), res.Signed.MAC[:]...)
+	return bundle, res.Recording.PoolSize
+}
+
+func newApp(t *testing.T, poolSize uint64) *App {
+	t.Helper()
+	clock := timesim.NewClock()
+	gpu := mali.New(mali.G71MP8, gpumem.NewPool(poolSize), clock, 77)
+	return NewApp(gpu, tee.NewController(gpu), clock, testKey)
+}
+
+func TestTAFullFlow(t *testing.T) {
+	bundle, poolSize := recordBundle(t)
+	app := newApp(t, poolSize)
+
+	sid, res := app.OpenSession()
+	if res != Success {
+		t.Fatalf("open: %v", res)
+	}
+	if res := app.Invoke(sid, CmdLoadRecording, &Params{Buf: bundle}); res != Success {
+		t.Fatalf("load: %v", res)
+	}
+	info := &Params{}
+	if res := app.Invoke(sid, CmdGetInfo, info); res != Success {
+		t.Fatalf("info: %v", res)
+	}
+	if info.Name != "MNIST" || info.Val != mali.G71MP8.ProductID {
+		t.Fatalf("info: %+v", info)
+	}
+	in := make([]float32, 28*28)
+	for i := range in {
+		in[i] = float32(i % 9)
+	}
+	if res := app.Invoke(sid, CmdSetInput, &Params{Buf: f32ToBytes(in)}); res != Success {
+		t.Fatalf("set input: %v", res)
+	}
+	runP := &Params{}
+	if res := app.Invoke(sid, CmdRun, runP); res != Success {
+		t.Fatalf("run: %v", res)
+	}
+	if runP.Val == 0 {
+		t.Fatal("no events replayed")
+	}
+	outP := &Params{}
+	if res := app.Invoke(sid, CmdGetOutput, outP); res != Success {
+		t.Fatalf("output: %v", res)
+	}
+	out, ok := bytesToF32(outP.Out)
+	if !ok || len(out) != 10 {
+		t.Fatalf("output: %d bytes", len(outP.Out))
+	}
+	if res := app.CloseSession(sid); res != Success {
+		t.Fatalf("close: %v", res)
+	}
+}
+
+func TestTARejectsTamperedRecording(t *testing.T) {
+	bundle, poolSize := recordBundle(t)
+	app := newApp(t, poolSize)
+	sid, _ := app.OpenSession()
+	bundle[50] ^= 1
+	if res := app.Invoke(sid, CmdLoadRecording, &Params{Buf: bundle}); res != ErrSecurity {
+		t.Fatalf("tampered recording load = %v, want TEE_ERROR_SECURITY", res)
+	}
+}
+
+func TestTAStateMachine(t *testing.T) {
+	_, poolSize := recordBundle(t)
+	app := newApp(t, poolSize)
+	sid, _ := app.OpenSession()
+	// Commands before a recording is loaded must fail with BAD_STATE.
+	for _, cmd := range []Command{CmdSetInput, CmdSetWeights, CmdRun, CmdGetOutput, CmdGetInfo} {
+		if res := app.Invoke(sid, cmd, &Params{Buf: []byte{0, 0, 0, 0}}); res != ErrBadState {
+			t.Fatalf("cmd %d before load = %v, want TEE_ERROR_BAD_STATE", cmd, res)
+		}
+	}
+}
+
+func TestTABadSessionAndParams(t *testing.T) {
+	_, poolSize := recordBundle(t)
+	app := newApp(t, poolSize)
+	if res := app.Invoke(999, CmdRun, &Params{}); res != ErrItemNotFound {
+		t.Fatalf("bad session = %v", res)
+	}
+	if res := app.CloseSession(999); res != ErrItemNotFound {
+		t.Fatalf("bad close = %v", res)
+	}
+	sid, _ := app.OpenSession()
+	if res := app.Invoke(sid, CmdLoadRecording, nil); res != ErrBadParameters {
+		t.Fatalf("nil params = %v", res)
+	}
+	if res := app.Invoke(sid, Command(999), &Params{}); res != ErrBadParameters {
+		t.Fatalf("unknown command = %v", res)
+	}
+	if res := app.Invoke(sid, CmdLoadRecording, &Params{Buf: []byte("short")}); res != ErrBadParameters {
+		t.Fatalf("short bundle = %v", res)
+	}
+}
+
+func TestTAMultipleSessions(t *testing.T) {
+	bundle, poolSize := recordBundle(t)
+	app := newApp(t, poolSize)
+	s1, _ := app.OpenSession()
+	s2, _ := app.OpenSession()
+	if s1 == s2 {
+		t.Fatal("duplicate session IDs")
+	}
+	// Loading in one session must not leak into the other.
+	if res := app.Invoke(s1, CmdLoadRecording, &Params{Buf: bundle}); res != Success {
+		t.Fatal(res)
+	}
+	if res := app.Invoke(s2, CmdRun, &Params{}); res != ErrBadState {
+		t.Fatalf("session isolation broken: %v", res)
+	}
+}
+
+func TestResultStrings(t *testing.T) {
+	for _, r := range []Result{Success, ErrBadParameters, ErrBadState, ErrItemNotFound, ErrSecurity, ErrOutOfMemory, Result(0xFFFF1234)} {
+		if r.String() == "" {
+			t.Fatalf("empty string for %#x", uint32(r))
+		}
+	}
+}

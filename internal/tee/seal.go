@@ -1,0 +1,58 @@
+package tee
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"fmt"
+)
+
+// Sealer is the TEE's secure-storage primitive: data sealed under a
+// device-unique key (fused at manufacture, never leaving the SoC) can only
+// be unsealed on the same device. GR-T uses it to persist recordings and
+// session keys across reboots without trusting the OS's filesystem, which
+// only ever sees ciphertext.
+type Sealer struct {
+	aead cipher.AEAD
+}
+
+// NewSealer derives a sealer from the 32-byte device-unique key.
+func NewSealer(deviceKey []byte) (*Sealer, error) {
+	if len(deviceKey) != 32 {
+		return nil, fmt.Errorf("tee: device key must be 32 bytes, got %d", len(deviceKey))
+	}
+	block, err := aes.NewCipher(deviceKey)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Sealer{aead: aead}, nil
+}
+
+// Seal encrypts data bound to a label (e.g. the workload name); the label is
+// authenticated, so a blob sealed as "mnist" cannot be served back as
+// "vgg16".
+func (s *Sealer) Seal(label string, data []byte) ([]byte, error) {
+	nonce := make([]byte, s.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), nonce...)
+	return s.aead.Seal(out, nonce, data, []byte(label)), nil
+}
+
+// Unseal authenticates and decrypts a sealed blob under its label.
+func (s *Sealer) Unseal(label string, blob []byte) ([]byte, error) {
+	if len(blob) < s.aead.NonceSize() {
+		return nil, fmt.Errorf("tee: sealed blob too short")
+	}
+	nonce, ct := blob[:s.aead.NonceSize()], blob[s.aead.NonceSize():]
+	pt, err := s.aead.Open(nil, nonce, ct, []byte(label))
+	if err != nil {
+		return nil, fmt.Errorf("tee: unseal failed: %w", err)
+	}
+	return pt, nil
+}

@@ -1,0 +1,89 @@
+package tee
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func newSealer(t *testing.T) *Sealer {
+	t.Helper()
+	key := make([]byte, 32)
+	rand.Read(key)
+	s, err := NewSealer(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	s := newSealer(t)
+	data := []byte("a signed recording blob")
+	blob, err := s.Seal("mnist", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, data) {
+		t.Fatal("sealed blob leaks plaintext")
+	}
+	got, err := s.Unseal("mnist", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestSealLabelBinding(t *testing.T) {
+	s := newSealer(t)
+	blob, err := s.Seal("mnist", []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Unseal("vgg16", blob); err == nil {
+		t.Fatal("blob unsealed under wrong label")
+	}
+}
+
+func TestSealDeviceBinding(t *testing.T) {
+	a, b := newSealer(t), newSealer(t)
+	blob, err := a.Seal("x", []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Unseal("x", blob); err == nil {
+		t.Fatal("blob unsealed on a different device")
+	}
+}
+
+func TestSealTamperDetection(t *testing.T) {
+	s := newSealer(t)
+	blob, err := s.Seal("x", []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 1
+	if _, err := s.Unseal("x", blob); err == nil {
+		t.Fatal("tampered blob unsealed")
+	}
+	if _, err := s.Unseal("x", blob[:4]); err == nil {
+		t.Fatal("truncated blob unsealed")
+	}
+}
+
+func TestSealerKeyLength(t *testing.T) {
+	if _, err := NewSealer([]byte("short")); err == nil {
+		t.Fatal("short device key accepted")
+	}
+}
+
+func TestSealNoncesUnique(t *testing.T) {
+	s := newSealer(t)
+	a, _ := s.Seal("x", []byte("same"))
+	b, _ := s.Seal("x", []byte("same"))
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of identical data produced identical blobs")
+	}
+}

@@ -1,0 +1,106 @@
+// Package tee models the client's TrustZone environment as GR-T uses it
+// (§3.2, §6): a secure/normal world split, a TZASC-style controller that
+// dynamically assigns the GPU (MMIO and its memory) to the secure world
+// during record and replay, secure-monitor interrupt routing, and the
+// authenticated, encrypted channel between the TEE and the cloud VM.
+package tee
+
+import (
+	"fmt"
+
+	"gpurelay/internal/mali"
+)
+
+// World identifies a TrustZone security state.
+type World int
+
+// The two worlds.
+const (
+	NormalWorld World = iota
+	SecureWorld
+)
+
+func (w World) String() string {
+	if w == SecureWorld {
+		return "secure"
+	}
+	return "normal"
+}
+
+// Controller models the TZASC plus secure-monitor configuration that gates
+// GPU access. While the GPU is claimed by the secure world, any normal-world
+// access to GPU MMIO faults — the paper's recording/replay integrity
+// guarantee against a local privileged adversary (§7.1).
+type Controller struct {
+	gpu   *mali.GPU
+	owner World
+	// irqToSecure mirrors the secure monitor routing GPU interrupts to
+	// the TEE during record/replay (§6).
+	irqToSecure bool
+}
+
+// NewController wraps a GPU, initially owned by the normal world.
+func NewController(gpu *mali.GPU) *Controller {
+	return &Controller{gpu: gpu, owner: NormalWorld}
+}
+
+// Owner returns the world currently holding the GPU.
+func (c *Controller) Owner() World { return c.owner }
+
+// IRQRoutedToSecure reports whether GPU interrupts bypass the normal world.
+func (c *Controller) IRQRoutedToSecure() bool { return c.irqToSecure }
+
+// ClaimForSecure moves the GPU into the secure world: MMIO and GPU memory
+// become inaccessible to the OS, and interrupts route to the TEE.
+func (c *Controller) ClaimForSecure() {
+	c.owner = SecureWorld
+	c.irqToSecure = true
+}
+
+// ReleaseToNormal scrubs all GPU state (registers, job slots, address
+// spaces) and returns the GPU to the OS — the reset-on-exit hygiene of §3.2.
+func (c *Controller) ReleaseToNormal() {
+	c.gpu.HardReset()
+	c.owner = NormalWorld
+	c.irqToSecure = false
+}
+
+// AccessError reports a world-permission violation.
+type AccessError struct {
+	World World
+	Op    string
+	Reg   mali.Reg
+}
+
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("tee: %v-world %s of %s denied while GPU is secure",
+		e.World, e.Op, mali.RegName(e.Reg))
+}
+
+// ReadReg performs a register read on behalf of world, enforcing isolation.
+func (c *Controller) ReadReg(w World, r mali.Reg) (uint32, error) {
+	if c.owner == SecureWorld && w != SecureWorld {
+		return 0, &AccessError{World: w, Op: "read", Reg: r}
+	}
+	return c.gpu.ReadReg(r), nil
+}
+
+// WriteReg performs a register write on behalf of world, enforcing
+// isolation.
+func (c *Controller) WriteReg(w World, r mali.Reg, v uint32) error {
+	if c.owner == SecureWorld && w != SecureWorld {
+		return &AccessError{World: w, Op: "write", Reg: r}
+	}
+	c.gpu.WriteReg(r, v)
+	return nil
+}
+
+// PendingIRQ returns the GPU interrupt lines as visible to world. With
+// secure routing active, the normal world sees nothing.
+func (c *Controller) PendingIRQ(w World) (job, gpu, mmu uint32, err error) {
+	if c.irqToSecure && w != SecureWorld {
+		return 0, 0, 0, nil // monitor absorbs the IRQ; OS never sees it
+	}
+	job, gpu, mmu = c.gpu.PendingIRQ()
+	return job, gpu, mmu, nil
+}

@@ -1,0 +1,82 @@
+// Package timesim provides the virtual clock that underlies every delay in
+// the GR-T simulation.
+//
+// The paper's experiments span hundreds of wall-clock seconds (a naive VGG16
+// recording takes ~800 s over a cellular link). Re-running those experiments
+// in real time would make the test suite unusable, so nothing in this
+// repository ever sleeps: instead, every component that would block — a
+// network round trip, a GPU job, driver CPU work, a rollback — advances a
+// shared virtual clock. Recording delays, replay delays, and energy are all
+// read off this clock.
+//
+// The clock is safe for concurrent use. The GR-T record pipeline is logically
+// sequential (the driver serializes GPU jobs, queue length 1, per §5 of the
+// paper), so a single monotonic timeline is a faithful model; concurrent
+// driver threads that contend on it are serialized by the driver's own locks
+// before they reach a blocking operation.
+package timesim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual monotonic clock. The zero value is ready to use and
+// reads 0.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a clock starting at zero virtual time.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time as an offset from the clock's origin.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time. Negative
+// advances panic: virtual time is monotonic by construction, and a negative
+// delay always indicates a bug in a cost model.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	if d < 0 {
+		panic(fmt.Sprintf("timesim: negative advance %v", d))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future; it never
+// moves the clock backwards. It returns the (possibly unchanged) current
+// time. This is used when two components account overlapping intervals, e.g.
+// an asynchronous commit whose round trip overlaps driver execution.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Stopwatch measures an interval of virtual time.
+type Stopwatch struct {
+	clock *Clock
+	start time.Duration
+}
+
+// StartWatch begins measuring virtual time on c.
+func StartWatch(c *Clock) Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed returns the virtual time accumulated since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	return s.clock.Now() - s.start
+}

@@ -1,0 +1,75 @@
+package timesim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockZeroValue(t *testing.T) {
+	var c Clock
+	if got := c.Now(); got != 0 {
+		t.Fatalf("zero clock reads %v, want 0", got)
+	}
+}
+
+func TestAdvance(t *testing.T) {
+	c := NewClock()
+	if got := c.Advance(5 * time.Millisecond); got != 5*time.Millisecond {
+		t.Fatalf("Advance returned %v, want 5ms", got)
+	}
+	c.Advance(20 * time.Millisecond)
+	if got := c.Now(); got != 25*time.Millisecond {
+		t.Fatalf("Now = %v, want 25ms", got)
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	NewClock().Advance(-time.Nanosecond)
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.Advance(10 * time.Millisecond)
+	if got := c.AdvanceTo(5 * time.Millisecond); got != 10*time.Millisecond {
+		t.Fatalf("AdvanceTo(past) = %v, want clock unchanged at 10ms", got)
+	}
+	if got := c.AdvanceTo(30 * time.Millisecond); got != 30*time.Millisecond {
+		t.Fatalf("AdvanceTo(future) = %v, want 30ms", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := NewClock()
+	c.Advance(time.Second)
+	w := StartWatch(c)
+	c.Advance(3 * time.Second)
+	if got := w.Elapsed(); got != 3*time.Second {
+		t.Fatalf("Elapsed = %v, want 3s", got)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Duration(workers*perWorker) * time.Microsecond
+	if got := c.Now(); got != want {
+		t.Fatalf("concurrent advances lost updates: got %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+)
+
+// The cloud signs every recording before returning it to the client; the
+// TEE replayer only accepts recordings with a valid signature (§3.2, §7.1
+// "replay integrity"). The prototype uses HMAC-SHA256 with a key provisioned
+// during the attested session establishment — standing in for the
+// certificate chain a production deployment would use.
+
+// Signed is a recording plus its authentication tag.
+type Signed struct {
+	Payload []byte
+	MAC     [32]byte
+}
+
+// Sign serializes and authenticates a recording with the session key.
+func Sign(r *Recording, key []byte) (*Signed, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("trace: empty signing key")
+	}
+	payload, err := r.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	mac := hmac.New(sha256.New, key)
+	mac.Write(payload)
+	s := &Signed{Payload: payload}
+	copy(s.MAC[:], mac.Sum(nil))
+	return s, nil
+}
+
+// Verify checks the tag and parses the recording. Any tampering with the
+// payload or a wrong key yields an error and no recording.
+func Verify(s *Signed, key []byte) (*Recording, error) {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(s.Payload)
+	if !hmac.Equal(mac.Sum(nil), s.MAC[:]) {
+		return nil, fmt.Errorf("trace: recording signature verification failed")
+	}
+	r := &Recording{}
+	if err := r.UnmarshalBinary(s.Payload); err != nil {
+		return nil, fmt.Errorf("trace: signed payload corrupt: %w", err)
+	}
+	return r, nil
+}

@@ -1,0 +1,252 @@
+// Package trace defines GR-T's interaction log: the ordered record of
+// CPU/GPU interactions captured during a dry run, which the client TEE later
+// replays against the physical GPU without any GPU stack (§2.3, §3.2).
+//
+// A recording contains register reads (with observed values), register
+// writes, offloaded polling loops, interrupt events, and memory dumps at the
+// §5 synchronization points, plus the region map that tells the replayer
+// where to inject fresh input and parameters and where to harvest output.
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/mali"
+)
+
+// Kind discriminates log events.
+type Kind uint8
+
+// Event kinds.
+const (
+	KRead         Kind = iota + 1 // register read: Reg, Value = observed
+	KWrite                        // register write: Reg, Value = written
+	KPoll                         // polling loop: Reg, mask/val predicate, Iters, final Value
+	KIRQ                          // interrupt delivery: Job/GPU/MMU line snapshot
+	KDumpToClient                 // cloud→client memory dump (before job start)
+	KDumpToCloud                  // client→cloud memory dump (after job IRQ)
+)
+
+var kindNames = [...]string{KRead: "read", KWrite: "write", KPoll: "poll",
+	KIRQ: "irq", KDumpToClient: "dump>", KDumpToCloud: "dump<"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one logged CPU/GPU interaction.
+type Event struct {
+	Kind Kind
+	// Fn is the driver function that issued the interaction (diagnostic
+	// and rollback bookkeeping).
+	Fn  string
+	Reg mali.Reg
+	// Value is the read result, the written value, or the final polled
+	// value.
+	Value uint32
+	// Polling predicate and observed iteration count.
+	DoneMask, DoneVal uint32
+	MaxIters, Iters   uint32
+	// Interrupt line snapshot.
+	IRQJob, IRQGPU, IRQMMU uint32
+	// Dump holds the encoded memory snapshot for dump events.
+	Dump []byte
+}
+
+// RegionInfo describes one shared-memory region of the recorded workload,
+// so the replayer can inject program data (input, parameters) and read
+// results — none of which ever left the TEE during recording (§7.1).
+type RegionInfo struct {
+	Name string
+	Kind gpumem.RegionKind
+	VA   gpumem.VA
+	PA   gpumem.PA
+	Size uint64
+}
+
+// Recording is a complete, replayable capture of one workload.
+type Recording struct {
+	// Workload names the recorded model.
+	Workload string
+	// ProductID pins the recording to the GPU SKU it was captured
+	// against; replay on any other SKU is refused (§2.4).
+	ProductID uint32
+	// PoolSize is the shared-memory size the workload needs; the TEE
+	// must reserve as much for replay (§3.1 limitations).
+	PoolSize uint64
+	Events   []Event
+	Regions  []RegionInfo
+}
+
+// FindRegion locates a region by name.
+func (r *Recording) FindRegion(name string) (*RegionInfo, bool) {
+	for i := range r.Regions {
+		if r.Regions[i].Name == name {
+			return &r.Regions[i], true
+		}
+	}
+	return nil, false
+}
+
+// RegionsOfKind returns regions of a kind (e.g. all weight buffers).
+func (r *Recording) RegionsOfKind(k gpumem.RegionKind) []*RegionInfo {
+	var out []*RegionInfo
+	for i := range r.Regions {
+		if r.Regions[i].Kind == k {
+			out = append(out, &r.Regions[i])
+		}
+	}
+	return out
+}
+
+// Counts summarizes the event mix, for tests and tooling.
+func (r *Recording) Counts() map[Kind]int {
+	m := map[Kind]int{}
+	for i := range r.Events {
+		m[r.Events[i].Kind]++
+	}
+	return m
+}
+
+const recMagic = 0x47525452 // "GRTR"
+
+// MarshalBinary serializes the recording.
+func (r *Recording) MarshalBinary() ([]byte, error) {
+	var b bytes.Buffer
+	w := func(v any) { binary.Write(&b, binary.LittleEndian, v) }
+	ws := func(s string) {
+		w(uint16(len(s)))
+		b.WriteString(s)
+	}
+	w(uint32(recMagic))
+	ws(r.Workload)
+	w(r.ProductID)
+	w(r.PoolSize)
+	w(uint32(len(r.Regions)))
+	for _, reg := range r.Regions {
+		ws(reg.Name)
+		w(uint8(reg.Kind))
+		w(uint64(reg.VA))
+		w(uint64(reg.PA))
+		w(reg.Size)
+	}
+	w(uint32(len(r.Events)))
+	for i := range r.Events {
+		e := &r.Events[i]
+		w(uint8(e.Kind))
+		ws(e.Fn)
+		w(uint32(e.Reg))
+		w(e.Value)
+		w(e.DoneMask)
+		w(e.DoneVal)
+		w(e.MaxIters)
+		w(e.Iters)
+		w(e.IRQJob)
+		w(e.IRQGPU)
+		w(e.IRQMMU)
+		w(uint32(len(e.Dump)))
+		b.Write(e.Dump)
+	}
+	return b.Bytes(), nil
+}
+
+// UnmarshalBinary parses a serialized recording.
+func (r *Recording) UnmarshalBinary(data []byte) error {
+	b := bytes.NewReader(data)
+	var magic uint32
+	rd := func(v any) error { return binary.Read(b, binary.LittleEndian, v) }
+	rs := func() (string, error) {
+		var n uint16
+		if err := rd(&n); err != nil {
+			return "", err
+		}
+		buf := make([]byte, n)
+		if _, err := b.Read(buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	if err := rd(&magic); err != nil || magic != recMagic {
+		return fmt.Errorf("trace: bad recording magic")
+	}
+	var err error
+	if r.Workload, err = rs(); err != nil {
+		return err
+	}
+	if err := rd(&r.ProductID); err != nil {
+		return err
+	}
+	if err := rd(&r.PoolSize); err != nil {
+		return err
+	}
+	var nRegions uint32
+	if err := rd(&nRegions); err != nil {
+		return err
+	}
+	r.Regions = make([]RegionInfo, nRegions)
+	for i := range r.Regions {
+		reg := &r.Regions[i]
+		if reg.Name, err = rs(); err != nil {
+			return err
+		}
+		var kind uint8
+		var va, pa uint64
+		if err := rd(&kind); err != nil {
+			return err
+		}
+		if err := rd(&va); err != nil {
+			return err
+		}
+		if err := rd(&pa); err != nil {
+			return err
+		}
+		if err := rd(&reg.Size); err != nil {
+			return err
+		}
+		reg.Kind, reg.VA, reg.PA = gpumem.RegionKind(kind), gpumem.VA(va), gpumem.PA(pa)
+	}
+	var nEvents uint32
+	if err := rd(&nEvents); err != nil {
+		return err
+	}
+	r.Events = make([]Event, nEvents)
+	for i := range r.Events {
+		e := &r.Events[i]
+		var kind uint8
+		if err := rd(&kind); err != nil {
+			return err
+		}
+		e.Kind = Kind(kind)
+		if e.Fn, err = rs(); err != nil {
+			return err
+		}
+		var reg uint32
+		if err := rd(&reg); err != nil {
+			return err
+		}
+		e.Reg = mali.Reg(reg)
+		for _, p := range []*uint32{&e.Value, &e.DoneMask, &e.DoneVal, &e.MaxIters,
+			&e.Iters, &e.IRQJob, &e.IRQGPU, &e.IRQMMU} {
+			if err := rd(p); err != nil {
+				return err
+			}
+		}
+		var dumpLen uint32
+		if err := rd(&dumpLen); err != nil {
+			return err
+		}
+		if dumpLen > 0 {
+			e.Dump = make([]byte, dumpLen)
+			if _, err := b.Read(e.Dump); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/mali"
+)
+
+func sampleRecording() *Recording {
+	return &Recording{
+		Workload:  "MNIST",
+		ProductID: 0x60000001,
+		PoolSize:  1 << 24,
+		Regions: []RegionInfo{
+			{Name: "input", Kind: gpumem.KindInput, VA: 0x1000000, PA: 0x4000, Size: 3136},
+			{Name: "output", Kind: gpumem.KindOutput, VA: 0x2000000, PA: 0x8000, Size: 40},
+			{Name: "w1", Kind: gpumem.KindWeights, VA: 0x3000000, PA: 0xC000, Size: 3200},
+		},
+		Events: []Event{
+			{Kind: KWrite, Fn: "kbase_pm_do_poweron", Reg: mali.SHADER_PWRON_LO, Value: 0xFF},
+			{Kind: KRead, Fn: "kbase_job_hw_submit", Reg: mali.LATEST_FLUSH_ID, Value: 7},
+			{Kind: KPoll, Fn: "kbase_gpu_cache_clean", Reg: mali.GPU_IRQ_RAWSTAT,
+				DoneMask: 1 << 17, DoneVal: 1 << 17, MaxIters: 64, Iters: 3, Value: 1 << 17},
+			{Kind: KIRQ, IRQJob: 0x2},
+			{Kind: KDumpToClient, Dump: []byte{1, 2, 3, 4, 5}},
+			{Kind: KDumpToCloud, Dump: []byte{9, 8}},
+		},
+	}
+}
+
+func TestRecordingRoundTrip(t *testing.T) {
+	r := sampleRecording()
+	data, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Recording
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != r.Workload || got.ProductID != r.ProductID || got.PoolSize != r.PoolSize {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Regions) != len(r.Regions) || len(got.Events) != len(r.Events) {
+		t.Fatalf("length mismatch: %d regions %d events", len(got.Regions), len(got.Events))
+	}
+	for i := range r.Events {
+		w, g := r.Events[i], got.Events[i]
+		if w.Kind != g.Kind || w.Fn != g.Fn || w.Reg != g.Reg || w.Value != g.Value ||
+			w.Iters != g.Iters || w.IRQJob != g.IRQJob {
+			t.Fatalf("event %d: %+v != %+v", i, g, w)
+		}
+		if string(w.Dump) != string(g.Dump) {
+			t.Fatalf("event %d dump mismatch", i)
+		}
+	}
+	for i := range r.Regions {
+		if got.Regions[i] != r.Regions[i] {
+			t.Fatalf("region %d: %+v != %+v", i, got.Regions[i], r.Regions[i])
+		}
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	var r Recording
+	if err := r.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Fatal("garbage parsed")
+	}
+	if err := r.UnmarshalBinary(nil); err == nil {
+		t.Fatal("empty parsed")
+	}
+	// Truncated stream.
+	good, _ := sampleRecording().MarshalBinary()
+	if err := r.UnmarshalBinary(good[:len(good)/2]); err == nil {
+		t.Fatal("truncated recording parsed")
+	}
+}
+
+func TestFindRegionAndKinds(t *testing.T) {
+	r := sampleRecording()
+	if reg, ok := r.FindRegion("output"); !ok || reg.Size != 40 {
+		t.Fatalf("FindRegion output = %+v, %v", reg, ok)
+	}
+	if _, ok := r.FindRegion("nope"); ok {
+		t.Fatal("found nonexistent region")
+	}
+	if w := r.RegionsOfKind(gpumem.KindWeights); len(w) != 1 || w[0].Name != "w1" {
+		t.Fatalf("RegionsOfKind = %+v", w)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := sampleRecording().Counts()
+	if c[KRead] != 1 || c[KWrite] != 1 || c[KPoll] != 1 || c[KIRQ] != 1 ||
+		c[KDumpToClient] != 1 || c[KDumpToCloud] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	key := []byte("session-key-0123456789abcdef0123")
+	r := sampleRecording()
+	s, err := Sign(r, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Verify(s, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workload != r.Workload || len(got.Events) != len(r.Events) {
+		t.Fatal("verified recording differs")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	key := []byte("session-key-0123456789abcdef0123")
+	s, err := Sign(sampleRecording(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the payload: a local adversary editing the cached
+	// recording (§7.1 replay integrity).
+	s.Payload[len(s.Payload)/2] ^= 0x01
+	if _, err := Verify(s, key); err == nil {
+		t.Fatal("tampered recording verified")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	s, err := Sign(sampleRecording(), []byte("key-A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(s, []byte("key-B")); err == nil {
+		t.Fatal("recording verified under wrong key")
+	}
+}
+
+func TestSignEmptyKeyRejected(t *testing.T) {
+	if _, err := Sign(sampleRecording(), nil); err == nil {
+		t.Fatal("signed with empty key")
+	}
+}
+
+func TestPropertyMarshalRoundTrip(t *testing.T) {
+	f := func(fn string, reg, value, iters uint32, dump []byte) bool {
+		r := &Recording{
+			Workload: "prop", ProductID: 1, PoolSize: 4096,
+			Events: []Event{{Kind: KPoll, Fn: fn, Reg: mali.Reg(reg), Value: value,
+				Iters: iters, Dump: dump}},
+		}
+		data, err := r.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Recording
+		if err := got.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		e := got.Events[0]
+		return e.Fn == fn && e.Reg == mali.Reg(reg) && e.Value == value &&
+			e.Iters == iters && string(e.Dump) == string(dump)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,369 @@
+// Package val implements the symbolic value engine used by register access
+// deferral (§4.1 of the GR-T paper).
+//
+// When DriverShim defers a register read, the driver keeps executing without
+// the read's result. The paper's Clang instrumentation makes the C driver
+// carry a symbol for the pending value and propagate it through subsequent
+// computation (e.g. reg_write(MMU_CONFIG, S|0x10)). Here the driver is
+// written against this package: a register read yields a Value that is either
+// concrete or a symbolic expression over pending-read symbols. Expressions
+// fold eagerly when their operands are concrete, so in the common fast path
+// (no deferral, or symbols already resolved) a Value is just a uint32.
+//
+// Values are immutable. Taint marks a value as derived from a *predicted*
+// register read (§4.2): DriverShim uses it to keep speculative state from
+// spilling to the client.
+package val
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// SymbolID uniquely identifies a pending register read within a recording
+// session.
+type SymbolID uint64
+
+var symbolCounter atomic.Uint64
+
+// Symbol represents the unknown result of one deferred register read.
+type Symbol struct {
+	ID SymbolID
+	// Origin labels where the symbol was created, e.g. the register name;
+	// purely diagnostic.
+	Origin string
+}
+
+// NewSymbol allocates a fresh symbol with a process-unique ID.
+func NewSymbol(origin string) *Symbol {
+	return &Symbol{ID: SymbolID(symbolCounter.Add(1)), Origin: origin}
+}
+
+// Op enumerates expression operators.
+type Op uint8
+
+// Expression operators. OpConst and OpSym are leaves.
+const (
+	OpConst Op = iota
+	OpSym
+	OpAnd
+	OpOr
+	OpXor
+	OpAdd
+	OpSub
+	OpShl
+	OpShr
+	OpNot // bitwise complement
+	OpEq  // 1 if equal else 0
+	OpNe
+	OpLt // unsigned less-than
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpSym: "sym", OpAnd: "&", OpOr: "|", OpXor: "^",
+	OpAdd: "+", OpSub: "-", OpShl: "<<", OpShr: ">>", OpNot: "~",
+	OpEq: "==", OpNe: "!=", OpLt: "<",
+}
+
+type node struct {
+	op    Op
+	c     uint32 // OpConst payload
+	sym   *Symbol
+	x, y  *node
+	taint bool
+}
+
+// Value is a 32-bit register-width value that may be symbolic. The zero
+// Value is the concrete 0.
+type Value struct {
+	// concrete fast path: node == nil means the value is the concrete
+	// word c with taint t.
+	c     uint32
+	taint bool
+	node  *node
+}
+
+// Const returns a concrete value.
+func Const(v uint32) Value { return Value{c: v} }
+
+// Sym returns a purely symbolic value for s.
+func Sym(s *Symbol) Value {
+	if s == nil {
+		panic("val: nil symbol")
+	}
+	return Value{node: &node{op: OpSym, sym: s}}
+}
+
+// IsConcrete reports whether v has a known concrete value.
+func (v Value) IsConcrete() bool { return v.node == nil }
+
+// Concrete returns the concrete value; ok is false if v is symbolic.
+func (v Value) Concrete() (value uint32, ok bool) {
+	if v.node != nil {
+		return 0, false
+	}
+	return v.c, true
+}
+
+// MustConcrete returns the concrete value or panics. Use only where the shim
+// guarantees resolution has happened.
+func (v Value) MustConcrete() uint32 {
+	c, ok := v.Concrete()
+	if !ok {
+		panic(fmt.Sprintf("val: MustConcrete on symbolic value %s", v))
+	}
+	return c
+}
+
+// Tainted reports whether v depends on a speculatively predicted register
+// read.
+func (v Value) Tainted() bool {
+	if v.node == nil {
+		return v.taint
+	}
+	return v.node.taint
+}
+
+// WithTaint returns v marked as speculative. Concrete values keep their
+// payload.
+func (v Value) WithTaint() Value {
+	if v.Tainted() {
+		return v
+	}
+	if v.node == nil {
+		return Value{c: v.c, taint: true}
+	}
+	n := *v.node
+	n.taint = true
+	return Value{node: &n}
+}
+
+func (v Value) toNode() *node {
+	if v.node != nil {
+		return v.node
+	}
+	return &node{op: OpConst, c: v.c, taint: v.taint}
+}
+
+func fold(op Op, x, y uint32) uint32 {
+	switch op {
+	case OpAnd:
+		return x & y
+	case OpOr:
+		return x | y
+	case OpXor:
+		return x ^ y
+	case OpAdd:
+		return x + y
+	case OpSub:
+		return x - y
+	case OpShl:
+		return x << (y & 31)
+	case OpShr:
+		return x >> (y & 31)
+	case OpEq:
+		if x == y {
+			return 1
+		}
+		return 0
+	case OpNe:
+		if x != y {
+			return 1
+		}
+		return 0
+	case OpLt:
+		if x < y {
+			return 1
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("val: bad binary op %d", op))
+	}
+}
+
+func binary(op Op, a, b Value) Value {
+	taint := a.Tainted() || b.Tainted()
+	if a.IsConcrete() && b.IsConcrete() {
+		return Value{c: fold(op, a.c, b.c), taint: taint}
+	}
+	return Value{node: &node{op: op, x: a.toNode(), y: b.toNode(), taint: taint}}
+}
+
+// And returns v & o.
+func (v Value) And(o Value) Value { return binary(OpAnd, v, o) }
+
+// Or returns v | o.
+func (v Value) Or(o Value) Value { return binary(OpOr, v, o) }
+
+// Xor returns v ^ o.
+func (v Value) Xor(o Value) Value { return binary(OpXor, v, o) }
+
+// Add returns v + o (wrapping).
+func (v Value) Add(o Value) Value { return binary(OpAdd, v, o) }
+
+// Sub returns v - o (wrapping).
+func (v Value) Sub(o Value) Value { return binary(OpSub, v, o) }
+
+// Shl returns v << o (shift mod 32).
+func (v Value) Shl(o Value) Value { return binary(OpShl, v, o) }
+
+// Shr returns the logical shift v >> o (shift mod 32).
+func (v Value) Shr(o Value) Value { return binary(OpShr, v, o) }
+
+// Eq returns 1 if v == o else 0.
+func (v Value) Eq(o Value) Value { return binary(OpEq, v, o) }
+
+// Ne returns 1 if v != o else 0.
+func (v Value) Ne(o Value) Value { return binary(OpNe, v, o) }
+
+// Lt returns 1 if v < o (unsigned) else 0.
+func (v Value) Lt(o Value) Value { return binary(OpLt, v, o) }
+
+// Not returns the bitwise complement of v.
+func (v Value) Not() Value {
+	if v.IsConcrete() {
+		return Value{c: ^v.c, taint: v.taint}
+	}
+	return Value{node: &node{op: OpNot, x: v.node, taint: v.node.taint}}
+}
+
+// Env supplies concrete values for symbols during resolution. Returning
+// ok=false means the symbol is still pending.
+type Env interface {
+	Lookup(SymbolID) (value uint32, tainted bool, ok bool)
+}
+
+// MapEnv is an Env backed by a map of untainted bindings.
+type MapEnv map[SymbolID]uint32
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(id SymbolID) (uint32, bool, bool) {
+	v, ok := m[id]
+	return v, false, ok
+}
+
+func evalNode(n *node, env Env) (uint32, bool, bool) {
+	switch n.op {
+	case OpConst:
+		return n.c, n.taint, true
+	case OpSym:
+		v, taint, ok := env.Lookup(n.sym.ID)
+		return v, taint || n.taint, ok
+	case OpNot:
+		x, t, ok := evalNode(n.x, env)
+		return ^x, t || n.taint, ok
+	default:
+		x, tx, okx := evalNode(n.x, env)
+		if !okx {
+			return 0, false, false
+		}
+		y, ty, oky := evalNode(n.y, env)
+		if !oky {
+			return 0, false, false
+		}
+		return fold(n.op, x, y), tx || ty || n.taint, true
+	}
+}
+
+// Resolve substitutes symbol bindings from env. If every symbol in v is
+// bound, the result is concrete (tainted if any binding or v itself was
+// tainted); otherwise v is returned unchanged and ok is false.
+func (v Value) Resolve(env Env) (Value, bool) {
+	if v.node == nil {
+		return v, true
+	}
+	c, taint, ok := evalNode(v.node, env)
+	if !ok {
+		return v, false
+	}
+	return Value{c: c, taint: taint}, true
+}
+
+// Symbols appends the IDs of all symbols v depends on to dst and returns it.
+// IDs may repeat if a symbol occurs multiple times in the expression.
+func (v Value) Symbols(dst []SymbolID) []SymbolID {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.op == OpSym {
+			dst = append(dst, n.sym.ID)
+			return
+		}
+		walk(n.x)
+		walk(n.y)
+	}
+	walk(v.node)
+	return dst
+}
+
+// CanonicalString renders the value with symbols identified by their origin
+// rather than their process-unique IDs. Two structurally identical
+// expressions over reads of the same registers render identically, which is
+// what commit-history signatures need to recognize recurring segments across
+// runs (§4.2).
+func (v Value) CanonicalString() string {
+	var b strings.Builder
+	var walk func(n *node)
+	walk = func(n *node) {
+		switch n.op {
+		case OpConst:
+			fmt.Fprintf(&b, "0x%x", n.c)
+		case OpSym:
+			fmt.Fprintf(&b, "sym(%s)", n.sym.Origin)
+		case OpNot:
+			b.WriteString("~(")
+			walk(n.x)
+			b.WriteString(")")
+		default:
+			b.WriteString("(")
+			walk(n.x)
+			b.WriteString(opNames[n.op])
+			walk(n.y)
+			b.WriteString(")")
+		}
+	}
+	if v.node == nil {
+		return fmt.Sprintf("0x%x", v.c)
+	}
+	walk(v.node)
+	return b.String()
+}
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	var b strings.Builder
+	var walk func(n *node)
+	walk = func(n *node) {
+		switch n.op {
+		case OpConst:
+			fmt.Fprintf(&b, "0x%x", n.c)
+		case OpSym:
+			fmt.Fprintf(&b, "S%d(%s)", n.sym.ID, n.sym.Origin)
+		case OpNot:
+			b.WriteString("~(")
+			walk(n.x)
+			b.WriteString(")")
+		default:
+			b.WriteString("(")
+			walk(n.x)
+			b.WriteString(opNames[n.op])
+			walk(n.y)
+			b.WriteString(")")
+		}
+	}
+	if v.node == nil {
+		t := ""
+		if v.taint {
+			t = "!"
+		}
+		return fmt.Sprintf("0x%x%s", v.c, t)
+	}
+	walk(v.node)
+	if v.node.taint {
+		b.WriteString("!")
+	}
+	return b.String()
+}

@@ -1,0 +1,292 @@
+package val
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstIsConcrete(t *testing.T) {
+	v := Const(0xDEAD)
+	if !v.IsConcrete() {
+		t.Fatal("Const not concrete")
+	}
+	if got := v.MustConcrete(); got != 0xDEAD {
+		t.Fatalf("MustConcrete = %#x, want 0xDEAD", got)
+	}
+}
+
+func TestZeroValueIsZero(t *testing.T) {
+	var v Value
+	if c, ok := v.Concrete(); !ok || c != 0 {
+		t.Fatalf("zero Value = (%v,%v), want (0,true)", c, ok)
+	}
+}
+
+func TestSymIsSymbolic(t *testing.T) {
+	s := NewSymbol("JOB_IRQ_STATUS")
+	v := Sym(s)
+	if v.IsConcrete() {
+		t.Fatal("Sym concrete")
+	}
+	if _, ok := v.Concrete(); ok {
+		t.Fatal("Concrete ok on symbolic value")
+	}
+	ids := v.Symbols(nil)
+	if len(ids) != 1 || ids[0] != s.ID {
+		t.Fatalf("Symbols = %v, want [%d]", ids, s.ID)
+	}
+}
+
+func TestMustConcretePanicsOnSymbolic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Sym(NewSymbol("x")).MustConcrete()
+}
+
+func TestConcreteFolding(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Value
+		want uint32
+	}{
+		{"and", Const(0xFF).And(Const(0x0F)), 0x0F},
+		{"or", Const(0xF0).Or(Const(0x0F)), 0xFF},
+		{"xor", Const(0xFF).Xor(Const(0x0F)), 0xF0},
+		{"add", Const(3).Add(Const(4)), 7},
+		{"add-wrap", Const(0xFFFFFFFF).Add(Const(1)), 0},
+		{"sub", Const(4).Sub(Const(9)), 0xFFFFFFFB},
+		{"shl", Const(1).Shl(Const(4)), 16},
+		{"shr", Const(0x100).Shr(Const(4)), 0x10},
+		{"not", Const(0).Not(), 0xFFFFFFFF},
+		{"eq-true", Const(5).Eq(Const(5)), 1},
+		{"eq-false", Const(5).Eq(Const(6)), 0},
+		{"ne", Const(5).Ne(Const(6)), 1},
+		{"lt", Const(5).Lt(Const(6)), 1},
+		{"lt-unsigned", Const(0xFFFFFFFF).Lt(Const(1)), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if !c.got.IsConcrete() {
+				t.Fatal("folded result not concrete")
+			}
+			if g := c.got.MustConcrete(); g != c.want {
+				t.Fatalf("= %#x, want %#x", g, c.want)
+			}
+		})
+	}
+}
+
+func TestSymbolicExpressionResolve(t *testing.T) {
+	// Mirrors Listing 1(a): write value (S2 | 0x10).
+	s2 := NewSymbol("MMU_CONFIG")
+	expr := Sym(s2).Or(Const(0x10))
+	if expr.IsConcrete() {
+		t.Fatal("expression folded prematurely")
+	}
+	if _, ok := expr.Resolve(MapEnv{}); ok {
+		t.Fatal("resolved with empty env")
+	}
+	r, ok := expr.Resolve(MapEnv{s2.ID: 0x3})
+	if !ok {
+		t.Fatal("failed to resolve with binding")
+	}
+	if got := r.MustConcrete(); got != 0x13 {
+		t.Fatalf("resolved = %#x, want 0x13", got)
+	}
+}
+
+func TestResolvePartial(t *testing.T) {
+	a, b := NewSymbol("a"), NewSymbol("b")
+	expr := Sym(a).Add(Sym(b))
+	if _, ok := expr.Resolve(MapEnv{a.ID: 1}); ok {
+		t.Fatal("resolved with only one of two symbols bound")
+	}
+	r, ok := expr.Resolve(MapEnv{a.ID: 1, b.ID: 2})
+	if !ok || r.MustConcrete() != 3 {
+		t.Fatalf("resolve = (%v,%v), want 3", r, ok)
+	}
+}
+
+func TestTaintPropagation(t *testing.T) {
+	clean := Const(1)
+	dirty := Const(2).WithTaint()
+	if clean.Tainted() {
+		t.Fatal("clean value tainted")
+	}
+	if !dirty.Tainted() {
+		t.Fatal("WithTaint lost taint")
+	}
+	if got := dirty.MustConcrete(); got != 2 {
+		t.Fatalf("taint changed payload to %d", got)
+	}
+	if !clean.Add(dirty).Tainted() {
+		t.Fatal("binary op lost operand taint")
+	}
+	if !dirty.Not().Tainted() {
+		t.Fatal("unary op lost taint")
+	}
+	s := NewSymbol("x")
+	se := Sym(s).Or(dirty)
+	r, ok := se.Resolve(MapEnv{s.ID: 4})
+	if !ok || !r.Tainted() {
+		t.Fatalf("resolution dropped taint: %v ok=%v", r, ok)
+	}
+}
+
+type taintedEnv map[SymbolID]uint32
+
+func (m taintedEnv) Lookup(id SymbolID) (uint32, bool, bool) {
+	v, ok := m[id]
+	return v, true, ok // every binding is a speculative prediction
+}
+
+func TestTaintFromEnv(t *testing.T) {
+	s := NewSymbol("predicted")
+	r, ok := Sym(s).Resolve(taintedEnv{s.ID: 7})
+	if !ok {
+		t.Fatal("resolve failed")
+	}
+	if !r.Tainted() {
+		t.Fatal("value resolved from predicted binding must be tainted")
+	}
+	if r.MustConcrete() != 7 {
+		t.Fatalf("payload = %d, want 7", r.MustConcrete())
+	}
+}
+
+func TestSymbolsMultiple(t *testing.T) {
+	a, b := NewSymbol("a"), NewSymbol("b")
+	expr := Sym(a).Add(Sym(b)).Xor(Sym(a))
+	ids := expr.Symbols(nil)
+	if len(ids) != 3 {
+		t.Fatalf("Symbols len = %d, want 3 (a,b,a)", len(ids))
+	}
+}
+
+func TestNewSymbolUnique(t *testing.T) {
+	seen := map[SymbolID]bool{}
+	for i := 0; i < 1000; i++ {
+		s := NewSymbol("x")
+		if seen[s.ID] {
+			t.Fatalf("duplicate symbol ID %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}
+
+func TestString(t *testing.T) {
+	s := NewSymbol("REG")
+	if got := Const(0x1f).String(); got != "0x1f" {
+		t.Fatalf("String = %q", got)
+	}
+	expr := Sym(s).Or(Const(0x10))
+	if expr.String() == "" {
+		t.Fatal("empty String for expression")
+	}
+}
+
+// Property: for any op tree built over concrete leaves, eager folding equals
+// building symbolically and resolving. This is the core soundness property of
+// symbolic execution: resolution must agree with direct execution.
+func TestPropertySymbolicMatchesConcrete(t *testing.T) {
+	ops := []func(a, b Value) Value{
+		func(a, b Value) Value { return a.And(b) },
+		func(a, b Value) Value { return a.Or(b) },
+		func(a, b Value) Value { return a.Xor(b) },
+		func(a, b Value) Value { return a.Add(b) },
+		func(a, b Value) Value { return a.Sub(b) },
+		func(a, b Value) Value { return a.Shl(b.And(Const(31))) },
+		func(a, b Value) Value { return a.Shr(b.And(Const(31))) },
+		func(a, b Value) Value { return a.Eq(b) },
+		func(a, b Value) Value { return a.Lt(b) },
+	}
+	f := func(seed int64, xs [4]uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		syms := make([]*Symbol, len(xs))
+		env := MapEnv{}
+		symbolic := make([]Value, len(xs))
+		concrete := make([]Value, len(xs))
+		for i, x := range xs {
+			syms[i] = NewSymbol("p")
+			env[syms[i].ID] = x
+			symbolic[i] = Sym(syms[i])
+			concrete[i] = Const(x)
+		}
+		// Build a random expression tree by repeatedly combining.
+		for step := 0; step < 8; step++ {
+			i, j := rng.Intn(len(xs)), rng.Intn(len(xs))
+			op := ops[rng.Intn(len(ops))]
+			symbolic[i] = op(symbolic[i], symbolic[j])
+			concrete[i] = op(concrete[i], concrete[j])
+		}
+		for i := range xs {
+			r, ok := symbolic[i].Resolve(env)
+			if !ok {
+				return false
+			}
+			if r.MustConcrete() != concrete[i].MustConcrete() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkConcreteOr(b *testing.B) {
+	v := Const(0xF0)
+	for i := 0; i < b.N; i++ {
+		v = v.Or(Const(uint32(i)))
+	}
+	_ = v
+}
+
+func BenchmarkSymbolicResolve(b *testing.B) {
+	s := NewSymbol("r")
+	expr := Sym(s).Or(Const(0x10)).And(Const(0xFF))
+	env := MapEnv{s.ID: 0x42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := expr.Resolve(env); !ok {
+			b.Fatal("resolve failed")
+		}
+	}
+}
+
+func TestCanonicalStringStableAcrossSymbols(t *testing.T) {
+	build := func() Value {
+		s := NewSymbol("MMU_CONFIG")
+		return Sym(s).Or(Const(0x10)).And(Const(0xFF))
+	}
+	a, b := build().CanonicalString(), build().CanonicalString()
+	if a != b {
+		t.Fatalf("canonical strings differ for identical structure: %q vs %q", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty canonical string")
+	}
+	// Regular String() embeds unique IDs and must differ.
+	if build().String() == build().String() {
+		t.Fatal("String() unexpectedly identical for fresh symbols")
+	}
+}
+
+func TestCanonicalStringDistinguishesOrigins(t *testing.T) {
+	a := Sym(NewSymbol("REG_A")).CanonicalString()
+	b := Sym(NewSymbol("REG_B")).CanonicalString()
+	if a == b {
+		t.Fatal("different origins share a canonical string")
+	}
+	if Const(5).CanonicalString() != "0x5" {
+		t.Fatalf("const canonical = %q", Const(5).CanonicalString())
+	}
+	if got := Sym(NewSymbol("X")).Not().CanonicalString(); got != "~(sym(X))" {
+		t.Fatalf("not canonical = %q", got)
+	}
+}

@@ -1,0 +1,125 @@
+package gpurelay
+
+import (
+	"testing"
+
+	"gpurelay/internal/mlfw"
+)
+
+func TestLayerBoundariesMNIST(t *testing.T) {
+	m := MNIST()
+	cuts := m.LayerBoundaries()
+	// MNIST layers: input-norm, conv1, pool1, conv2, pool2, fc1, fc2,
+	// fc3, softmax = 9 layers over 23 jobs.
+	if len(cuts) != 9 {
+		t.Fatalf("MNIST has %d layer boundaries, want 9: %v", len(cuts), cuts)
+	}
+	if cuts[len(cuts)-1] != m.NumJobs()-1 {
+		t.Fatalf("last boundary %d != last job %d", cuts[len(cuts)-1], m.NumJobs()-1)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatalf("boundaries not increasing: %v", cuts)
+		}
+	}
+}
+
+func TestLayerBoundariesAllModels(t *testing.T) {
+	for _, m := range mlfw.Benchmarks() {
+		cuts := m.LayerBoundaries()
+		if len(cuts) < 5 {
+			t.Errorf("%s: only %d layers", m.Name, len(cuts))
+		}
+		if cuts[len(cuts)-1] != m.NumJobs()-1 {
+			t.Errorf("%s: last boundary %d != last job %d", m.Name, cuts[len(cuts)-1], m.NumJobs()-1)
+		}
+	}
+}
+
+func TestSegmentedRecordReplayMatchesMonolithic(t *testing.T) {
+	client := NewClient("seg-phone", MaliG71MP8)
+	svc := NewService()
+
+	// Monolithic recording and replay.
+	mono, _, err := client.Record(svc, MNIST(), RecordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]float32, 28*28)
+	for i := range input {
+		input[i] = float32((i * 31) % 200)
+	}
+	weights := func(sess *ReplaySession) {
+		state := uint64(99)
+		for _, r := range sess.WeightRegions() {
+			w := make([]float32, r.Elems)
+			for i := range w {
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				w[i] = (float32(state%1024)/512 - 1) / 8
+			}
+			if err := sess.SetWeights(r.Name, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	monoSess, err := client.NewReplaySession(mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights(monoSess)
+	if err := monoSess.SetInput(input); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := monoSess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := monoSess.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Segmented recording of the same workload (per-layer, Figure 2).
+	seg, _, err := client.RecordSegmented(svc, MNIST(), RecordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Layers() != 9 {
+		t.Fatalf("MNIST segmented into %d recordings, want 9 layers", seg.Layers())
+	}
+	segSess, err := client.NewChainedReplaySession(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights(segSess)
+	if err := segSess.SetInput(input); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := segSess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := segSess.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segmented replay[%d] = %v, monolithic = %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSegmentedChainRejectsTamperedSegment(t *testing.T) {
+	client := NewClient("seg-phone-2", MaliG71MP8)
+	svc := NewService()
+	seg, _, err := client.RecordSegmented(svc, MNIST(), RecordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in one middle segment's payload.
+	seg.segs[4].Payload[10] ^= 1
+	if _, err := client.NewChainedReplaySession(seg); err == nil {
+		t.Fatal("chain with a tampered segment accepted")
+	}
+}
