@@ -13,6 +13,8 @@ package gpurelay
 // are in the reported metrics and logs.
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"gpurelay/internal/experiments"
@@ -155,6 +157,41 @@ func BenchmarkRecordMNIST(b *testing.B) {
 		if _, _, err := client.Record(svc, MNIST(), RecordOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkConcurrentRecord measures wall-clock record throughput at 1, 4,
+// and 16 parallel MNIST sessions against one service — the scaling baseline
+// for the concurrent recording service. Each parallel session is its own
+// client; the pool is sized to the parallelism so no session queues, and
+// the shared history store is live, as in production. The records/s metric
+// is the headline: future scaling PRs should move it up at high
+// parallelism.
+func BenchmarkConcurrentRecord(b *testing.B) {
+	for _, par := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			svc := NewServiceWith(ServiceConfig{Capacity: par, QueueLimit: 2 * par})
+			clients := make([]*Client, par)
+			for i := range clients {
+				clients[i] = NewClient(fmt.Sprintf("bench-%d", i), MaliG71MP8)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for _, c := range clients {
+					wg.Add(1)
+					go func(c *Client) {
+						defer wg.Done()
+						if _, _, err := c.Record(svc, MNIST(), RecordOptions{}); err != nil {
+							b.Error(err)
+						}
+					}(c)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(par)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
 	}
 }
 

@@ -32,12 +32,15 @@
 package gpurelay
 
 import (
+	"context"
 	"crypto/rand"
 	"fmt"
+	"sync"
 	"time"
 
 	"gpurelay/internal/cloud"
 	"gpurelay/internal/gpumem"
+	"gpurelay/internal/grterr"
 	"gpurelay/internal/mali"
 	"gpurelay/internal/mlfw"
 	"gpurelay/internal/netsim"
@@ -47,6 +50,28 @@ import (
 	"gpurelay/internal/tee"
 	"gpurelay/internal/timesim"
 	"gpurelay/internal/trace"
+)
+
+// Sentinel errors. Failures anywhere in the stack — admission control in
+// the cloud service, attestation in the client, signature verification in
+// the trace layer, SKU binding in the replayer — wrap these, so callers
+// distinguish them with errors.Is across layers instead of string-matching.
+var (
+	// ErrAttestation: the launched VM's measurement did not match the
+	// client's expectation for the image and GPU.
+	ErrAttestation = grterr.ErrAttestation
+	// ErrCapacity: the recording service's VM pool and admission queue
+	// are both full; retry later.
+	ErrCapacity = grterr.ErrCapacity
+	// ErrSessionLimit: this client already holds its maximum number of
+	// concurrent recording sessions.
+	ErrSessionLimit = grterr.ErrSessionLimit
+	// ErrBadRecording: a recording failed signature or format
+	// verification.
+	ErrBadRecording = grterr.ErrBadRecording
+	// ErrSKUMismatch: a recording (or cloud image) is bound to a
+	// different GPU SKU than the device at hand.
+	ErrSKUMismatch = grterr.ErrSKUMismatch
 )
 
 // SKU identifies a mobile GPU hardware model.
@@ -124,7 +149,7 @@ func (r *Recording) Bundle() (payload, mac, key []byte) {
 // the signature.
 func RecordingFromBundle(payload, mac, key []byte) (*Recording, error) {
 	if len(mac) != 32 {
-		return nil, fmt.Errorf("gpurelay: MAC must be 32 bytes, got %d", len(mac))
+		return nil, fmt.Errorf("gpurelay: MAC must be 32 bytes, got %d: %w", len(mac), ErrBadRecording)
 	}
 	s := &trace.Signed{Payload: payload}
 	copy(s.MAC[:], mac)
@@ -146,8 +171,27 @@ type Client struct {
 	SKU *SKU
 
 	clock  *timesim.Clock
-	seed   uint64
 	sealer *tee.Sealer
+
+	// mu guards seed: concurrent Record calls each need a distinct
+	// deterministic seed for their session's GPU nondeterminism.
+	mu   sync.Mutex
+	seed uint64
+}
+
+// nextSeed advances and returns the per-session seed.
+func (c *Client) nextSeed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seed += 0x9E3779B97F4A7C15
+	return c.seed
+}
+
+// currentSeed reads the seed without advancing it.
+func (c *Client) currentSeed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seed
 }
 
 // NewClient creates a simulated client device.
@@ -235,17 +279,71 @@ func (c *Client) compatible() (string, error) {
 	return "", fmt.Errorf("gpurelay: SKU %s not in catalog", c.SKU)
 }
 
-// Service is the cloud recording service.
+// Service is the cloud recording service: a bounded pool of single-tenant
+// recording VMs behind a FIFO admission queue, plus a store of speculation
+// histories shared among sessions recording the same workload on the same
+// GPU SKU. It is safe for concurrent use — multiple clients (and multiple
+// sessions of one client, capacity permitting) can record in parallel.
 type Service struct {
-	svc   *cloud.Service
-	image *cloud.Image
+	svc       *cloud.Service
+	mgr       *cloud.SessionManager
+	image     *cloud.Image
+	histories *shim.HistoryStore
+}
+
+// ServiceConfig tunes a Service. The zero value gives a pool of 16
+// concurrent recording VMs, an admission queue of 64, one session per
+// client, and the paper's speculation confidence threshold k=3.
+type ServiceConfig struct {
+	// Capacity bounds concurrently live recording VMs (0 → 16).
+	Capacity int
+	// QueueLimit bounds admissions waiting for a VM slot once the pool
+	// is full; past it Record fails fast with ErrCapacity (0 →
+	// 4×Capacity, negative → no queueing).
+	QueueLimit int
+	// PerClientSessions bounds concurrent recording sessions per client
+	// ID (0 → 1).
+	PerClientSessions int
+	// HistoryK is the speculation confidence threshold for the shared
+	// history store (0 → 3).
+	HistoryK int
 }
 
 // NewService creates a cloud service hosting the default Bifrost GPU-stack
-// image.
+// image, with default capacity and admission limits.
 func NewService() *Service {
+	return NewServiceWith(ServiceConfig{})
+}
+
+// NewServiceWith creates a cloud service with explicit capacity, queueing,
+// and history configuration.
+func NewServiceWith(cfg ServiceConfig) *Service {
 	img := cloud.DefaultImage()
-	return &Service{svc: cloud.NewService(img), image: img}
+	svc := cloud.NewService(img)
+	mgr := cloud.NewSessionManager(svc, cloud.SessionConfig{
+		Capacity:       cfg.Capacity,
+		QueueLimit:     cfg.QueueLimit,
+		PerClientLimit: cfg.PerClientSessions,
+	})
+	k := cfg.HistoryK
+	if k <= 0 {
+		k = 3
+	}
+	return &Service{svc: svc, mgr: mgr, image: img, histories: shim.NewHistoryStore(k)}
+}
+
+// ActiveVMs reports the number of live recording VMs.
+func (s *Service) ActiveVMs() int { return s.mgr.ActiveVMs() }
+
+// QueuedSessions reports the number of admissions waiting for a VM slot.
+func (s *Service) QueuedSessions() int { return s.mgr.Queued() }
+
+// SharedHistory returns the service-owned speculation history that record
+// sessions for the given SKU and workload share (created empty on first
+// use). RecordOptions.History overrides it per call — the knob the §7.3
+// history-ablation experiments use.
+func (s *Service) SharedHistory(sku *SKU, model *Model) *SpeculationHistory {
+	return s.histories.Get(shim.HistoryKey{SKU: sku.Name, Stack: s.image.Stack, Workload: model.Name})
 }
 
 // RecordOptions tunes a record run. The zero value records with all
@@ -253,8 +351,11 @@ func NewService() *Service {
 type RecordOptions struct {
 	Variant Variant
 	Network Network
-	// History carries speculation history across recordings of multiple
-	// workloads (§7.3); nil uses a fresh history.
+	// History overrides the speculation history for this run (the §7.3
+	// ablation experiments thread one explicitly). Nil uses the
+	// service's shared store, keyed by (SKU, stack, workload), so
+	// concurrent clients recording the same model on the same hardware
+	// warm each other up automatically.
 	History *SpeculationHistory
 	// InjectMispredictionAt arms the §7.3 fault-injection experiment: the
 	// nth speculated commit is treated as mispredicted, forcing a
@@ -274,6 +375,16 @@ func NewSpeculationHistory() *SpeculationHistory { return shim.NewHistory(3) }
 // cloud GPU stack against this device's GPU, and download the signed
 // recording.
 func (c *Client) Record(svc *Service, model *Model, opts RecordOptions) (*Recording, RecordStats, error) {
+	return c.RecordContext(context.Background(), svc, model, opts)
+}
+
+// RecordContext is Record with admission control and cancellation: when the
+// service's VM pool is saturated the call queues (FIFO) for a slot, and a
+// context deadline or cancel aborts the session — whether still queued or
+// already mid-recording — releasing its VM and returning an error that
+// wraps the context's cause. Saturation past the admission queue fails fast
+// with ErrCapacity.
+func (c *Client) RecordContext(ctx context.Context, svc *Service, model *Model, opts RecordOptions) (*Recording, RecordStats, error) {
 	if opts.Network.Name == "" {
 		opts.Network = WiFi
 	}
@@ -285,11 +396,11 @@ func (c *Client) Record(svc *Service, model *Model, opts RecordOptions) (*Record
 	if _, err := rand.Read(nonce); err != nil {
 		return nil, RecordStats{}, err
 	}
-	vm, err := svc.svc.Launch(c.ID, svc.image.Name, compat, nonce)
+	vm, err := svc.mgr.Acquire(ctx, c.ID, svc.image.Name, compat, nonce)
 	if err != nil {
 		return nil, RecordStats{}, fmt.Errorf("gpurelay: launching recording VM: %w", err)
 	}
-	defer svc.svc.Release(vm)
+	defer svc.mgr.Release(vm)
 	// Attestation: the client accepts only the measurement it expects for
 	// this image and GPU.
 	want, err := cloud.ExpectedMeasurement(svc.image, compat)
@@ -297,19 +408,23 @@ func (c *Client) Record(svc *Service, model *Model, opts RecordOptions) (*Record
 		return nil, RecordStats{}, err
 	}
 	if vm.Measurement != want {
-		return nil, RecordStats{}, fmt.Errorf("gpurelay: VM attestation failed")
+		return nil, RecordStats{}, fmt.Errorf("gpurelay: VM measurement mismatch for image %q on %q: %w",
+			svc.image.Name, compat, ErrAttestation)
 	}
 	key := append([]byte(nil), vm.SessionKey...)
 
-	c.seed += 0x9E3779B97F4A7C15
+	hist := opts.History
+	if hist == nil {
+		hist = svc.SharedHistory(c.SKU, model)
+	}
 	inject := -1
 	if opts.InjectMispredictionAt > 0 {
 		inject = opts.InjectMispredictionAt
 	}
-	res, err := record.Run(record.Config{
+	res, err := record.RunContext(ctx, record.Config{
 		Variant: opts.Variant, Model: model, SKU: c.SKU, Network: opts.Network,
-		SessionKey: key, History: opts.History,
-		ClientSeed: c.seed, InjectMispredictionAt: inject,
+		SessionKey: key, History: hist,
+		ClientSeed: c.nextSeed(), InjectMispredictionAt: inject,
 	})
 	if err != nil {
 		return nil, RecordStats{}, err
@@ -340,6 +455,12 @@ func (s *SegmentedRecording) Layers() int { return len(s.segs) }
 // the model's layer boundaries, producing one independently signed recording
 // per layer.
 func (c *Client) RecordSegmented(svc *Service, model *Model, opts RecordOptions) (*SegmentedRecording, RecordStats, error) {
+	return c.RecordSegmentedContext(context.Background(), svc, model, opts)
+}
+
+// RecordSegmentedContext is RecordSegmented with the same admission control
+// and cancellation semantics as RecordContext.
+func (c *Client) RecordSegmentedContext(ctx context.Context, svc *Service, model *Model, opts RecordOptions) (*SegmentedRecording, RecordStats, error) {
 	if opts.Network.Name == "" {
 		opts.Network = WiFi
 	}
@@ -351,18 +472,21 @@ func (c *Client) RecordSegmented(svc *Service, model *Model, opts RecordOptions)
 	if _, err := rand.Read(nonce); err != nil {
 		return nil, RecordStats{}, err
 	}
-	vm, err := svc.svc.Launch(c.ID, svc.image.Name, compat, nonce)
+	vm, err := svc.mgr.Acquire(ctx, c.ID, svc.image.Name, compat, nonce)
 	if err != nil {
-		return nil, RecordStats{}, err
+		return nil, RecordStats{}, fmt.Errorf("gpurelay: launching recording VM: %w", err)
 	}
-	defer svc.svc.Release(vm)
+	defer svc.mgr.Release(vm)
 	key := append([]byte(nil), vm.SessionKey...)
 
-	c.seed += 0x9E3779B97F4A7C15
-	res, err := record.Run(record.Config{
+	hist := opts.History
+	if hist == nil {
+		hist = svc.SharedHistory(c.SKU, model)
+	}
+	res, err := record.RunContext(ctx, record.Config{
 		Variant: opts.Variant, Model: model, SKU: c.SKU, Network: opts.Network,
-		SessionKey: key, History: opts.History,
-		ClientSeed: c.seed, InjectMispredictionAt: -1,
+		SessionKey: key, History: hist,
+		ClientSeed: c.nextSeed(), InjectMispredictionAt: -1,
 	})
 	if err != nil {
 		return nil, RecordStats{}, err
@@ -389,7 +513,7 @@ func (c *Client) NewChainedReplaySession(rec *SegmentedRecording) (*ReplaySessio
 		return nil, err
 	}
 	pool := gpumem.NewPool(first.PoolSize)
-	gpu := mali.New(c.SKU, pool, c.clock, c.seed^0xC0DEC0DE)
+	gpu := mali.New(c.SKU, pool, c.clock, c.currentSeed()^0xC0DEC0DE)
 	ctrl := tee.NewController(gpu)
 	rp, err := replay.NewChained(rec.segs, rec.key, gpu, ctrl, c.clock)
 	if err != nil {
@@ -412,8 +536,19 @@ type ReplaySession struct {
 // prepares the TEE-side replayer. The device reserves secure memory sized to
 // the recording's footprint (§3.1).
 func (c *Client) NewReplaySession(rec *Recording) (*ReplaySession, error) {
+	return c.NewReplaySessionContext(context.Background(), rec)
+}
+
+// NewReplaySessionContext is NewReplaySession honoring a context: session
+// setup (verification and secure-memory reservation) is abandoned if ctx
+// ends first. Replay itself runs entirely on-device and needs no network,
+// so a prepared session never blocks on anything cancellable.
+func (c *Client) NewReplaySessionContext(ctx context.Context, rec *Recording) (*ReplaySession, error) {
 	if rec == nil || rec.signed == nil {
 		return nil, fmt.Errorf("gpurelay: nil recording")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("gpurelay: replay session setup: %w", err)
 	}
 	// Peek at the pool size requirement (the payload is verified again by
 	// replay.New).
@@ -421,8 +556,11 @@ func (c *Client) NewReplaySession(rec *Recording) (*ReplaySession, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("gpurelay: replay session setup: %w", err)
+	}
 	pool := gpumem.NewPool(peek.PoolSize)
-	gpu := mali.New(c.SKU, pool, c.clock, c.seed^0xBADC0FFEE)
+	gpu := mali.New(c.SKU, pool, c.clock, c.currentSeed()^0xBADC0FFEE)
 	ctrl := tee.NewController(gpu)
 	rp, err := replay.New(rec.signed, rec.key, gpu, ctrl, c.clock)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"gpurelay/internal/grterr"
 	"gpurelay/internal/mali"
 	"gpurelay/internal/tee"
 )
@@ -64,17 +65,36 @@ type VM struct {
 type Service struct {
 	mu     sync.Mutex
 	images map[string]*Image
-	active map[string]*VM // by client ID: at most one VM per client session
-	seq    int
+	// active tracks each client's live VMs. VMs are never shared or
+	// reused across clients (§3.1); how many a single client may hold
+	// concurrently is bounded by perClient.
+	active    map[string][]*VM
+	perClient int
+	seq       int
 }
 
-// NewService creates a service hosting the given images.
+// NewService creates a service hosting the given images. Clients may hold
+// one VM at a time (the paper's single-session model); SetPerClientLimit
+// raises that for multi-session clients.
 func NewService(images ...*Image) *Service {
-	s := &Service{images: map[string]*Image{}, active: map[string]*VM{}}
+	s := &Service{images: map[string]*Image{}, active: map[string][]*VM{}, perClient: 1}
 	for _, img := range images {
 		s.images[img.Name] = img
 	}
 	return s
+}
+
+// SetPerClientLimit bounds how many recording VMs one client ID may hold
+// concurrently (minimum 1). Each VM is still dedicated to a single
+// recording session; the limit only admits parallel sessions from one
+// device.
+func (s *Service) SetPerClientLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.perClient = n
 }
 
 // measurement computes the attestation measurement of an image+devicetree
@@ -92,7 +112,8 @@ func measurement(img *Image, dt DeviceTree) [32]byte {
 func ExpectedMeasurement(img *Image, gpuCompatible string) ([32]byte, error) {
 	dt, ok := img.DeviceTrees[gpuCompatible]
 	if !ok {
-		return [32]byte{}, fmt.Errorf("cloud: image %q has no devicetree for %q", img.Name, gpuCompatible)
+		return [32]byte{}, fmt.Errorf("cloud: image %q has no devicetree for %q: %w",
+			img.Name, gpuCompatible, grterr.ErrSKUMismatch)
 	}
 	return measurement(img, dt), nil
 }
@@ -104,8 +125,9 @@ func ExpectedMeasurement(img *Image, gpuCompatible string) ([32]byte, error) {
 func (s *Service) Launch(clientID, imageName, gpuCompatible string, clientNonce []byte) (*VM, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, busy := s.active[clientID]; busy {
-		return nil, fmt.Errorf("cloud: client %q already holds a recording VM", clientID)
+	if len(s.active[clientID]) >= s.perClient {
+		return nil, fmt.Errorf("cloud: client %q already holds %d recording VM(s): %w",
+			clientID, len(s.active[clientID]), grterr.ErrSessionLimit)
 	}
 	img, ok := s.images[imageName]
 	if !ok {
@@ -113,7 +135,8 @@ func (s *Service) Launch(clientID, imageName, gpuCompatible string, clientNonce 
 	}
 	dt, ok := img.DeviceTrees[gpuCompatible]
 	if !ok {
-		return nil, fmt.Errorf("cloud: image %q cannot drive GPU %q", imageName, gpuCompatible)
+		return nil, fmt.Errorf("cloud: image %q cannot drive GPU %q: %w",
+			imageName, gpuCompatible, grterr.ErrSKUMismatch)
 	}
 	cloudNonce := make([]byte, 16)
 	if _, err := rand.Read(cloudNonce); err != nil {
@@ -129,16 +152,29 @@ func (s *Service) Launch(clientID, imageName, gpuCompatible string, clientNonce 
 		ClientID:    clientID,
 		SessionKey:  tee.DeriveSessionKey(m, clientNonce, cloudNonce),
 	}
-	s.active[clientID] = vm
+	s.active[clientID] = append(s.active[clientID], vm)
 	return vm, nil
 }
 
-// Release tears a VM down after its single recording session.
+// Release tears a VM down after its single recording session. Releasing an
+// already-released VM is a no-op.
 func (s *Service) Release(vm *VM) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if cur, ok := s.active[vm.ClientID]; ok && cur == vm {
+	if vm.released {
+		return
+	}
+	vms := s.active[vm.ClientID]
+	for i, cur := range vms {
+		if cur == vm {
+			vms = append(vms[:i], vms[i+1:]...)
+			break
+		}
+	}
+	if len(vms) == 0 {
 		delete(s.active, vm.ClientID)
+	} else {
+		s.active[vm.ClientID] = vms
 	}
 	vm.released = true
 	// The recording never persists cloud-side: no caching across clients
@@ -152,5 +188,9 @@ func (s *Service) Release(vm *VM) {
 func (s *Service) ActiveVMs() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.active)
+	n := 0
+	for _, vms := range s.active {
+		n += len(vms)
+	}
+	return n
 }

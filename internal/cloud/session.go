@@ -1,0 +1,171 @@
+package cloud
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"gpurelay/internal/grterr"
+)
+
+// SessionConfig tunes a SessionManager. The zero value gives a pool of 16
+// VMs, an admission queue of four times the pool, and one session per
+// client.
+type SessionConfig struct {
+	// Capacity is the maximum number of concurrently live recording VMs;
+	// 0 or negative selects the default of 16.
+	Capacity int
+	// QueueLimit is the maximum number of admissions allowed to wait for
+	// a VM slot once the pool is full; beyond it Acquire fails
+	// immediately with ErrCapacity. 0 selects the default of
+	// 4×Capacity; negative disables queueing entirely.
+	QueueLimit int
+	// PerClientLimit is the maximum number of concurrent sessions one
+	// client ID may hold; 0 or negative selects the default of 1.
+	PerClientLimit int
+}
+
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.Capacity <= 0 {
+		c.Capacity = 16
+	}
+	switch {
+	case c.QueueLimit == 0:
+		c.QueueLimit = 4 * c.Capacity
+	case c.QueueLimit < 0:
+		c.QueueLimit = 0
+	}
+	if c.PerClientLimit <= 0 {
+		c.PerClientLimit = 1
+	}
+	return c
+}
+
+// SessionManager is the admission controller in front of a Service: it
+// bounds the number of concurrently live recording VMs, queues admissions
+// FIFO when the pool is saturated, and rejects with ErrCapacity once the
+// queue is full too. Waiting is context-aware: a queued admission whose
+// context ends leaves the queue without consuming a slot.
+//
+// A freed slot is handed directly to the oldest waiter (the pool's in-use
+// count never dips while someone is queued), so admission order is strictly
+// first-come-first-served.
+type SessionManager struct {
+	svc *Service
+	cfg SessionConfig
+
+	mu      sync.Mutex
+	inUse   int
+	queue   []chan struct{}
+	granted map[*VM]bool
+}
+
+// NewSessionManager wraps a Service with admission control. The config's
+// per-client limit is installed on the Service.
+func NewSessionManager(svc *Service, cfg SessionConfig) *SessionManager {
+	cfg = cfg.withDefaults()
+	svc.SetPerClientLimit(cfg.PerClientLimit)
+	return &SessionManager{svc: svc, cfg: cfg, granted: map[*VM]bool{}}
+}
+
+// Config returns the manager's effective (defaulted) configuration.
+func (m *SessionManager) Config() SessionConfig { return m.cfg }
+
+// ActiveVMs reports the number of live recording VMs.
+func (m *SessionManager) ActiveVMs() int { return m.svc.ActiveVMs() }
+
+// Queued reports the number of admissions currently waiting for a slot.
+func (m *SessionManager) Queued() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Acquire admits one recording session and launches its VM, waiting (FIFO,
+// honoring ctx) for a pool slot when the service is saturated. Errors
+// unwrap to grterr.ErrCapacity (pool and queue both full),
+// grterr.ErrSessionLimit (client over its concurrent-session limit),
+// grterr.ErrSKUMismatch (image cannot drive the GPU), or the context's
+// error when the wait is abandoned. The returned VM must be released with
+// Release.
+func (m *SessionManager) Acquire(ctx context.Context, clientID, imageName, gpuCompatible string, clientNonce []byte) (*VM, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cloud: admission: %w", err)
+	}
+	m.mu.Lock()
+	if m.inUse < m.cfg.Capacity && len(m.queue) == 0 {
+		m.inUse++
+		m.mu.Unlock()
+	} else {
+		if len(m.queue) >= m.cfg.QueueLimit {
+			busy, queued := m.inUse, len(m.queue)
+			m.mu.Unlock()
+			return nil, fmt.Errorf("cloud: pool saturated (%d VMs busy, %d admissions queued): %w",
+				busy, queued, grterr.ErrCapacity)
+		}
+		turn := make(chan struct{})
+		m.queue = append(m.queue, turn)
+		m.mu.Unlock()
+		select {
+		case <-turn:
+			// The releaser handed its slot to us; inUse already counts it.
+		case <-ctx.Done():
+			m.abandon(turn)
+			return nil, fmt.Errorf("cloud: admission wait: %w", ctx.Err())
+		}
+	}
+	vm, err := m.svc.Launch(clientID, imageName, gpuCompatible, clientNonce)
+	if err != nil {
+		m.releaseSlot()
+		return nil, err
+	}
+	m.mu.Lock()
+	m.granted[vm] = true
+	m.mu.Unlock()
+	return vm, nil
+}
+
+// Release tears down a VM acquired through this manager and passes its pool
+// slot to the oldest waiter, if any. Releasing a VM twice, or one the
+// manager did not grant, is a no-op.
+func (m *SessionManager) Release(vm *VM) {
+	m.mu.Lock()
+	if !m.granted[vm] {
+		m.mu.Unlock()
+		return
+	}
+	delete(m.granted, vm)
+	m.mu.Unlock()
+	m.svc.Release(vm)
+	m.releaseSlot()
+}
+
+// releaseSlot returns one pool slot: directly to the head-of-line waiter
+// when the queue is non-empty, otherwise back to the free pool.
+func (m *SessionManager) releaseSlot() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) > 0 {
+		turn := m.queue[0]
+		m.queue = m.queue[1:]
+		close(turn)
+		return
+	}
+	m.inUse--
+}
+
+// abandon removes a canceled waiter from the queue. If the waiter had
+// already been granted a slot (the grant raced the cancellation), the slot
+// is passed on.
+func (m *SessionManager) abandon(turn chan struct{}) {
+	m.mu.Lock()
+	for i, t := range m.queue {
+		if t == turn {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			m.mu.Unlock()
+			return
+		}
+	}
+	m.mu.Unlock()
+	m.releaseSlot()
+}

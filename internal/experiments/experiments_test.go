@@ -17,7 +17,20 @@ func fastSuite() *Suite {
 	return NewSuite(mlfw.MNIST(), mlfw.AlexNet())
 }
 
+// skipIfRace skips the matrix tests under the race detector. They are
+// single-goroutine, CPU-bound full record simulations that slow down an
+// order of magnitude when instrumented and blow the default test timeout;
+// the shared-state paths they exercise (link, shims, history) get their
+// race coverage from the parallel record tests in the root package.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceDetectorEnabled {
+		t.Skip("matrix simulation too slow under -race; raced via root-package concurrency tests")
+	}
+}
+
 func TestFigure7Shape(t *testing.T) {
+	skipIfRace(t)
 	s := fastSuite()
 	for _, cond := range []netsim.Condition{netsim.WiFi, netsim.Cellular} {
 		rows, err := s.Figure7(cond)
@@ -44,6 +57,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigure7PaperBands(t *testing.T) {
+	skipIfRace(t)
 	// Absolute sanity on the WiFi numbers for MNIST: paper reports Naive
 	// 52s and OursMDS in the tens of seconds overall; stay within 3x.
 	s := fastSuite()
@@ -64,6 +78,7 @@ func TestFigure7PaperBands(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
+	skipIfRace(t)
 	s := fastSuite()
 	rows, err := s.Table1()
 	if err != nil {
@@ -90,6 +105,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	skipIfRace(t)
 	s := fastSuite()
 	rows, err := s.Table2()
 	if err != nil {
@@ -118,6 +134,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
+	skipIfRace(t)
 	s := fastSuite()
 	rows, err := s.Figure8()
 	if err != nil {
@@ -143,6 +160,7 @@ func TestFigure8Shape(t *testing.T) {
 }
 
 func TestFigure9Shape(t *testing.T) {
+	skipIfRace(t)
 	s := fastSuite()
 	rows, err := s.Figure9()
 	if err != nil {
@@ -165,6 +183,7 @@ func TestFigure9Shape(t *testing.T) {
 }
 
 func TestDeferralEfficacyBands(t *testing.T) {
+	skipIfRace(t)
 	s := fastSuite()
 	rows, err := s.DeferralEfficacy(netsim.WiFi)
 	if err != nil {
@@ -185,6 +204,7 @@ func TestDeferralEfficacyBands(t *testing.T) {
 }
 
 func TestSpeculationEfficacyBands(t *testing.T) {
+	skipIfRace(t)
 	s := fastSuite()
 	rows, err := s.SpeculationEfficacy(netsim.WiFi)
 	if err != nil {
@@ -205,6 +225,7 @@ func TestSpeculationEfficacyBands(t *testing.T) {
 }
 
 func TestMispredictionCostBands(t *testing.T) {
+	skipIfRace(t)
 	s := fastSuite()
 	rows, err := s.MispredictionCost("MNIST")
 	if err != nil {
@@ -221,6 +242,7 @@ func TestMispredictionCostBands(t *testing.T) {
 }
 
 func TestPollingOffloadBands(t *testing.T) {
+	skipIfRace(t)
 	s := fastSuite()
 	rows, err := s.PollingOffload()
 	if err != nil {
@@ -241,6 +263,7 @@ func TestPollingOffloadBands(t *testing.T) {
 }
 
 func TestHistoryAblation(t *testing.T) {
+	skipIfRace(t)
 	s := fastSuite()
 	// Warm the shared history first.
 	if _, err := s.Record("MNIST", record.OursMDS, netsim.WiFi); err != nil {
@@ -259,6 +282,7 @@ func TestHistoryAblation(t *testing.T) {
 }
 
 func TestRenderersProduceOutput(t *testing.T) {
+	skipIfRace(t)
 	s := NewSuite(mlfw.MNIST())
 	f7, err := s.Figure7(netsim.WiFi)
 	if err != nil {
@@ -294,6 +318,7 @@ func TestRenderersProduceOutput(t *testing.T) {
 }
 
 func TestKSweepAblation(t *testing.T) {
+	skipIfRace(t)
 	s := NewSuite(mlfw.MNIST())
 	rows, err := s.KSweep("MNIST", 1, 3)
 	if err != nil {
@@ -319,6 +344,7 @@ func TestKSweepAblation(t *testing.T) {
 }
 
 func TestRTTSweepShowsLatencyInsensitivity(t *testing.T) {
+	skipIfRace(t)
 	s := NewSuite(mlfw.MNIST())
 	rows, err := s.RTTSweep("MNIST", 10*time.Millisecond, 80*time.Millisecond)
 	if err != nil {
@@ -352,6 +378,7 @@ func TestRTTSweepShowsLatencyInsensitivity(t *testing.T) {
 }
 
 func TestSegmentationTradeoff(t *testing.T) {
+	skipIfRace(t)
 	s := NewSuite(mlfw.MNIST())
 	rows, err := s.SegmentationTradeoff("MNIST")
 	if err != nil {

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. See skipIfRace in experiments_test.go.
+const raceDetectorEnabled = true

@@ -1,0 +1,30 @@
+// Package grterr holds the sentinel errors shared across the gpurelay
+// layers. The cloud service, the trace verifier, and the replayer all fail
+// for reasons a caller must be able to distinguish programmatically —
+// admission control wants retry-with-backoff on capacity, attestation and
+// verification failures are security events, SKU mismatches need a
+// re-record — so each layer wraps the matching sentinel with %w and callers
+// test with errors.Is instead of string-matching. The package sits below
+// every other internal package and imports nothing, so any layer can use it
+// without cycles; the public gpurelay package re-exports the sentinels.
+package grterr
+
+import "errors"
+
+var (
+	// ErrAttestation marks a VM whose launch measurement did not match
+	// what the client expects for the image and GPU (§3.1).
+	ErrAttestation = errors.New("attestation failed")
+	// ErrCapacity marks an admission rejected because the recording
+	// service's VM pool and its admission queue are both full.
+	ErrCapacity = errors.New("service at capacity")
+	// ErrSessionLimit marks an admission rejected because the client
+	// already holds its maximum number of concurrent recording sessions.
+	ErrSessionLimit = errors.New("per-client session limit reached")
+	// ErrBadRecording marks a recording that failed signature or format
+	// verification (§7.1 replay integrity).
+	ErrBadRecording = errors.New("recording failed verification")
+	// ErrSKUMismatch marks a recording or image bound to a different GPU
+	// SKU than the device at hand (§2.4 early binding).
+	ErrSKUMismatch = errors.New("GPU SKU mismatch")
+)

@@ -9,6 +9,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -87,11 +88,27 @@ func (s Stats) TotalRTTs() int { return s.BlockingRTTs + s.AsyncRTTs }
 // TotalBytes returns payload bytes in both directions.
 func (s Stats) TotalBytes() int64 { return s.BytesSent + s.BytesReceived }
 
+// Canceled is thrown (via panic) out of a blocking link operation when the
+// link's bound context is done. The blocking round trips happen deep inside
+// the simulated GPU driver, which — like the real kbase driver — has no
+// error-return path for "the remote side hung up"; record.RunContext
+// recovers the panic at the session boundary and converts it into an
+// ordinary error wrapping the context's cause. Code outside the record path
+// never observes it.
+type Canceled struct{ Err error }
+
+func (c Canceled) Error() string { return "netsim: link canceled: " + c.Err.Error() }
+
+// Unwrap exposes the context error (context.Canceled or DeadlineExceeded)
+// to errors.Is.
+func (c Canceled) Unwrap() error { return c.Err }
+
 // Link is one end-to-end path between the cloud VM and the client TEE,
 // bound to a virtual clock. Methods advance that clock; they never sleep.
 type Link struct {
 	cond  Condition
 	clock *timesim.Clock
+	ctx   context.Context
 
 	mu    sync.Mutex
 	stats Stats
@@ -133,6 +150,22 @@ func (l *Link) perturb(base time.Duration) time.Duration {
 	return base
 }
 
+// Bind attaches a context to the link. Every subsequent blocking operation
+// checks the context before advancing the clock and aborts the session with
+// a Canceled panic once the context is done. Bind must be called before the
+// link is shared with the recording pipeline.
+func (l *Link) Bind(ctx context.Context) { l.ctx = ctx }
+
+// checkCtx aborts the in-flight exchange if the bound context is done.
+func (l *Link) checkCtx() {
+	if l.ctx == nil {
+		return
+	}
+	if err := l.ctx.Err(); err != nil {
+		panic(Canceled{Err: err})
+	}
+}
+
 // Condition returns the link's network condition.
 func (l *Link) Condition() Condition { return l.cond }
 
@@ -163,6 +196,7 @@ func (l *Link) cost(reqBytes, respBytes int64) (total, busy time.Duration) {
 // whole exchange. The virtual clock advances by RTT plus serialization time.
 // It returns the time at which the response arrived.
 func (l *Link) RoundTrip(reqBytes, respBytes int64) time.Duration {
+	l.checkCtx()
 	total, busy := l.cost(reqBytes, respBytes)
 	l.mu.Lock()
 	total = l.perturb(total)
@@ -182,6 +216,7 @@ func (l *Link) RoundTrip(reqBytes, respBytes int64) time.Duration {
 // NOT advanced; instead the completion time is returned so the caller can
 // later wait for it with WaitUntil if and when validation requires it.
 func (l *Link) AsyncRoundTrip(reqBytes, respBytes int64) (completion time.Duration) {
+	l.checkCtx()
 	total, busy := l.cost(reqBytes, respBytes)
 	l.mu.Lock()
 	total = l.perturb(total)
@@ -197,6 +232,7 @@ func (l *Link) AsyncRoundTrip(reqBytes, respBytes int64) (completion time.Durati
 // clock advances to it, otherwise nothing happens. It returns the stall
 // duration that was actually incurred.
 func (l *Link) WaitUntil(t time.Duration) time.Duration {
+	l.checkCtx()
 	now := l.clock.Now()
 	if t <= now {
 		return 0
@@ -208,6 +244,7 @@ func (l *Link) WaitUntil(t time.Duration) time.Duration {
 // OneWay models a unidirectional message (e.g. the final recording download
 // or an interrupt notification) of n bytes: half an RTT plus serialization.
 func (l *Link) OneWay(n int64) time.Duration {
+	l.checkCtx()
 	busy := l.cond.TransferTime(n)
 	done := l.clock.Advance(l.cond.RTT/2 + busy)
 	l.mu.Lock()

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -194,5 +196,47 @@ func TestLossDeterministicPerCondition(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("same condition produced different timelines: %v vs %v", a, b)
+	}
+}
+
+func TestLinkContextCancellationAbortsBlockingOps(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	clock := timesim.NewClock()
+	l := NewLink(WiFi, clock)
+	l.Bind(ctx)
+	l.RoundTrip(100, 100) // live context: exchanges proceed
+	before := clock.Now()
+	cancel()
+
+	expectCanceled := func(name string, op func()) {
+		defer func() {
+			r := recover()
+			c, ok := r.(Canceled)
+			if !ok {
+				t.Fatalf("%s after cancel: recovered %v, want Canceled", name, r)
+			}
+			if !errors.Is(c, context.Canceled) {
+				t.Fatalf("%s: %v does not unwrap to context.Canceled", name, c)
+			}
+		}()
+		op()
+		t.Fatalf("%s completed on a canceled link", name)
+	}
+	expectCanceled("RoundTrip", func() { l.RoundTrip(1, 1) })
+	expectCanceled("AsyncRoundTrip", func() { l.AsyncRoundTrip(1, 1) })
+	expectCanceled("WaitUntil", func() { l.WaitUntil(clock.Now() + time.Second) })
+	expectCanceled("OneWay", func() { l.OneWay(1) })
+	if clock.Now() != before {
+		t.Fatalf("canceled operations advanced the clock: %v -> %v", before, clock.Now())
+	}
+}
+
+func TestLinkWithoutContextNeverCancels(t *testing.T) {
+	clock := timesim.NewClock()
+	l := NewLink(WiFi, clock)
+	l.RoundTrip(1, 1)
+	l.OneWay(1)
+	if l.Stats().BlockingRTTs != 1 {
+		t.Fatalf("stats: %+v", l.Stats())
 	}
 }

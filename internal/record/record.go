@@ -14,6 +14,7 @@
 package record
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -182,12 +183,36 @@ func poolSizeFor(m *mlfw.Model) uint64 {
 // Run performs one complete record run and returns the signed recording plus
 // its statistics.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the record session's network link is
+// bound to ctx, so a deadline or cancel aborts the session at its next
+// round trip (the driver cannot make progress without one, making this
+// prompt). The abort surfaces deep inside the simulated driver as a
+// netsim.Canceled panic — the driver, like its real counterpart, has no
+// error path for a vanished remote GPU — which is recovered here and
+// returned as an error wrapping the context's cause, so callers can test
+// errors.Is(err, context.Canceled).
+func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	if cfg.Model == nil || cfg.SKU == nil {
 		return nil, fmt.Errorf("record: config needs a model and a SKU")
 	}
 	if len(cfg.SessionKey) == 0 {
 		return nil, fmt.Errorf("record: missing session key")
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("record: session not started: %w", cerr)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(netsim.Canceled)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, fmt.Errorf("record: session aborted: %w", c.Err)
+		}
+	}()
 	clock := timesim.NewClock()
 	poolSize := cfg.PoolSize
 	if poolSize == 0 {
@@ -206,6 +231,7 @@ func Run(cfg Config) (*Result, error) {
 	// Cloud side: VM-local memory, DriverShim, kernel facade.
 	cloudPool := gpumem.NewPool(poolSize)
 	link := netsim.NewLink(cfg.Network, clock)
+	link.Bind(ctx)
 	kern := kbase.NewStdKernel(clock)
 	dshim := shim.NewDriverShim(shim.Config{
 		Mode: cfg.Variant.ShimMode(), Link: link, Client: gshim, Clock: clock,

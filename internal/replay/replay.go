@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gpurelay/internal/gpumem"
+	"gpurelay/internal/grterr"
 	"gpurelay/internal/mali"
 	"gpurelay/internal/tee"
 	"gpurelay/internal/timesim"
@@ -95,8 +96,8 @@ func New(signed *trace.Signed, key []byte, gpu *mali.GPU, ctrl *tee.Controller, 
 		return nil, err
 	}
 	if rec.ProductID != gpu.SKU().ProductID {
-		return nil, fmt.Errorf("replay: recording is for GPU product %#x, this device is %#x",
-			rec.ProductID, gpu.SKU().ProductID)
+		return nil, fmt.Errorf("replay: recording is for GPU product %#x, this device is %#x: %w",
+			rec.ProductID, gpu.SKU().ProductID, grterr.ErrSKUMismatch)
 	}
 	if gpu.Pool().Size() < rec.PoolSize {
 		return nil, fmt.Errorf("replay: recording needs %d MB of secure memory, have %d MB",
@@ -133,14 +134,14 @@ func NewChained(segs []*trace.Signed, key []byte, gpu *mali.GPU, ctrl *tee.Contr
 				Regions:   rec.Regions,
 			}
 		} else if rec.ProductID != merged.ProductID {
-			return nil, fmt.Errorf("replay: segment %d targets product %#x, chain is %#x",
-				i, rec.ProductID, merged.ProductID)
+			return nil, fmt.Errorf("replay: segment %d targets product %#x, chain is %#x: %w",
+				i, rec.ProductID, merged.ProductID, grterr.ErrSKUMismatch)
 		}
 		merged.Events = append(merged.Events, rec.Events...)
 	}
 	if merged.ProductID != gpu.SKU().ProductID {
-		return nil, fmt.Errorf("replay: chain is for GPU product %#x, this device is %#x",
-			merged.ProductID, gpu.SKU().ProductID)
+		return nil, fmt.Errorf("replay: chain is for GPU product %#x, this device is %#x: %w",
+			merged.ProductID, gpu.SKU().ProductID, grterr.ErrSKUMismatch)
 	}
 	if gpu.Pool().Size() < merged.PoolSize {
 		return nil, fmt.Errorf("replay: chain needs %d MB of secure memory", merged.PoolSize>>20)

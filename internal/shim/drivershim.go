@@ -652,5 +652,5 @@ func (s *DriverShim) recover(c *asyncCommit) {
 	s.clock.Advance(cost)
 	s.stats.RecoveryTime += cost
 	// The speculation history at this signature is no longer trusted.
-	s.history.m[c.sig] = nil
+	s.history.Invalidate(c.sig)
 }

@@ -3,6 +3,7 @@ package shim
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Outcome is what the GPU answered for one commit: read values in order,
@@ -73,11 +74,19 @@ func CommitSignature(ops []RegOp) string {
 // across workloads on the same GPU stack instance ("recurring segments ...
 // across workloads", §4.2; the evaluation reuses history across the six
 // benchmarks, §7.3).
+//
+// History is safe for concurrent use: the recording service shares one
+// history among every session recording the same workload on the same SKU,
+// so multiple DriverShims read and append to it in parallel. Outcomes are
+// immutable once recorded — Predict hands out stored slices without
+// copying, which is safe because nothing ever mutates them in place.
 type History struct {
 	// K is the confidence threshold: predictions require the K most
 	// recent outcomes for a signature to be identical. The paper uses 3.
 	K int
-	m map[string][]Outcome
+
+	mu sync.Mutex
+	m  map[string][]Outcome
 }
 
 // NewHistory creates a history with confidence threshold k.
@@ -92,6 +101,8 @@ func NewHistory(k int) *History {
 // speculation criteria hold: at least K recorded outcomes, the most recent K
 // of which are identical.
 func (h *History) Predict(sig string) (Outcome, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	hist := h.m[sig]
 	if len(hist) < h.K {
 		return Outcome{}, false
@@ -107,6 +118,8 @@ func (h *History) Predict(sig string) (Outcome, bool) {
 
 // Record appends an observed outcome. Only a bounded window is retained.
 func (h *History) Record(sig string, o Outcome) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	hist := append(h.m[sig], o)
 	if len(hist) > 2*h.K+4 {
 		hist = hist[len(hist)-(2*h.K+4):]
@@ -114,5 +127,18 @@ func (h *History) Record(sig string, o Outcome) {
 	h.m[sig] = hist
 }
 
+// Invalidate drops all outcomes for a signature. Misprediction recovery
+// calls this: the history at the diverged signature is no longer trusted
+// (§4.2), so confidence must be rebuilt from scratch.
+func (h *History) Invalidate(sig string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.m, sig)
+}
+
 // Signatures returns the number of distinct commit signatures seen.
-func (h *History) Signatures() int { return len(h.m) }
+func (h *History) Signatures() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.m)
+}

@@ -1,0 +1,56 @@
+package shim
+
+import "sync"
+
+// HistoryKey identifies one shared speculation history. Two record sessions
+// produce interchangeable commit histories exactly when they dry run the
+// same workload through the same GPU stack against the same GPU SKU: the
+// driver then walks the same code paths, emits the same commit signatures,
+// and the GPU answers with the same outcomes. The recording service keys
+// its history store on this triple so concurrent clients recording the same
+// model on the same hardware warm each other up automatically.
+type HistoryKey struct {
+	// SKU is the GPU hardware model name (e.g. "Mali-G71 MP8").
+	SKU string
+	// Stack is the cloud image's GPU stack variant (e.g.
+	// "acl-20.05/libmali/bifrost-r24").
+	Stack string
+	// Workload is the model name (e.g. "MNIST").
+	Workload string
+}
+
+// HistoryStore is a service-owned map of speculation histories, one per
+// (SKU, stack, workload) triple, created on first use. It is safe for
+// concurrent use; the Histories it hands out are themselves concurrency-safe
+// and shared by reference, so every session recording under the same key
+// contributes to — and benefits from — the same commit history.
+type HistoryStore struct {
+	k  int
+	mu sync.Mutex
+	m  map[HistoryKey]*History
+}
+
+// NewHistoryStore creates a store whose histories use confidence threshold
+// k (the paper uses 3).
+func NewHistoryStore(k int) *HistoryStore {
+	return &HistoryStore{k: k, m: make(map[HistoryKey]*History)}
+}
+
+// Get returns the history for a key, creating an empty one on first use.
+func (s *HistoryStore) Get(key HistoryKey) *History {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.m[key]
+	if !ok {
+		h = NewHistory(s.k)
+		s.m[key] = h
+	}
+	return h
+}
+
+// Len returns the number of distinct keys with a history.
+func (s *HistoryStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

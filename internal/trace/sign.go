@@ -4,6 +4,8 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"fmt"
+
+	"gpurelay/internal/grterr"
 )
 
 // The cloud signs every recording before returning it to the client; the
@@ -40,11 +42,12 @@ func Verify(s *Signed, key []byte) (*Recording, error) {
 	mac := hmac.New(sha256.New, key)
 	mac.Write(s.Payload)
 	if !hmac.Equal(mac.Sum(nil), s.MAC[:]) {
-		return nil, fmt.Errorf("trace: recording signature verification failed")
+		return nil, fmt.Errorf("trace: recording signature verification failed: %w",
+			grterr.ErrBadRecording)
 	}
 	r := &Recording{}
 	if err := r.UnmarshalBinary(s.Payload); err != nil {
-		return nil, fmt.Errorf("trace: signed payload corrupt: %w", err)
+		return nil, fmt.Errorf("trace: signed payload corrupt (%v): %w", err, grterr.ErrBadRecording)
 	}
 	return r, nil
 }
