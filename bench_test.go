@@ -20,8 +20,28 @@ import (
 	"gpurelay/internal/experiments"
 	"gpurelay/internal/mlfw"
 	"gpurelay/internal/netsim"
+	"gpurelay/internal/obs"
 	"gpurelay/internal/record"
 )
+
+// reportCollectorMetrics reports one cached record run's headline telemetry
+// counters — the same series a /metrics endpoint serves — as benchmark
+// metrics: blocking round trips, synchronization traffic, and the fraction
+// of commits whose latency speculation hid.
+func reportCollectorMetrics(b *testing.B, s *experiments.Suite, model string, v record.Variant, cond netsim.Condition) {
+	b.Helper()
+	res, err := s.Record(model, v, cond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := res.Stats.Obs
+	b.ReportMetric(float64(snap.Counter(obs.MNetRTTs, obs.L("mode", "blocking"))), "blocking-rtts/op")
+	b.ReportMetric(float64(snap.CounterTotal(obs.MSyncBytes))/1e6, "sync-MB/op")
+	if commits := snap.CounterTotal(obs.MShimCommits); commits > 0 {
+		b.ReportMetric(float64(snap.Counter(obs.MShimCommits, obs.L("kind", "async")))/
+			float64(commits), "spec-hit-rate")
+	}
+}
 
 // benchModels keeps benchmark iterations affordable while covering the
 // small/large extremes; run cmd/grtbench for the full six-model matrix.
@@ -40,6 +60,7 @@ func BenchmarkFigure7WiFi(b *testing.B) {
 			b.Log("\n" + experiments.RenderFigure7("Figure 7(a): WiFi", rows))
 			b.ReportMetric(rows[0].Delays[record.Naive].Seconds(), "naive-mnist-s")
 			b.ReportMetric(rows[0].Delays[record.OursMDS].Seconds(), "oursmds-mnist-s")
+			reportCollectorMetrics(b, s, "MNIST", record.OursMDS, netsim.WiFi)
 		}
 	}
 }
@@ -55,6 +76,7 @@ func BenchmarkFigure7Cellular(b *testing.B) {
 			b.Log("\n" + experiments.RenderFigure7("Figure 7(b): cellular", rows))
 			b.ReportMetric(rows[len(rows)-1].Delays[record.Naive].Seconds(), "naive-vgg16-s")
 			b.ReportMetric(rows[len(rows)-1].Delays[record.OursMDS].Seconds(), "oursmds-vgg16-s")
+			reportCollectorMetrics(b, s, "VGG16", record.OursMDS, netsim.Cellular)
 		}
 	}
 }
@@ -163,10 +185,12 @@ func BenchmarkRecordMNIST(b *testing.B) {
 // BenchmarkConcurrentRecord measures wall-clock record throughput at 1, 4,
 // and 16 parallel MNIST sessions against one service — the scaling baseline
 // for the concurrent recording service. Each parallel session is its own
-// client; the pool is sized to the parallelism so no session queues, and
-// the shared history store is live, as in production. The records/s metric
-// is the headline: future scaling PRs should move it up at high
-// parallelism.
+// client with its own counters-only telemetry scope; the pool is sized to
+// the parallelism so no session queues, and the shared history store is
+// live, as in production. The records/s metric is the headline: future
+// scaling PRs should move it up at high parallelism. The per-op traffic
+// metrics come from the service's fleet collector, which aggregates every
+// session scope.
 func BenchmarkConcurrentRecord(b *testing.B) {
 	for _, par := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
@@ -178,19 +202,31 @@ func BenchmarkConcurrentRecord(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var wg sync.WaitGroup
-				for _, c := range clients {
+				for ci, c := range clients {
 					wg.Add(1)
-					go func(c *Client) {
+					go func(c *Client, id string) {
 						defer wg.Done()
-						if _, _, err := c.Record(svc, MNIST(), RecordOptions{}); err != nil {
+						scope := NewScopeWith(id, ScopeOptions{SpanCapacity: -1})
+						if _, _, err := c.Record(svc, MNIST(), RecordOptions{Obs: scope}); err != nil {
 							b.Error(err)
 						}
-					}(c)
+					}(c, fmt.Sprintf("iter%d-sess%d", i, ci))
 				}
 				wg.Wait()
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(par)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+			snap := svc.Metrics()
+			ops := float64(snap.Counter(obs.MFleetSessions))
+			if ops > 0 {
+				b.ReportMetric(float64(snap.Counter(obs.MNetRTTs, obs.L("mode", "blocking")))/ops,
+					"blocking-rtts/op")
+				b.ReportMetric(float64(snap.CounterTotal(obs.MSyncBytes))/1e6/ops, "sync-MB/op")
+			}
+			if commits := snap.CounterTotal(obs.MShimCommits); commits > 0 {
+				b.ReportMetric(float64(snap.Counter(obs.MShimCommits, obs.L("kind", "async")))/
+					float64(commits), "spec-hit-rate")
+			}
 		})
 	}
 }

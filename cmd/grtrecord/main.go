@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -70,6 +71,8 @@ func main() {
 	netFlag := flag.String("network", "wifi", "network condition: wifi|cellular")
 	variantFlag := flag.String("variant", "oursmds", "recorder: naive|oursm|oursmd|oursmds")
 	outFlag := flag.String("o", "", "write the recording bundle to this file (for grtreplay)")
+	metricsFlag := flag.String("metrics", "", "write the session's metrics in Prometheus text format to this file (\"-\" for stdout)")
+	traceFlag := flag.String("trace-out", "", "write the session's phase timeline as Chrome trace JSON to this file (load in chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	model, err := modelByName(*modelFlag)
@@ -91,9 +94,13 @@ func main() {
 
 	client := gpurelay.NewClient("grtrecord-cli", sku)
 	svc := gpurelay.NewService()
+	var scope *gpurelay.Scope
+	if *metricsFlag != "" || *traceFlag != "" {
+		scope = gpurelay.NewScope(fmt.Sprintf("record/%s/%v/%s", model.Name, variant, network.Name))
+	}
 	fmt.Printf("recording %s on %s over %s with %v...\n", model.Name, sku.Name, network.Name, variant)
 	rec, stats, err := client.Record(svc, model, gpurelay.RecordOptions{
-		Variant: variant, Network: network,
+		Variant: variant, Network: network, Obs: scope,
 	})
 	if err != nil {
 		log.Fatalf("record: %v", err)
@@ -115,6 +122,38 @@ func main() {
 		}
 		fmt.Printf("wrote recording bundle to %s\n", *outFlag)
 	}
+	if *metricsFlag != "" {
+		if err := writeOutput(*metricsFlag, stats.Obs.WritePrometheus); err != nil {
+			log.Fatalf("writing metrics to %s: %v", *metricsFlag, err)
+		}
+		if *metricsFlag != "-" {
+			fmt.Printf("wrote session metrics to %s\n", *metricsFlag)
+		}
+	}
+	if *traceFlag != "" {
+		if err := writeOutput(*traceFlag, scope.WriteChromeTrace); err != nil {
+			log.Fatalf("writing trace to %s: %v", *traceFlag, err)
+		}
+		if *traceFlag != "-" {
+			fmt.Printf("wrote session timeline to %s (%d spans)\n", *traceFlag, len(scope.Spans()))
+		}
+	}
+}
+
+// writeOutput writes via fn to path, or to stdout when path is "-".
+func writeOutput(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeBundle serializes a recording for the demo CLIs. NOTE: it bundles the

@@ -52,6 +52,8 @@ func main() {
 	recFlag := flag.String("recording", "", "recording bundle from grtrecord")
 	skuFlag := flag.String("sku", "g71", "device GPU SKU: g71|g72|g52|g76")
 	nFlag := flag.Int("n", 1, "number of replays")
+	metricsFlag := flag.String("metrics", "", "write replay metrics in Prometheus text format to this file (\"-\" for stdout)")
+	traceFlag := flag.String("trace-out", "", "write the replay timeline as Chrome trace JSON to this file (load in chrome://tracing or Perfetto)")
 	flag.Parse()
 	if *recFlag == "" {
 		log.Fatal("-recording is required")
@@ -85,6 +87,11 @@ func main() {
 	sess, err := client.NewReplaySession(rec)
 	if err != nil {
 		log.Fatalf("replay session: %v", err)
+	}
+	var scope *gpurelay.Scope
+	if *metricsFlag != "" || *traceFlag != "" {
+		scope = gpurelay.NewScope(fmt.Sprintf("replay/%s", rec.Workload))
+		sess.Instrument(scope)
 	}
 
 	// Synthetic parameters and input (a real app provisions its trained
@@ -131,6 +138,38 @@ func main() {
 		fmt.Printf("replay %d: %.2f ms, %d events, class %d (p=%.3f)\n",
 			run, float64(res.Delay.Microseconds())/1000, res.Events, best, bestP)
 	}
+	if *metricsFlag != "" {
+		if err := writeOutput(*metricsFlag, scope.Snapshot().WritePrometheus); err != nil {
+			log.Fatalf("writing metrics to %s: %v", *metricsFlag, err)
+		}
+		if *metricsFlag != "-" {
+			fmt.Printf("wrote replay metrics to %s\n", *metricsFlag)
+		}
+	}
+	if *traceFlag != "" {
+		if err := writeOutput(*traceFlag, scope.WriteChromeTrace); err != nil {
+			log.Fatalf("writing trace to %s: %v", *traceFlag, err)
+		}
+		if *traceFlag != "-" {
+			fmt.Printf("wrote replay timeline to %s (%d spans)\n", *traceFlag, len(scope.Spans()))
+		}
+	}
+}
+
+// writeOutput writes via fn to path, or to stdout when path is "-".
+func writeOutput(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func inputElems(workload string) int {

@@ -35,6 +35,7 @@ import (
 	"context"
 	"crypto/rand"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -44,6 +45,7 @@ import (
 	"gpurelay/internal/mali"
 	"gpurelay/internal/mlfw"
 	"gpurelay/internal/netsim"
+	"gpurelay/internal/obs"
 	"gpurelay/internal/record"
 	"gpurelay/internal/replay"
 	"gpurelay/internal/shim"
@@ -128,6 +130,37 @@ const (
 // blocking round trips, synchronization traffic, speculation statistics,
 // client energy).
 type RecordStats = record.Stats
+
+// Scope collects one session's telemetry: a private metrics registry
+// (counters, gauges, histograms) plus a span timeline on the session's
+// virtual clock, exportable as Chrome trace_event JSON via
+// Scope.WriteChromeTrace. A nil *Scope is a true no-op: instrumented
+// sessions and uninstrumented ones produce bit-identical recordings and
+// delays.
+type Scope = obs.Scope
+
+// ScopeOptions tunes a telemetry Scope (span capacity, fleet registry).
+type ScopeOptions = obs.Options
+
+// MetricsSnapshot is a point-in-time copy of a metrics registry, readable
+// (Counter, Gauge, CounterTotal) and exportable as Prometheus text
+// (WritePrometheus).
+type MetricsSnapshot = obs.Snapshot
+
+// MetricLabel selects one series of a labeled metric when reading a
+// MetricsSnapshot, e.g. Counter("grt_net_rtts_total", Label("mode", "blocking")).
+type MetricLabel = obs.Label
+
+// Label builds a MetricLabel.
+func Label(key, value string) MetricLabel { return obs.L(key, value) }
+
+// NewScope creates a telemetry scope for one session. Pass it via
+// RecordOptions.Obs or ReplaySession.Instrument; the session binds its
+// virtual clock to the scope when it starts.
+func NewScope(id string) *Scope { return obs.NewScope(id, obs.Options{}) }
+
+// NewScopeWith creates a telemetry scope with explicit options.
+func NewScopeWith(id string, opts ScopeOptions) *Scope { return obs.NewScope(id, opts) }
 
 // Recording is a signed, replayable capture of one workload on one GPU SKU.
 type Recording struct {
@@ -289,6 +322,12 @@ type Service struct {
 	mgr       *cloud.SessionManager
 	image     *cloud.Image
 	histories *shim.HistoryStore
+	// fleet aggregates telemetry across every session the service hosts:
+	// admission outcomes and (wall-clock) queue waits from the session
+	// manager, history-store hit rates, and — for sessions recorded with a
+	// Scope — every per-session counter and histogram, double-written by
+	// the scope.
+	fleet *obs.Registry
 }
 
 // ServiceConfig tunes a Service. The zero value gives a pool of 16
@@ -329,8 +368,19 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 	if k <= 0 {
 		k = 3
 	}
-	return &Service{svc: svc, mgr: mgr, image: img, histories: shim.NewHistoryStore(k)}
+	fleet := obs.NewRegistry()
+	mgr.Instrument(fleet)
+	histories := shim.NewHistoryStore(k)
+	histories.Instrument(fleet)
+	return &Service{svc: svc, mgr: mgr, image: img, histories: histories, fleet: fleet}
 }
+
+// Metrics returns a snapshot of the service's fleet-wide metrics registry.
+func (s *Service) Metrics() *MetricsSnapshot { return s.fleet.Snapshot() }
+
+// WriteMetrics writes the fleet metrics in Prometheus text exposition
+// format (what a /metrics endpoint would serve).
+func (s *Service) WriteMetrics(w io.Writer) error { return s.fleet.WritePrometheus(w) }
 
 // ActiveVMs reports the number of live recording VMs.
 func (s *Service) ActiveVMs() int { return s.mgr.ActiveVMs() }
@@ -361,6 +411,13 @@ type RecordOptions struct {
 	// nth speculated commit is treated as mispredicted, forcing a
 	// detection + rollback cycle. Zero disables (use a positive index).
 	InjectMispredictionAt int
+	// Obs, when non-nil, collects the session's telemetry: phase spans on
+	// the session's virtual clock and the counters behind the paper's
+	// tables. Unless the scope already carries a fleet registry, the
+	// service's fleet registry is attached so session counters aggregate
+	// into the service-wide view. Nil records without instrumentation —
+	// the recording and its stats are bit-identical either way.
+	Obs *Scope
 }
 
 // SpeculationHistory is the cross-workload commit history (§4.2).
@@ -396,11 +453,15 @@ func (c *Client) RecordContext(ctx context.Context, svc *Service, model *Model, 
 	if _, err := rand.Read(nonce); err != nil {
 		return nil, RecordStats{}, err
 	}
+	opts.Obs.AttachFleet(svc.fleet)
 	vm, err := svc.mgr.Acquire(ctx, c.ID, svc.image.Name, compat, nonce)
 	if err != nil {
 		return nil, RecordStats{}, fmt.Errorf("gpurelay: launching recording VM: %w", err)
 	}
 	defer svc.mgr.Release(vm)
+	// Admission and attestation happen before the session's virtual clock
+	// exists, so they land on the timeline as instants at t=0.
+	opts.Obs.Annotate("session.admitted", "session")
 	// Attestation: the client accepts only the measurement it expects for
 	// this image and GPU.
 	want, err := cloud.ExpectedMeasurement(svc.image, compat)
@@ -411,6 +472,7 @@ func (c *Client) RecordContext(ctx context.Context, svc *Service, model *Model, 
 		return nil, RecordStats{}, fmt.Errorf("gpurelay: VM measurement mismatch for image %q on %q: %w",
 			svc.image.Name, compat, ErrAttestation)
 	}
+	opts.Obs.Annotate("session.attested", "session")
 	key := append([]byte(nil), vm.SessionKey...)
 
 	hist := opts.History
@@ -425,6 +487,7 @@ func (c *Client) RecordContext(ctx context.Context, svc *Service, model *Model, 
 		Variant: opts.Variant, Model: model, SKU: c.SKU, Network: opts.Network,
 		SessionKey: key, History: hist,
 		ClientSeed: c.nextSeed(), InjectMispredictionAt: inject,
+		Obs: opts.Obs,
 	})
 	if err != nil {
 		return nil, RecordStats{}, err
@@ -483,10 +546,12 @@ func (c *Client) RecordSegmentedContext(ctx context.Context, svc *Service, model
 	if hist == nil {
 		hist = svc.SharedHistory(c.SKU, model)
 	}
+	opts.Obs.AttachFleet(svc.fleet)
 	res, err := record.RunContext(ctx, record.Config{
 		Variant: opts.Variant, Model: model, SKU: c.SKU, Network: opts.Network,
 		SessionKey: key, History: hist,
 		ClientSeed: c.nextSeed(), InjectMispredictionAt: -1,
+		Obs: opts.Obs,
 	})
 	if err != nil {
 		return nil, RecordStats{}, err
@@ -568,6 +633,12 @@ func (c *Client) NewReplaySessionContext(ctx context.Context, rec *Recording) (*
 	}
 	return &ReplaySession{client: c, rp: rp, gpu: gpu}, nil
 }
+
+// Instrument attaches a telemetry scope to the session: replay runs record
+// per-kind event counters, verification counts, and restore spans into it,
+// and ReplayResult.Obs carries the snapshot. A nil scope (the default)
+// leaves replay uninstrumented.
+func (s *ReplaySession) Instrument(scope *Scope) { s.rp.Obs = scope }
 
 // SetInput stages fresh inference input.
 func (s *ReplaySession) SetInput(data []float32) error { return s.rp.SetInputF32(data) }

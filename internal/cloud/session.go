@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"gpurelay/internal/grterr"
+	"gpurelay/internal/obs"
 )
 
 // SessionConfig tunes a SessionManager. The zero value gives a pool of 16
@@ -58,6 +60,10 @@ type SessionManager struct {
 	inUse   int
 	queue   []chan struct{}
 	granted map[*VM]bool
+	// reg, when set, carries the fleet metrics: active-VM and queue-depth
+	// gauges, admission outcome counters, and the (wall-clock) admission
+	// wait histogram.
+	reg *obs.Registry
 }
 
 // NewSessionManager wraps a Service with admission control. The config's
@@ -70,6 +76,32 @@ func NewSessionManager(svc *Service, cfg SessionConfig) *SessionManager {
 
 // Config returns the manager's effective (defaulted) configuration.
 func (m *SessionManager) Config() SessionConfig { return m.cfg }
+
+// Instrument attaches the fleet metrics registry. Admission wait times are
+// measured on the wall clock — admission happens before a session's virtual
+// clock exists — so only the fleet registry (never a session scope) carries
+// them, keeping per-session telemetry deterministic.
+func (m *SessionManager) Instrument(reg *obs.Registry) {
+	m.mu.Lock()
+	m.reg = reg
+	m.mu.Unlock()
+}
+
+// registry reads the attached registry (nil when uninstrumented).
+func (m *SessionManager) registry() *obs.Registry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg
+}
+
+// syncGauges publishes the pool gauges. Callers hold m.mu.
+func (m *SessionManager) syncGauges() {
+	if m.reg == nil {
+		return
+	}
+	m.reg.GaugeSet(obs.MFleetQueueDepth, int64(len(m.queue)))
+	m.reg.GaugeSet(obs.MFleetActiveVMs, int64(m.inUse))
+}
 
 // ActiveVMs reports the number of live recording VMs.
 func (m *SessionManager) ActiveVMs() int { return m.svc.ActiveVMs() }
@@ -95,28 +127,47 @@ func (m *SessionManager) Acquire(ctx context.Context, clientID, imageName, gpuCo
 	m.mu.Lock()
 	if m.inUse < m.cfg.Capacity && len(m.queue) == 0 {
 		m.inUse++
+		m.syncGauges()
 		m.mu.Unlock()
+		if reg := m.registry(); reg != nil {
+			reg.Add(obs.MFleetAdmissions, 1, obs.L("outcome", "immediate"))
+		}
 	} else {
 		if len(m.queue) >= m.cfg.QueueLimit {
 			busy, queued := m.inUse, len(m.queue)
 			m.mu.Unlock()
+			if reg := m.registry(); reg != nil {
+				reg.Add(obs.MFleetAdmissions, 1, obs.L("outcome", "rejected"))
+			}
 			return nil, fmt.Errorf("cloud: pool saturated (%d VMs busy, %d admissions queued): %w",
 				busy, queued, grterr.ErrCapacity)
 		}
 		turn := make(chan struct{})
 		m.queue = append(m.queue, turn)
+		m.syncGauges()
 		m.mu.Unlock()
+		waitStart := time.Now()
 		select {
 		case <-turn:
 			// The releaser handed its slot to us; inUse already counts it.
+			if reg := m.registry(); reg != nil {
+				reg.Add(obs.MFleetAdmissions, 1, obs.L("outcome", "queued"))
+				reg.Observe(obs.MFleetAdmissionWait, time.Since(waitStart).Seconds())
+			}
 		case <-ctx.Done():
 			m.abandon(turn)
+			if reg := m.registry(); reg != nil {
+				reg.Add(obs.MFleetAdmissions, 1, obs.L("outcome", "abandoned"))
+			}
 			return nil, fmt.Errorf("cloud: admission wait: %w", ctx.Err())
 		}
 	}
 	vm, err := m.svc.Launch(clientID, imageName, gpuCompatible, clientNonce)
 	if err != nil {
 		m.releaseSlot()
+		if reg := m.registry(); reg != nil {
+			reg.Add(obs.MFleetAdmissions, 1, obs.L("outcome", "launch_failed"))
+		}
 		return nil, err
 	}
 	m.mu.Lock()
@@ -138,6 +189,9 @@ func (m *SessionManager) Release(vm *VM) {
 	m.mu.Unlock()
 	m.svc.Release(vm)
 	m.releaseSlot()
+	if reg := m.registry(); reg != nil {
+		reg.Add(obs.MFleetSessions, 1)
+	}
 }
 
 // releaseSlot returns one pool slot: directly to the head-of-line waiter
@@ -149,9 +203,11 @@ func (m *SessionManager) releaseSlot() {
 		turn := m.queue[0]
 		m.queue = m.queue[1:]
 		close(turn)
+		m.syncGauges()
 		return
 	}
 	m.inUse--
+	m.syncGauges()
 }
 
 // abandon removes a canceled waiter from the queue. If the waiter had
@@ -162,6 +218,7 @@ func (m *SessionManager) abandon(turn chan struct{}) {
 	for i, t := range m.queue {
 		if t == turn {
 			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			m.syncGauges()
 			m.mu.Unlock()
 			return
 		}

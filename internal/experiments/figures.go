@@ -8,6 +8,7 @@ import (
 	"gpurelay/internal/energy"
 	"gpurelay/internal/kbase"
 	"gpurelay/internal/netsim"
+	"gpurelay/internal/obs"
 	"gpurelay/internal/record"
 )
 
@@ -46,6 +47,9 @@ type Table1Row struct {
 
 // Table1 reproduces Table 1: blocking round trips for OursM/OursMD/OursMDS
 // and memory-synchronization traffic for Naive vs OursM, all under WiFi.
+// Both columns are read from each run's telemetry snapshot — the numbers in
+// the paper's table and the numbers a /metrics endpoint exposes are the same
+// series by construction.
 func (s *Suite) Table1() ([]Table1Row, error) {
 	var rows []Table1Row
 	for _, m := range s.Models {
@@ -59,9 +63,10 @@ func (s *Suite) Table1() ([]Table1Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			row.Jobs = res.Stats.Jobs
-			row.BlockingRTTs[v] = res.Stats.Link.BlockingRTTs
-			row.MemSyncMB[v] = float64(res.Stats.MemSyncBytes) / 1e6
+			snap := res.Stats.Obs
+			row.Jobs = int(snap.Counter(obs.MRecordJobs))
+			row.BlockingRTTs[v] = int(snap.Counter(obs.MNetRTTs, obs.L("mode", "blocking")))
+			row.MemSyncMB[v] = float64(snap.CounterTotal(obs.MSyncBytes)) / 1e6
 		}
 		rows = append(rows, row)
 	}
@@ -117,14 +122,14 @@ func (s *Suite) Figure8() ([]Figure8Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		spec := res.Stats.Shim.SpeculatedByCategory
-		total := 0
+		spec := res.Stats.Obs.CounterBy(obs.MShimSpeculatedByCat, "category")
+		var total int64
 		for _, n := range spec {
 			total += n
 		}
-		row := Figure8Row{Model: m.Name, Total: total, Share: map[kbase.Category]float64{}}
+		row := Figure8Row{Model: m.Name, Total: int(total), Share: map[kbase.Category]float64{}}
 		for cat, n := range spec {
-			row.Share[cat] = float64(n) / float64(total)
+			row.Share[kbase.Category(cat)] = float64(n) / float64(total)
 		}
 		rows = append(rows, row)
 	}

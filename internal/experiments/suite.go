@@ -19,6 +19,7 @@ import (
 	"gpurelay/internal/mali"
 	"gpurelay/internal/mlfw"
 	"gpurelay/internal/netsim"
+	"gpurelay/internal/obs"
 	"gpurelay/internal/record"
 	"gpurelay/internal/replay"
 	"gpurelay/internal/shim"
@@ -84,10 +85,17 @@ func (s *Suite) Record(model string, v record.Variant, cond netsim.Condition) (*
 	if v == record.OursMDS {
 		hist = s.history
 	}
+	// Every run carries a counters-only scope (spans disabled: a naive
+	// VGG16 recording makes hundreds of thousands of round trips). The
+	// tables below read their numbers from the resulting snapshot — the
+	// same collector a production /metrics endpoint would serve — instead
+	// of recomputing them from ad-hoc stat structs.
+	scope := obs.NewScope(key, obs.Options{SpanCapacity: -1})
 	res, err := record.Run(record.Config{
 		Variant: v, Model: s.model(model), SKU: s.SKU, Network: cond,
 		SessionKey: sessionKey, History: hist,
 		ClientSeed: 42, InjectMispredictionAt: -1,
+		Obs: scope,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: recording %s: %w", key, err)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gpurelay/internal/netsim"
+	"gpurelay/internal/obs"
 	"gpurelay/internal/record"
 	"gpurelay/internal/shim"
 )
@@ -35,12 +36,14 @@ func (s *Suite) DeferralEfficacy(cond netsim.Condition) ([]DeferralRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		blocking := func(r *record.Result) float64 {
+			return float64(r.Stats.Obs.Counter(obs.MNetRTTs, obs.L("mode", "blocking")))
+		}
 		rows = append(rows, DeferralRow{
 			Model: m.Name,
 			DelayReductionPct: 100 * (1 - def.Stats.RecordingDelay.Seconds()/
 				base.Stats.RecordingDelay.Seconds()),
-			RTTReductionPct: 100 * (1 - float64(def.Stats.Link.BlockingRTTs)/
-				float64(base.Stats.Link.BlockingRTTs)),
+			RTTReductionPct:   100 * (1 - blocking(def)/blocking(base)),
 			AccessesPerCommit: def.Stats.RegAccessesPerCommit,
 		})
 	}
@@ -74,15 +77,17 @@ func (s *Suite) SpeculationEfficacy(cond netsim.Condition) ([]SpeculationRow, er
 		if err != nil {
 			return nil, err
 		}
-		st := spec.Stats.Shim
+		snap := spec.Stats.Obs
 		rows = append(rows, SpeculationRow{
 			Model: m.Name,
 			DelayReductionPct: 100 * (1 - spec.Stats.RecordingDelay.Seconds()/
 				def.Stats.RecordingDelay.Seconds()),
-			RTTReductionPct: 100 * (1 - float64(spec.Stats.Link.BlockingRTTs)/
-				float64(def.Stats.Link.BlockingRTTs)),
-			CommitsSpeculatedPct: 100 * float64(st.AsyncCommits) / float64(st.Commits),
-			Mispredictions:       st.Mispredictions,
+			RTTReductionPct: 100 * (1 -
+				float64(snap.Counter(obs.MNetRTTs, obs.L("mode", "blocking")))/
+					float64(def.Stats.Obs.Counter(obs.MNetRTTs, obs.L("mode", "blocking")))),
+			CommitsSpeculatedPct: 100 * float64(snap.Counter(obs.MShimCommits, obs.L("kind", "async"))) /
+				float64(snap.CounterTotal(obs.MShimCommits)),
+			Mispredictions: int(snap.Counter(obs.MShimMispredictions)),
 		})
 	}
 	return rows, nil
@@ -148,12 +153,14 @@ func (s *Suite) PollingOffload() ([]PollingRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := res.Stats.Shim
+		snap := res.Stats.Obs
+		offloaded := snap.Counter(obs.MShimPollLoops, obs.L("offloaded", "true"))
+		saved := snap.Counter(obs.MShimPollRTTsSaved)
 		rows = append(rows, PollingRow{
 			Model:       m.Name,
-			Instances:   st.PollLoops,
-			RTTsWithout: st.PollLoopsOffloaded + st.PollRTTsSaved,
-			RTTsSaved:   st.PollRTTsSaved,
+			Instances:   int(snap.CounterTotal(obs.MShimPollLoops)),
+			RTTsWithout: int(offloaded + saved),
+			RTTsSaved:   int(saved),
 		})
 	}
 	return rows, nil

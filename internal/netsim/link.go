@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"gpurelay/internal/obs"
 	"gpurelay/internal/timesim"
 )
 
@@ -109,6 +110,9 @@ type Link struct {
 	cond  Condition
 	clock *timesim.Clock
 	ctx   context.Context
+	// obs collects per-session telemetry (round-trip counters and spans on
+	// the virtual clock); nil means uninstrumented and is a true no-op.
+	obs *obs.Scope
 
 	mu    sync.Mutex
 	stats Stats
@@ -138,17 +142,25 @@ func (l *Link) draw() float64 {
 }
 
 // perturb applies jitter and loss to one exchange's base latency, updating
-// the retransmit counter under l.mu.
-func (l *Link) perturb(base time.Duration) time.Duration {
+// the retransmit counter under l.mu. It returns the perturbed latency and
+// the number of retransmissions this exchange suffered.
+func (l *Link) perturb(base time.Duration) (time.Duration, int) {
 	if l.cond.Jitter > 0 {
 		base += time.Duration(l.draw() * float64(l.cond.Jitter))
 	}
+	retries := 0
 	for l.cond.LossPct > 0 && l.draw()*100 < l.cond.LossPct {
 		base += retransmitTimeout + l.cond.RTT
 		l.stats.Retransmits++
+		retries++
 	}
-	return base
+	return base, retries
 }
+
+// Instrument attaches a telemetry scope: every subsequent round trip counts
+// into it and (capacity permitting) records a span on the virtual clock. A
+// nil scope leaves the link uninstrumented.
+func (l *Link) Instrument(scope *obs.Scope) { l.obs = scope }
 
 // Bind attaches a context to the link. Every subsequent blocking operation
 // checks the context before advancing the clock and aborts the session with
@@ -199,15 +211,25 @@ func (l *Link) RoundTrip(reqBytes, respBytes int64) time.Duration {
 	l.checkCtx()
 	total, busy := l.cost(reqBytes, respBytes)
 	l.mu.Lock()
-	total = l.perturb(total)
+	var retries int
+	total, retries = l.perturb(total)
 	l.mu.Unlock()
+	endSpan := l.obs.Span("net.rtt", "net",
+		obs.A("req_bytes", reqBytes), obs.A("resp_bytes", respBytes))
 	done := l.clock.Advance(total)
+	endSpan()
 	l.mu.Lock()
 	l.stats.BlockingRTTs++
 	l.stats.BytesSent += reqBytes
 	l.stats.BytesReceived += respBytes
 	l.stats.Busy += busy
 	l.mu.Unlock()
+	l.obs.Count(obs.MNetRTTs, 1, obs.L("mode", "blocking"))
+	l.obs.Count(obs.MNetBytes, reqBytes, obs.L("dir", "sent"))
+	l.obs.Count(obs.MNetBytes, respBytes, obs.L("dir", "recv"))
+	if retries > 0 {
+		l.obs.Count(obs.MNetRetransmits, int64(retries))
+	}
 	return done
 }
 
@@ -219,12 +241,19 @@ func (l *Link) AsyncRoundTrip(reqBytes, respBytes int64) (completion time.Durati
 	l.checkCtx()
 	total, busy := l.cost(reqBytes, respBytes)
 	l.mu.Lock()
-	total = l.perturb(total)
+	var retries int
+	total, retries = l.perturb(total)
 	l.stats.AsyncRTTs++
 	l.stats.BytesSent += reqBytes
 	l.stats.BytesReceived += respBytes
 	l.stats.Busy += busy
 	l.mu.Unlock()
+	l.obs.Count(obs.MNetRTTs, 1, obs.L("mode", "async"))
+	l.obs.Count(obs.MNetBytes, reqBytes, obs.L("dir", "sent"))
+	l.obs.Count(obs.MNetBytes, respBytes, obs.L("dir", "recv"))
+	if retries > 0 {
+		l.obs.Count(obs.MNetRetransmits, int64(retries))
+	}
 	return l.clock.Now() + total
 }
 
@@ -237,7 +266,10 @@ func (l *Link) WaitUntil(t time.Duration) time.Duration {
 	if t <= now {
 		return 0
 	}
+	endSpan := l.obs.Span("net.wait", "net")
 	l.clock.AdvanceTo(t)
+	endSpan()
+	l.obs.Count(obs.MNetStallNS, int64(t-now))
 	return t - now
 }
 
@@ -246,10 +278,13 @@ func (l *Link) WaitUntil(t time.Duration) time.Duration {
 func (l *Link) OneWay(n int64) time.Duration {
 	l.checkCtx()
 	busy := l.cond.TransferTime(n)
+	endSpan := l.obs.Span("net.oneway", "net", obs.A("bytes", n))
 	done := l.clock.Advance(l.cond.RTT/2 + busy)
+	endSpan()
 	l.mu.Lock()
 	l.stats.BytesSent += n
 	l.stats.Busy += busy
 	l.mu.Unlock()
+	l.obs.Count(obs.MNetBytes, n, obs.L("dir", "sent"))
 	return done
 }

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteChromeTrace writes one or more scopes' span timelines as a Chrome
+// trace_event JSON document (load it at chrome://tracing or in Perfetto).
+// Each scope becomes one named thread; timestamps are virtual-clock
+// microseconds, so the export is bit-deterministic for a deterministic run.
+func WriteChromeTrace(w io.Writer, scopes ...*Scope) error {
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) error {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := io.WriteString(w, "\n"+s)
+		return err
+	}
+	if err := emit(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"gpurelay"}}`); err != nil {
+		return err
+	}
+	for i, sc := range scopes {
+		if sc == nil {
+			continue
+		}
+		tid := i + 1
+		name, err := json.Marshal(sc.ID())
+		if err != nil {
+			return err
+		}
+		if err := emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+			tid, name)); err != nil {
+			return err
+		}
+		for _, sp := range sc.Spans() {
+			line, err := chromeEvent(sp, tid)
+			if err != nil {
+				return err
+			}
+			if err := emit(line); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+// WriteChromeTrace exports this scope's timeline alone.
+func (s *Scope) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, s)
+}
+
+// usec renders a virtual duration as trace_event microseconds with
+// nanosecond precision.
+func usec(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e3, 'f', 3, 64)
+}
+
+func chromeEvent(sp Span, tid int) (string, error) {
+	name, err := json.Marshal(sp.Name)
+	if err != nil {
+		return "", err
+	}
+	cat, err := json.Marshal(sp.Cat)
+	if err != nil {
+		return "", err
+	}
+	args := ""
+	if len(sp.Args) > 0 {
+		args = `,"args":{`
+		for i, a := range sp.Args {
+			k, err := json.Marshal(a.Key)
+			if err != nil {
+				return "", err
+			}
+			if i > 0 {
+				args += ","
+			}
+			args += fmt.Sprintf("%s:%d", k, a.Value)
+		}
+		args += "}"
+	}
+	if sp.Instant {
+		return fmt.Sprintf(`{"ph":"i","s":"t","pid":1,"tid":%d,"ts":%s,"name":%s,"cat":%s%s}`,
+			tid, usec(sp.Start.Nanoseconds()), name, cat, args), nil
+	}
+	return fmt.Sprintf(`{"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"name":%s,"cat":%s%s}`,
+		tid, usec(sp.Start.Nanoseconds()), usec((sp.End - sp.Start).Nanoseconds()), name, cat, args), nil
+}

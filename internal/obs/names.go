@@ -1,0 +1,48 @@
+package obs
+
+// Canonical metric names. Instrumentation sites, the experiment suite, the
+// CLIs, and the tests all reference these constants so the collector and the
+// paper tables provably read the same series.
+const (
+	// netsim (per-session; Table 1 round trips and traffic).
+	MNetRTTs        = "grt_net_rtts_total"  // mode=blocking|async
+	MNetBytes       = "grt_net_bytes_total" // dir=sent|recv
+	MNetRetransmits = "grt_net_retransmits_total"
+	MNetStallNS     = "grt_net_stall_ns_total" // virtual ns stalled in WaitUntil
+
+	// shim (per-session; Figure 8 and §7.3 counters).
+	MShimRegAccesses     = "grt_shim_reg_accesses_total"
+	MShimCommits         = "grt_shim_commits_total"               // kind=sync|async
+	MShimCommitsByCat    = "grt_shim_commits_by_category_total"   // category=...
+	MShimSpeculatedByCat = "grt_shim_speculated_by_category_total" // category=...
+	MShimSpecStalls      = "grt_shim_spec_stalls_total"            // taint stalls
+	MShimMispredictions  = "grt_shim_mispredictions_total"
+	MShimRecoveryNS      = "grt_shim_recovery_ns_total" // rollback cost, virtual ns
+	MShimPollLoops       = "grt_shim_poll_loops_total"  // offloaded=true|false
+	MShimPollRTTsSaved   = "grt_shim_poll_rtts_saved_total"
+	MShimIRQWaits        = "grt_shim_irq_waits_total"
+
+	// record-side memory synchronization (§5; Table 1 MemSync column).
+	MSyncBytes    = "grt_memsync_bytes_total"     // dir=to_client|to_cloud (wire)
+	MSyncRawBytes = "grt_memsync_raw_bytes_total" // dir=...; pre-compression
+	MSyncDumps    = "grt_memsync_dumps_total"     // dir=...
+
+	// record session.
+	MRecordJobs            = "grt_record_jobs_total"
+	MRecordGuardViolations = "grt_record_guard_violations_total"
+
+	// replay session.
+	MReplayEvents       = "grt_replay_events_total" // kind=write|read|poll|irq|dump_to_client|dump_to_cloud
+	MReplayVerified     = "grt_replay_verified_reads_total"
+	MReplayNondetSkips  = "grt_replay_nondet_skips_total"
+	MReplayMismatches   = "grt_replay_mismatches_total"
+	MReplayRestoreBytes = "grt_replay_restore_bytes_total"
+
+	// fleet (service-owned registry; multi-tenant view).
+	MFleetActiveVMs      = "grt_fleet_active_vms"       // gauge
+	MFleetQueueDepth     = "grt_fleet_queue_depth"      // gauge
+	MFleetAdmissions     = "grt_fleet_admissions_total" // outcome=immediate|queued|rejected|abandoned|launch_failed
+	MFleetAdmissionWait  = "grt_fleet_admission_wait_seconds"
+	MFleetSessions       = "grt_fleet_sessions_total" // completed recording sessions
+	MFleetHistoryLookups = "grt_fleet_history_lookups_total" // result=hit|miss
+)

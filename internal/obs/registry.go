@@ -1,0 +1,189 @@
+// Package obs is GR-T's zero-dependency observability layer: a metrics
+// registry (counters, gauges, histograms) with Prometheus text exposition,
+// and a per-session span tracer that records phase timelines on the virtual
+// timesim.Clock, exportable as Chrome trace_event JSON.
+//
+// Everything in this package only *reads* the virtual clock — it never
+// advances it — so instrumentation cannot perturb recording delays, and the
+// deterministic virtual timestamps make exact golden files possible. A nil
+// *Scope is a true no-op: every method has a nil receiver check, so the hot
+// layers (netsim, shim, record, replay) carry instrumentation at zero
+// behavioral cost when observability is off.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one metric dimension, e.g. {Key: "mode", Value: "blocking"}.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates metric families.
+type Kind int
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// DefBuckets are the default histogram buckets, in seconds.
+var DefBuckets = []float64{.0005, .001, .005, .01, .05, .1, .5, 1, 5, 10, 50, 100, 500}
+
+// Registry is a set of metric families. It is safe for concurrent use; the
+// recording service shares one Registry across every session (the "fleet"
+// registry) while each session keeps its own.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name    string
+	kind    Kind
+	buckets []float64 // histogram families only
+	series  map[string]*series
+}
+
+type series struct {
+	labels []Label // sorted by key
+	value  int64   // counter / gauge
+	counts []uint64
+	sum    float64
+	count  uint64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// canonLabels sorts a copy of labels by key and returns it with its
+// canonical map key.
+func canonLabels(labels []Label) ([]Label, string) {
+	if len(labels) == 0 {
+		return nil, ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(0)
+	}
+	return ls, b.String()
+}
+
+// seriesFor returns (creating as needed) the series of a family, enforcing
+// kind consistency. Callers hold r.mu.
+func (r *Registry) seriesFor(name string, kind Kind, buckets []float64, labels []Label) *series {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, buckets: buckets, series: map[string]*series{}}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v, used as %v", name, f.kind, kind))
+	}
+	ls, key := canonLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: ls}
+		if kind == KindHistogram {
+			s.counts = make([]uint64, len(f.buckets)+1)
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Add increments a counter by n (n must be non-negative).
+func (r *Registry) Add(name string, n int64, labels ...Label) {
+	if n < 0 {
+		panic(fmt.Sprintf("obs: negative counter add %d to %q", n, name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesFor(name, KindCounter, nil, labels).value += n
+}
+
+// GaugeSet sets a gauge to v.
+func (r *Registry) GaugeSet(name string, v int64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesFor(name, KindGauge, nil, labels).value = v
+}
+
+// GaugeAdd moves a gauge by delta (which may be negative).
+func (r *Registry) GaugeAdd(name string, delta int64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesFor(name, KindGauge, nil, labels).value += delta
+}
+
+// MustHistogram pre-registers a histogram family with explicit buckets
+// (which must be sorted ascending). Observing an unregistered histogram
+// uses DefBuckets.
+func (r *Registry) MustHistogram(name string, buckets []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.families[name]; ok {
+		panic(fmt.Sprintf("obs: histogram %q already registered", name))
+	}
+	r.families[name] = &family{name: name, kind: KindHistogram,
+		buckets: append([]float64(nil), buckets...), series: map[string]*series{}}
+}
+
+// Observe records one histogram observation.
+func (r *Registry) Observe(name string, v float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	var buckets []float64
+	if ok {
+		buckets = f.buckets
+	} else {
+		buckets = DefBuckets
+	}
+	s := r.seriesFor(name, KindHistogram, buckets, labels)
+	for i, ub := range buckets {
+		if v <= ub {
+			s.counts[i]++
+		}
+	}
+	s.counts[len(buckets)]++ // +Inf
+	s.sum += v
+	s.count++
+}
+
+// Counter reads a counter series (0 if absent).
+func (r *Registry) Counter(name string, labels ...Label) int64 {
+	return r.Snapshot().Counter(name, labels...)
+}
+
+// Gauge reads a gauge series (0 if absent).
+func (r *Registry) Gauge(name string, labels ...Label) int64 {
+	return r.Snapshot().Gauge(name, labels...)
+}

@@ -24,6 +24,7 @@ import (
 	"gpurelay/internal/mali"
 	"gpurelay/internal/mlfw"
 	"gpurelay/internal/netsim"
+	"gpurelay/internal/obs"
 	"gpurelay/internal/shim"
 	"gpurelay/internal/tee"
 	"gpurelay/internal/timesim"
@@ -89,6 +90,12 @@ type Config struct {
 	// PoolSize overrides the shared-memory size (0 = sized from the
 	// model).
 	PoolSize uint64
+	// Obs, when non-nil, collects this session's telemetry: phase spans on
+	// the virtual clock plus the counters the evaluation tables read. The
+	// scope is bound to the session's virtual clock at the start of the
+	// run. Nil leaves the run uninstrumented — a true no-op that changes
+	// no delays and no outputs.
+	Obs *obs.Scope
 }
 
 // Stats aggregates everything the evaluation reports about a record run.
@@ -117,6 +124,11 @@ type Stats struct {
 	// cloud-side accesses to memory already synchronized to the client.
 	// Zero in any healthy record run.
 	GuardViolations int
+	// Obs is the session's metrics snapshot taken at the end of the run;
+	// nil when the run was uninstrumented. The snapshot's counters agree
+	// with the aggregate fields above (e.g. grt_net_rtts_total{mode=
+	// "blocking"} == Link.BlockingRTTs).
+	Obs *obs.Snapshot
 }
 
 // Result is a completed record run.
@@ -214,6 +226,7 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		}
 	}()
 	clock := timesim.NewClock()
+	cfg.Obs.BindClock(clock)
 	poolSize := cfg.PoolSize
 	if poolSize == 0 {
 		poolSize = poolSizeFor(cfg.Model)
@@ -232,11 +245,13 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	cloudPool := gpumem.NewPool(poolSize)
 	link := netsim.NewLink(cfg.Network, clock)
 	link.Bind(ctx)
+	link.Instrument(cfg.Obs)
 	kern := kbase.NewStdKernel(clock)
 	dshim := shim.NewDriverShim(shim.Config{
 		Mode: cfg.Variant.ShimMode(), Link: link, Client: gshim, Clock: clock,
 		Kernel: kern, History: cfg.History,
 		Recovery: shim.DefaultRecovery(cfg.Model.FLOPs()),
+		Obs:      cfg.Obs,
 	})
 	if cfg.InjectMispredictionAt >= 0 {
 		dshim.InjectMispredictionAt(cfg.InjectMispredictionAt)
@@ -247,15 +262,19 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 
 	// The cloud VM boots its GPU stack: driver probe runs against the
 	// remote GPU through the shim.
+	endPhase := cfg.Obs.Span("record.probe", "record")
 	dev, err := kbase.Probe(dshim, dshim, cloudPool)
+	endPhase()
 	if err != nil {
 		return nil, fmt.Errorf("record: driver probe over %v: %w", cfg.Network.Name, err)
 	}
+	endPhase = cfg.Obs.Span("record.runtime-init", "record")
 	rt, err := mlfw.NewRuntime(dev, clock, cfg.Model, mlfw.Options{
 		StackOverheadPerJob: 450 * time.Microsecond,
 		Pipelined:           false, // dry runs are serialized (§5)
 		Slot:                1,
 	})
+	endPhase()
 	if err != nil {
 		return nil, fmt.Errorf("record: runtime init: %w", err)
 	}
@@ -264,10 +283,12 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		metaOnly: cfg.Variant.MetaOnly(),
 		cloud:    cloudPool, client: clientPool,
 		ctx: rt.Context(), rt: rt,
+		obs: cfg.Obs,
 	}
 	guardViolations := 0
 	cloudPool.OnGuardViolation(func(v *gpumem.GuardViolation) {
 		guardViolations++
+		cfg.Obs.Count(obs.MRecordGuardViolations, 1)
 		kern.Log("grt: continuous validation trapped %v", v)
 	})
 	jobIdx := 0
@@ -296,13 +317,16 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		},
 	}
 
+	endPhase = cfg.Obs.Span("record.dry-run", "record")
 	runRes, err := rt.Run(hooks)
+	endPhase()
 	if err != nil {
 		return nil, fmt.Errorf("record: dry run: %w", err)
 	}
 	if syncErr != nil {
 		return nil, fmt.Errorf("record: memory synchronization: %w", syncErr)
 	}
+	cfg.Obs.Count(obs.MRecordJobs, int64(runRes.Jobs))
 
 	// Finalize: assemble, sign, and "download" the recording.
 	var regions []trace.RegionInfo
@@ -318,11 +342,15 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		Events:    dshim.EventLog(),
 		Regions:   regions,
 	}
+	endPhase = cfg.Obs.Span("record.sign", "record", obs.A("events", int64(len(rec.Events))))
 	signed, err := trace.Sign(rec, cfg.SessionKey)
+	endPhase()
 	if err != nil {
 		return nil, fmt.Errorf("record: signing: %w", err)
 	}
+	endPhase = cfg.Obs.Span("record.download", "record", obs.A("payload_bytes", int64(len(signed.Payload))))
 	link.OneWay(int64(len(signed.Payload)) / 50) // download rides compressed
+	endPhase()
 
 	st := Stats{
 		RecordingDelay:  start.Elapsed(),
@@ -338,6 +366,7 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		st.RegAccessesPerCommit = float64(st.Shim.RegAccesses) / float64(st.Shim.Commits)
 	}
 	st.Energy = energy.Default().Record(st.Link, st.GPUBusy, st.ClientCPU, st.RecordingDelay)
+	st.Obs = cfg.Obs.Snapshot()
 	return &Result{
 		Recording: rec, Signed: signed, Stats: st,
 		JobLogOffsets: jobLogOffsets,

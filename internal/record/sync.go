@@ -6,6 +6,7 @@ import (
 	"gpurelay/internal/gpumem"
 	"gpurelay/internal/kbase"
 	"gpurelay/internal/mlfw"
+	"gpurelay/internal/obs"
 )
 
 // syncer implements the §5 memory-synchronization policies.
@@ -22,6 +23,11 @@ type syncer struct {
 	client   *gpumem.Pool
 	ctx      *kbase.Context
 	rt       *mlfw.Runtime
+	// obs counts the §5 synchronization traffic (wire vs raw bytes, dump
+	// count, per direction). Capture/encode are instantaneous in virtual
+	// time — the traffic's latency is paid on the link — so dumps are
+	// annotated as instant events rather than spans.
+	obs *obs.Scope
 
 	firstDone bool
 	prevOutFP string
@@ -30,6 +36,18 @@ type syncer struct {
 	prevIn    *gpumem.Snapshot
 	bytesOut  int64
 	bytesIn   int64
+}
+
+// countDump records one synchronization dump in the session's telemetry:
+// wire bytes (what actually crosses the link), raw bytes (pre-delta,
+// pre-compression — their ratio is the §5 win), and an instant event on the
+// timeline.
+func (s *syncer) countDump(dir string, j int, wire, raw int64) {
+	s.obs.Count(obs.MSyncDumps, 1, obs.L("dir", dir))
+	s.obs.Count(obs.MSyncBytes, wire, obs.L("dir", dir))
+	s.obs.Count(obs.MSyncRawBytes, raw, obs.L("dir", dir))
+	s.obs.Annotate("sync.dump", "sync",
+		obs.A("job", int64(j)), obs.A("wire_bytes", wire), obs.A("raw_bytes", raw))
 }
 
 // regions returns the current synchronization region list: the context's
@@ -92,6 +110,7 @@ func (s *syncer) metaDump(j int) ([]byte, error) {
 	decoded.Restore(s.client)
 	s.prevOut, s.prevOutFP = snap.Clone(), fp
 	s.bytesOut += int64(len(wire))
+	s.countDump("to_client", j, int64(len(wire)), snap.RawBytes())
 	// Continuous validation (§5): the dumped metastate is now the
 	// client's to use; until the job completes, any spurious cloud-side
 	// access to it is trapped and reported.
@@ -130,6 +149,7 @@ func (s *syncer) naiveBefore(j int) ([]byte, error) {
 	}
 	snap.Restore(s.client)
 	s.bytesOut += int64(len(wire))
+	s.countDump("to_client", j, int64(len(wire)), snap.RawBytes())
 	return wire, nil
 }
 
@@ -158,6 +178,7 @@ func (s *syncer) afterJob(j int) ([]byte, error) {
 		decoded.Restore(s.cloud)
 		s.prevIn, s.prevInFP = snap.Clone(), fp
 		s.bytesIn += int64(len(wire))
+		s.countDump("to_cloud", j, int64(len(wire)), snap.RawBytes())
 		return wire, nil
 	}
 	// Naive: ship the job's destination buffer raw, whatever its size.
@@ -170,5 +191,6 @@ func (s *syncer) afterJob(j int) ([]byte, error) {
 	}
 	snap.Restore(s.cloud)
 	s.bytesIn += int64(len(wire))
+	s.countDump("to_cloud", j, int64(len(wire)), snap.RawBytes())
 	return wire, nil
 }

@@ -16,6 +16,7 @@ import (
 	"gpurelay/internal/gpumem"
 	"gpurelay/internal/grterr"
 	"gpurelay/internal/mali"
+	"gpurelay/internal/obs"
 	"gpurelay/internal/tee"
 	"gpurelay/internal/timesim"
 	"gpurelay/internal/trace"
@@ -65,6 +66,9 @@ type Result struct {
 	GPUBusy time.Duration
 	// CPUTime is the replayer's own processing time.
 	CPUTime time.Duration
+	// Obs is the replay session's metrics snapshot (nil when the replayer
+	// was uninstrumented).
+	Obs *obs.Snapshot
 }
 
 // Replayer replays one verified recording on the local GPU.
@@ -85,6 +89,10 @@ type Replayer struct {
 	// collected.
 	Strict     bool
 	Mismatches []Mismatch
+	// Obs, when non-nil, collects the replay's telemetry: per-kind event
+	// counters, verification counts, and restore spans on the virtual
+	// clock. Set it before Run; the snapshot lands in Result.Obs.
+	Obs *obs.Scope
 }
 
 // New verifies a signed recording against the session key and binds it to
@@ -225,7 +233,11 @@ func (r *Replayer) applyInjections() {
 
 // Run replays the recording end to end. The GPU is claimed by the secure
 // world for the whole session and scrubbed on both ends (§3.2).
-func (r *Replayer) Run() (Result, error) {
+func (r *Replayer) Run() (res Result, err error) {
+	r.Obs.BindClock(r.clock)
+	defer func() { res.Obs = r.Obs.Snapshot() }()
+	endRun := r.Obs.Span("replay.run", "replay", obs.A("events", int64(len(r.rec.Events))))
+	defer endRun()
 	start := r.clock.Now()
 	busyStart := r.gpu.Stats().Busy
 	r.ctrl.ClaimForSecure()
@@ -236,7 +248,6 @@ func (r *Replayer) Run() (Result, error) {
 	r.cpu = 0
 	r.applyInjections()
 
-	var res Result
 	for i := range r.rec.Events {
 		e := &r.rec.Events[i]
 		if err := r.step(i, e, &res); err != nil {
@@ -255,22 +266,30 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 	case trace.KWrite:
 		r.spend(replayRegOpTime)
 		r.gpu.WriteReg(e.Reg, e.Value)
+		r.Obs.Count(obs.MReplayEvents, 1, obs.L("kind", "write"))
 	case trace.KRead:
 		r.spend(replayRegOpTime)
 		v := r.gpu.ReadReg(e.Reg)
+		r.Obs.Count(obs.MReplayEvents, 1, obs.L("kind", "read"))
 		if nondetRegs[e.Reg] {
 			res.SkippedNondet++
+			r.Obs.Count(obs.MReplayNondetSkips, 1)
 			return nil
 		}
 		res.VerifiedReads++
+		r.Obs.Count(obs.MReplayVerified, 1)
 		if v != e.Value {
 			m := Mismatch{EventIndex: i, Reg: e.Reg, Recorded: e.Value, Observed: v}
+			r.Obs.Count(obs.MReplayMismatches, 1)
+			r.Obs.Annotate("replay.mismatch", "replay",
+				obs.A("event", int64(i)), obs.A("reg", int64(e.Reg)))
 			if r.Strict {
 				return &m
 			}
 			r.Mismatches = append(r.Mismatches, m)
 		}
 	case trace.KPoll:
+		r.Obs.Count(obs.MReplayEvents, 1, obs.L("kind", "poll"))
 		done := false
 		for it := uint32(0); it < e.MaxIters; it++ {
 			r.spend(replayPollStep)
@@ -288,6 +307,7 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 			r.Mismatches = append(r.Mismatches, m)
 		}
 	case trace.KIRQ:
+		r.Obs.Count(obs.MReplayEvents, 1, obs.L("kind", "irq"))
 		// Wait for the hardware to raise at least the recorded lines.
 		for slice := 0; ; slice++ {
 			job, gpu, mmu := r.gpu.PendingIRQ()
@@ -301,6 +321,7 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 			r.spend(irqWaitSliceTime)
 		}
 	case trace.KDumpToClient:
+		r.Obs.Count(obs.MReplayEvents, 1, obs.L("kind", "dump_to_client"))
 		// Non-delta dumps (first sync, or a structural change at record
 		// time) decode standalone; delta dumps chain off the previous
 		// restored snapshot, mirroring the record-side encoder.
@@ -308,9 +329,12 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 		if err != nil {
 			return fmt.Errorf("replay: event %d: decoding memory dump: %w", i, err)
 		}
+		endRestore := r.Obs.Span("replay.restore", "replay", obs.A("bytes", int64(len(e.Dump))))
 		snap.Restore(r.gpu.Pool())
 		r.prevOut = snap
 		r.spend(time.Duration(len(e.Dump)) * restorePerByte)
+		endRestore()
+		r.Obs.Count(obs.MReplayRestoreBytes, int64(len(e.Dump)))
 		// Meta-only dumps never touch program data; only a naive
 		// recording's full dumps (zero-filled program data) can clobber
 		// injected input/parameters and force re-injection.
@@ -323,6 +347,7 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 	case trace.KDumpToCloud:
 		// Client→cloud synchronization has no replay-side effect: the
 		// GPU's real results already live in local memory.
+		r.Obs.Count(obs.MReplayEvents, 1, obs.L("kind", "dump_to_cloud"))
 	default:
 		return fmt.Errorf("replay: event %d has unknown kind %v", i, e.Kind)
 	}

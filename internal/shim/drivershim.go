@@ -8,6 +8,7 @@ import (
 	"gpurelay/internal/kbase"
 	"gpurelay/internal/mali"
 	"gpurelay/internal/netsim"
+	"gpurelay/internal/obs"
 	"gpurelay/internal/timesim"
 	"gpurelay/internal/trace"
 	"gpurelay/internal/val"
@@ -144,6 +145,9 @@ type DriverShim struct {
 	// speculated commit (§7.3's injection experiment); -1 disables.
 	injectAt int
 
+	// obs is the session telemetry scope; nil is a true no-op.
+	obs *obs.Scope
+
 	stats Stats
 }
 
@@ -158,6 +162,8 @@ type Config struct {
 	// Hot overrides the hot-function list (defaults to kbase.HotFunctions).
 	Hot      map[string]bool
 	Recovery RecoveryModel
+	// Obs is the session telemetry scope (nil: uninstrumented).
+	Obs *obs.Scope
 }
 
 // NewDriverShim builds the cloud-side shim.
@@ -177,7 +183,7 @@ func NewDriverShim(cfg Config) *DriverShim {
 		mode: cfg.Mode, link: cfg.Link, client: cfg.Client, clock: cfg.Clock,
 		inner: cfg.Kernel, hot: hot, history: h, env: envMap{},
 		threads:  map[string][]RegOp{},
-		recovery: cfg.Recovery, injectAt: -1,
+		recovery: cfg.Recovery, injectAt: -1, obs: cfg.Obs,
 		stats: Stats{
 			CommitsByCategory:    map[kbase.Category]int{},
 			SpeculatedByCategory: map[kbase.Category]int{},
@@ -289,6 +295,7 @@ func (s *DriverShim) WaitIRQ(fn string) kbase.IRQState {
 
 func (s *DriverShim) readT(tid, fn string, r mali.Reg) val.Value {
 	s.stats.RegAccesses++
+	s.obs.Count(obs.MShimRegAccesses, 1)
 	sym := val.NewSymbol(mali.RegName(r))
 	s.threads[tid] = append(s.threads[tid], RegOp{Kind: OpRead, Fn: fn, Reg: r, Sym: sym})
 	if s.mode == ModeSync || !s.hot[fn] {
@@ -304,6 +311,7 @@ func (s *DriverShim) readT(tid, fn string, r mali.Reg) val.Value {
 
 func (s *DriverShim) writeT(tid, fn string, r mali.Reg, v val.Value) {
 	s.stats.RegAccesses++
+	s.obs.Count(obs.MShimRegAccesses, 1)
 	// Resolve against already-bound symbols; symbols from the current
 	// queue stay symbolic and are resolved by the client in batch order.
 	if resolved, ok := v.Resolve(s.env); ok {
@@ -341,11 +349,13 @@ func (s *DriverShim) resolveForUse(tid, fn string, v val.Value) val.Value {
 func (s *DriverShim) pollT(tid string, spec kbase.PollSpec) kbase.PollResult {
 	s.stats.PollLoops++
 	if s.mode == ModeSync || !s.hot[spec.Fn] {
+		s.obs.Count(obs.MShimPollLoops, 1, obs.L("offloaded", "false"))
 		// One blocking round trip per loop iteration, as a naive remote
 		// bus behaves.
 		var res kbase.PollResult
 		for i := 0; i < spec.Max; i++ {
 			s.stats.RegAccesses++
+			s.obs.Count(obs.MShimRegAccesses, 1)
 			s.threads[tid] = append(s.threads[tid], RegOp{Kind: OpRead, Fn: spec.Fn, Reg: spec.Reg,
 				Sym: val.NewSymbol(mali.RegName(spec.Reg))})
 			results := s.commitSync(tid)
@@ -361,6 +371,9 @@ func (s *DriverShim) pollT(tid string, spec kbase.PollSpec) kbase.PollResult {
 	// Offload the whole loop as one operation.
 	s.stats.PollLoopsOffloaded++
 	s.stats.RegAccesses++ // the loop's accesses happen client-side; one op crosses the wire
+	s.obs.Count(obs.MShimPollLoops, 1, obs.L("offloaded", "true"))
+	s.obs.Count(obs.MShimRegAccesses, 1)
+	endSpan := s.obs.Span("shim.poll.offload", "shim", obs.A("max_iters", int64(spec.Max)))
 	s.threads[tid] = append(s.threads[tid], RegOp{Kind: OpPoll, Fn: spec.Fn, Reg: spec.Reg,
 		Sym:      val.NewSymbol(mali.RegName(spec.Reg)),
 		DoneMask: spec.DoneMask, DoneVal: spec.DoneVal, MaxIters: spec.Max})
@@ -370,10 +383,12 @@ func (s *DriverShim) pollT(tid string, spec kbase.PollSpec) kbase.PollResult {
 	} else {
 		results = s.commitSync(tid)
 	}
+	endSpan()
 	last := results[len(results)-1]
 	saved := last.Iters - 1
 	if saved > 0 {
 		s.stats.PollRTTsSaved += saved
+		s.obs.Count(obs.MShimPollRTTsSaved, int64(saved))
 	}
 	return kbase.PollResult{Value: last.Value, Iters: last.Iters, TimedOut: last.TimedOut}
 }
@@ -389,8 +404,11 @@ func (s *DriverShim) waitIRQT(tid, fn string) kbase.IRQState {
 	if s.client.OnIRQDump != nil {
 		dumpIn = s.client.OnIRQDump()
 	}
+	endSpan := s.obs.Span("shim.irq.wait", "shim")
 	s.link.RoundTrip(irqReqBytes, int64(irqRespBytes+len(dumpIn)))
+	endSpan()
 	s.stats.IRQWaits++
+	s.obs.Count(obs.MShimIRQWaits, 1)
 	irq := s.client.IRQ()
 	s.log = append(s.log, trace.Event{Kind: trace.KIRQ, Fn: fn,
 		IRQJob: irq.Job, IRQGPU: irq.GPU, IRQMMU: irq.MMU})
@@ -455,6 +473,7 @@ func (s *DriverShim) stallIfSpeculative(tid string) {
 	}
 	if s.queueIsSpeculative(tid) {
 		s.stats.SpecStalls++
+		s.obs.Count(obs.MShimSpecStalls, 1)
 		s.validateOutstanding()
 	}
 }
@@ -547,7 +566,10 @@ func (s *DriverShim) commitSync(tid string) []OpResult {
 	s.history.Record(sig, outcomeOf(ops, results))
 	s.stats.Commits++
 	s.stats.SyncCommits++
-	s.stats.CommitsByCategory[categoryOf(ops)]++
+	cat := categoryOf(ops)
+	s.stats.CommitsByCategory[cat]++
+	s.obs.Count(obs.MShimCommits, 1, obs.L("kind", "sync"))
+	s.obs.Count(obs.MShimCommitsByCat, 1, obs.L("category", string(cat)))
 	return results
 }
 
@@ -587,6 +609,9 @@ func (s *DriverShim) commitMaybeSpeculate(tid string) []OpResult {
 	cat := categoryOf(ops)
 	s.stats.CommitsByCategory[cat]++
 	s.stats.SpeculatedByCategory[cat]++
+	s.obs.Count(obs.MShimCommits, 1, obs.L("kind", "async"))
+	s.obs.Count(obs.MShimCommitsByCat, 1, obs.L("category", string(cat)))
+	s.obs.Count(obs.MShimSpeculatedByCat, 1, obs.L("category", string(cat)))
 	return predResults
 }
 
@@ -615,6 +640,10 @@ func predictedResults(ops []RegOp, o Outcome) []OpResult {
 // compares predictions against the GPU's actual answers, triggering recovery
 // on any mismatch (§4.2).
 func (s *DriverShim) validateOutstanding() {
+	if len(s.outstanding) > 0 {
+		defer s.obs.Span("spec.validate", "shim",
+			obs.A("outstanding", int64(len(s.outstanding))))()
+	}
 	for _, c := range s.outstanding {
 		s.link.WaitUntil(c.completion)
 		mismatch := !c.predicted.Equal(c.actual)
@@ -649,8 +678,12 @@ func (s *DriverShim) recover(c *asyncCommit) {
 	s.stats.Recoveries++
 	cost := s.recovery.DriverReload + s.recovery.Recompile +
 		time.Duration(len(s.log))*s.recovery.ReplayPerEvent
+	endSpan := s.obs.Span("spec.rollback", "shim", obs.A("log_events", int64(len(s.log))))
 	s.clock.Advance(cost)
+	endSpan()
 	s.stats.RecoveryTime += cost
+	s.obs.Count(obs.MShimMispredictions, 1)
+	s.obs.Count(obs.MShimRecoveryNS, int64(cost))
 	// The speculation history at this signature is no longer trusted.
 	s.history.Invalidate(c.sig)
 }

@@ -1,6 +1,10 @@
 package shim
 
-import "sync"
+import (
+	"sync"
+
+	"gpurelay/internal/obs"
+)
 
 // HistoryKey identifies one shared speculation history. Two record sessions
 // produce interchangeable commit histories exactly when they dry run the
@@ -28,12 +32,23 @@ type HistoryStore struct {
 	k  int
 	mu sync.Mutex
 	m  map[HistoryKey]*History
+	// reg, when set, counts lookups (hit = the history already existed) —
+	// the fleet's view of how often sessions warm each other up.
+	reg *obs.Registry
 }
 
 // NewHistoryStore creates a store whose histories use confidence threshold
 // k (the paper uses 3).
 func NewHistoryStore(k int) *HistoryStore {
 	return &HistoryStore{k: k, m: make(map[HistoryKey]*History)}
+}
+
+// Instrument attaches a (fleet) metrics registry counting lookup hits and
+// misses.
+func (s *HistoryStore) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
 }
 
 // Get returns the history for a key, creating an empty one on first use.
@@ -44,6 +59,13 @@ func (s *HistoryStore) Get(key HistoryKey) *History {
 	if !ok {
 		h = NewHistory(s.k)
 		s.m[key] = h
+	}
+	if s.reg != nil {
+		result := "hit"
+		if !ok {
+			result = "miss"
+		}
+		s.reg.Add(obs.MFleetHistoryLookups, 1, obs.L("result", result))
 	}
 	return h
 }

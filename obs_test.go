@@ -1,0 +1,210 @@
+package gpurelay
+
+// End-to-end telemetry tests. Everything here starts with TestObs so the CI
+// smoke step (`go test -race -run TestObs ./...`) picks it all up.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gpurelay/internal/obs"
+)
+
+// TestObsRecordCollectorConsistency is the acceptance check for the
+// telemetry counters: the numbers the session collector serves must equal
+// the aggregate statistics the recorder computes independently (Table 1's
+// blocking-RTT and MemSync columns come from those aggregates).
+func TestObsRecordCollectorConsistency(t *testing.T) {
+	client := NewClient("obs-phone", MaliG71MP8)
+	svc := NewService()
+	scope := NewScope("obs-session")
+	_, stats, err := client.Record(svc, MNIST(), RecordOptions{Obs: scope})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := stats.Obs
+	if snap == nil {
+		t.Fatal("Stats.Obs not populated for an instrumented run")
+	}
+	if got, want := snap.Counter(obs.MNetRTTs, obs.L("mode", "blocking")), int64(stats.Link.BlockingRTTs); got != want {
+		t.Errorf("collector blocking RTTs = %d, recorder counted %d", got, want)
+	}
+	if got, want := snap.Counter(obs.MNetRTTs, obs.L("mode", "async")), int64(stats.Link.AsyncRTTs); got != want {
+		t.Errorf("collector async RTTs = %d, recorder counted %d", got, want)
+	}
+	if got, want := snap.CounterTotal(obs.MSyncBytes), stats.MemSyncBytes; got != want {
+		t.Errorf("collector sync bytes = %d, recorder counted %d", got, want)
+	}
+	if got, want := snap.Counter(obs.MRecordJobs), int64(stats.Jobs); got != want {
+		t.Errorf("collector jobs = %d, recorder counted %d", got, want)
+	}
+	if got, want := snap.Counter(obs.MShimCommits, obs.L("kind", "async")), int64(stats.Shim.AsyncCommits); got != want {
+		t.Errorf("collector async commits = %d, shim counted %d", got, want)
+	}
+	// The scope's timeline has real content and renders as a valid trace.
+	if len(scope.Spans()) == 0 {
+		t.Error("instrumented record left no spans")
+	}
+	var buf bytes.Buffer
+	if err := scope.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// The session scope auto-attached to the service's fleet registry, so
+	// the fleet sees the same counters plus the admission bookkeeping.
+	fleet := svc.Metrics()
+	if got, want := fleet.Counter(obs.MNetRTTs, obs.L("mode", "blocking")), int64(stats.Link.BlockingRTTs); got != want {
+		t.Errorf("fleet blocking RTTs = %d, want %d", got, want)
+	}
+	if got := fleet.Counter(obs.MFleetAdmissions, obs.L("outcome", "immediate")); got != 1 {
+		t.Errorf("fleet immediate admissions = %d, want 1", got)
+	}
+	if got := fleet.Counter(obs.MFleetSessions); got != 1 {
+		t.Errorf("fleet completed sessions = %d, want 1", got)
+	}
+	// The service exposition endpoint renders without error.
+	if err := svc.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObsNilScopeDeterminism pins the "nil scope is a true no-op" contract:
+// an instrumented run and an uninstrumented run of the same session must
+// produce bit-identical recordings and the same virtual-time delay, because
+// telemetry only reads the virtual clock, never advances it.
+func TestObsNilScopeDeterminism(t *testing.T) {
+	run := func(scope *Scope) ([]byte, RecordStats) {
+		client := NewClient("obs-det-phone", MaliG71MP8)
+		svc := NewService()
+		rec, stats, err := client.Record(svc, MNIST(), RecordOptions{Obs: scope})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, _, _ := rec.Bundle()
+		return payload, stats
+	}
+	plainPayload, plainStats := run(nil)
+	obsPayload, obsStats := run(NewScope("obs-det"))
+	if plainStats.RecordingDelay != obsStats.RecordingDelay {
+		t.Errorf("recording delay changed under telemetry: %v vs %v",
+			plainStats.RecordingDelay, obsStats.RecordingDelay)
+	}
+	if !bytes.Equal(plainPayload, obsPayload) {
+		t.Error("recording payload changed under telemetry")
+	}
+	if plainStats.Obs != nil {
+		t.Error("nil scope produced a metrics snapshot")
+	}
+}
+
+// TestObsConcurrentRecordScopes is the race test for per-session scopes
+// over a shared fleet registry: 8 sessions record concurrently, each with
+// its own scope, and every session's metrics snapshot must be identical to
+// the snapshot the same session produces when the runs are sequential —
+// concurrency may reorder fleet aggregation but must never bleed one
+// session's telemetry into another's. Uses the OursMD variant because its
+// sessions never read the shared speculation history, so per-session
+// results are schedule-independent. Run under -race in CI.
+func TestObsConcurrentRecordScopes(t *testing.T) {
+	const sessions = 8
+	record := func(concurrent bool) ([]string, *MetricsSnapshot) {
+		svc := NewServiceWith(ServiceConfig{Capacity: sessions, QueueLimit: sessions})
+		texts := make([]string, sessions)
+		errs := make([]error, sessions)
+		var wg sync.WaitGroup
+		for i := 0; i < sessions; i++ {
+			run := func(i int) {
+				client := NewClient(fmt.Sprintf("obs-race-%d", i), MaliG71MP8)
+				scope := NewScope(fmt.Sprintf("sess-%d", i))
+				_, stats, err := client.Record(svc, MNIST(), RecordOptions{
+					Variant: OursMD, Obs: scope,
+				})
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				texts[i] = stats.Obs.Prometheus()
+			}
+			if concurrent {
+				wg.Add(1)
+				go func(i int) { defer wg.Done(); run(i) }(i)
+			} else {
+				run(i)
+			}
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+		}
+		return texts, svc.Metrics()
+	}
+
+	seqTexts, _ := record(false)
+	conTexts, conFleet := record(true)
+	for i := range conTexts {
+		if conTexts[i] != seqTexts[i] {
+			t.Errorf("session %d telemetry differs between concurrent and sequential runs\n--- concurrent ---\n%s\n--- sequential ---\n%s",
+				i, conTexts[i], seqTexts[i])
+		}
+	}
+
+	// The fleet registry's counters are the sum over the session scopes.
+	perSession := NewClient("obs-race-ref", MaliG71MP8)
+	refSvc := NewService()
+	refScope := NewScope("ref")
+	_, refStats, err := perSession.Record(refSvc, MNIST(), RecordOptions{Variant: OursMD, Obs: refScope})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRTTs := sessions * refStats.Obs.Counter(obs.MNetRTTs, obs.L("mode", "blocking"))
+	if got := conFleet.Counter(obs.MNetRTTs, obs.L("mode", "blocking")); got != wantRTTs {
+		t.Errorf("fleet blocking RTTs = %d, want %d (sum of %d identical sessions)", got, wantRTTs, sessions)
+	}
+	if got := conFleet.Counter(obs.MFleetSessions); got != sessions {
+		t.Errorf("fleet sessions = %d, want %d", got, sessions)
+	}
+}
+
+// TestObsReplayMetrics checks the replay-side counters against the
+// replayer's own result accounting.
+func TestObsReplayMetrics(t *testing.T) {
+	client := NewClient("obs-replay-phone", MaliG71MP8)
+	svc := NewService()
+	rec, _, err := client.Record(svc, MNIST(), RecordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := client.NewReplaySession(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := NewScope("replay")
+	sess.Instrument(scope)
+	if err := sess.SetInput(make([]float32, 28*28)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Obs
+	if snap == nil {
+		t.Fatal("replay Result.Obs not populated")
+	}
+	if got, want := snap.CounterTotal(obs.MReplayEvents), int64(res.Events); got != want {
+		t.Errorf("collector replay events = %d, replayer counted %d", got, want)
+	}
+	if got, want := snap.Counter(obs.MReplayVerified), int64(res.VerifiedReads); got != want {
+		t.Errorf("collector verified reads = %d, replayer counted %d", got, want)
+	}
+	if got := snap.Counter(obs.MReplayMismatches); got != 0 {
+		t.Errorf("collector mismatches = %d, want 0", got)
+	}
+	if len(scope.Spans()) == 0 {
+		t.Error("instrumented replay left no spans")
+	}
+}
