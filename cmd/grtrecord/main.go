@@ -5,9 +5,17 @@
 // Usage:
 //
 //	grtrecord -model mnist -sku g71 -network wifi -variant oursmds -o mnist.grt
+//
+// Resilience: -faults injects a deterministic chaos plan, -ckpt saves the
+// latest job-boundary checkpoint, and -resume continues a lost session from
+// a saved checkpoint:
+//
+//	grtrecord -model mnist -faults outage -ckpt mnist.grtc -o mnist.grt
+//	grtrecord -model mnist -resume mnist.grtc -o mnist.grt
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -73,6 +81,11 @@ func main() {
 	outFlag := flag.String("o", "", "write the recording bundle to this file (for grtreplay)")
 	metricsFlag := flag.String("metrics", "", "write the session's metrics in Prometheus text format to this file (\"-\" for stdout)")
 	traceFlag := flag.String("trace-out", "", "write the session's phase timeline as Chrome trace JSON to this file (load in chrome://tracing or Perfetto)")
+	faultsFlag := flag.String("faults", "", "inject a deterministic fault plan: a preset ("+
+		strings.Join(gpurelay.FaultPresets(), "|")+") or a spec like loss@200ms+1s:15,crash@job8")
+	resumeFlag := flag.String("resume", "", "resume a lost session from this checkpoint file")
+	ckptFlag := flag.String("ckpt", "", "keep the latest job-boundary checkpoint in this file (enables resumable recording)")
+	maxResumesFlag := flag.Int("max-resumes", 0, "automatic resumes of a lost session before giving up (0 = default 3, negative = never)")
 	flag.Parse()
 
 	model, err := modelByName(*modelFlag)
@@ -99,11 +112,53 @@ func main() {
 		scope = gpurelay.NewScope(fmt.Sprintf("record/%s/%v/%s", model.Name, variant, network.Name))
 	}
 	fmt.Printf("recording %s on %s over %s with %v...\n", model.Name, sku.Name, network.Name, variant)
-	rec, stats, err := client.Record(svc, model, gpurelay.RecordOptions{
-		Variant: variant, Network: network, Obs: scope,
-	})
-	if err != nil {
-		log.Fatalf("record: %v", err)
+	recOpts := gpurelay.RecordOptions{Variant: variant, Network: network, Obs: scope}
+
+	var rec *gpurelay.Recording
+	var stats gpurelay.RecordStats
+	if resilient := *faultsFlag != "" || *resumeFlag != "" || *ckptFlag != "" || *maxResumesFlag != 0; resilient {
+		opts := gpurelay.ResilienceOptions{RecordOptions: recOpts, MaxResumes: *maxResumesFlag}
+		if *faultsFlag != "" {
+			plan, err := gpurelay.ParseFaultPlan(*faultsFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.Faults = plan
+			fmt.Printf("injecting %v\n", plan)
+		}
+		if *resumeFlag != "" {
+			cp, err := readCheckpoint(*resumeFlag)
+			if err != nil {
+				log.Fatalf("loading checkpoint %s: %v", *resumeFlag, err)
+			}
+			opts.Resume = cp
+			fmt.Printf("resuming session %s from job %d (%d events)\n", cp.SessionID(), cp.Job(), cp.Events())
+		}
+		var lastCkpt *gpurelay.Checkpoint
+		if *ckptFlag != "" {
+			opts.OnCheckpoint = func(cp *gpurelay.Checkpoint) { lastCkpt = cp }
+		}
+		rec, stats, err = client.RecordResumable(context.Background(), svc, model, opts)
+		if lastCkpt != nil {
+			if werr := writeCheckpoint(*ckptFlag, lastCkpt); werr != nil {
+				log.Printf("writing checkpoint to %s: %v", *ckptFlag, werr)
+			} else if err != nil {
+				fmt.Printf("session %s failed; last checkpoint: job %d, saved to %s\n",
+					lastCkpt.SessionID(), lastCkpt.Job(), *ckptFlag)
+				fmt.Printf("rerun with -resume %s to continue\n", *ckptFlag)
+			}
+		}
+		if err != nil {
+			log.Fatalf("record: %v", err)
+		}
+		if stats.Resumes > 0 {
+			fmt.Printf("survived %d session loss(es) via checkpoint resume\n", stats.Resumes)
+		}
+	} else {
+		rec, stats, err = client.Record(svc, model, recOpts)
+		if err != nil {
+			log.Fatalf("record: %v", err)
+		}
 	}
 
 	fmt.Printf("recording delay:     %.1f s (virtual)\n", stats.RecordingDelay.Seconds())
@@ -161,26 +216,66 @@ func writeOutput(path string, fn func(io.Writer) error) error {
 // that key in the TEE's secure storage.
 func writeBundle(path string, rec *gpurelay.Recording) error {
 	payload, mac, key := rec.Bundle()
+	return writeChunks(path, "GRTB", payload, mac, key)
+}
+
+// writeCheckpoint saves a sealed checkpoint, same layout as a recording
+// bundle under a "GRTC" magic (and the same key-bundling caveat).
+func writeCheckpoint(path string, cp *gpurelay.Checkpoint) error {
+	payload, mac, key := cp.Bundle()
+	return writeChunks(path, "GRTC", payload, mac, key)
+}
+
+func readCheckpoint(path string) (*gpurelay.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != "GRTC" {
+		return nil, fmt.Errorf("%s is not a grtrecord checkpoint", path)
+	}
+	read := func() ([]byte, error) {
+		var n uint32
+		if err := binary.Read(f, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		b := make([]byte, n)
+		_, err := io.ReadFull(f, b)
+		return b, err
+	}
+	payload, err := read()
+	if err != nil {
+		return nil, err
+	}
+	mac, err := read()
+	if err != nil {
+		return nil, err
+	}
+	key, err := read()
+	if err != nil {
+		return nil, err
+	}
+	return gpurelay.CheckpointFromBundle(payload, mac, key)
+}
+
+func writeChunks(path, magic string, chunks ...[]byte) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	w := func(b []byte) error {
+	if _, err := f.WriteString(magic); err != nil {
+		return err
+	}
+	for _, b := range chunks {
 		if err := binary.Write(f, binary.LittleEndian, uint32(len(b))); err != nil {
 			return err
 		}
-		_, err := f.Write(b)
-		return err
+		if _, err := f.Write(b); err != nil {
+			return err
+		}
 	}
-	if _, err := f.WriteString("GRTB"); err != nil {
-		return err
-	}
-	if err := w(payload); err != nil {
-		return err
-	}
-	if err := w(mac); err != nil {
-		return err
-	}
-	return w(key)
+	return nil
 }

@@ -5,9 +5,15 @@
 // Usage:
 //
 //	grtreplay -recording mnist.grt -sku g71 -n 3
+//
+// -compare replays a second bundle on identical inputs and fails unless the
+// two recordings are byte-identical and produce identical outputs — the
+// check that a resumed session's stitched recording (grtrecord -resume)
+// matches an uninterrupted one.
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -54,6 +60,7 @@ func main() {
 	nFlag := flag.Int("n", 1, "number of replays")
 	metricsFlag := flag.String("metrics", "", "write replay metrics in Prometheus text format to this file (\"-\" for stdout)")
 	traceFlag := flag.String("trace-out", "", "write the replay timeline as Chrome trace JSON to this file (load in chrome://tracing or Perfetto)")
+	compareFlag := flag.String("compare", "", "second recording bundle: verify both are byte-identical and replay to identical outputs")
 	flag.Parse()
 	if *recFlag == "" {
 		log.Fatal("-recording is required")
@@ -94,8 +101,31 @@ func main() {
 		sess.Instrument(scope)
 	}
 
+	var sess2 *gpurelay.ReplaySession
+	if *compareFlag != "" {
+		payload2, mac2, key2, err := readBundle(*compareFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec2, err := gpurelay.RecordingFromBundle(payload2, mac2, key2)
+		if err != nil {
+			log.Fatalf("verifying %s: %v", *compareFlag, err)
+		}
+		if !bytes.Equal(payload, payload2) {
+			log.Fatalf("compare: recordings differ: %s has %d payload bytes, %s has %d",
+				*recFlag, len(payload), *compareFlag, len(payload2))
+		}
+		fmt.Printf("compare: %s is byte-identical to %s (%d bytes)\n", *compareFlag, *recFlag, len(payload))
+		client2 := gpurelay.NewClient("grtreplay-cli-compare", sku)
+		sess2, err = client2.NewReplaySession(rec2)
+		if err != nil {
+			log.Fatalf("compare replay session: %v", err)
+		}
+	}
+
 	// Synthetic parameters and input (a real app provisions its trained
-	// model inside the TEE).
+	// model inside the TEE). Both sessions, when comparing, get identical
+	// weights.
 	state := uint64(7)
 	next := func() float32 {
 		state ^= state << 13
@@ -110,6 +140,11 @@ func main() {
 		}
 		if err := sess.SetWeights(r.Name, w); err != nil {
 			log.Fatal(err)
+		}
+		if sess2 != nil {
+			if err := sess2.SetWeights(r.Name, w); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
 
@@ -137,6 +172,27 @@ func main() {
 		}
 		fmt.Printf("replay %d: %.2f ms, %d events, class %d (p=%.3f)\n",
 			run, float64(res.Delay.Microseconds())/1000, res.Events, best, bestP)
+		if sess2 != nil {
+			if err := sess2.SetInput(input); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := sess2.Run(); err != nil {
+				log.Fatalf("compare replay %d: %v", run, err)
+			}
+			out2, err := sess2.Output()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(out) != len(out2) {
+				log.Fatalf("compare replay %d: %d outputs vs %d", run, len(out), len(out2))
+			}
+			for i := range out {
+				if out[i] != out2[i] {
+					log.Fatalf("compare replay %d: output %d differs: %v vs %v", run, i, out[i], out2[i])
+				}
+			}
+			fmt.Printf("compare replay %d: outputs identical\n", run)
+		}
 	}
 	if *metricsFlag != "" {
 		if err := writeOutput(*metricsFlag, scope.Snapshot().WritePrometheus); err != nil {

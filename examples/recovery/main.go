@@ -1,11 +1,22 @@
-// Recovery: the §7.3 misprediction experiment. Speculation predicts register
+// Recovery, in two acts.
+//
+// Act 1 — the §7.3 misprediction experiment. Speculation predicts register
 // values from commit history; a wrong prediction must be detected when the
 // actual values arrive, and both the cloud driver and the client GPU roll
 // back by replaying the interaction log. This example injects an artificial
 // misprediction and reports the detection and rollback cost.
+//
+// Act 2 — session loss. A link outage longer than the liveness timeout kills
+// the record session mid-flight; RecordResumable re-admits with backoff,
+// restores the last job-boundary checkpoint, re-syncs the fresh cloud driver
+// by replaying the checkpointed log (the same §4.2 rollback machinery), and
+// stitches a recording byte-identical to an uninterrupted run — verified
+// here by replaying both to identical outputs.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -52,4 +63,100 @@ func main() {
 	}
 	fmt.Printf("follow-up run: %.1fs, %d mispredictions (history recovered)\n",
 		clean.RecordingDelay.Seconds(), clean.Shim.Mispredictions)
+
+	// ---- Act 2: link outage mid-record, checkpoint resume ----
+
+	// Baseline: an undisturbed session. A fresh client and service give the
+	// chaos run below the same session seed, so the two recordings are
+	// directly comparable.
+	fmt.Println()
+	baseClient := gpurelay.NewClient("resume-phone", gpurelay.MaliG71MP8)
+	baseline, _, err := baseClient.Record(gpurelay.NewService(), gpurelay.MNIST(), gpurelay.RecordOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Chaos run: the "outage" preset keeps the link dark past its liveness
+	// timeout ~0.9s in, killing the session mid-record.
+	plan, err := gpurelay.ParseFaultPlan("outage")
+	if err != nil {
+		log.Fatal(err)
+	}
+	chaosClient := gpurelay.NewClient("resume-phone", gpurelay.MaliG71MP8)
+	checkpoints, lastJob := 0, -1
+	rec, rstats, err := chaosClient.RecordResumable(context.Background(), gpurelay.NewService(), gpurelay.MNIST(),
+		gpurelay.ResilienceOptions{
+			Faults: plan,
+			OnCheckpoint: func(cp *gpurelay.Checkpoint) {
+				checkpoints++
+				lastJob = cp.Job()
+			},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rstats.Resumes < 1 {
+		log.Fatalf("expected at least one resume, got %d", rstats.Resumes)
+	}
+	fmt.Printf("outage run: session lost and resumed %d time(s); %d checkpoints, last at job %d\n",
+		rstats.Resumes, checkpoints, lastJob)
+
+	// The stitched recording must be indistinguishable from the baseline.
+	basePayload, _, _ := baseline.Bundle()
+	stitched, _, _ := rec.Bundle()
+	if !bytes.Equal(basePayload, stitched) {
+		log.Fatalf("stitched recording differs from uninterrupted run (%d vs %d bytes)",
+			len(stitched), len(basePayload))
+	}
+	fmt.Printf("stitched recording: byte-identical to the uninterrupted run (%d bytes)\n", len(stitched))
+
+	// And it replays to identical outputs on fresh input.
+	base := mustOutputs(baseClient, baseline)
+	resumed := mustOutputs(chaosClient, rec)
+	for i := range base {
+		if base[i] != resumed[i] {
+			log.Fatalf("replay outputs differ at %d: %v vs %v", i, base[i], resumed[i])
+		}
+	}
+	fmt.Printf("replayed both recordings: outputs identical (%d probabilities)\n", len(resumed))
+}
+
+// mustOutputs replays a recording on deterministic synthetic weights and
+// input and returns the inference output.
+func mustOutputs(client *gpurelay.Client, rec *gpurelay.Recording) []float32 {
+	sess, err := client.NewReplaySession(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	state := uint64(7)
+	next := func() float32 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return (float32(state%2048)/1024 - 1) / 8
+	}
+	for _, r := range sess.WeightRegions() {
+		w := make([]float32, r.Elems)
+		for i := range w {
+			w[i] = next()
+		}
+		if err := sess.SetWeights(r.Name, w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	input := make([]float32, 28*28)
+	for i := range input {
+		input[i] = float32(i % 256)
+	}
+	if err := sess.SetInput(input); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sess.Run(); err != nil {
+		log.Fatal(err)
+	}
+	out, err := sess.Output()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return out
 }

@@ -74,6 +74,14 @@ var (
 	// ErrSKUMismatch: a recording (or cloud image) is bound to a
 	// different GPU SKU than the device at hand.
 	ErrSKUMismatch = grterr.ErrSKUMismatch
+	// ErrSessionLost: a record session was torn down mid-flight (link
+	// liveness timeout or recording-VM death). RecordResumable retries
+	// these automatically; a plain Record surfaces them.
+	ErrSessionLost = grterr.ErrSessionLost
+	// ErrCheckpointCorrupt: a resume checkpoint failed authentication,
+	// parsing, or resync verification — the lost session cannot be
+	// reproduced from it.
+	ErrCheckpointCorrupt = grterr.ErrCheckpointCorrupt
 )
 
 // SKU identifies a mobile GPU hardware model.

@@ -1,0 +1,181 @@
+// Package ckpt implements job-boundary checkpoints for record sessions.
+//
+// GR-T serializes jobs and synchronizes memory only at job edges (§5), so a
+// completed job is a natural checkpoint point: the interaction log up to the
+// job's last event, plus fingerprints of the memsync metastate and the
+// speculation history, fully determine the session. A resumed session does
+// not deserialize cloud driver state — it re-derives it by replaying the
+// checkpointed log prefix through the real driver stack (the §4.2 rollback
+// path, reused), verifying every re-derived event against the prefix. The
+// checkpoint is therefore small, self-validating, and sealed with the same
+// HMAC scheme as recordings (internal/trace).
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"gpurelay/internal/grterr"
+	"gpurelay/internal/trace"
+)
+
+// ckptMagic is "GRTK" little-endian.
+const ckptMagic uint32 = 0x4B545247
+
+// Checkpoint captures a record session at a job boundary.
+type Checkpoint struct {
+	// SessionID identifies the logical record session across resume
+	// attempts (diagnostics; printed by grtrecord on failure).
+	SessionID string
+	// Workload/ProductID/PoolSize pin the checkpoint to its session's
+	// model and GPU exactly as a Recording would (§2.4 early binding).
+	Workload  string
+	ProductID uint32
+	PoolSize  uint64
+	// ClientSeed is the original session's seed; a resume must reuse it or
+	// the re-derived log diverges (flush IDs are seed-dependent).
+	ClientSeed uint64
+	// Variant is the recorded shim variant; a resume must match it.
+	Variant uint8
+	// Network names the link profile the session was recorded over.
+	Network string
+	// Job is the 0-based index of the last fully completed job.
+	Job int
+	// Events is the interaction log up to and including Job's last event.
+	Events []trace.Event
+	// Regions is the region map at the checkpoint.
+	Regions []trace.RegionInfo
+	// SyncOutFP/SyncInFP fingerprint the memsync delta-encoder metastate
+	// (previous outbound/inbound snapshot + structure); the resume path
+	// re-derives the state and verifies the fingerprints at the boundary.
+	SyncOutFP uint64
+	SyncInFP  uint64
+	// HistorySigs counts speculation-history signatures at the checkpoint
+	// (diagnostic; the history itself is service-shared and survives the
+	// session).
+	HistorySigs uint32
+}
+
+// MarshalBinary serializes the checkpoint. The event log and region map ride
+// in an embedded trace.Recording blob so the codec reuses the recording
+// wire format.
+func (c *Checkpoint) MarshalBinary() ([]byte, error) {
+	rec := trace.Recording{
+		Workload:  c.Workload,
+		ProductID: c.ProductID,
+		PoolSize:  c.PoolSize,
+		Events:    c.Events,
+		Regions:   c.Regions,
+	}
+	blob, err := rec.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: marshal log: %w", err)
+	}
+	var buf bytes.Buffer
+	w := func(v any) { binary.Write(&buf, binary.LittleEndian, v) }
+	ws := func(s string) {
+		w(uint16(len(s)))
+		buf.WriteString(s)
+	}
+	w(ckptMagic)
+	ws(c.SessionID)
+	ws(c.Network)
+	w(c.ClientSeed)
+	w(c.Variant)
+	w(uint32(c.Job))
+	w(c.SyncOutFP)
+	w(c.SyncInFP)
+	w(c.HistorySigs)
+	w(uint32(len(blob)))
+	buf.Write(blob)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary parses a checkpoint. Corruption wraps
+// grterr.ErrCheckpointCorrupt.
+func (c *Checkpoint) UnmarshalBinary(data []byte) error {
+	corrupt := func(what string) error {
+		return fmt.Errorf("ckpt: %s: %w", what, grterr.ErrCheckpointCorrupt)
+	}
+	r := bytes.NewReader(data)
+	rd := func(v any) bool { return binary.Read(r, binary.LittleEndian, v) == nil }
+	rds := func(s *string) bool {
+		var n uint16
+		if !rd(&n) {
+			return false
+		}
+		b := make([]byte, n)
+		if _, err := r.Read(b); err != nil || len(b) != int(n) {
+			return false
+		}
+		*s = string(b)
+		return true
+	}
+	var magic uint32
+	if !rd(&magic) || magic != ckptMagic {
+		return corrupt("bad magic")
+	}
+	var job, blobLen uint32
+	if !rds(&c.SessionID) || !rds(&c.Network) ||
+		!rd(&c.ClientSeed) || !rd(&c.Variant) || !rd(&job) ||
+		!rd(&c.SyncOutFP) || !rd(&c.SyncInFP) || !rd(&c.HistorySigs) ||
+		!rd(&blobLen) {
+		return corrupt("truncated header")
+	}
+	c.Job = int(job)
+	blob := make([]byte, blobLen)
+	if n, err := r.Read(blob); err != nil || n != int(blobLen) {
+		return corrupt("truncated log blob")
+	}
+	var rec trace.Recording
+	if err := rec.UnmarshalBinary(blob); err != nil {
+		return corrupt(fmt.Sprintf("log blob: %v", err))
+	}
+	c.Workload = rec.Workload
+	c.ProductID = rec.ProductID
+	c.PoolSize = rec.PoolSize
+	c.Events = rec.Events
+	c.Regions = rec.Regions
+	return nil
+}
+
+// Seal serializes and authenticates the checkpoint under the session key —
+// the same HMAC-SHA256 scheme that seals recordings.
+func (c *Checkpoint) Seal(key []byte) (*trace.Signed, error) {
+	payload, err := c.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return trace.SignBytes(payload, key)
+}
+
+// Open verifies a sealed checkpoint and parses it. Authentication or format
+// failure wraps grterr.ErrCheckpointCorrupt.
+func Open(s *trace.Signed, key []byte) (*Checkpoint, error) {
+	payload, err := trace.VerifyBytes(s, key)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %v: %w", err, grterr.ErrCheckpointCorrupt)
+	}
+	c := &Checkpoint{}
+	if err := c.UnmarshalBinary(payload); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Matches checks the checkpoint is resumable for the given workload and GPU.
+func (c *Checkpoint) Matches(workload string, productID uint32) error {
+	if c.Workload != workload {
+		return fmt.Errorf("ckpt: checkpoint is for workload %q, not %q: %w",
+			c.Workload, workload, grterr.ErrCheckpointCorrupt)
+	}
+	if c.ProductID != productID {
+		return fmt.Errorf("ckpt: checkpoint bound to GPU product %#x, not %#x: %w",
+			c.ProductID, productID, grterr.ErrSKUMismatch)
+	}
+	if len(c.Events) == 0 {
+		return fmt.Errorf("ckpt: checkpoint holds no events: %w", grterr.ErrCheckpointCorrupt)
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+
+	"gpurelay/internal/grterr"
+	"gpurelay/internal/trace"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		SessionID:  "phone/MNIST/00000000009e3779",
+		Workload:   "MNIST",
+		ProductID:  0x6221,
+		PoolSize:   1 << 20,
+		ClientSeed: 0x9e3779,
+		Variant:    3,
+		Network:    "wifi",
+		Job:        7,
+		Events: []trace.Event{
+			{Kind: trace.KWrite, Fn: "kbase_job_submit", Reg: 0x1000, Value: 0xdead},
+			{Kind: trace.KPoll, Fn: "kbase_wait_ready", Reg: 0x1004,
+				Value: 1, DoneMask: 1, DoneVal: 1, MaxIters: 100, Iters: 3},
+			{Kind: trace.KIRQ, IRQJob: 1, IRQGPU: 0, IRQMMU: 0},
+			{Kind: trace.KDumpToCloud, Fn: "memsync", Dump: []byte{1, 2, 3, 4, 5}},
+		},
+		Regions: []trace.RegionInfo{
+			{Name: "weights.0", Kind: 1, VA: 0x8000_0000, PA: 0x1000, Size: 4096},
+			{Name: "input", Kind: 2, VA: 0x8001_0000, PA: 0x2000, Size: 3136},
+		},
+		SyncOutFP:   0x1122334455667788,
+		SyncInFP:    0x8877665544332211,
+		HistorySigs: 42,
+	}
+}
+
+func checkEqual(t *testing.T, got, want *Checkpoint) {
+	t.Helper()
+	if got.SessionID != want.SessionID || got.Workload != want.Workload ||
+		got.ProductID != want.ProductID || got.PoolSize != want.PoolSize ||
+		got.ClientSeed != want.ClientSeed || got.Variant != want.Variant ||
+		got.Network != want.Network || got.Job != want.Job ||
+		got.SyncOutFP != want.SyncOutFP || got.SyncInFP != want.SyncInFP ||
+		got.HistorySigs != want.HistorySigs {
+		t.Fatalf("scalar fields differ:\ngot  %+v\nwant %+v", got, want)
+	}
+	if len(got.Events) != len(want.Events) {
+		t.Fatalf("events: %d vs %d", len(got.Events), len(want.Events))
+	}
+	for i := range got.Events {
+		if !got.Events[i].Equal(&want.Events[i]) {
+			t.Fatalf("event %d differs:\ngot  %+v\nwant %+v", i, got.Events[i], want.Events[i])
+		}
+	}
+	if len(got.Regions) != len(want.Regions) {
+		t.Fatalf("regions: %d vs %d", len(got.Regions), len(want.Regions))
+	}
+	for i := range got.Regions {
+		if got.Regions[i] != want.Regions[i] {
+			t.Fatalf("region %d differs: %+v vs %+v", i, got.Regions[i], want.Regions[i])
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	cp := sampleCheckpoint()
+	data, err := cp.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Checkpoint
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	checkEqual(t, &got, cp)
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	data, err := sampleCheckpoint().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  append([]byte{0xff, 0xff, 0xff, 0xff}, data[4:]...),
+		"cut header": data[:6],
+		"cut blob":   data[:len(data)-3],
+	}
+	for name, d := range cases {
+		var cp Checkpoint
+		if err := cp.UnmarshalBinary(d); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCheckpointCorrupt", name, err)
+		}
+	}
+}
+
+func TestSealOpenAndTamper(t *testing.T) {
+	key := []byte("0123456789abcdef0123456789abcdef")
+	cp := sampleCheckpoint()
+	s, err := cp.Seal(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(s, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEqual(t, got, cp)
+
+	tampered := *s
+	tampered.Payload = append([]byte(nil), s.Payload...)
+	tampered.Payload[len(tampered.Payload)/2] ^= 0x01
+	if _, err := Open(&tampered, key); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+		t.Fatalf("payload flip: err = %v, want ErrCheckpointCorrupt", err)
+	}
+
+	badMAC := *s
+	badMAC.MAC[0] ^= 0x01
+	if _, err := Open(&badMAC, key); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+		t.Fatalf("MAC flip: err = %v, want ErrCheckpointCorrupt", err)
+	}
+
+	wrongKey := append([]byte(nil), key...)
+	wrongKey[0] ^= 0x01
+	if _, err := Open(s, wrongKey); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+		t.Fatalf("wrong key: err = %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+func TestMatches(t *testing.T) {
+	cp := sampleCheckpoint()
+	if err := cp.Matches("MNIST", 0x6221); err != nil {
+		t.Fatalf("matching checkpoint rejected: %v", err)
+	}
+	if err := cp.Matches("AlexNet", 0x6221); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+		t.Fatalf("wrong workload: err = %v, want ErrCheckpointCorrupt", err)
+	}
+	if err := cp.Matches("MNIST", 0x7212); !errors.Is(err, grterr.ErrSKUMismatch) {
+		t.Fatalf("wrong GPU: err = %v, want ErrSKUMismatch", err)
+	}
+	empty := sampleCheckpoint()
+	empty.Events = nil
+	if err := empty.Matches("MNIST", 0x6221); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+		t.Fatalf("empty log: err = %v, want ErrCheckpointCorrupt", err)
+	}
+}

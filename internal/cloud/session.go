@@ -180,6 +180,18 @@ func (m *SessionManager) Acquire(ctx context.Context, clientID, imageName, gpuCo
 // slot to the oldest waiter, if any. Releasing a VM twice, or one the
 // manager did not grant, is a no-op.
 func (m *SessionManager) Release(vm *VM) {
+	m.release(vm, obs.MFleetSessions)
+}
+
+// Crash tears down a VM whose session was lost mid-record (link liveness
+// timeout or VM death). The pool slot moves on exactly as in Release — the
+// fleet just counts a crash instead of a completed session. Idempotent the
+// same way Release is.
+func (m *SessionManager) Crash(vm *VM) {
+	m.release(vm, obs.MFleetVMCrashes)
+}
+
+func (m *SessionManager) release(vm *VM, metric string) {
 	m.mu.Lock()
 	if !m.granted[vm] {
 		m.mu.Unlock()
@@ -190,7 +202,7 @@ func (m *SessionManager) Release(vm *VM) {
 	m.svc.Release(vm)
 	m.releaseSlot()
 	if reg := m.registry(); reg != nil {
-		reg.Add(obs.MFleetSessions, 1)
+		reg.Add(metric, 1)
 	}
 }
 

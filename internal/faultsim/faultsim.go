@@ -1,0 +1,231 @@
+// Package faultsim provides deterministic fault plans for chaos-testing
+// GR-T record sessions. A Plan declares faults positioned in the session's
+// virtual time (link outage windows, loss bursts, latency degradation) or at
+// job boundaries (mid-session VM crashes); Plan.Start binds it to a
+// session's seed, yielding a Session that netsim.Link consults on every
+// exchange and record.RunContext consults at every job boundary.
+//
+// Everything is driven by the virtual clock and the session seed — no wall
+// clock, no global randomness — so a chaos run is exactly as reproducible as
+// a healthy one: the same seed yields the same faults at the same virtual
+// instants, the same session losses, and (via checkpoint resume) the same
+// stitched recording.
+package faultsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gpurelay/internal/grterr"
+	"gpurelay/internal/obs"
+)
+
+// Kind discriminates fault types.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// LinkOutage makes the link dark for a window. An exchange inside the
+	// window waits the outage out; when the window is at least the plan's
+	// liveness timeout long, the session is torn down instead (fatal).
+	LinkOutage Kind = iota + 1
+	// LossBurst adds extra packet loss (percent) for a window.
+	LossBurst
+	// Degrade multiplies exchange latency for a window.
+	Degrade
+	// VMCrash kills the recording VM when job AtJob completes.
+	VMCrash
+)
+
+var kindNames = [...]string{LinkOutage: "link_outage", LossBurst: "loss_burst",
+	Degrade: "degrade", VMCrash: "vm_crash"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// DefaultTimeout is the link liveness timeout: an outage at least this long
+// is indistinguishable from a dead peer and tears the session down.
+const DefaultTimeout = 2 * time.Second
+
+// Fault is one planned fault.
+type Fault struct {
+	Kind Kind
+	// At is the virtual session time the fault window opens (link faults).
+	At time.Duration
+	// Duration is the window length (link faults).
+	Duration time.Duration
+	// Jitter, when positive, shifts At by a seed-derived amount in
+	// [0, Jitter) at Plan.Start — deterministic per seed.
+	Jitter time.Duration
+	// AtJob is the 0-based job whose completion triggers a VMCrash.
+	AtJob int
+	// LossPct is the extra loss probability (percent) of a LossBurst.
+	LossPct float64
+	// Factor is the latency multiplier of a Degrade window (>1).
+	Factor float64
+}
+
+// Plan is a declarative chaos schedule for one record session.
+type Plan struct {
+	Name   string
+	Faults []Fault
+	// Timeout overrides the link liveness timeout (0 → DefaultTimeout).
+	Timeout time.Duration
+}
+
+// String renders the plan compactly for logs.
+func (p *Plan) String() string {
+	if p == nil {
+		return "<no plan>"
+	}
+	return fmt.Sprintf("plan %q (%d faults)", p.Name, len(p.Faults))
+}
+
+// Start binds the plan to a session seed, drawing each fault's jitter
+// deterministically. The returned Session spans every resume attempt of one
+// logical record session: fatal faults are one-shot across attempts (so a
+// resumed session does not die at the same instant forever), while window
+// faults apply to whatever virtual-time window each attempt passes through.
+func (p *Plan) Start(seed uint64) *Session {
+	rng := seed ^ 0x9E3779B97F4A7C15
+	if rng == 0 {
+		rng = 1
+	}
+	jitter := make([]time.Duration, len(p.Faults))
+	for i := range p.Faults {
+		if j := p.Faults[i].Jitter; j > 0 {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			jitter[i] = time.Duration(rng % uint64(j))
+		}
+	}
+	timeout := p.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Session{
+		plan: p, timeout: timeout, jitter: jitter,
+		fired: make([]bool, len(p.Faults)),
+		noted: make([]bool, len(p.Faults)),
+	}
+}
+
+// Session is a plan in flight for one record session (including its resume
+// attempts). It implements netsim.FaultInjector structurally; the record
+// orchestrator additionally calls JobBoundary after each completed job.
+type Session struct {
+	plan    *Plan
+	timeout time.Duration
+	jitter  []time.Duration
+
+	mu sync.Mutex
+	// fired marks fatal faults (VM crashes, timeout-length outages) that
+	// already killed an attempt — one-shot, so resumes make progress.
+	fired []bool
+	// noted marks window faults already counted this attempt (telemetry
+	// only; the windows themselves are stateless in virtual time).
+	noted []bool
+
+	scope *obs.Scope
+	fleet *obs.Registry
+}
+
+// Instrument attaches telemetry: fired-fault counters land in the session
+// scope (which double-writes into an attached fleet registry) or, when no
+// scope is carried, directly in the fleet registry. Either may be nil.
+func (s *Session) Instrument(scope *obs.Scope, fleet *obs.Registry) {
+	s.mu.Lock()
+	s.scope, s.fleet = scope, fleet
+	s.mu.Unlock()
+}
+
+// NextAttempt resets per-attempt state; the record orchestrator calls it at
+// the start of every (re)try. Fatal one-shot faults stay consumed.
+func (s *Session) NextAttempt() {
+	s.mu.Lock()
+	for i := range s.noted {
+		s.noted[i] = false
+	}
+	s.mu.Unlock()
+}
+
+// count records one fired fault. Callers hold s.mu.
+func (s *Session) count(k Kind) {
+	s.scope.Count(obs.MFaultsFired, 1, obs.L("kind", k.String()))
+	if s.fleet != nil {
+		s.fleet.Add(obs.MFaultsFired, 1, obs.L("kind", k.String()))
+	}
+}
+
+// note counts a window fault's first activation this attempt. Callers hold
+// s.mu.
+func (s *Session) note(i int, k Kind) {
+	if !s.noted[i] {
+		s.noted[i] = true
+		s.count(k)
+	}
+}
+
+// Exchange implements the netsim fault-injection hook: called once per link
+// exchange with the virtual now and the exchange's unperturbed latency.
+func (s *Session) Exchange(now, base time.Duration) (extra time.Duration, lossPct float64, kill error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.plan.Faults {
+		f := &s.plan.Faults[i]
+		at := f.At + s.jitter[i]
+		switch f.Kind {
+		case LinkOutage:
+			if f.Duration >= s.timeout {
+				// Fatal: the link stays dark past the liveness timeout.
+				if !s.fired[i] && now >= at {
+					s.fired[i] = true
+					s.count(f.Kind)
+					return 0, 0, fmt.Errorf("faultsim: link outage at %v for %v (liveness timeout %v): %w",
+						at, f.Duration, s.timeout, grterr.ErrSessionLost)
+				}
+				continue
+			}
+			// Transient: an exchange inside the window waits it out.
+			if now >= at && now < at+f.Duration {
+				s.note(i, f.Kind)
+				extra += at + f.Duration - now
+			}
+		case LossBurst:
+			if now >= at && now < at+f.Duration {
+				s.note(i, f.Kind)
+				lossPct += f.LossPct
+			}
+		case Degrade:
+			if now >= at && now < at+f.Duration && f.Factor > 1 {
+				s.note(i, f.Kind)
+				extra += time.Duration(float64(base) * (f.Factor - 1))
+			}
+		}
+	}
+	return extra, lossPct, nil
+}
+
+// JobBoundary fires VM-crash faults: the record orchestrator calls it after
+// job (0-based) fully completes. A non-nil return wraps
+// grterr.ErrSessionLost and must tear the session down.
+func (s *Session) JobBoundary(job int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.plan.Faults {
+		f := &s.plan.Faults[i]
+		if f.Kind != VMCrash || s.fired[i] || job != f.AtJob {
+			continue
+		}
+		s.fired[i] = true
+		s.count(VMCrash)
+		return fmt.Errorf("faultsim: recording VM crashed after job %d: %w", job, grterr.ErrSessionLost)
+	}
+	return nil
+}

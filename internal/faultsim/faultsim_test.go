@@ -1,0 +1,222 @@
+package faultsim
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"gpurelay/internal/grterr"
+)
+
+func TestPresetsSorted(t *testing.T) {
+	want := []string{"flaky", "meltdown", "outage", "vm-crash"}
+	if got := Presets(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Presets() = %v, want %v", got, want)
+	}
+}
+
+func TestParsePlanPresetIsACopy(t *testing.T) {
+	p1, err := ParsePlan("outage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Faults[0].At = 0
+	p1.Timeout = time.Nanosecond
+	p2, err := ParsePlan("outage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Faults[0].At == 0 || p2.Timeout == time.Nanosecond {
+		t.Fatal("mutating a parsed preset leaked into the shared table")
+	}
+}
+
+func TestParsePlanSpec(t *testing.T) {
+	p, err := ParsePlan("loss@200ms+1s:15, crash@job8, degrade@100ms+2s:x3, outage@800ms+5s, timeout=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Timeout != time.Second {
+		t.Fatalf("timeout = %v, want 1s", p.Timeout)
+	}
+	want := []Fault{
+		{Kind: LossBurst, At: 200 * time.Millisecond, Duration: time.Second, LossPct: 15},
+		{Kind: VMCrash, AtJob: 8},
+		{Kind: Degrade, At: 100 * time.Millisecond, Duration: 2 * time.Second, Factor: 3},
+		{Kind: LinkOutage, At: 800 * time.Millisecond, Duration: 5 * time.Second},
+	}
+	if !reflect.DeepEqual(p.Faults, want) {
+		t.Fatalf("faults = %+v, want %+v", p.Faults, want)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"bogus",
+		"crash@8",
+		"crash@job-1",
+		"loss@200ms+1s",     // missing percentage
+		"loss@200ms+1s:150", // >100%
+		"loss@200ms+1s:0",   // zero
+		"degrade@1s+1s:3",   // missing x
+		"degrade@1s+1s:x1",  // factor must be >1
+		"outage@1s+1s:huh",  // outage takes no argument
+		"outage@-1s+1s",     // negative start
+		"outage@1s+0s",      // zero duration
+		"outage@1s",         // no window
+		"quake@1s+1s",       // unknown kind
+		"timeout=0s",        // non-positive timeout
+		"timeout=soon",      // unparsable timeout
+		"timeout=1s",        // timeout alone declares no faults
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		LinkOutage: "link_outage", LossBurst: "loss_burst",
+		Degrade: "degrade", VMCrash: "vm_crash", Kind(99): "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestTransientOutageWindow(t *testing.T) {
+	p := &Plan{Name: "t", Faults: []Fault{
+		{Kind: LinkOutage, At: 100 * time.Millisecond, Duration: 200 * time.Millisecond},
+	}}
+	s := p.Start(1)
+	for _, tc := range []struct {
+		now   time.Duration
+		extra time.Duration
+	}{
+		{50 * time.Millisecond, 0},                       // before the window
+		{100 * time.Millisecond, 200 * time.Millisecond}, // window opens: wait it out
+		{250 * time.Millisecond, 50 * time.Millisecond},  // mid-window: wait the remainder
+		{299 * time.Millisecond, 1 * time.Millisecond},   //
+		{300 * time.Millisecond, 0},                      // window closed
+	} {
+		extra, loss, kill := s.Exchange(tc.now, 10*time.Millisecond)
+		if kill != nil || loss != 0 {
+			t.Fatalf("transient outage at %v: loss=%v kill=%v", tc.now, loss, kill)
+		}
+		if extra != tc.extra {
+			t.Errorf("extra at %v = %v, want %v", tc.now, extra, tc.extra)
+		}
+	}
+}
+
+func TestLossBurstAndDegradeWindows(t *testing.T) {
+	p := &Plan{Name: "t", Faults: []Fault{
+		{Kind: LossBurst, At: 0, Duration: 100 * time.Millisecond, LossPct: 25},
+		{Kind: Degrade, At: 50 * time.Millisecond, Duration: 100 * time.Millisecond, Factor: 3},
+	}}
+	s := p.Start(1)
+	base := 10 * time.Millisecond
+
+	extra, loss, kill := s.Exchange(10*time.Millisecond, base)
+	if kill != nil || loss != 25 || extra != 0 {
+		t.Fatalf("inside loss window: extra=%v loss=%v kill=%v", extra, loss, kill)
+	}
+	// 60ms: both windows active — loss burst plus 3x latency (2x base extra).
+	extra, loss, kill = s.Exchange(60*time.Millisecond, base)
+	if kill != nil || loss != 25 || extra != 2*base {
+		t.Fatalf("overlapping windows: extra=%v loss=%v kill=%v", extra, loss, kill)
+	}
+	extra, loss, _ = s.Exchange(120*time.Millisecond, base)
+	if loss != 0 || extra != 2*base {
+		t.Fatalf("degrade-only stretch: extra=%v loss=%v", extra, loss)
+	}
+	extra, loss, _ = s.Exchange(200*time.Millisecond, base)
+	if loss != 0 || extra != 0 {
+		t.Fatalf("past all windows: extra=%v loss=%v", extra, loss)
+	}
+}
+
+func TestFatalOutageOneShotAcrossAttempts(t *testing.T) {
+	p := &Plan{Name: "t", Faults: []Fault{
+		{Kind: LinkOutage, At: time.Second, Duration: 10 * time.Second}, // >= DefaultTimeout: fatal
+	}}
+	s := p.Start(7)
+	if _, _, kill := s.Exchange(500*time.Millisecond, 0); kill != nil {
+		t.Fatalf("fired before At: %v", kill)
+	}
+	_, _, kill := s.Exchange(time.Second, 0)
+	if !errors.Is(kill, grterr.ErrSessionLost) {
+		t.Fatalf("fatal outage kill = %v, want ErrSessionLost", kill)
+	}
+	// One-shot: the resumed attempt passing the same instant survives.
+	s.NextAttempt()
+	if _, _, kill := s.Exchange(2*time.Second, 0); kill != nil {
+		t.Fatalf("fatal outage fired twice: %v", kill)
+	}
+}
+
+func TestTimeoutDividesFatalFromTransient(t *testing.T) {
+	outage := Fault{Kind: LinkOutage, At: 0, Duration: 100 * time.Millisecond}
+	// Under the default 2s liveness timeout a 100ms outage is transient...
+	s := (&Plan{Name: "t", Faults: []Fault{outage}}).Start(1)
+	extra, _, kill := s.Exchange(0, 0)
+	if kill != nil || extra != 100*time.Millisecond {
+		t.Fatalf("default timeout: extra=%v kill=%v, want transient", extra, kill)
+	}
+	// ...but with a 50ms timeout the same outage is a dead peer.
+	s = (&Plan{Name: "t", Faults: []Fault{outage}, Timeout: 50 * time.Millisecond}).Start(1)
+	if _, _, kill := s.Exchange(0, 0); !errors.Is(kill, grterr.ErrSessionLost) {
+		t.Fatalf("50ms timeout: kill=%v, want ErrSessionLost", kill)
+	}
+}
+
+func TestJobBoundaryCrashOneShot(t *testing.T) {
+	s := (&Plan{Name: "t", Faults: []Fault{{Kind: VMCrash, AtJob: 3}}}).Start(1)
+	if err := s.JobBoundary(2); err != nil {
+		t.Fatalf("crashed at the wrong job: %v", err)
+	}
+	if err := s.JobBoundary(3); !errors.Is(err, grterr.ErrSessionLost) {
+		t.Fatalf("JobBoundary(3) = %v, want ErrSessionLost", err)
+	}
+	s.NextAttempt()
+	if err := s.JobBoundary(3); err != nil {
+		t.Fatalf("crash fired twice: %v", err)
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	p := &Plan{Name: "t", Faults: []Fault{
+		{Kind: LinkOutage, At: 0, Jitter: 50 * time.Millisecond, Duration: 10 * time.Second},
+	}}
+	// The kill error names the jittered instant; same seed, same draw.
+	probe := func(seed uint64) string {
+		_, _, kill := p.Start(seed).Exchange(50*time.Millisecond, 0)
+		if kill == nil {
+			t.Fatalf("seed %d: fatal outage never fired by the jitter bound", seed)
+		}
+		return kill.Error()
+	}
+	if a, b := probe(42), probe(42); a != b {
+		t.Fatalf("same seed drew different jitter:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(probe(42), "link outage at ") {
+		t.Fatalf("kill error does not name the instant: %s", probe(42))
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	var nilPlan *Plan
+	if got := nilPlan.String(); got != "<no plan>" {
+		t.Fatalf("nil plan String() = %q", got)
+	}
+	p, _ := ParsePlan("flaky")
+	if got := p.String(); !strings.Contains(got, "flaky") || !strings.Contains(got, "3 faults") {
+		t.Fatalf("String() = %q", got)
+	}
+}

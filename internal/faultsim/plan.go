@@ -1,0 +1,168 @@
+package faultsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Preset plans. Job indices assume the smallest shipped model (MNIST, 23
+// jobs) so every preset fires on every model; times assume OursMDS pacing.
+var presets = map[string]*Plan{
+	// One fatal link outage mid-record: the link goes dark for longer than
+	// the liveness timeout, the session is lost once, and resume stitches
+	// the rest of the run.
+	"outage": {
+		Name: "outage",
+		Faults: []Fault{
+			{Kind: LinkOutage, At: 900 * time.Millisecond, Duration: 10 * time.Second},
+		},
+	},
+	// The recording VM dies right after job 8 completes.
+	"vm-crash": {
+		Name: "vm-crash",
+		Faults: []Fault{
+			{Kind: VMCrash, AtJob: 8},
+		},
+	},
+	// A rough ride: a loss burst, a degraded stretch, then a fatal outage.
+	"flaky": {
+		Name: "flaky",
+		Faults: []Fault{
+			{Kind: LossBurst, At: 150 * time.Millisecond, Duration: 600 * time.Millisecond, LossPct: 25},
+			{Kind: Degrade, At: 400 * time.Millisecond, Duration: 800 * time.Millisecond, Factor: 3},
+			{Kind: LinkOutage, At: 1600 * time.Millisecond, Duration: 10 * time.Second},
+		},
+	},
+	// Three fatal faults in one session: exercises repeated resume within
+	// the default retry budget.
+	"meltdown": {
+		Name: "meltdown",
+		Faults: []Fault{
+			{Kind: VMCrash, AtJob: 5},
+			{Kind: VMCrash, AtJob: 14},
+			{Kind: LinkOutage, At: 2200 * time.Millisecond, Duration: 10 * time.Second},
+		},
+	},
+}
+
+// Presets lists the built-in plan names, sorted.
+func Presets() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParsePlan turns a plan spec into a Plan. The spec is either a preset name
+// (see Presets) or a comma-separated fault list:
+//
+//	outage@800ms+5s          link outage from 800ms lasting 5s
+//	crash@job8               VM crash after job 8 completes
+//	loss@200ms+1s:15         +15% packet loss from 200ms lasting 1s
+//	degrade@100ms+2s:x3      3x exchange latency from 100ms lasting 2s
+//	timeout=1s               override the link liveness timeout
+//
+// e.g. "loss@200ms+1s:15,crash@job8,timeout=1s".
+func ParsePlan(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("faultsim: empty plan spec")
+	}
+	if p, ok := presets[spec]; ok {
+		// Copy so callers can't mutate the shared preset.
+		cp := *p
+		cp.Faults = append([]Fault(nil), p.Faults...)
+		return &cp, nil
+	}
+	plan := &Plan{Name: spec}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(part, "timeout="); ok {
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("faultsim: bad timeout %q", v)
+			}
+			plan.Timeout = d
+			continue
+		}
+		kind, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("faultsim: bad fault %q (want kind@position, a preset name, or timeout=)", part)
+		}
+		f, err := parseFault(kind, rest)
+		if err != nil {
+			return nil, err
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	if len(plan.Faults) == 0 {
+		return nil, fmt.Errorf("faultsim: plan %q declares no faults", spec)
+	}
+	return plan, nil
+}
+
+func parseFault(kind, rest string) (Fault, error) {
+	if kind == "crash" {
+		jobStr, ok := strings.CutPrefix(rest, "job")
+		if !ok {
+			return Fault{}, fmt.Errorf("faultsim: bad crash position %q (want crash@jobN)", rest)
+		}
+		job, err := strconv.Atoi(jobStr)
+		if err != nil || job < 0 {
+			return Fault{}, fmt.Errorf("faultsim: bad crash job %q", jobStr)
+		}
+		return Fault{Kind: VMCrash, AtJob: job}, nil
+	}
+	// Link faults: at+duration[:arg]
+	window, arg, hasArg := strings.Cut(rest, ":")
+	atStr, durStr, ok := strings.Cut(window, "+")
+	if !ok {
+		return Fault{}, fmt.Errorf("faultsim: bad window %q (want at+duration)", window)
+	}
+	at, err := time.ParseDuration(atStr)
+	if err != nil || at < 0 {
+		return Fault{}, fmt.Errorf("faultsim: bad window start %q", atStr)
+	}
+	dur, err := time.ParseDuration(durStr)
+	if err != nil || dur <= 0 {
+		return Fault{}, fmt.Errorf("faultsim: bad window duration %q", durStr)
+	}
+	f := Fault{At: at, Duration: dur}
+	switch kind {
+	case "outage":
+		if hasArg {
+			return Fault{}, fmt.Errorf("faultsim: outage takes no argument, got %q", arg)
+		}
+		f.Kind = LinkOutage
+	case "loss":
+		if !hasArg {
+			return Fault{}, fmt.Errorf("faultsim: loss needs a percentage, e.g. loss@200ms+1s:15")
+		}
+		pct, err := strconv.ParseFloat(arg, 64)
+		if err != nil || pct <= 0 || pct > 100 {
+			return Fault{}, fmt.Errorf("faultsim: bad loss percentage %q", arg)
+		}
+		f.Kind, f.LossPct = LossBurst, pct
+	case "degrade":
+		factorStr, ok := strings.CutPrefix(arg, "x")
+		if !hasArg || !ok {
+			return Fault{}, fmt.Errorf("faultsim: degrade needs a factor, e.g. degrade@100ms+2s:x3")
+		}
+		factor, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil || factor <= 1 {
+			return Fault{}, fmt.Errorf("faultsim: bad degrade factor %q (want >1)", arg)
+		}
+		f.Kind, f.Factor = Degrade, factor
+	default:
+		return Fault{}, fmt.Errorf("faultsim: unknown fault kind %q", kind)
+	}
+	return f, nil
+}

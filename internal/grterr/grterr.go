@@ -27,4 +27,12 @@ var (
 	// ErrSKUMismatch marks a recording or image bound to a different GPU
 	// SKU than the device at hand (§2.4 early binding).
 	ErrSKUMismatch = errors.New("GPU SKU mismatch")
+	// ErrSessionLost marks a record session torn down mid-flight — the
+	// link stayed dark past its liveness timeout or the recording VM died.
+	// The session can be resumed from its last job-boundary checkpoint.
+	ErrSessionLost = errors.New("record session lost")
+	// ErrCheckpointCorrupt marks a job-boundary checkpoint that failed
+	// authentication, parsing, or resync verification — resuming from it
+	// would not reproduce the interrupted session.
+	ErrCheckpointCorrupt = errors.New("checkpoint failed verification")
 )

@@ -40,6 +40,11 @@ type Condition struct {
 // retry, a TCP-like RTO floor.
 const retransmitTimeout = 200 * time.Millisecond
 
+// maxEffectiveLossPct caps the combined (condition + injected) loss
+// probability so the retransmit retry loop always terminates: a link that
+// never delivers anything is a fatal fault, not a loss rate.
+const maxEffectiveLossPct = 95.0
+
 // The two conditions evaluated in the paper (§7.2), plus a loopback used to
 // model local (on-device) recording baselines and unit tests.
 var (
@@ -81,6 +86,11 @@ type Stats struct {
 	Busy time.Duration
 	// Retransmits counts lost exchanges that had to be retried.
 	Retransmits int
+	// FaultStalls counts exchanges delayed by an injected link fault, and
+	// FaultDelay their total injected latency (chaos testing only; both
+	// stay zero on a healthy link).
+	FaultStalls int
+	FaultDelay  time.Duration
 }
 
 // TotalRTTs returns all round trips regardless of blocking behaviour.
@@ -104,6 +114,30 @@ func (c Canceled) Error() string { return "netsim: link canceled: " + c.Err.Erro
 // to errors.Is.
 func (c Canceled) Unwrap() error { return c.Err }
 
+// SessionLost is thrown (via panic) out of a link operation when an injected
+// fault kills the session — an outage past the liveness timeout, or a VM
+// crash surfacing as a dead peer. Like Canceled, it exists because the
+// simulated driver has no error path for a vanished remote; record.RunContext
+// recovers it at the session boundary and converts it into an error wrapping
+// grterr.ErrSessionLost (carried by Err).
+type SessionLost struct{ Err error }
+
+func (s SessionLost) Error() string { return "netsim: session lost: " + s.Err.Error() }
+
+// Unwrap exposes the underlying fault error to errors.Is.
+func (s SessionLost) Unwrap() error { return s.Err }
+
+// FaultInjector perturbs link exchanges for chaos testing. Exchange is
+// consulted once per round trip (or one-way message) with the current
+// virtual time and the exchange's unperturbed latency; it returns extra
+// latency to add, extra loss probability (percent) to apply, and — for
+// fatal faults — a non-nil kill error that tears the session down via a
+// SessionLost panic. Implementations must be deterministic in virtual time
+// and safe for concurrent use.
+type FaultInjector interface {
+	Exchange(now, base time.Duration) (extra time.Duration, lossPct float64, kill error)
+}
+
 // Link is one end-to-end path between the cloud VM and the client TEE,
 // bound to a virtual clock. Methods advance that clock; they never sleep.
 type Link struct {
@@ -113,6 +147,9 @@ type Link struct {
 	// obs collects per-session telemetry (round-trip counters and spans on
 	// the virtual clock); nil means uninstrumented and is a true no-op.
 	obs *obs.Scope
+	// faults, when non-nil, perturbs every exchange (chaos testing). Like
+	// obs and ctx it is installed before the link is shared.
+	faults FaultInjector
 
 	mu    sync.Mutex
 	stats Stats
@@ -141,15 +178,20 @@ func (l *Link) draw() float64 {
 	return float64(l.rng%1_000_000) / 1_000_000
 }
 
-// perturb applies jitter and loss to one exchange's base latency, updating
-// the retransmit counter under l.mu. It returns the perturbed latency and
-// the number of retransmissions this exchange suffered.
-func (l *Link) perturb(base time.Duration) (time.Duration, int) {
+// perturb applies jitter and loss (the condition's own plus any injected
+// extra) to one exchange's base latency, updating the retransmit counter
+// under l.mu. It returns the perturbed latency and the number of
+// retransmissions this exchange suffered.
+func (l *Link) perturb(base time.Duration, extraLoss float64) (time.Duration, int) {
 	if l.cond.Jitter > 0 {
 		base += time.Duration(l.draw() * float64(l.cond.Jitter))
 	}
+	loss := l.cond.LossPct + extraLoss
+	if loss > maxEffectiveLossPct {
+		loss = maxEffectiveLossPct
+	}
 	retries := 0
-	for l.cond.LossPct > 0 && l.draw()*100 < l.cond.LossPct {
+	for loss > 0 && l.draw()*100 < loss {
 		base += retransmitTimeout + l.cond.RTT
 		l.stats.Retransmits++
 		retries++
@@ -161,6 +203,40 @@ func (l *Link) perturb(base time.Duration) (time.Duration, int) {
 // into it and (capacity permitting) records a span on the virtual clock. A
 // nil scope leaves the link uninstrumented.
 func (l *Link) Instrument(scope *obs.Scope) { l.obs = scope }
+
+// InjectFaults installs a fault injector consulted on every exchange. Like
+// Bind, it must be called before the link is shared with the recording
+// pipeline.
+func (l *Link) InjectFaults(f FaultInjector) { l.faults = f }
+
+// applyFaults consults the injector for one exchange of the given base
+// latency. Fatal faults abort the session with a SessionLost panic;
+// otherwise the injected extra latency and extra loss probability are
+// returned for the caller to fold into the exchange.
+func (l *Link) applyFaults(base time.Duration) (time.Duration, float64) {
+	f := l.faults
+	if f == nil {
+		return 0, 0
+	}
+	extra, loss, kill := f.Exchange(l.clock.Now(), base)
+	if kill != nil {
+		panic(SessionLost{Err: kill})
+	}
+	if extra < 0 {
+		extra = 0
+	}
+	if loss < 0 {
+		loss = 0
+	}
+	if extra > 0 {
+		l.mu.Lock()
+		l.stats.FaultStalls++
+		l.stats.FaultDelay += extra
+		l.mu.Unlock()
+		l.obs.Count(obs.MNetFaultStallNS, int64(extra))
+	}
+	return extra, loss
+}
 
 // Bind attaches a context to the link. Every subsequent blocking operation
 // checks the context before advancing the clock and aborts the session with
@@ -210,9 +286,11 @@ func (l *Link) cost(reqBytes, respBytes int64) (total, busy time.Duration) {
 func (l *Link) RoundTrip(reqBytes, respBytes int64) time.Duration {
 	l.checkCtx()
 	total, busy := l.cost(reqBytes, respBytes)
+	extra, extraLoss := l.applyFaults(total)
+	total += extra
 	l.mu.Lock()
 	var retries int
-	total, retries = l.perturb(total)
+	total, retries = l.perturb(total, extraLoss)
 	l.mu.Unlock()
 	endSpan := l.obs.Span("net.rtt", "net",
 		obs.A("req_bytes", reqBytes), obs.A("resp_bytes", respBytes))
@@ -240,9 +318,11 @@ func (l *Link) RoundTrip(reqBytes, respBytes int64) time.Duration {
 func (l *Link) AsyncRoundTrip(reqBytes, respBytes int64) (completion time.Duration) {
 	l.checkCtx()
 	total, busy := l.cost(reqBytes, respBytes)
+	extra, extraLoss := l.applyFaults(total)
+	total += extra
 	l.mu.Lock()
 	var retries int
-	total, retries = l.perturb(total)
+	total, retries = l.perturb(total, extraLoss)
 	l.stats.AsyncRTTs++
 	l.stats.BytesSent += reqBytes
 	l.stats.BytesReceived += respBytes
@@ -278,8 +358,9 @@ func (l *Link) WaitUntil(t time.Duration) time.Duration {
 func (l *Link) OneWay(n int64) time.Duration {
 	l.checkCtx()
 	busy := l.cond.TransferTime(n)
+	extra, _ := l.applyFaults(l.cond.RTT/2 + busy)
 	endSpan := l.obs.Span("net.oneway", "net", obs.A("bytes", n))
-	done := l.clock.Advance(l.cond.RTT/2 + busy)
+	done := l.clock.Advance(l.cond.RTT/2 + busy + extra)
 	endSpan()
 	l.mu.Lock()
 	l.stats.BytesSent += n

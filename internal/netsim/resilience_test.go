@@ -1,0 +1,188 @@
+package netsim
+
+// Direct Link tests for the resilience layer: retransmit determinism under a
+// fixed seed, the effective-loss clamp, and the fault-injection hook.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gpurelay/internal/timesim"
+)
+
+// injectorFunc adapts a function to the FaultInjector interface.
+type injectorFunc func(now, base time.Duration) (time.Duration, float64, error)
+
+func (f injectorFunc) Exchange(now, base time.Duration) (time.Duration, float64, error) {
+	return f(now, base)
+}
+
+// TestLossyLinkDeterministicUnderSeed drives two identical lossy, jittery
+// links through the same exchange schedule: every statistic and the final
+// virtual clock must match exactly (the link rng is seeded from the
+// condition name alone).
+func TestLossyLinkDeterministicUnderSeed(t *testing.T) {
+	cond := Condition{Name: "chaos-lossy", RTT: 120 * time.Millisecond,
+		Bandwidth: 10_000_000, Jitter: 40 * time.Millisecond, LossPct: 8}
+	run := func() (time.Duration, Stats) {
+		clock := timesim.NewClock()
+		l := NewLink(cond, clock)
+		for i := 0; i < 400; i++ {
+			switch i % 3 {
+			case 0:
+				l.RoundTrip(int64(i%7)*100, int64(i%5)*200)
+			case 1:
+				l.WaitUntil(l.AsyncRoundTrip(64, 64))
+			case 2:
+				l.OneWay(int64(i%11) * 50)
+			}
+		}
+		return clock.Now(), l.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 {
+		t.Fatalf("same seed, different timelines: %v vs %v", t1, t2)
+	}
+	if s1 != s2 {
+		t.Fatalf("same seed, different stats:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Retransmits == 0 {
+		t.Fatal("8% loss over 400 exchanges produced no retransmits")
+	}
+	// Every retransmit costs at least the RTO plus one RTT on top of the
+	// loss-free schedule.
+	if floor := time.Duration(s1.Retransmits) * (retransmitTimeout + cond.RTT); t1 < floor {
+		t.Fatalf("timeline %v below the retransmit floor %v", t1, floor)
+	}
+}
+
+// TestLossClampTerminates checks the maxEffectiveLossPct cap: even a
+// nominally 100%-lossy link (plus injected loss on top) keeps delivering,
+// because the retry loop draws against a capped probability.
+func TestLossClampTerminates(t *testing.T) {
+	cond := Condition{Name: "black-hole", RTT: 10 * time.Millisecond,
+		Bandwidth: 1_000_000_000, LossPct: 100}
+	clock := timesim.NewClock()
+	l := NewLink(cond, clock)
+	l.InjectFaults(injectorFunc(func(now, base time.Duration) (time.Duration, float64, error) {
+		return 0, 50, nil // 150% combined, clamped to 95%
+	}))
+	for i := 0; i < 25; i++ {
+		l.RoundTrip(100, 100)
+	}
+	s := l.Stats()
+	if s.BlockingRTTs != 25 {
+		t.Fatalf("completed %d of 25 exchanges", s.BlockingRTTs)
+	}
+	// At 95% effective loss each exchange retries ~19x on average.
+	if s.Retransmits < 100 {
+		t.Fatalf("retransmits = %d, implausibly low for 95%% loss", s.Retransmits)
+	}
+}
+
+// TestInjectedLossDeterministic checks injected extra loss rides the same
+// deterministic rng as the condition's own.
+func TestInjectedLossDeterministic(t *testing.T) {
+	run := func() (time.Duration, Stats) {
+		clock := timesim.NewClock()
+		l := NewLink(WiFi, clock) // WiFi itself is loss-free
+		l.InjectFaults(injectorFunc(func(now, base time.Duration) (time.Duration, float64, error) {
+			if now < 2*time.Second {
+				return 0, 40, nil
+			}
+			return 0, 0, nil
+		}))
+		for i := 0; i < 200; i++ {
+			l.RoundTrip(100, 100)
+		}
+		return clock.Now(), l.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("injected loss not deterministic: %v/%+v vs %v/%+v", t1, s1, t2, s2)
+	}
+	if s1.Retransmits == 0 {
+		t.Fatal("injected 40% loss produced no retransmits")
+	}
+}
+
+// TestInjectedStallDelaysAndCounts checks transient fault latency is added
+// to the exchange and accounted in FaultStalls/FaultDelay.
+func TestInjectedStallDelaysAndCounts(t *testing.T) {
+	clock := timesim.NewClock()
+	l := NewLink(WiFi, clock)
+	const stall = 500 * time.Millisecond
+	l.InjectFaults(injectorFunc(func(now, base time.Duration) (time.Duration, float64, error) {
+		if now == 0 {
+			return stall, 0, nil
+		}
+		return 0, 0, nil
+	}))
+	l.RoundTrip(0, 0)
+	if want := WiFi.RTT + stall; clock.Now() != want {
+		t.Fatalf("stalled exchange took %v, want %v", clock.Now(), want)
+	}
+	l.RoundTrip(0, 0) // outside the fault: no stall
+	s := l.Stats()
+	if s.FaultStalls != 1 || s.FaultDelay != stall {
+		t.Fatalf("fault accounting = %d stalls / %v delay, want 1 / %v", s.FaultStalls, s.FaultDelay, stall)
+	}
+}
+
+// TestInjectedKillPanicsSessionLost checks a fatal fault tears down every
+// blocking primitive with a SessionLost panic that unwraps to the injector's
+// error, without advancing the clock.
+func TestInjectedKillPanicsSessionLost(t *testing.T) {
+	errDead := errors.New("peer vanished")
+	clock := timesim.NewClock()
+	l := NewLink(WiFi, clock)
+	l.RoundTrip(1, 1) // healthy before the injector is armed
+	l.InjectFaults(injectorFunc(func(now, base time.Duration) (time.Duration, float64, error) {
+		return 0, 0, errDead
+	}))
+	before := clock.Now()
+
+	expectLost := func(name string, op func()) {
+		defer func() {
+			r := recover()
+			sl, ok := r.(SessionLost)
+			if !ok {
+				t.Fatalf("%s: recovered %v, want SessionLost", name, r)
+			}
+			if !errors.Is(sl, errDead) {
+				t.Fatalf("%s: %v does not unwrap to the injector error", name, sl)
+			}
+		}()
+		op()
+		t.Fatalf("%s completed on a dead link", name)
+	}
+	expectLost("RoundTrip", func() { l.RoundTrip(1, 1) })
+	expectLost("AsyncRoundTrip", func() { l.AsyncRoundTrip(1, 1) })
+	expectLost("OneWay", func() { l.OneWay(1) })
+	if clock.Now() != before {
+		t.Fatalf("killed exchanges advanced the clock: %v -> %v", before, clock.Now())
+	}
+	if s := l.Stats(); s.FaultStalls != 0 {
+		t.Fatalf("killed exchanges counted as stalls: %+v", s)
+	}
+}
+
+// TestInjectedNegativeValuesClamped checks an injector returning negative
+// extra latency or loss behaves as a no-op.
+func TestInjectedNegativeValuesClamped(t *testing.T) {
+	clock := timesim.NewClock()
+	l := NewLink(WiFi, clock)
+	l.InjectFaults(injectorFunc(func(now, base time.Duration) (time.Duration, float64, error) {
+		return -time.Second, -50, nil
+	}))
+	l.RoundTrip(0, 0)
+	if clock.Now() != WiFi.RTT {
+		t.Fatalf("negative injection perturbed the exchange: %v, want %v", clock.Now(), WiFi.RTT)
+	}
+	if s := l.Stats(); s.FaultStalls != 0 || s.Retransmits != 0 {
+		t.Fatalf("negative injection left tracks: %+v", s)
+	}
+}

@@ -12,8 +12,8 @@ const (
 
 	// shim (per-session; Figure 8 and §7.3 counters).
 	MShimRegAccesses     = "grt_shim_reg_accesses_total"
-	MShimCommits         = "grt_shim_commits_total"               // kind=sync|async
-	MShimCommitsByCat    = "grt_shim_commits_by_category_total"   // category=...
+	MShimCommits         = "grt_shim_commits_total"                // kind=sync|async
+	MShimCommitsByCat    = "grt_shim_commits_by_category_total"    // category=...
 	MShimSpeculatedByCat = "grt_shim_speculated_by_category_total" // category=...
 	MShimSpecStalls      = "grt_shim_spec_stalls_total"            // taint stalls
 	MShimMispredictions  = "grt_shim_mispredictions_total"
@@ -38,11 +38,22 @@ const (
 	MReplayMismatches   = "grt_replay_mismatches_total"
 	MReplayRestoreBytes = "grt_replay_restore_bytes_total"
 
+	// resilience: deterministic fault injection (internal/faultsim) and
+	// job-boundary checkpoint/resume (internal/ckpt).
+	MNetFaultStallNS  = "grt_net_fault_stall_ns_total" // injected link-fault latency, virtual ns
+	MFaultsFired      = "grt_faults_fired_total"       // kind=link_outage|loss_burst|degrade|vm_crash
+	MCkptCheckpoints  = "grt_ckpt_checkpoints_total"
+	MCkptBytes        = "grt_ckpt_bytes_total" // sealed checkpoint payload bytes
+	MCkptResyncEvents = "grt_ckpt_resync_events_total"
+	MResumeBackoff    = "grt_resume_backoff_seconds" // virtual backoff before re-admission
+
 	// fleet (service-owned registry; multi-tenant view).
 	MFleetActiveVMs      = "grt_fleet_active_vms"       // gauge
 	MFleetQueueDepth     = "grt_fleet_queue_depth"      // gauge
 	MFleetAdmissions     = "grt_fleet_admissions_total" // outcome=immediate|queued|rejected|abandoned|launch_failed
 	MFleetAdmissionWait  = "grt_fleet_admission_wait_seconds"
-	MFleetSessions       = "grt_fleet_sessions_total" // completed recording sessions
+	MFleetSessions       = "grt_fleet_sessions_total"        // completed recording sessions
 	MFleetHistoryLookups = "grt_fleet_history_lookups_total" // result=hit|miss
+	MFleetVMCrashes      = "grt_fleet_vm_crashes_total"      // sessions torn down by a crash
+	MFleetResumes        = "grt_fleet_resumes_total"         // outcome=resumed|gave_up
 )

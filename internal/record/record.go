@@ -18,8 +18,11 @@ import (
 	"fmt"
 	"time"
 
+	"gpurelay/internal/ckpt"
 	"gpurelay/internal/energy"
+	"gpurelay/internal/faultsim"
 	"gpurelay/internal/gpumem"
+	"gpurelay/internal/grterr"
 	"gpurelay/internal/kbase"
 	"gpurelay/internal/mali"
 	"gpurelay/internal/mlfw"
@@ -96,6 +99,23 @@ type Config struct {
 	// run. Nil leaves the run uninstrumented — a true no-op that changes
 	// no delays and no outputs.
 	Obs *obs.Scope
+	// SessionID names the logical record session across resume attempts
+	// (stamped into checkpoints; diagnostic).
+	SessionID string
+	// Faults, when non-nil, injects this session's deterministic fault
+	// plan: the link consults it on every exchange and the orchestrator at
+	// every job boundary. A fatal fault surfaces as an error wrapping
+	// grterr.ErrSessionLost.
+	Faults *faultsim.Session
+	// Resume, when non-nil, resumes a lost session from a checkpoint: the
+	// run re-derives the checkpointed log prefix with the link detached
+	// (§4.2 replay), verifies every event, and continues recording from
+	// the checkpointed job boundary.
+	Resume *ckpt.Checkpoint
+	// OnCheckpoint, when non-nil, receives a checkpoint after every fully
+	// completed job (skipping jobs a Resume already covers). The callback
+	// runs inside the session; it must not block.
+	OnCheckpoint func(*ckpt.Checkpoint)
 }
 
 // Stats aggregates everything the evaluation reports about a record run.
@@ -124,6 +144,10 @@ type Stats struct {
 	// cloud-side accesses to memory already synchronized to the client.
 	// Zero in any healthy record run.
 	GuardViolations int
+	// Resumes counts session losses survived via checkpoint resume (set by
+	// the resumable orchestration above this package; a single RunContext
+	// is always one attempt).
+	Resumes int
 	// Obs is the session's metrics snapshot taken at the end of the run;
 	// nil when the run was uninstrumented. The snapshot's counters agree
 	// with the aggregate fields above (e.g. grt_net_rtts_total{mode=
@@ -184,6 +208,35 @@ func (r *Result) Segments(boundaries []int) ([]*trace.Signed, []*trace.Recording
 	return signeds, recs, nil
 }
 
+// snapshotCheckpoint captures the session at a just-completed job boundary.
+// The event log is copied (DriverShim.EventLog returns its live slice); the
+// dump payloads inside events are immutable after append and are shared.
+func snapshotCheckpoint(cfg *Config, dshim *shim.DriverShim, sync *syncer,
+	rt *mlfw.Runtime, poolSize uint64, job int) *ckpt.Checkpoint {
+	var regions []trace.RegionInfo
+	for _, r := range rt.Context().Regions() {
+		regions = append(regions, trace.RegionInfo{
+			Name: r.Name, Kind: r.Kind, VA: r.VA, PA: r.PA, Size: r.Size,
+		})
+	}
+	out, in := sync.metaFP()
+	return &ckpt.Checkpoint{
+		SessionID:   cfg.SessionID,
+		Workload:    cfg.Model.Name,
+		ProductID:   cfg.SKU.ProductID,
+		PoolSize:    poolSize,
+		ClientSeed:  cfg.ClientSeed,
+		Variant:     uint8(cfg.Variant),
+		Network:     cfg.Network.Name,
+		Job:         job,
+		Events:      append([]trace.Event(nil), dshim.EventLog()...),
+		Regions:     regions,
+		SyncOutFP:   out,
+		SyncInFP:    in,
+		HistorySigs: uint32(dshim.History().Signatures()),
+	}
+}
+
 // poolSizeFor sizes the shared memory for a model: its buffers plus headroom
 // for metastate and page tables, mirroring the §3.1 requirement that the TEE
 // reserve as much secure memory as the workload needs.
@@ -217,17 +270,43 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		return nil, fmt.Errorf("record: session not started: %w", cerr)
 	}
 	defer func() {
-		if r := recover(); r != nil {
-			c, ok := r.(netsim.Canceled)
-			if !ok {
-				panic(r)
-			}
-			res, err = nil, fmt.Errorf("record: session aborted: %w", c.Err)
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch e := r.(type) {
+		case netsim.Canceled:
+			res, err = nil, fmt.Errorf("record: session aborted: %w", e.Err)
+		case netsim.SessionLost:
+			res, err = nil, fmt.Errorf("record: session lost: %w", e.Err)
+		case shim.ResyncDiverged:
+			res, err = nil, fmt.Errorf("record: %v: %w", e, grterr.ErrCheckpointCorrupt)
+		default:
+			panic(r)
 		}
 	}()
+	resumeJob := -1
+	if cfg.Resume != nil {
+		if verr := cfg.Resume.Matches(cfg.Model.Name, cfg.SKU.ProductID); verr != nil {
+			return nil, fmt.Errorf("record: resume: %w", verr)
+		}
+		if cfg.Resume.Variant != uint8(cfg.Variant) {
+			return nil, fmt.Errorf("record: checkpoint recorded under variant %s, not %s: %w",
+				Variant(cfg.Resume.Variant), cfg.Variant, grterr.ErrCheckpointCorrupt)
+		}
+		if cfg.Resume.ClientSeed != cfg.ClientSeed {
+			return nil, fmt.Errorf("record: checkpoint bound to client seed %#x, not %#x: %w",
+				cfg.Resume.ClientSeed, cfg.ClientSeed, grterr.ErrCheckpointCorrupt)
+		}
+		resumeJob = cfg.Resume.Job
+	}
 	clock := timesim.NewClock()
 	cfg.Obs.BindClock(clock)
 	poolSize := cfg.PoolSize
+	if poolSize == 0 && cfg.Resume != nil {
+		// The resumed run must lay memory out exactly as the original did.
+		poolSize = cfg.Resume.PoolSize
+	}
 	if poolSize == 0 {
 		poolSize = poolSizeFor(cfg.Model)
 	}
@@ -246,15 +325,23 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	link := netsim.NewLink(cfg.Network, clock)
 	link.Bind(ctx)
 	link.Instrument(cfg.Obs)
+	if cfg.Faults != nil {
+		cfg.Faults.NextAttempt()
+		link.InjectFaults(cfg.Faults)
+	}
 	kern := kbase.NewStdKernel(clock)
+	recovery := shim.DefaultRecovery(cfg.Model.FLOPs())
 	dshim := shim.NewDriverShim(shim.Config{
 		Mode: cfg.Variant.ShimMode(), Link: link, Client: gshim, Clock: clock,
 		Kernel: kern, History: cfg.History,
-		Recovery: shim.DefaultRecovery(cfg.Model.FLOPs()),
+		Recovery: recovery,
 		Obs:      cfg.Obs,
 	})
 	if cfg.InjectMispredictionAt >= 0 {
 		dshim.InjectMispredictionAt(cfg.InjectMispredictionAt)
+	}
+	if cfg.Resume != nil {
+		dshim.BeginResync(cfg.Resume.Events, recovery.ReplayPerEvent)
 	}
 
 	start := timesim.StartWatch(clock)
@@ -314,6 +401,29 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		AfterJobIRQ: func(*kbase.Context) { jobIdx++ },
 		AfterJobComplete: func(*kbase.Context) {
 			jobLogOffsets = append(jobLogOffsets, len(dshim.EventLog()))
+			job := len(jobLogOffsets) - 1
+			if job == resumeJob {
+				// The resync just crossed the checkpoint boundary: the
+				// re-derived memsync metastate must match what the
+				// checkpoint recorded, or every later delta dump would
+				// silently diverge from the lost session.
+				out, in := sync.metaFP()
+				if out != cfg.Resume.SyncOutFP || in != cfg.Resume.SyncInFP {
+					panic(shim.ResyncDiverged{Pos: jobLogOffsets[job],
+						Reason: "memsync metastate fingerprint mismatch at resume boundary"})
+				}
+			}
+			if cfg.OnCheckpoint != nil && job > resumeJob && !dshim.Resyncing() {
+				cp := snapshotCheckpoint(&cfg, dshim, sync, rt, poolSize, job)
+				cfg.Obs.Annotate("ckpt.capture", "record",
+					obs.A("job", int64(job)), obs.A("events", int64(len(cp.Events))))
+				cfg.OnCheckpoint(cp)
+			}
+			if cfg.Faults != nil {
+				if ferr := cfg.Faults.JobBoundary(job); ferr != nil {
+					panic(netsim.SessionLost{Err: ferr})
+				}
+			}
 		},
 	}
 

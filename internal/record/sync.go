@@ -1,7 +1,9 @@
 package record
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 
 	"gpurelay/internal/gpumem"
 	"gpurelay/internal/kbase"
@@ -77,6 +79,32 @@ func fingerprint(regions []*gpumem.Region) string {
 		fp += fmt.Sprintf("%s:%x:%x;", r.Name, r.PA, r.Size)
 	}
 	return fp
+}
+
+// metaFP fingerprints the delta-encoder metastate in both directions: the
+// structural fingerprint plus the full content of the retained previous
+// snapshot. A checkpoint stores both; the resume path re-derives the syncer
+// state and refuses to continue past the boundary unless the fingerprints
+// match, since a divergent delta base would silently corrupt every later
+// dump.
+func (s *syncer) metaFP() (out, in uint64) {
+	return snapFP(s.prevOutFP, s.prevOut), snapFP(s.prevInFP, s.prevIn)
+}
+
+func snapFP(structure string, snap *gpumem.Snapshot) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(structure))
+	if snap != nil {
+		var pa [8]byte
+		for i := range snap.Regions {
+			r := &snap.Regions[i]
+			h.Write([]byte(r.Name))
+			binary.LittleEndian.PutUint64(pa[:], uint64(r.PA))
+			h.Write(pa[:])
+			h.Write(r.Data)
+		}
+	}
+	return h.Sum64()
 }
 
 // beforeJob produces the cloud→client dump for job j and applies it to the

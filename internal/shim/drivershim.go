@@ -84,6 +84,9 @@ type Stats struct {
 	IRQWaits             int
 	DumpBytesToClient    int64
 	DumpBytesToCloud     int64
+	// ResyncEvents counts checkpointed events re-derived and verified while
+	// resuming a lost session.
+	ResyncEvents int
 }
 
 type binding struct {
@@ -139,6 +142,10 @@ type DriverShim struct {
 
 	pendingDumpOut []byte
 	log            []trace.Event
+
+	// rs, when non-nil, replays a checkpointed log prefix instead of using
+	// the link (resume path; see resync.go).
+	rs *resyncState
 
 	recovery RecoveryModel
 	// injectAt triggers an artificial misprediction at the Nth
@@ -404,9 +411,14 @@ func (s *DriverShim) waitIRQT(tid, fn string) kbase.IRQState {
 	if s.client.OnIRQDump != nil {
 		dumpIn = s.client.OnIRQDump()
 	}
-	endSpan := s.obs.Span("shim.irq.wait", "shim")
-	s.link.RoundTrip(irqReqBytes, int64(irqRespBytes+len(dumpIn)))
-	endSpan()
+	if s.rs != nil {
+		// Resync: the IRQ exchange replays locally like commits do.
+		s.clock.Advance(2 * s.rs.perEvent)
+	} else {
+		endSpan := s.obs.Span("shim.irq.wait", "shim")
+		s.link.RoundTrip(irqReqBytes, int64(irqRespBytes+len(dumpIn)))
+		endSpan()
+	}
 	s.stats.IRQWaits++
 	s.obs.Count(obs.MShimIRQWaits, 1)
 	irq := s.client.IRQ()
@@ -416,6 +428,7 @@ func (s *DriverShim) waitIRQT(tid, fn string) kbase.IRQState {
 		s.stats.DumpBytesToCloud += int64(len(dumpIn))
 		s.log = append(s.log, trace.Event{Kind: trace.KDumpToCloud, Dump: dumpIn})
 	}
+	s.verifyResync()
 	return irq
 }
 
@@ -558,17 +571,26 @@ func (s *DriverShim) commitSync(tid string) []OpResult {
 	ops := s.threads[tid]
 	s.threads[tid] = nil
 	sig := CommitSignature(ops)
-	req, resp := s.wireSizes(ops)
-	s.link.RoundTrip(req, resp)
+	kind := "sync"
+	if s.rs != nil {
+		// Resync: both sides replay locally (§4.2) — no round trip, the
+		// clock pays the calibrated per-event replay cost instead.
+		kind = "resync"
+		s.clock.Advance(time.Duration(len(ops)+1) * s.rs.perEvent)
+	} else {
+		req, resp := s.wireSizes(ops)
+		s.link.RoundTrip(req, resp)
+	}
 	results := s.client.Execute(ops)
 	s.bindResults(ops, results, false)
 	s.logOps(ops, results)
+	s.verifyResync()
 	s.history.Record(sig, outcomeOf(ops, results))
 	s.stats.Commits++
 	s.stats.SyncCommits++
 	cat := categoryOf(ops)
 	s.stats.CommitsByCategory[cat]++
-	s.obs.Count(obs.MShimCommits, 1, obs.L("kind", "sync"))
+	s.obs.Count(obs.MShimCommits, 1, obs.L("kind", kind))
 	s.obs.Count(obs.MShimCommitsByCat, 1, obs.L("category", string(cat)))
 	return results
 }
@@ -578,6 +600,11 @@ func (s *DriverShim) commitSync(tid string) []OpResult {
 func (s *DriverShim) commitMaybeSpeculate(tid string) []OpResult {
 	if len(s.threads[tid]) == 0 && s.pendingDumpOut == nil {
 		return nil
+	}
+	if s.rs != nil {
+		// Speculation stays off until the checkpoint prefix is replayed:
+		// resync verifies events one commit at a time.
+		return s.commitSync(tid)
 	}
 	sig := CommitSignature(s.threads[tid])
 	predicted, ok := s.history.Predict(sig)

@@ -22,18 +22,38 @@ type Signed struct {
 
 // Sign serializes and authenticates a recording with the session key.
 func Sign(r *Recording, key []byte) (*Signed, error) {
-	if len(key) == 0 {
-		return nil, fmt.Errorf("trace: empty signing key")
-	}
 	payload, err := r.MarshalBinary()
 	if err != nil {
 		return nil, err
+	}
+	return SignBytes(payload, key)
+}
+
+// SignBytes authenticates an already-serialized payload with the session
+// key. Checkpoints reuse this so a sealed checkpoint carries the same
+// HMAC-SHA256 tag format as a sealed recording.
+func SignBytes(payload, key []byte) (*Signed, error) {
+	if len(key) == 0 {
+		return nil, fmt.Errorf("trace: empty signing key")
 	}
 	mac := hmac.New(sha256.New, key)
 	mac.Write(payload)
 	s := &Signed{Payload: payload}
 	copy(s.MAC[:], mac.Sum(nil))
 	return s, nil
+}
+
+// VerifyBytes checks the tag and returns the authenticated payload. Unlike
+// Verify it does not parse the payload as a Recording and does not wrap a
+// sentinel — callers attach their own (the checkpoint codec wraps
+// grterr.ErrCheckpointCorrupt).
+func VerifyBytes(s *Signed, key []byte) ([]byte, error) {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(s.Payload)
+	if !hmac.Equal(mac.Sum(nil), s.MAC[:]) {
+		return nil, fmt.Errorf("trace: payload signature verification failed")
+	}
+	return s.Payload, nil
 }
 
 // Verify checks the tag and parses the recording. Any tampering with the

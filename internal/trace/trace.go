@@ -59,6 +59,18 @@ type Event struct {
 	Dump []byte
 }
 
+// Equal reports whether two events are identical in every field, including
+// dump bytes. The checkpoint resync path compares re-derived events against
+// the checkpointed prefix with it — any divergence means the checkpoint does
+// not describe this session.
+func (e *Event) Equal(o *Event) bool {
+	return e.Kind == o.Kind && e.Fn == o.Fn && e.Reg == o.Reg &&
+		e.Value == o.Value && e.DoneMask == o.DoneMask && e.DoneVal == o.DoneVal &&
+		e.MaxIters == o.MaxIters && e.Iters == o.Iters &&
+		e.IRQJob == o.IRQJob && e.IRQGPU == o.IRQGPU && e.IRQMMU == o.IRQMMU &&
+		bytes.Equal(e.Dump, o.Dump)
+}
+
 // RegionInfo describes one shared-memory region of the recorded workload,
 // so the replayer can inject program data (input, parameters) and read
 // results — none of which ever left the TEE during recording (§7.1).

@@ -1,0 +1,8 @@
+//go:build !race
+
+package gpurelay
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The chaos matrix uses it to trim itself to one model row under the
+// race detector unless GRT_CHAOS_FULL opts back in (see TestChaosMatrix).
+const raceDetectorEnabled = false
