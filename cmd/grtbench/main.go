@@ -8,6 +8,7 @@
 //
 //	grtbench            # the full paper evaluation
 //	grtbench -fast      # MNIST + AlexNet only
+//	grtbench -perf      # memory-sync micro-benchmarks -> BENCH_PR4.json
 package main
 
 import (
@@ -22,7 +23,16 @@ import (
 
 func main() {
 	fast := flag.Bool("fast", false, "run only MNIST and AlexNet")
+	perf := flag.Bool("perf", false, "run memory-sync micro-benchmarks and write a perf artifact")
+	perfOut := flag.String("perfout", "BENCH_PR4.json", "perf artifact output path (with -perf)")
 	flag.Parse()
+
+	if *perf {
+		if err := runPerf(*perfOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var suite *experiments.Suite
 	if *fast {

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"gpurelay/internal/gpumem"
+)
+
+// The -perf mode measures the real-time cost of the §5 memory-sync pipeline
+// (capture, delta, range-code, decode) on the evaluation's smallest and
+// largest footprints and writes the numbers as a machine-readable artifact.
+// Unlike the virtual-time evaluation above, these are wall-clock numbers:
+// they are the host-side CPU cost a relay pays per synchronized job
+// boundary, and the perf trajectory CI tracks across PRs.
+
+// perfEntry is one benchmark row of the perf artifact.
+type perfEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SyncMBPerOp float64 `json:"sync_mb_per_op"` // snapshot payload moved per op
+	WallClockMS float64 `json:"wall_clock_ms"`  // total measured time
+}
+
+// perfArtifact is the BENCH_PR4.json schema.
+type perfArtifact struct {
+	Schema     string      `json:"schema"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
+	Timestamp  string      `json:"timestamp"`
+	Benchmarks []perfEntry `json:"benchmarks"`
+}
+
+func perfBench(name string, syncBytes int64, fn func(b *testing.B)) perfEntry {
+	res := testing.Benchmark(fn)
+	e := perfEntry{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		SyncMBPerOp: float64(syncBytes) / (1 << 20),
+		WallClockMS: float64(res.T.Nanoseconds()) / 1e6,
+	}
+	fmt.Printf("%-32s %12d ns/op %10d allocs/op %14d B/op %10.1f sync-MB/op\n",
+		e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.SyncMBPerOp)
+	return e
+}
+
+// runPerf executes the memory-sync micro-benchmarks and writes the artifact.
+func runPerf(outPath string) error {
+	fmt.Println("=== memory-sync pipeline micro-benchmarks (wall-clock) ===")
+	art := perfArtifact{
+		Schema: "grt-perf/1", GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+
+	for _, spec := range gpumem.FootprintSpecs() {
+		fp, err := gpumem.BuildFootprint(spec)
+		if err != nil {
+			return err
+		}
+		snap := gpumem.Capture(fp.Pool, fp.Regions, nil)
+		raw := snap.RawBytes()
+
+		art.Benchmarks = append(art.Benchmarks,
+			perfBench("SnapshotEncode/"+spec.Name, raw, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := snap.Encode(nil, gpumem.EncodeOptions{Compress: true}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+
+		fp.DirtySome(1)
+		cur := gpumem.Capture(fp.Pool, fp.Regions, nil)
+		art.Benchmarks = append(art.Benchmarks,
+			perfBench("SnapshotEncodeDelta/"+spec.Name, raw, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := cur.Encode(snap, gpumem.EncodeOptions{Delta: true, Compress: true}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+
+		wire, err := cur.Encode(nil, gpumem.EncodeOptions{Compress: true})
+		if err != nil {
+			return err
+		}
+		art.Benchmarks = append(art.Benchmarks,
+			perfBench("SnapshotDecode/"+spec.Name, raw, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					dec, err := gpumem.Decode(wire, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					dec.Release()
+				}
+			}))
+
+		art.Benchmarks = append(art.Benchmarks,
+			perfBench("CaptureDirty/"+spec.Name, raw, func(b *testing.B) {
+				var cs gpumem.CaptureState
+				cs.Commit(cs.Capture(fp.Pool, fp.Regions, nil))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fp.DirtySome(uint64(i))
+					s := cs.Capture(fp.Pool, fp.Regions, nil)
+					if _, err := s.Encode(cs.Prev(), gpumem.EncodeOptions{Delta: true, Compress: true}); err != nil {
+						b.Fatal(err)
+					}
+					cs.Commit(s)
+				}
+			}))
+	}
+
+	blob, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nperf artifact written to %s\n", outPath)
+	return nil
+}

@@ -72,24 +72,31 @@ func (c *Checkpoint) MarshalBinary() ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: marshal log: %w", err)
 	}
-	var buf bytes.Buffer
-	w := func(v any) { binary.Write(&buf, binary.LittleEndian, v) }
-	ws := func(s string) {
-		w(uint16(len(s)))
-		buf.WriteString(s)
+	// Exact-size offset encoding; the layout matches the original
+	// bytes.Buffer/binary.Write implementation byte for byte.
+	le := binary.LittleEndian
+	out := make([]byte, 4+2+len(c.SessionID)+2+len(c.Network)+8+1+4+8+8+4+4+len(blob))
+	off := 0
+	pu32 := func(v uint32) { le.PutUint32(out[off:], v); off += 4 }
+	pu64 := func(v uint64) { le.PutUint64(out[off:], v); off += 8 }
+	ps := func(s string) {
+		le.PutUint16(out[off:], uint16(len(s)))
+		off += 2
+		off += copy(out[off:], s)
 	}
-	w(ckptMagic)
-	ws(c.SessionID)
-	ws(c.Network)
-	w(c.ClientSeed)
-	w(c.Variant)
-	w(uint32(c.Job))
-	w(c.SyncOutFP)
-	w(c.SyncInFP)
-	w(c.HistorySigs)
-	w(uint32(len(blob)))
-	buf.Write(blob)
-	return buf.Bytes(), nil
+	pu32(ckptMagic)
+	ps(c.SessionID)
+	ps(c.Network)
+	pu64(c.ClientSeed)
+	out[off] = c.Variant
+	off++
+	pu32(uint32(c.Job))
+	pu64(c.SyncOutFP)
+	pu64(c.SyncInFP)
+	pu32(c.HistorySigs)
+	pu32(uint32(len(blob)))
+	copy(out[off:], blob)
+	return out, nil
 }
 
 // UnmarshalBinary parses a checkpoint. Corruption wraps

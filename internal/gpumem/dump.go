@@ -1,7 +1,6 @@
 package gpumem
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 )
@@ -35,20 +34,34 @@ func (s *Snapshot) RawBytes() int64 {
 
 // Capture reads every region accepted by filter out of pool. A nil filter
 // captures everything. Regions are captured in the order given, which both
-// sides must agree on for delta encoding to line up.
+// sides must agree on for delta encoding to line up. Buffers come from the
+// internal recycler; a caller done with the snapshot may hand them back with
+// Release, and a caller that doesn't simply leaves them to the GC.
 func Capture(pool *Pool, regions []*Region, filter func(*Region) bool) *Snapshot {
 	s := &Snapshot{}
 	for _, r := range regions {
 		if filter != nil && !filter(r) {
 			continue
 		}
-		data := make([]byte, r.Size)
-		pool.ReadMaterialized(r.PA, data) // fresh buffer: already zeroed
 		s.Regions = append(s.Regions, RegionSnapshot{
-			Name: r.Name, Kind: r.Kind, VA: r.VA, PA: r.PA, Data: data,
+			Name: r.Name, Kind: r.Kind, VA: r.VA, PA: r.PA,
+			Data: captureRegion(pool, r),
 		})
 	}
 	return s
+}
+
+// captureRegion reads one region into a recycled buffer. Fresh buffers are
+// already zero, so the sparse fast path (skip unmaterialized pages) applies;
+// recycled buffers get their unmaterialized spans zeroed explicitly.
+func captureRegion(pool *Pool, r *Region) []byte {
+	data, zeroed := getBufZ(int(r.Size))
+	if zeroed {
+		pool.ReadMaterialized(r.PA, data)
+	} else {
+		pool.ReadInto(r.PA, data)
+	}
+	return data
 }
 
 // MetastateOnly is a Capture filter selecting only GPU metastate, the core of
@@ -69,10 +82,106 @@ func (s *Snapshot) Restore(pool *Pool) {
 func (s *Snapshot) Clone() *Snapshot {
 	c := &Snapshot{Regions: make([]RegionSnapshot, len(s.Regions))}
 	for i, r := range s.Regions {
-		r.Data = append([]byte(nil), r.Data...)
+		data := getBuf(len(r.Data))
+		copy(data, r.Data)
+		r.Data = data
 		c.Regions[i] = r
 	}
 	return c
+}
+
+// Release hands the snapshot's buffers back to the internal recycler and
+// clears them. The caller must guarantee no other snapshot aliases the
+// buffers — in particular, a snapshot produced by CaptureState may share
+// clean-region buffers with its predecessor and successor, so capture chains
+// must be retired through CaptureState.Commit, never Release.
+func (s *Snapshot) Release() {
+	for i := range s.Regions {
+		if s.Regions[i].Data != nil {
+			putBuf(s.Regions[i].Data)
+			s.Regions[i].Data = nil
+		}
+	}
+}
+
+// sameBuffer reports whether two slices share backing storage (same base and
+// length), the aliasing test behind clean-region reuse.
+func sameBuffer(a, b []byte) bool {
+	return len(a) > 0 && len(a) == len(b) && &a[0] == &b[0]
+}
+
+// CaptureState tracks the previous snapshot and the pool's mutation
+// watermark so successive captures only read regions that were actually
+// written in between. A clean region's buffer is shared with the previous
+// snapshot — the encoder recognizes the aliasing and emits its delta as a
+// zero run without touching a byte of it.
+type CaptureState struct {
+	prev      *Snapshot
+	watermark uint64 // pool generation before prev's regions were read
+	pending   uint64 // generation watermark for the not-yet-committed capture
+}
+
+// Prev returns the last committed snapshot (nil before the first Commit).
+// It is the delta base the encoder should use.
+func (cs *CaptureState) Prev() *Snapshot { return cs.prev }
+
+// Capture is a dirty-aware Capture: regions untouched since the previous
+// committed snapshot alias its buffers instead of being re-read. The caller
+// must pass the same pool, regions, and filter on every call; after encoding,
+// Commit retires the previous snapshot.
+func (cs *CaptureState) Capture(pool *Pool, regions []*Region, filter func(*Region) bool) *Snapshot {
+	// The watermark is read before any region is, so a write racing the
+	// capture is seen either by this read pass or by the next DirtySince.
+	cs.pending = pool.Gen()
+	s := &Snapshot{}
+	for _, r := range regions {
+		if filter != nil && !filter(r) {
+			continue
+		}
+		i := len(s.Regions)
+		if cs.prev != nil && i < len(cs.prev.Regions) {
+			p := &cs.prev.Regions[i]
+			if p.Name == r.Name && p.Kind == r.Kind && p.VA == r.VA && p.PA == r.PA &&
+				len(p.Data) == int(r.Size) && !pool.DirtySince(r.PA, r.Size, cs.watermark) {
+				s.Regions = append(s.Regions, *p)
+				continue
+			}
+		}
+		s.Regions = append(s.Regions, RegionSnapshot{
+			Name: r.Name, Kind: r.Kind, VA: r.VA, PA: r.PA,
+			Data: captureRegion(pool, r),
+		})
+	}
+	return s
+}
+
+// Commit makes snap the new baseline, recycling the buffers of the previous
+// snapshot that snap does not share. Call it once snap has been encoded and
+// the previous snapshot is no longer needed as a delta base.
+func (cs *CaptureState) Commit(snap *Snapshot) {
+	if cs.prev != nil {
+		for i := range cs.prev.Regions {
+			old := cs.prev.Regions[i].Data
+			if old == nil {
+				continue
+			}
+			if i < len(snap.Regions) && sameBuffer(old, snap.Regions[i].Data) {
+				continue
+			}
+			putBuf(old)
+			cs.prev.Regions[i].Data = nil
+		}
+	}
+	cs.prev = snap
+	cs.watermark = cs.pending
+}
+
+// Reset drops the baseline (without recycling, in case the caller still
+// holds it) so the next Capture reads every region afresh.
+func (cs *CaptureState) Reset() {
+	cs.prev = nil
+	cs.watermark = 0
+	cs.pending = 0
 }
 
 // EncodeOptions controls how a snapshot is serialized for the wire.
@@ -87,14 +196,54 @@ type EncodeOptions struct {
 
 const wireMagic = 0x47524D44 // "GRMD"
 
+// headerLen returns the exact size of the wire header for this snapshot.
+func (s *Snapshot) headerLen() int {
+	n := 4 + 1 + 4 // magic, flags, region count
+	for i := range s.Regions {
+		n += 2 + len(s.Regions[i].Name) + 1 + 8 + 8 + 4
+	}
+	return n
+}
+
+// putHeader writes the wire header into out and returns the bytes consumed.
+// The layout (and therefore every byte) matches the original bytes.Buffer
+// encoder: magic u32, flags u8, region count u32, then per region name len
+// u16 + name, kind u8, VA u64, PA u64, data len u32 — all little-endian.
+func (s *Snapshot) putHeader(out []byte, flags uint8) int {
+	le := binary.LittleEndian
+	le.PutUint32(out, wireMagic)
+	out[4] = flags
+	le.PutUint32(out[5:], uint32(len(s.Regions)))
+	off := 9
+	for i := range s.Regions {
+		r := &s.Regions[i]
+		le.PutUint16(out[off:], uint16(len(r.Name)))
+		off += 2
+		off += copy(out[off:], r.Name)
+		out[off] = uint8(r.Kind)
+		off++
+		le.PutUint64(out[off:], uint64(r.VA))
+		off += 8
+		le.PutUint64(out[off:], uint64(r.PA))
+		off += 8
+		le.PutUint32(out[off:], uint32(len(r.Data)))
+		off += 4
+	}
+	return off
+}
+
 // Encode serializes the snapshot. prev is the previous snapshot at the last
 // synchronization point (nil for the first sync or when opts.Delta is
 // false). The returned buffer is what crosses the network; its length is the
 // MemSync traffic Table 1 accounts.
+//
+// The encoder works region-at-a-time without ever materializing the
+// concatenated payload: delta XOR runs across regions on a bounded worker
+// pool into per-region buffers, regions whose buffers alias the delta base
+// (clean regions under CaptureState) become logical zero runs outright, and
+// the compressor consumes the chunk list in region order — so the wire bytes
+// are identical to serially encoding the concatenation.
 func (s *Snapshot) Encode(prev *Snapshot, opts EncodeOptions) ([]byte, error) {
-	var payload bytes.Buffer
-	var hdr bytes.Buffer
-	binary.Write(&hdr, binary.LittleEndian, uint32(wireMagic))
 	flags := uint8(0)
 	if opts.Delta {
 		flags |= 1
@@ -102,134 +251,185 @@ func (s *Snapshot) Encode(prev *Snapshot, opts EncodeOptions) ([]byte, error) {
 	if opts.Compress {
 		flags |= 2
 	}
-	hdr.WriteByte(flags)
-	binary.Write(&hdr, binary.LittleEndian, uint32(len(s.Regions)))
-
 	if opts.Delta && prev != nil {
 		if len(prev.Regions) != len(s.Regions) {
 			return nil, fmt.Errorf("gpumem: delta base has %d regions, snapshot has %d",
 				len(prev.Regions), len(s.Regions))
 		}
-	}
-	for i, r := range s.Regions {
-		binary.Write(&hdr, binary.LittleEndian, uint16(len(r.Name)))
-		hdr.WriteString(r.Name)
-		hdr.WriteByte(uint8(r.Kind))
-		binary.Write(&hdr, binary.LittleEndian, uint64(r.VA))
-		binary.Write(&hdr, binary.LittleEndian, uint64(r.PA))
-		binary.Write(&hdr, binary.LittleEndian, uint32(len(r.Data)))
-		if opts.Delta && prev != nil {
-			p := prev.Regions[i]
+		for i := range s.Regions {
+			r, p := &s.Regions[i], &prev.Regions[i]
 			if p.Name != r.Name || len(p.Data) != len(r.Data) {
 				return nil, fmt.Errorf("gpumem: delta base region %q/%d mismatches %q/%d",
 					p.Name, len(p.Data), r.Name, len(r.Data))
 			}
-			delta := make([]byte, len(r.Data))
-			for j := range delta {
-				delta[j] = r.Data[j] ^ p.Data[j]
-			}
-			payload.Write(delta)
-		} else {
-			payload.Write(r.Data)
 		}
 	}
 
-	body := payload.Bytes()
-	if opts.Compress {
-		body = RangeEncode(body)
+	chunks := make([]chunk, len(s.Regions))
+	var owned []int // chunk indexes whose buffers must be recycled
+	if opts.Delta && prev != nil {
+		var work int64
+		for i := range s.Regions {
+			r, p := &s.Regions[i], &prev.Regions[i]
+			if sameBuffer(r.Data, p.Data) || len(r.Data) == 0 {
+				// Clean region: XOR against itself is all zeros. O(1).
+				chunks[i] = zeroChunk(len(r.Data))
+				continue
+			}
+			chunks[i] = dataChunk(getBuf(len(r.Data)))
+			owned = append(owned, i)
+			work += int64(len(r.Data))
+		}
+		parallelFor(len(owned), work, func(k int) {
+			i := owned[k]
+			xorInto(chunks[i].data, s.Regions[i].Data, prev.Regions[i].Data)
+		})
+	} else {
+		for i := range s.Regions {
+			chunks[i] = dataChunk(s.Regions[i].Data)
+		}
 	}
-	out := hdr
-	binary.Write(&out, binary.LittleEndian, uint32(len(body)))
-	out.Write(body)
-	return out.Bytes(), nil
+
+	hdrLen := s.headerLen()
+	var out []byte
+	if opts.Compress {
+		body := rangeEncodeChunks(chunks)
+		out = make([]byte, hdrLen+4+len(body))
+		s.putHeader(out, flags)
+		binary.LittleEndian.PutUint32(out[hdrLen:], uint32(len(body)))
+		copy(out[hdrLen+4:], body)
+	} else {
+		total := chunksLen(chunks)
+		out = make([]byte, hdrLen+4+total)
+		s.putHeader(out, flags)
+		binary.LittleEndian.PutUint32(out[hdrLen:], uint32(total))
+		offs := make([]int, len(chunks))
+		off := hdrLen + 4
+		for i := range chunks {
+			offs[i] = off
+			off += chunks[i].n
+		}
+		parallelFor(len(chunks), int64(total), func(i int) {
+			if !chunks[i].isZeroRun() { // zero runs: out is freshly zeroed
+				copy(out[offs[i]:], chunks[i].data)
+			}
+		})
+	}
+	for _, i := range owned {
+		putBuf(chunks[i].data)
+	}
+	return out, nil
 }
 
 // Decode reconstructs a snapshot from wire bytes. prev must be the same
 // previous snapshot the encoder used when the stream is delta-encoded.
+// Compressed payloads are expanded directly into the per-region buffers and
+// delta streams are un-XORed in parallel; the concatenated body is never
+// materialized.
 func Decode(wire []byte, prev *Snapshot) (*Snapshot, error) {
-	r := bytes.NewReader(wire)
-	var magic uint32
-	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil || magic != wireMagic {
+	le := binary.LittleEndian
+	if len(wire) < 9 || le.Uint32(wire) != wireMagic {
 		return nil, fmt.Errorf("gpumem: bad dump magic")
 	}
-	flags, err := r.ReadByte()
-	if err != nil {
-		return nil, err
-	}
+	flags := wire[4]
 	delta, compressed := flags&1 != 0, flags&2 != 0
-	var nRegions uint32
-	if err := binary.Read(r, binary.LittleEndian, &nRegions); err != nil {
-		return nil, err
-	}
+	nRegions := le.Uint32(wire[5:])
+	off := 9
 	s := &Snapshot{Regions: make([]RegionSnapshot, nRegions)}
 	total := 0
 	for i := range s.Regions {
-		var nameLen uint16
-		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
-			return nil, err
+		if off+2 > len(wire) {
+			return nil, fmt.Errorf("gpumem: truncated dump header")
 		}
-		name := make([]byte, nameLen)
-		if _, err := r.Read(name); err != nil {
-			return nil, err
+		nameLen := int(le.Uint16(wire[off:]))
+		off += 2
+		if off+nameLen+1+8+8+4 > len(wire) {
+			return nil, fmt.Errorf("gpumem: truncated dump header")
 		}
-		kind, err := r.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		var va, pa uint64
-		var dataLen uint32
-		if err := binary.Read(r, binary.LittleEndian, &va); err != nil {
-			return nil, err
-		}
-		if err := binary.Read(r, binary.LittleEndian, &pa); err != nil {
-			return nil, err
-		}
-		if err := binary.Read(r, binary.LittleEndian, &dataLen); err != nil {
-			return nil, err
-		}
+		name := string(wire[off : off+nameLen])
+		off += nameLen
+		kind := wire[off]
+		off++
+		va := le.Uint64(wire[off:])
+		off += 8
+		pa := le.Uint64(wire[off:])
+		off += 8
+		dataLen := int(le.Uint32(wire[off:]))
+		off += 4
 		s.Regions[i] = RegionSnapshot{
-			Name: string(name), Kind: RegionKind(kind), VA: VA(va), PA: PA(pa),
-			Data: make([]byte, dataLen),
+			Name: name, Kind: RegionKind(kind), VA: VA(va), PA: PA(pa),
+			Data: getBuf(dataLen),
 		}
-		total += int(dataLen)
+		total += dataLen
 	}
-	var bodyLen uint32
-	if err := binary.Read(r, binary.LittleEndian, &bodyLen); err != nil {
-		return nil, err
+	if off+4 > len(wire) {
+		return nil, fmt.Errorf("gpumem: truncated dump header")
 	}
-	body := make([]byte, bodyLen)
-	if _, err := r.Read(body); err != nil {
-		return nil, err
+	bodyLen := int(le.Uint32(wire[off:]))
+	off += 4
+	if off+bodyLen > len(wire) {
+		return nil, fmt.Errorf("gpumem: truncated dump body")
 	}
-	if compressed {
-		body, err = RangeDecode(body, total)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if len(body) != total {
-		return nil, fmt.Errorf("gpumem: dump payload %d bytes, regions need %d", len(body), total)
-	}
+	body := wire[off : off+bodyLen]
 	if delta && prev == nil {
 		return nil, fmt.Errorf("gpumem: delta stream requires its base snapshot")
 	}
 	if delta && len(prev.Regions) != int(nRegions) {
 		return nil, fmt.Errorf("gpumem: delta stream with mismatched base")
 	}
-	off := 0
-	for i := range s.Regions {
-		d := s.Regions[i].Data
-		copy(d, body[off:off+len(d)])
-		off += len(d)
-		if delta && prev != nil {
-			p := prev.Regions[i].Data
-			if len(p) != len(d) {
+	if delta {
+		for i := range s.Regions {
+			if len(prev.Regions[i].Data) != len(s.Regions[i].Data) {
 				return nil, fmt.Errorf("gpumem: delta region %d size mismatch", i)
-			}
-			for j := range d {
-				d[j] ^= p[j]
 			}
 		}
 	}
+
+	if compressed {
+		dsts := make([][]byte, len(s.Regions))
+		for i := range s.Regions {
+			dsts[i] = s.Regions[i].Data
+		}
+		if err := rangeDecodeChunks(body, dsts); err != nil {
+			return nil, err
+		}
+	} else {
+		if bodyLen != total {
+			return nil, fmt.Errorf("gpumem: dump payload %d bytes, regions need %d", bodyLen, total)
+		}
+		offs := make([]int, len(s.Regions))
+		o := 0
+		for i := range s.Regions {
+			offs[i] = o
+			o += len(s.Regions[i].Data)
+		}
+		parallelFor(len(s.Regions), int64(total), func(i int) {
+			copy(s.Regions[i].Data, body[offs[i]:])
+		})
+	}
+	if delta {
+		parallelFor(len(s.Regions), int64(total), func(i int) {
+			xorWith(s.Regions[i].Data, prev.Regions[i].Data)
+		})
+	}
 	return s, nil
+}
+
+// xorInto stores a XOR b into dst, word-wise. All three must have the same
+// length.
+func xorInto(dst, a, b []byte) {
+	n := len(dst)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < n; i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// xorWith XORs b into dst in place, word-wise.
+func xorWith(dst, b []byte) {
+	xorInto(dst, dst, b)
 }

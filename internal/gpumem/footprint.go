@@ -1,0 +1,147 @@
+package gpumem
+
+import "fmt"
+
+// Benchmark footprint fixtures mirroring the dry-run memory layouts of the
+// evaluation's smallest and largest networks. The sizes are copied from the
+// mlfw model definitions (mlfw imports gpumem, so they cannot be imported
+// here): MNIST is ~3 MB of program data, VGG16 ~283 MB, both dominated by
+// zero-filled weights exactly as a dry-run recording leaves them. Metastate
+// (commands, shaders, job descriptors) is dense pseudo-random data, scratch
+// is 1/8 filled — the mix the §5 synchronization hot path actually sees.
+// They live outside the test files so cmd/grtbench can run the same
+// workloads when producing perf-trajectory artifacts.
+
+// FootprintSpec sizes one synthetic workload footprint.
+type FootprintSpec struct {
+	Name         string
+	Kernels      int
+	WeightsN     int
+	WeightsBytes uint64
+	ScratchN     int
+	ScratchBytes uint64
+	Input        uint64
+	Output       uint64
+}
+
+// MNISTFootprint and VGG16Footprint match the mlfw model layouts.
+var (
+	MNISTFootprint = FootprintSpec{
+		Name: "MNIST", Kernels: 23,
+		WeightsN: 10, WeightsBytes: 2843176,
+		ScratchN: 17, ScratchBytes: 270520,
+		Input: 3136, Output: 40,
+	}
+	VGG16Footprint = FootprintSpec{
+		Name: "VGG16", Kernels: 96,
+		WeightsN: 32, WeightsBytes: 276606112,
+		ScratchN: 66, ScratchBytes: 20905696,
+		Input: 196608, Output: 4000,
+	}
+)
+
+// FootprintSpecs returns the benchmark footprints, smallest first.
+func FootprintSpecs() []FootprintSpec { return []FootprintSpec{MNISTFootprint, VGG16Footprint} }
+
+// xorshift64 is a tiny deterministic byte source for fixture contents.
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+func (x *xorshift64) fill(b []byte) {
+	for i := range b {
+		if i%8 == 0 {
+			x.next()
+		}
+		b[i] = byte(uint64(*x) >> (8 * (i % 8)))
+	}
+}
+
+// Footprint is a built fixture: a pool laid out and filled per its spec.
+type Footprint struct {
+	Pool    *Pool
+	Regions []*Region
+}
+
+// BuildFootprint lays out and fills a deterministic dry-run footprint.
+func BuildFootprint(spec FootprintSpec) (*Footprint, error) {
+	total := spec.WeightsBytes + spec.ScratchBytes + spec.Input + spec.Output
+	pool := NewPool(total*2 + (16 << 20))
+	rng := xorshift64(0x9E3779B97F4A7C15)
+	f := &Footprint{Pool: pool}
+
+	add := func(name string, kind RegionKind, size uint64) (*Region, error) {
+		pa, err := pool.Alloc(size)
+		if err != nil {
+			return nil, fmt.Errorf("footprint %s: %v", name, err)
+		}
+		r := &Region{Name: name, Kind: kind, PA: pa, VA: VA(0x10000000 + uint64(pa)),
+			Size: size, Flags: DefaultFlags(kind)}
+		f.Regions = append(f.Regions, r)
+		return r, nil
+	}
+	fillDense := func(r *Region) {
+		buf := make([]byte, r.Size)
+		rng.fill(buf)
+		pool.Write(r.PA, buf)
+	}
+
+	// Metastate, sized from the job count as the runtime does.
+	cmds, err := add("cmds", KindCommands, uint64(spec.Kernels)*1024)
+	if err != nil {
+		return nil, err
+	}
+	fillDense(cmds)
+	shader, err := add("shaders", KindShader, uint64(spec.Kernels)*2048)
+	if err != nil {
+		return nil, err
+	}
+	fillDense(shader)
+	desc, err := add("jobdesc", KindJobDesc, uint64(spec.Kernels)*256)
+	if err != nil {
+		return nil, err
+	}
+	fillDense(desc)
+
+	// Program data: zero-filled weights and input (the dry-run property),
+	// partially-computed scratch.
+	if _, err := add("input", KindInput, spec.Input); err != nil {
+		return nil, err
+	}
+	if _, err := add("output", KindOutput, spec.Output); err != nil {
+		return nil, err
+	}
+	for i := 0; i < spec.WeightsN; i++ {
+		if _, err := add(fmt.Sprintf("weights%d", i), KindWeights, spec.WeightsBytes/uint64(spec.WeightsN)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < spec.ScratchN; i++ {
+		r, err := add(fmt.Sprintf("scratch%d", i), KindScratch, spec.ScratchBytes/uint64(spec.ScratchN))
+		if err != nil {
+			return nil, err
+		}
+		part := make([]byte, r.Size/8+1)
+		rng.fill(part)
+		pool.Write(r.PA, part)
+	}
+	return f, nil
+}
+
+// DirtySome performs the small inter-job mutation pattern: a page of command
+// stream, one job descriptor, and a slice of one scratch buffer.
+func (f *Footprint) DirtySome(step uint64) {
+	var b [64]byte
+	rng := xorshift64(0xDEADBEEF ^ step)
+	rng.fill(b[:])
+	f.Pool.Write(f.Regions[0].PA+PA((step%16)*256), b[:])              // cmds
+	f.Pool.Write(f.Regions[2].PA+PA((step%8)*256), b[:32])             // jobdesc
+	f.Pool.Write(f.Regions[len(f.Regions)-1].PA+PA(step%4096), b[:16]) // scratch
+}

@@ -1,0 +1,81 @@
+package gpumem
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWireGolden pins the snapshot wire format: the encoder's exact output
+// bytes for deterministic fixture footprints are hashed and compared against
+// committed hashes generated from the original serial implementation. Any
+// encoder change that alters the wire — however subtly — fails here. Run with
+// GRT_UPDATE_GOLDEN=1 to regenerate after an intentional format change.
+func TestWireGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("VGG16 fixture is large")
+	}
+	got := map[string]string{}
+	for _, spec := range FootprintSpecs() {
+		fp := buildFootprint(t, spec)
+		prev := Capture(fp.Pool, fp.Regions, nil)
+		fp.DirtySome(1)
+		cur := Capture(fp.Pool, fp.Regions, nil)
+
+		encode := func(label string, s *Snapshot, base *Snapshot, opts EncodeOptions) {
+			wire, err := s.Encode(base, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", spec.Name, label, err)
+			}
+			sum := sha256.Sum256(wire)
+			got[spec.Name+"/"+label] = hex.EncodeToString(sum[:])
+			// Every pinned encoding must still round-trip.
+			dec, err := Decode(wire, base)
+			if err != nil {
+				t.Fatalf("%s/%s: decode: %v", spec.Name, label, err)
+			}
+			if len(dec.Regions) != len(s.Regions) {
+				t.Fatalf("%s/%s: decode lost regions", spec.Name, label)
+			}
+		}
+		encode("raw", cur, nil, EncodeOptions{})
+		encode("compress", cur, nil, EncodeOptions{Compress: true})
+		encode("delta", cur, prev, EncodeOptions{Delta: true})
+		encode("delta-compress", cur, prev, EncodeOptions{Delta: true, Compress: true})
+	}
+
+	path := filepath.Join("testdata", "wire_golden.json")
+	if os.Getenv("GRT_UPDATE_GOLDEN") != "" {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with GRT_UPDATE_GOLDEN=1): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d entries, produced %d", len(want), len(got))
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s: wire hash %s, golden %s — encoder output changed", k, got[k], w)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package gpumem
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -33,6 +34,14 @@ type Pool struct {
 	size  uint64
 	pages map[uint64][]byte // page index -> contents; absent pages read as zero
 
+	// Dirty tracking for incremental capture: gen is a monotonic mutation
+	// counter and pageGen records the generation at which each page was last
+	// (possibly) changed. Marking is conservative — rewriting identical bytes
+	// marks the page — but writes that provably leave content unchanged
+	// (all-zero data over an unmaterialized page) do not.
+	gen     uint64
+	pageGen map[uint64]uint64
+
 	// first-fit free list of page ranges, kept sorted by start.
 	free []pageRange
 
@@ -52,10 +61,43 @@ func NewPool(size uint64) *Pool {
 		panic(fmt.Sprintf("gpumem: pool size %d smaller than a page", size))
 	}
 	return &Pool{
-		size:  size,
-		pages: make(map[uint64][]byte),
-		free:  []pageRange{{start: 0, count: size / PageSize}},
+		size:    size,
+		pages:   make(map[uint64][]byte),
+		pageGen: make(map[uint64]uint64),
+		free:    []pageRange{{start: 0, count: size / PageSize}},
 	}
+}
+
+// Gen returns the pool's current mutation generation. A caller that records
+// the generation before reading a range can later ask DirtySince whether the
+// range may have changed in the meantime.
+func (p *Pool) Gen() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gen
+}
+
+// DirtySince reports whether any page overlapping [pa, pa+n) may have been
+// mutated after generation since. False guarantees the range's content is
+// unchanged; true is conservative.
+func (p *Pool) DirtySince(pa PA, n uint64, since uint64) bool {
+	if n == 0 {
+		return false
+	}
+	p.check(pa, int(n))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for page := uint64(pa) / PageSize; page <= (uint64(pa)+n-1)/PageSize; page++ {
+		if g, ok := p.pageGen[page]; ok && g > since {
+			return true
+		}
+	}
+	return false
+}
+
+// markDirty records a mutation of page under p.mu.
+func (p *Pool) markDirty(page uint64) {
+	p.pageGen[page] = p.gen
 }
 
 // Size returns the pool capacity in bytes.
@@ -106,8 +148,14 @@ func (p *Pool) FreePages(pa PA, n uint64) {
 	start := uint64(pa) / PageSize
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.gen++
 	for i := uint64(0); i < n; i++ {
-		delete(p.pages, start+i)
+		if pg, ok := p.pages[start+i]; ok {
+			delete(p.pages, start+i)
+			if !allZero(pg) {
+				p.markDirty(start + i)
+			}
+		}
 	}
 	idx := sort.Search(len(p.free), func(i int) bool { return p.free[i].start >= start })
 	p.free = append(p.free, pageRange{})
@@ -176,6 +224,7 @@ func (p *Pool) Write(pa PA, data []byte) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.gen++
 	off := uint64(pa)
 	for len(data) > 0 {
 		page, in := off/PageSize, off%PageSize
@@ -186,14 +235,24 @@ func (p *Pool) Write(pa PA, data []byte) {
 		pg, ok := p.pages[page]
 		if !ok {
 			if allZero(data[:n]) {
+				// Unmaterialized page stays zero: content unchanged, not dirty.
 				data = data[n:]
 				off += n
 				continue
 			}
 			pg = make([]byte, PageSize)
 			p.pages[page] = pg
+		} else if bytes.Equal(pg[in:in+n], data[:n]) {
+			// Content-identical write: nothing changed, so the page stays
+			// clean. This is what keeps wholesale snapshot restores from
+			// invalidating the dirty tracking — restoring an unchanged
+			// region is a no-op, not a mutation.
+			data = data[n:]
+			off += n
+			continue
 		}
 		copy(pg[in:in+n], data[:n])
+		p.markDirty(page)
 		data = data[n:]
 		off += n
 	}
@@ -230,6 +289,32 @@ func (p *Pool) ReadMaterialized(pa PA, buf []byte) {
 		}
 		if pg, ok := p.pages[page]; ok {
 			copy(buf[:n], pg[in:in+n])
+		}
+		buf = buf[n:]
+		off += n
+	}
+}
+
+// ReadInto copies [pa, pa+len(buf)) into buf, explicitly zeroing spans backed
+// by unmaterialized pages. Unlike ReadMaterialized it makes no assumption
+// about buf's prior contents, so recycled capture buffers are safe. It does
+// not consult guards: snapshot capture is the shim's own bookkeeping, not a
+// GPU access.
+func (p *Pool) ReadInto(pa PA, buf []byte) {
+	p.check(pa, len(buf))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off := uint64(pa)
+	for len(buf) > 0 {
+		page, in := off/PageSize, off%PageSize
+		n := PageSize - in
+		if uint64(len(buf)) < n {
+			n = uint64(len(buf))
+		}
+		if pg, ok := p.pages[page]; ok {
+			copy(buf[:n], pg[in:in+n])
+		} else {
+			zeroFill(buf[:n])
 		}
 		buf = buf[n:]
 		off += n
@@ -364,6 +449,7 @@ func (p *Pool) ZeroRange(pa PA, n uint64) {
 	p.check(pa, int(n))
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.gen++
 	off, end := uint64(pa), uint64(pa)+n
 	for off < end {
 		page, in := off/PageSize, off%PageSize
@@ -372,10 +458,16 @@ func (p *Pool) ZeroRange(pa PA, n uint64) {
 			step = end - off
 		}
 		if in == 0 && step == PageSize {
-			delete(p.pages, page)
+			if pg, ok := p.pages[page]; ok {
+				delete(p.pages, page)
+				if !allZero(pg) {
+					p.markDirty(page)
+				}
+			}
 		} else if pg, ok := p.pages[page]; ok {
-			for i := in; i < in+step; i++ {
-				pg[i] = 0
+			if !allZero(pg[in : in+step]) {
+				zeroFill(pg[in : in+step])
+				p.markDirty(page)
 			}
 		}
 		off += step

@@ -1,7 +1,6 @@
 package gpumem
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 )
@@ -13,6 +12,12 @@ import (
 // probability tree that adapts as it codes. Zero-dominated dumps — exactly
 // what dry-run recording produces once program data is zero-filled —
 // compress by two to three orders of magnitude.
+//
+// The coder operates on *chunk lists* rather than one contiguous payload:
+// the snapshot encoder hands it one chunk per region (some known-zero
+// without a backing buffer at all) and the zero-RLE pre-pass merges runs
+// across chunk boundaries, so the coded stream is byte-identical to coding
+// the concatenation while never materializing it.
 
 const (
 	rcTopBits    = 24
@@ -27,18 +32,18 @@ type rcEncoder struct {
 	rng       uint32
 	cache     byte
 	cacheSize int64
-	out       bytes.Buffer
+	out       []byte
 }
 
-func newRCEncoder() *rcEncoder {
-	return &rcEncoder{rng: 0xFFFFFFFF, cacheSize: 1}
+func newRCEncoder(scratch []byte) *rcEncoder {
+	return &rcEncoder{rng: 0xFFFFFFFF, cacheSize: 1, out: scratch[:0]}
 }
 
 func (e *rcEncoder) shiftLow() {
 	if uint32(e.low) < 0xFF000000 || e.low>>32 != 0 {
 		temp := e.cache
 		for {
-			e.out.WriteByte(byte(uint64(temp) + e.low>>32))
+			e.out = append(e.out, byte(uint64(temp)+e.low>>32))
 			temp = 0xFF
 			e.cacheSize--
 			if e.cacheSize == 0 {
@@ -71,23 +76,24 @@ func (e *rcEncoder) flush() []byte {
 	for i := 0; i < 5; i++ {
 		e.shiftLow()
 	}
-	return e.out.Bytes()
+	return e.out
 }
 
 type rcDecoder struct {
 	rng  uint32
 	code uint32
-	in   *bytes.Reader
+	in   []byte
+	pos  int
 }
 
 func newRCDecoder(data []byte) (*rcDecoder, error) {
-	d := &rcDecoder{rng: 0xFFFFFFFF, in: bytes.NewReader(data)}
+	if len(data) < 5 {
+		return nil, fmt.Errorf("range coder: truncated stream")
+	}
+	d := &rcDecoder{rng: 0xFFFFFFFF, in: data}
 	for i := 0; i < 5; i++ {
-		b, err := d.in.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("range coder: truncated stream: %w", err)
-		}
-		d.code = d.code<<8 | uint32(b)
+		d.code = d.code<<8 | uint32(d.in[d.pos])
+		d.pos++
 	}
 	return d, nil
 }
@@ -105,9 +111,10 @@ func (d *rcDecoder) decodeBit(prob *uint16) int {
 		bit = 1
 	}
 	for d.rng < rcTop {
-		b, err := d.in.ReadByte()
-		if err != nil {
-			b = 0 // stream end: trailing zero bytes are implied
+		var b byte // stream end: trailing zero bytes are implied
+		if d.pos < len(d.in) {
+			b = d.in[d.pos]
+			d.pos++
 		}
 		d.code = d.code<<8 | uint32(b)
 		d.rng <<= 8
@@ -119,12 +126,10 @@ type byteModel struct {
 	probs [256]uint16
 }
 
-func newByteModel() *byteModel {
-	m := &byteModel{}
+func (m *byteModel) init() {
 	for i := range m.probs {
 		m.probs[i] = rcInitProb
 	}
-	return m
 }
 
 func (m *byteModel) encode(e *rcEncoder, b byte) {
@@ -144,86 +149,246 @@ func (m *byteModel) decode(d *rcDecoder) byte {
 	return byte(ctx)
 }
 
-// zeroRLE run-length-encodes runs of zero bytes: a 0x00 in the output is
-// always followed by a uvarint run length. The adaptive bit probabilities of
-// the range coder bottom out around 1.5 % of input size on constant data, so
-// this pre-pass is what delivers the orders-of-magnitude ratios the paper
-// relies on for zero-filled program data.
-func zeroRLE(data []byte) []byte {
-	out := make([]byte, 0, len(data)/8+16)
-	var runBuf [binary.MaxVarintLen64]byte
-	for i := 0; i < len(data); {
-		if data[i] != 0 {
-			out = append(out, data[i])
-			i++
-			continue
-		}
+// chunk is one piece of a logically concatenated payload. A nil data with
+// n > 0 is a known-zero chunk: the encoder treats it as n zero bytes without
+// reading (or even having) a buffer — this is how delta encoding of a
+// clean, dirty-tracked region costs O(1) instead of O(size).
+type chunk struct {
+	data []byte
+	n    int // length; == len(data) when data != nil
+}
+
+func dataChunk(b []byte) chunk   { return chunk{data: b, n: len(b)} }
+func zeroChunk(n int) chunk      { return chunk{n: n} }
+func (c *chunk) isZeroRun() bool { return c.data == nil }
+
+func chunksLen(chunks []chunk) int {
+	total := 0
+	for i := range chunks {
+		total += chunks[i].n
+	}
+	return total
+}
+
+// rleWriter produces the zero-RLE stream: a 0x00 in the output is always
+// followed by a uvarint run length. Runs are accumulated across chunk
+// boundaries, so the output is byte-identical to RLE-coding the
+// concatenation. The adaptive bit probabilities of the range coder bottom
+// out around 1.5 % of input size on constant data, so this pre-pass is what
+// delivers the orders-of-magnitude ratios the paper relies on for
+// zero-filled program data.
+type rleWriter struct {
+	out []byte
+	run uint64 // pending zero-run length
+}
+
+func (w *rleWriter) flushRun() {
+	if w.run == 0 {
+		return
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], w.run)
+	w.out = append(w.out, 0)
+	w.out = append(w.out, tmp[:n]...)
+	w.run = 0
+}
+
+func (w *rleWriter) write(data []byte) {
+	i := 0
+	for i < len(data) {
+		// Word-wise scan over the zero span.
 		j := i
+		for j+8 <= len(data) && binary.LittleEndian.Uint64(data[j:]) == 0 {
+			j += 8
+		}
 		for j < len(data) && data[j] == 0 {
 			j++
 		}
-		n := binary.PutUvarint(runBuf[:], uint64(j-i))
-		out = append(out, 0)
-		out = append(out, runBuf[:n]...)
+		if j > i {
+			w.run += uint64(j - i)
+			i = j
+			continue
+		}
+		w.flushRun()
+		j = i
+		for j < len(data) && data[j] != 0 {
+			j++
+		}
+		w.out = append(w.out, data[i:j]...)
 		i = j
 	}
+}
+
+// zeroRLEChunks RLE-codes the logical concatenation of chunks into scratch.
+func zeroRLEChunks(chunks []chunk, scratch []byte) []byte {
+	w := rleWriter{out: scratch[:0]}
+	for i := range chunks {
+		c := &chunks[i]
+		if c.isZeroRun() {
+			w.run += uint64(c.n)
+			continue
+		}
+		w.write(c.data)
+	}
+	w.flushRun()
+	return w.out
+}
+
+// rleReader expands a zero-RLE stream into a sequence of destination
+// buffers, writing explicit zeros for runs (destinations may be recycled,
+// dirty buffers).
+type rleReader struct {
+	dsts [][]byte
+	di   int // current destination index
+	off  int // write offset within dsts[di]
+}
+
+func (r *rleReader) put(b byte) error {
+	for r.di < len(r.dsts) && r.off == len(r.dsts[r.di]) {
+		r.di++
+		r.off = 0
+	}
+	if r.di >= len(r.dsts) {
+		return fmt.Errorf("range coder: zero run overflows output")
+	}
+	r.dsts[r.di][r.off] = b
+	r.off++
+	return nil
+}
+
+func (r *rleReader) putZeros(n uint64) error {
+	for n > 0 {
+		for r.di < len(r.dsts) && r.off == len(r.dsts[r.di]) {
+			r.di++
+			r.off = 0
+		}
+		if r.di >= len(r.dsts) {
+			return fmt.Errorf("range coder: zero run overflows output")
+		}
+		dst := r.dsts[r.di]
+		span := uint64(len(dst) - r.off)
+		if span > n {
+			span = n
+		}
+		zeroFill(dst[r.off : r.off+int(span)])
+		r.off += int(span)
+		n -= span
+	}
+	return nil
+}
+
+func (r *rleReader) done() bool {
+	for r.di < len(r.dsts) && r.off == len(r.dsts[r.di]) {
+		r.di++
+		r.off = 0
+	}
+	return r.di >= len(r.dsts)
+}
+
+func zeroFill(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// rangeEncodeChunks compresses the logical concatenation of chunks: a
+// zero-RLE pre-pass followed by the adaptive range coder. The stream starts
+// with a uvarint of the RLE stream length. The returned buffer is freshly
+// allocated at its exact size (it typically outlives the call inside a
+// recording); all scratch is pooled.
+func rangeEncodeChunks(chunks []chunk) []byte {
+	total := chunksLen(chunks)
+	rleScratch := getBuf(total/8 + 64)
+	rle := zeroRLEChunks(chunks, rleScratch)
+
+	codedScratch := getBuf(len(rle) + len(rle)/16 + 64)
+	e := newRCEncoder(codedScratch)
+	var m byteModel
+	m.init()
+	for _, b := range rle {
+		m.encode(e, b)
+	}
+	coded := e.flush()
+
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(rle)))
+	out := make([]byte, n+len(coded))
+	copy(out, hdr[:n])
+	copy(out[n:], coded)
+
+	putBuf(rle)
+	putBuf(e.out)
 	return out
 }
 
-func zeroRLEExpand(rle []byte, length int) ([]byte, error) {
-	out := make([]byte, 0, length)
-	for i := 0; i < len(rle); {
-		if rle[i] != 0 {
-			out = append(out, rle[i])
-			i++
+// rangeDecodeChunks decompresses a rangeEncodeChunks stream directly into
+// the destination buffers, whose total length must equal the original
+// payload length. Destinations are fully overwritten (zero runs included).
+func rangeDecodeChunks(encoded []byte, dsts [][]byte) error {
+	rleLen, n := binary.Uvarint(encoded)
+	if n <= 0 {
+		return fmt.Errorf("range coder: missing RLE header")
+	}
+	d, err := newRCDecoder(encoded[n:])
+	if err != nil {
+		return err
+	}
+	var m byteModel
+	m.init()
+	r := rleReader{dsts: dsts}
+	for i := uint64(0); i < rleLen; i++ {
+		b := m.decode(d)
+		if b != 0 {
+			if err := r.put(b); err != nil {
+				return err
+			}
 			continue
 		}
-		run, n := binary.Uvarint(rle[i+1:])
-		if n <= 0 {
-			return nil, fmt.Errorf("range coder: corrupt zero run")
+		// A zero marker byte is always followed by its uvarint run length,
+		// itself coded through the byte model.
+		var run uint64
+		var shift uint
+		for {
+			i++
+			if i >= rleLen {
+				return fmt.Errorf("range coder: corrupt zero run")
+			}
+			vb := m.decode(d)
+			if shift >= 64 {
+				return fmt.Errorf("range coder: corrupt zero run")
+			}
+			run |= uint64(vb&0x7F) << shift
+			if vb < 0x80 {
+				break
+			}
+			shift += 7
 		}
-		if len(out)+int(run) > length {
-			return nil, fmt.Errorf("range coder: zero run overflows output")
+		if err := r.putZeros(run); err != nil {
+			return err
 		}
-		out = append(out, make([]byte, run)...)
-		i += 1 + n
 	}
-	if len(out) != length {
-		return nil, fmt.Errorf("range coder: expanded to %d bytes, want %d", len(out), length)
+	if !r.done() {
+		total := 0
+		for _, d := range dsts {
+			total += len(d)
+		}
+		return fmt.Errorf("range coder: expanded to fewer than %d bytes", total)
 	}
-	return out, nil
+	return nil
 }
 
 // RangeEncode compresses data with a zero-RLE pre-pass followed by the
 // adaptive range coder. The stream starts with a uvarint of the RLE stream
 // length.
 func RangeEncode(data []byte) []byte {
-	rle := zeroRLE(data)
-	e := newRCEncoder()
-	m := newByteModel()
-	for _, b := range rle {
-		m.encode(e, b)
-	}
-	coded := e.flush()
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(rle)))
-	return append(hdr[:n:n], coded...)
+	return rangeEncodeChunks([]chunk{dataChunk(data)})
 }
 
 // RangeDecode decompresses a RangeEncode stream of the given original length.
 func RangeDecode(encoded []byte, length int) ([]byte, error) {
-	rleLen, n := binary.Uvarint(encoded)
-	if n <= 0 {
-		return nil, fmt.Errorf("range coder: missing RLE header")
-	}
-	d, err := newRCDecoder(encoded[n:])
-	if err != nil {
+	out := make([]byte, length)
+	if err := rangeDecodeChunks(encoded, [][]byte{out}); err != nil {
 		return nil, err
 	}
-	m := newByteModel()
-	rle := make([]byte, rleLen)
-	for i := range rle {
-		rle[i] = m.decode(d)
-	}
-	return zeroRLEExpand(rle, length)
+	return out, nil
 }

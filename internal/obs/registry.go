@@ -79,6 +79,19 @@ func NewRegistry() *Registry {
 	return &Registry{families: map[string]*family{}}
 }
 
+// canonKey builds the canonical map key for a label set. The single-label
+// case — nearly every hot-path counter — skips the sort and the slice copy.
+func canonKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels) == 1 {
+		return labels[0].Key + "\x01" + labels[0].Value + "\x00"
+	}
+	_, key := canonLabels(labels)
+	return key
+}
+
 // canonLabels sorts a copy of labels by key and returns it with its
 // canonical map key.
 func canonLabels(labels []Label) ([]Label, string) {
@@ -107,9 +120,12 @@ func (r *Registry) seriesFor(name string, kind Kind, buckets []float64, labels [
 	} else if f.kind != kind {
 		panic(fmt.Sprintf("obs: metric %q registered as %v, used as %v", name, f.kind, kind))
 	}
-	ls, key := canonLabels(labels)
+	key := canonKey(labels)
 	s, ok := f.series[key]
 	if !ok {
+		// Copy and sort the labels only when the series is first created;
+		// every later hit gets away with just the key.
+		ls, _ := canonLabels(labels)
 		s = &series{labels: ls}
 		if kind == KindHistogram {
 			s.counts = make([]uint64, len(f.buckets)+1)

@@ -1,0 +1,74 @@
+package record
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+)
+
+// TestRecordingGolden pins the full record pipeline end to end: the exact
+// recording bytes and HMAC seal of a deterministic MNIST record run are
+// hashed against values committed from the original serial memory-sync
+// implementation. This is the proof that the dirty-tracked capture, the
+// parallel encoder, and the pooled codecs change no observable byte: the
+// recording, its dumps, and its seal are bit-identical to the slow path.
+// Regenerate with GRT_UPDATE_GOLDEN=1 after an intentional format change.
+func TestRecordingGolden(t *testing.T) {
+	got := map[string]string{}
+	for _, v := range []Variant{Naive, OursMDS} {
+		res, err := Run(Config{
+			Variant: v, Model: mlfw.MNIST(), SKU: mali.G71MP8,
+			Network: netsim.WiFi, SessionKey: testKey,
+			ClientSeed: 42, InjectMispredictionAt: -1,
+		})
+		if err != nil {
+			t.Fatalf("record %v: %v", v, err)
+		}
+		blob, err := res.Recording.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(blob)
+		got["mnist/"+v.String()+"/recording"] = hex.EncodeToString(sum[:])
+		got["mnist/"+v.String()+"/seal"] = hex.EncodeToString(res.Signed.MAC[:])
+	}
+
+	path := filepath.Join("testdata", "recording_golden.json")
+	if os.Getenv("GRT_UPDATE_GOLDEN") != "" {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with GRT_UPDATE_GOLDEN=1): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s: %s, golden %s — recording bytes or seal changed", k, got[k], w)
+		}
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden file has %d entries, produced %d", len(want), len(got))
+	}
+}

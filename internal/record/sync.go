@@ -33,21 +33,29 @@ type syncer struct {
 
 	firstDone bool
 	prevOutFP string
-	prevOut   *gpumem.Snapshot
+	capOut    gpumem.CaptureState
 	prevInFP  string
-	prevIn    *gpumem.Snapshot
+	capIn     gpumem.CaptureState
 	bytesOut  int64
 	bytesIn   int64
 }
+
+// Label slices for countDump, built once: the dump counters fire twice per
+// job on the hot path, and rebuilding the variadic slices dominated their
+// cost.
+var (
+	dirToClient = []obs.Label{obs.L("dir", "to_client")}
+	dirToCloud  = []obs.Label{obs.L("dir", "to_cloud")}
+)
 
 // countDump records one synchronization dump in the session's telemetry:
 // wire bytes (what actually crosses the link), raw bytes (pre-delta,
 // pre-compression — their ratio is the §5 win), and an instant event on the
 // timeline.
-func (s *syncer) countDump(dir string, j int, wire, raw int64) {
-	s.obs.Count(obs.MSyncDumps, 1, obs.L("dir", dir))
-	s.obs.Count(obs.MSyncBytes, wire, obs.L("dir", dir))
-	s.obs.Count(obs.MSyncRawBytes, raw, obs.L("dir", dir))
+func (s *syncer) countDump(dir []obs.Label, j int, wire, raw int64) {
+	s.obs.Count(obs.MSyncDumps, 1, dir...)
+	s.obs.Count(obs.MSyncBytes, wire, dir...)
+	s.obs.Count(obs.MSyncRawBytes, raw, dir...)
 	s.obs.Annotate("sync.dump", "sync",
 		obs.A("job", int64(j)), obs.A("wire_bytes", wire), obs.A("raw_bytes", raw))
 }
@@ -88,7 +96,7 @@ func fingerprint(regions []*gpumem.Region) string {
 // match, since a divergent delta base would silently corrupt every later
 // dump.
 func (s *syncer) metaFP() (out, in uint64) {
-	return snapFP(s.prevOutFP, s.prevOut), snapFP(s.prevInFP, s.prevIn)
+	return snapFP(s.prevOutFP, s.capOut.Prev()), snapFP(s.prevInFP, s.capIn.Prev())
 }
 
 func snapFP(structure string, snap *gpumem.Snapshot) uint64 {
@@ -118,12 +126,13 @@ func (s *syncer) beforeJob(j int) ([]byte, error) {
 }
 
 // metaDump captures cloud-side metastate as a delta against the previous
-// sync point.
+// sync point. The capture is dirty-aware: regions untouched since the last
+// sync share the previous snapshot's buffers and cost the encoder nothing.
 func (s *syncer) metaDump(j int) ([]byte, error) {
 	regions := s.regions()
 	fp := fingerprint(regions)
-	snap := gpumem.Capture(s.cloud, regions, gpumem.MetastateOnly)
-	prev := s.prevOut
+	snap := s.capOut.Capture(s.cloud, regions, gpumem.MetastateOnly)
+	prev := s.capOut.Prev()
 	if fp != s.prevOutFP {
 		prev = nil // structural change (new allocations): full dump
 	}
@@ -136,9 +145,11 @@ func (s *syncer) metaDump(j int) ([]byte, error) {
 		return nil, fmt.Errorf("record: self-check decode: %w", err)
 	}
 	decoded.Restore(s.client)
-	s.prevOut, s.prevOutFP = snap.Clone(), fp
+	decoded.Release()
+	s.capOut.Commit(snap)
+	s.prevOutFP = fp
 	s.bytesOut += int64(len(wire))
-	s.countDump("to_client", j, int64(len(wire)), snap.RawBytes())
+	s.countDump(dirToClient, j, int64(len(wire)), snap.RawBytes())
 	// Continuous validation (§5): the dumped metastate is now the
 	// client's to use; until the job completes, any spurious cloud-side
 	// access to it is trapped and reported.
@@ -177,7 +188,8 @@ func (s *syncer) naiveBefore(j int) ([]byte, error) {
 	}
 	snap.Restore(s.client)
 	s.bytesOut += int64(len(wire))
-	s.countDump("to_client", j, int64(len(wire)), snap.RawBytes())
+	s.countDump(dirToClient, j, int64(len(wire)), snap.RawBytes())
+	snap.Release()
 	return wire, nil
 }
 
@@ -190,8 +202,8 @@ func (s *syncer) afterJob(j int) ([]byte, error) {
 	if s.metaOnly {
 		regions := s.regions()
 		fp := fingerprint(regions)
-		snap := gpumem.Capture(s.client, regions, gpumem.MetastateOnly)
-		prev := s.prevIn
+		snap := s.capIn.Capture(s.client, regions, gpumem.MetastateOnly)
+		prev := s.capIn.Prev()
 		if fp != s.prevInFP {
 			prev = nil
 		}
@@ -204,9 +216,11 @@ func (s *syncer) afterJob(j int) ([]byte, error) {
 			return nil, err
 		}
 		decoded.Restore(s.cloud)
-		s.prevIn, s.prevInFP = snap.Clone(), fp
+		decoded.Release()
+		s.capIn.Commit(snap)
+		s.prevInFP = fp
 		s.bytesIn += int64(len(wire))
-		s.countDump("to_cloud", j, int64(len(wire)), snap.RawBytes())
+		s.countDump(dirToCloud, j, int64(len(wire)), snap.RawBytes())
 		return wire, nil
 	}
 	// Naive: ship the job's destination buffer raw, whatever its size.
@@ -219,6 +233,7 @@ func (s *syncer) afterJob(j int) ([]byte, error) {
 	}
 	snap.Restore(s.cloud)
 	s.bytesIn += int64(len(wire))
-	s.countDump("to_cloud", j, int64(len(wire)), snap.RawBytes())
+	s.countDump(dirToCloud, j, int64(len(wire)), snap.RawBytes())
+	snap.Release()
 	return wire, nil
 }

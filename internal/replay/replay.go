@@ -32,6 +32,18 @@ const (
 	maxIRQWaitSlices = 10000
 )
 
+// Event-kind label slices for the per-event counter, built once: replay
+// executes millions of events and the variadic slice per Count call was
+// measurable allocation churn.
+var (
+	lblWrite        = []obs.Label{obs.L("kind", "write")}
+	lblRead         = []obs.Label{obs.L("kind", "read")}
+	lblPoll         = []obs.Label{obs.L("kind", "poll")}
+	lblIRQ          = []obs.Label{obs.L("kind", "irq")}
+	lblDumpToClient = []obs.Label{obs.L("kind", "dump_to_client")}
+	lblDumpToCloud  = []obs.Label{obs.L("kind", "dump_to_cloud")}
+)
+
 // nondetRegs lists registers whose values legitimately differ between record
 // and replay (§7.3: LATEST_FLUSH_ID "reflects the GPU cache state and can be
 // nondeterministic"). Reads of these are performed but not verified.
@@ -266,11 +278,11 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 	case trace.KWrite:
 		r.spend(replayRegOpTime)
 		r.gpu.WriteReg(e.Reg, e.Value)
-		r.Obs.Count(obs.MReplayEvents, 1, obs.L("kind", "write"))
+		r.Obs.Count(obs.MReplayEvents, 1, lblWrite...)
 	case trace.KRead:
 		r.spend(replayRegOpTime)
 		v := r.gpu.ReadReg(e.Reg)
-		r.Obs.Count(obs.MReplayEvents, 1, obs.L("kind", "read"))
+		r.Obs.Count(obs.MReplayEvents, 1, lblRead...)
 		if nondetRegs[e.Reg] {
 			res.SkippedNondet++
 			r.Obs.Count(obs.MReplayNondetSkips, 1)
@@ -289,7 +301,7 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 			r.Mismatches = append(r.Mismatches, m)
 		}
 	case trace.KPoll:
-		r.Obs.Count(obs.MReplayEvents, 1, obs.L("kind", "poll"))
+		r.Obs.Count(obs.MReplayEvents, 1, lblPoll...)
 		done := false
 		for it := uint32(0); it < e.MaxIters; it++ {
 			r.spend(replayPollStep)
@@ -307,7 +319,7 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 			r.Mismatches = append(r.Mismatches, m)
 		}
 	case trace.KIRQ:
-		r.Obs.Count(obs.MReplayEvents, 1, obs.L("kind", "irq"))
+		r.Obs.Count(obs.MReplayEvents, 1, lblIRQ...)
 		// Wait for the hardware to raise at least the recorded lines.
 		for slice := 0; ; slice++ {
 			job, gpu, mmu := r.gpu.PendingIRQ()
@@ -321,7 +333,7 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 			r.spend(irqWaitSliceTime)
 		}
 	case trace.KDumpToClient:
-		r.Obs.Count(obs.MReplayEvents, 1, obs.L("kind", "dump_to_client"))
+		r.Obs.Count(obs.MReplayEvents, 1, lblDumpToClient...)
 		// Non-delta dumps (first sync, or a structural change at record
 		// time) decode standalone; delta dumps chain off the previous
 		// restored snapshot, mirroring the record-side encoder.
@@ -331,6 +343,11 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 		}
 		endRestore := r.Obs.Span("replay.restore", "replay", obs.A("bytes", int64(len(e.Dump))))
 		snap.Restore(r.gpu.Pool())
+		if r.prevOut != nil {
+			// The old base was only needed to un-delta this dump; recycle
+			// its buffers (Decode never aliases them into snap).
+			r.prevOut.Release()
+		}
 		r.prevOut = snap
 		r.spend(time.Duration(len(e.Dump)) * restorePerByte)
 		endRestore()
@@ -347,7 +364,7 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 	case trace.KDumpToCloud:
 		// Client→cloud synchronization has no replay-side effect: the
 		// GPU's real results already live in local memory.
-		r.Obs.Count(obs.MReplayEvents, 1, obs.L("kind", "dump_to_cloud"))
+		r.Obs.Count(obs.MReplayEvents, 1, lblDumpToCloud...)
 	default:
 		return fmt.Errorf("replay: event %d has unknown kind %v", i, e.Kind)
 	}

@@ -14,6 +14,52 @@ import (
 	"gpurelay/internal/val"
 )
 
+// Counter label slices for the per-commit and per-poll metrics, built once:
+// these fire for every commit on the hot path and rebuilding the variadic
+// slice per call was pure allocation churn.
+var (
+	lblNotOffloaded = []obs.Label{obs.L("offloaded", "false")}
+	lblOffloaded    = []obs.Label{obs.L("offloaded", "true")}
+	lblKindSync     = []obs.Label{obs.L("kind", "sync")}
+	lblKindResync   = []obs.Label{obs.L("kind", "resync")}
+	lblKindAsync    = []obs.Label{obs.L("kind", "async")}
+
+	// catLabelCache is populated at init and read-only afterwards, so
+	// concurrent shims can share it without locking.
+	catLabelCache = map[kbase.Category][]obs.Label{}
+)
+
+func init() {
+	for _, cat := range []kbase.Category{
+		kbase.CatInit, kbase.CatInterrupt, kbase.CatPower,
+		kbase.CatPolling, kbase.CatSubmit,
+	} {
+		catLabelCache[cat] = []obs.Label{obs.L("category", string(cat))}
+	}
+	for _, cat := range kbase.FnCategory {
+		if _, ok := catLabelCache[cat]; !ok {
+			catLabelCache[cat] = []obs.Label{obs.L("category", string(cat))}
+		}
+	}
+}
+
+func catLabels(cat kbase.Category) []obs.Label {
+	if l, ok := catLabelCache[cat]; ok {
+		return l
+	}
+	return []obs.Label{obs.L("category", string(cat))}
+}
+
+func kindLabels(kind string) []obs.Label {
+	switch kind {
+	case "sync":
+		return lblKindSync
+	case "resync":
+		return lblKindResync
+	}
+	return []obs.Label{obs.L("kind", kind)}
+}
+
 // Mode selects how DriverShim hides (or does not hide) the network latency.
 type Mode int
 
@@ -356,7 +402,7 @@ func (s *DriverShim) resolveForUse(tid, fn string, v val.Value) val.Value {
 func (s *DriverShim) pollT(tid string, spec kbase.PollSpec) kbase.PollResult {
 	s.stats.PollLoops++
 	if s.mode == ModeSync || !s.hot[spec.Fn] {
-		s.obs.Count(obs.MShimPollLoops, 1, obs.L("offloaded", "false"))
+		s.obs.Count(obs.MShimPollLoops, 1, lblNotOffloaded...)
 		// One blocking round trip per loop iteration, as a naive remote
 		// bus behaves.
 		var res kbase.PollResult
@@ -378,7 +424,7 @@ func (s *DriverShim) pollT(tid string, spec kbase.PollSpec) kbase.PollResult {
 	// Offload the whole loop as one operation.
 	s.stats.PollLoopsOffloaded++
 	s.stats.RegAccesses++ // the loop's accesses happen client-side; one op crosses the wire
-	s.obs.Count(obs.MShimPollLoops, 1, obs.L("offloaded", "true"))
+	s.obs.Count(obs.MShimPollLoops, 1, lblOffloaded...)
 	s.obs.Count(obs.MShimRegAccesses, 1)
 	endSpan := s.obs.Span("shim.poll.offload", "shim", obs.A("max_iters", int64(spec.Max)))
 	s.threads[tid] = append(s.threads[tid], RegOp{Kind: OpPoll, Fn: spec.Fn, Reg: spec.Reg,
@@ -590,8 +636,8 @@ func (s *DriverShim) commitSync(tid string) []OpResult {
 	s.stats.SyncCommits++
 	cat := categoryOf(ops)
 	s.stats.CommitsByCategory[cat]++
-	s.obs.Count(obs.MShimCommits, 1, obs.L("kind", kind))
-	s.obs.Count(obs.MShimCommitsByCat, 1, obs.L("category", string(cat)))
+	s.obs.Count(obs.MShimCommits, 1, kindLabels(kind)...)
+	s.obs.Count(obs.MShimCommitsByCat, 1, catLabels(cat)...)
 	return results
 }
 
@@ -636,9 +682,9 @@ func (s *DriverShim) commitMaybeSpeculate(tid string) []OpResult {
 	cat := categoryOf(ops)
 	s.stats.CommitsByCategory[cat]++
 	s.stats.SpeculatedByCategory[cat]++
-	s.obs.Count(obs.MShimCommits, 1, obs.L("kind", "async"))
-	s.obs.Count(obs.MShimCommitsByCat, 1, obs.L("category", string(cat)))
-	s.obs.Count(obs.MShimSpeculatedByCat, 1, obs.L("category", string(cat)))
+	s.obs.Count(obs.MShimCommits, 1, lblKindAsync...)
+	s.obs.Count(obs.MShimCommitsByCat, 1, catLabels(cat)...)
+	s.obs.Count(obs.MShimSpeculatedByCat, 1, catLabels(cat)...)
 	return predResults
 }
 

@@ -128,136 +128,169 @@ func (r *Recording) Counts() map[Kind]int {
 
 const recMagic = 0x47525452 // "GRTR"
 
-// MarshalBinary serializes the recording.
-func (r *Recording) MarshalBinary() ([]byte, error) {
-	var b bytes.Buffer
-	w := func(v any) { binary.Write(&b, binary.LittleEndian, v) }
-	ws := func(s string) {
-		w(uint16(len(s)))
-		b.WriteString(s)
+// marshaledSize returns the exact serialized size of the recording, so
+// MarshalBinary can allocate its output in one shot. The wire layout is
+// unchanged from the original reflection-based encoder.
+func (r *Recording) marshaledSize() int {
+	n := 4 + 2 + len(r.Workload) + 4 + 8 + 4 // magic, workload, product, pool, region count
+	for i := range r.Regions {
+		n += 2 + len(r.Regions[i].Name) + 1 + 8 + 8 + 8
 	}
-	w(uint32(recMagic))
-	ws(r.Workload)
-	w(r.ProductID)
-	w(r.PoolSize)
-	w(uint32(len(r.Regions)))
-	for _, reg := range r.Regions {
-		ws(reg.Name)
-		w(uint8(reg.Kind))
-		w(uint64(reg.VA))
-		w(uint64(reg.PA))
-		w(reg.Size)
-	}
-	w(uint32(len(r.Events)))
+	n += 4 // event count
 	for i := range r.Events {
 		e := &r.Events[i]
-		w(uint8(e.Kind))
-		ws(e.Fn)
-		w(uint32(e.Reg))
-		w(e.Value)
-		w(e.DoneMask)
-		w(e.DoneVal)
-		w(e.MaxIters)
-		w(e.Iters)
-		w(e.IRQJob)
-		w(e.IRQGPU)
-		w(e.IRQMMU)
-		w(uint32(len(e.Dump)))
-		b.Write(e.Dump)
+		n += 1 + 2 + len(e.Fn) + 4 + 8*4 + 4 + len(e.Dump)
 	}
-	return b.Bytes(), nil
+	return n
 }
 
-// UnmarshalBinary parses a serialized recording.
-func (r *Recording) UnmarshalBinary(data []byte) error {
-	b := bytes.NewReader(data)
-	var magic uint32
-	rd := func(v any) error { return binary.Read(b, binary.LittleEndian, v) }
-	rs := func() (string, error) {
-		var n uint16
-		if err := rd(&n); err != nil {
-			return "", err
-		}
-		buf := make([]byte, n)
-		if _, err := b.Read(buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
+// MarshalBinary serializes the recording. The encoder writes fields at
+// computed offsets into an exact-size buffer — no intermediate growth
+// copies, no reflection — producing bytes identical to the original
+// bytes.Buffer/binary.Write implementation.
+func (r *Recording) MarshalBinary() ([]byte, error) {
+	le := binary.LittleEndian
+	out := make([]byte, r.marshaledSize())
+	off := 0
+	pu16 := func(v uint16) { le.PutUint16(out[off:], v); off += 2 }
+	pu32 := func(v uint32) { le.PutUint32(out[off:], v); off += 4 }
+	pu64 := func(v uint64) { le.PutUint64(out[off:], v); off += 8 }
+	ps := func(s string) { pu16(uint16(len(s))); off += copy(out[off:], s) }
+	pu32(recMagic)
+	ps(r.Workload)
+	pu32(r.ProductID)
+	pu64(r.PoolSize)
+	pu32(uint32(len(r.Regions)))
+	for i := range r.Regions {
+		reg := &r.Regions[i]
+		ps(reg.Name)
+		out[off] = uint8(reg.Kind)
+		off++
+		pu64(uint64(reg.VA))
+		pu64(uint64(reg.PA))
+		pu64(reg.Size)
 	}
-	if err := rd(&magic); err != nil || magic != recMagic {
+	pu32(uint32(len(r.Events)))
+	for i := range r.Events {
+		e := &r.Events[i]
+		out[off] = uint8(e.Kind)
+		off++
+		ps(e.Fn)
+		pu32(uint32(e.Reg))
+		pu32(e.Value)
+		pu32(e.DoneMask)
+		pu32(e.DoneVal)
+		pu32(e.MaxIters)
+		pu32(e.Iters)
+		pu32(e.IRQJob)
+		pu32(e.IRQGPU)
+		pu32(e.IRQMMU)
+		pu32(uint32(len(e.Dump)))
+		off += copy(out[off:], e.Dump)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary parses a serialized recording. Fn strings are interned —
+// a recording holds millions of events drawn from a few dozen driver
+// functions, so sharing one string per function collapses what used to be a
+// per-event allocation.
+func (r *Recording) UnmarshalBinary(data []byte) error {
+	le := binary.LittleEndian
+	off := 0
+	fail := func() error { return fmt.Errorf("trace: truncated recording") }
+	need := func(n int) bool { return off+n <= len(data) }
+	if !need(4) || le.Uint32(data) != recMagic {
 		return fmt.Errorf("trace: bad recording magic")
 	}
-	var err error
-	if r.Workload, err = rs(); err != nil {
-		return err
+	off = 4
+	intern := map[string]string{}
+	rs := func() (string, bool) {
+		if !need(2) {
+			return "", false
+		}
+		n := int(le.Uint16(data[off:]))
+		off += 2
+		if !need(n) {
+			return "", false
+		}
+		raw := data[off : off+n]
+		off += n
+		if s, ok := intern[string(raw)]; ok { // map lookup: no allocation
+			return s, true
+		}
+		s := string(raw)
+		intern[s] = s
+		return s, true
 	}
-	if err := rd(&r.ProductID); err != nil {
-		return err
+	var ok bool
+	if r.Workload, ok = rs(); !ok {
+		return fail()
 	}
-	if err := rd(&r.PoolSize); err != nil {
-		return err
+	if !need(4 + 8 + 4) {
+		return fail()
 	}
-	var nRegions uint32
-	if err := rd(&nRegions); err != nil {
-		return err
-	}
+	r.ProductID = le.Uint32(data[off:])
+	off += 4
+	r.PoolSize = le.Uint64(data[off:])
+	off += 8
+	nRegions := le.Uint32(data[off:])
+	off += 4
 	r.Regions = make([]RegionInfo, nRegions)
 	for i := range r.Regions {
 		reg := &r.Regions[i]
-		if reg.Name, err = rs(); err != nil {
-			return err
+		if reg.Name, ok = rs(); !ok {
+			return fail()
 		}
-		var kind uint8
-		var va, pa uint64
-		if err := rd(&kind); err != nil {
-			return err
+		if !need(1 + 8 + 8 + 8) {
+			return fail()
 		}
-		if err := rd(&va); err != nil {
-			return err
-		}
-		if err := rd(&pa); err != nil {
-			return err
-		}
-		if err := rd(&reg.Size); err != nil {
-			return err
-		}
-		reg.Kind, reg.VA, reg.PA = gpumem.RegionKind(kind), gpumem.VA(va), gpumem.PA(pa)
+		reg.Kind = gpumem.RegionKind(data[off])
+		off++
+		reg.VA = gpumem.VA(le.Uint64(data[off:]))
+		off += 8
+		reg.PA = gpumem.PA(le.Uint64(data[off:]))
+		off += 8
+		reg.Size = le.Uint64(data[off:])
+		off += 8
 	}
-	var nEvents uint32
-	if err := rd(&nEvents); err != nil {
-		return err
+	if !need(4) {
+		return fail()
 	}
+	nEvents := le.Uint32(data[off:])
+	off += 4
 	r.Events = make([]Event, nEvents)
 	for i := range r.Events {
 		e := &r.Events[i]
-		var kind uint8
-		if err := rd(&kind); err != nil {
-			return err
+		if !need(1) {
+			return fail()
 		}
-		e.Kind = Kind(kind)
-		if e.Fn, err = rs(); err != nil {
-			return err
+		e.Kind = Kind(data[off])
+		off++
+		if e.Fn, ok = rs(); !ok {
+			return fail()
 		}
-		var reg uint32
-		if err := rd(&reg); err != nil {
-			return err
+		if !need(4 * 10) {
+			return fail()
 		}
-		e.Reg = mali.Reg(reg)
-		for _, p := range []*uint32{&e.Value, &e.DoneMask, &e.DoneVal, &e.MaxIters,
-			&e.Iters, &e.IRQJob, &e.IRQGPU, &e.IRQMMU} {
-			if err := rd(p); err != nil {
-				return err
-			}
-		}
-		var dumpLen uint32
-		if err := rd(&dumpLen); err != nil {
-			return err
-		}
+		e.Reg = mali.Reg(le.Uint32(data[off:]))
+		e.Value = le.Uint32(data[off+4:])
+		e.DoneMask = le.Uint32(data[off+8:])
+		e.DoneVal = le.Uint32(data[off+12:])
+		e.MaxIters = le.Uint32(data[off+16:])
+		e.Iters = le.Uint32(data[off+20:])
+		e.IRQJob = le.Uint32(data[off+24:])
+		e.IRQGPU = le.Uint32(data[off+28:])
+		e.IRQMMU = le.Uint32(data[off+32:])
+		dumpLen := int(le.Uint32(data[off+36:]))
+		off += 40
 		if dumpLen > 0 {
-			e.Dump = make([]byte, dumpLen)
-			if _, err := b.Read(e.Dump); err != nil {
-				return err
+			if !need(dumpLen) {
+				return fail()
 			}
+			e.Dump = make([]byte, dumpLen)
+			copy(e.Dump, data[off:])
+			off += dumpLen
 		}
 	}
 	return nil
