@@ -10,11 +10,21 @@
 // two recordings are byte-identical and produce identical outputs — the
 // check that a resumed session's stitched recording (grtrecord -resume)
 // matches an uninterrupted one.
+//
+// -audit verifies and structurally audits the bundle without replaying it.
+//
+// A bundle that fails verification or auditing is rejected with exit code 2
+// and a single-line JSON report on stderr carrying a stable machine-readable
+// reason ({"rejected":true,"stage":...,"reason":...,"fingerprint":...}), so
+// pipelines can triage rejections without parsing error prose. Operational
+// failures (bad flags, unreadable files) keep exit code 1.
 package main
 
 import (
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,7 +33,52 @@ import (
 	"strings"
 
 	"gpurelay"
+	"gpurelay/internal/audit"
+	"gpurelay/internal/trace"
 )
+
+// rejection is the machine-readable report grtreplay emits when a bundle is
+// refused at the recording trust boundary.
+type rejection struct {
+	Rejected    bool   `json:"rejected"`
+	File        string `json:"file"`
+	Stage       string `json:"stage"`  // verify|audit|session|replay|compare
+	Reason      string `json:"reason"` // stable token: bad_recording|audit|sku_mismatch|...
+	Fingerprint string `json:"fingerprint"`
+	Error       string `json:"error"`
+	// Diags lists every structural-audit violation ("check: detail"), when
+	// the rejection came from the auditor.
+	Diags []string `json:"diags,omitempty"`
+}
+
+// reject prints the rejection report to stderr as one JSON line and exits
+// with code 2: the bundle, not the environment, is at fault.
+func reject(file, stage string, payload []byte, err error) {
+	rep := rejection{
+		Rejected:    true,
+		File:        file,
+		Stage:       stage,
+		Reason:      audit.Reason(err),
+		Fingerprint: audit.Fingerprint(payload),
+		Error:       err.Error(),
+	}
+	var ae *trace.AuditError
+	if errors.As(err, &ae) {
+		for _, d := range ae.Diags {
+			rep.Diags = append(rep.Diags, d.String())
+		}
+		if ae.Truncated {
+			rep.Diags = append(rep.Diags, "... diagnostics truncated")
+		}
+	}
+	line, jerr := json.Marshal(rep)
+	if jerr != nil {
+		fmt.Fprintf(os.Stderr, `{"rejected":true,"stage":%q,"reason":%q}`+"\n", stage, rep.Reason)
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, string(line))
+	os.Exit(2)
+}
 
 func readBundle(path string) (payload, mac, key []byte, err error) {
 	f, err := os.Open(path)
@@ -61,6 +116,7 @@ func main() {
 	metricsFlag := flag.String("metrics", "", "write replay metrics in Prometheus text format to this file (\"-\" for stdout)")
 	traceFlag := flag.String("trace-out", "", "write the replay timeline as Chrome trace JSON to this file (load in chrome://tracing or Perfetto)")
 	compareFlag := flag.String("compare", "", "second recording bundle: verify both are byte-identical and replay to identical outputs")
+	auditFlag := flag.Bool("audit", false, "verify and structurally audit the bundle without replaying; exit 2 with a JSON report if it is rejected")
 	flag.Parse()
 	if *recFlag == "" {
 		log.Fatal("-recording is required")
@@ -86,14 +142,36 @@ func main() {
 	}
 	rec, err := gpurelay.RecordingFromBundle(payload, mac, key)
 	if err != nil {
-		log.Fatalf("verifying recording: %v", err)
+		reject(*recFlag, "verify", payload, err)
 	}
 	fmt.Printf("verified recording of %s for GPU product %#x\n", rec.Workload, rec.ProductID)
+
+	if *auditFlag {
+		if err := rec.Audit(); err != nil {
+			reject(*recFlag, "audit", payload, err)
+		}
+		fmt.Printf("audit: %s passed all structural checks\n", *recFlag)
+		if *compareFlag != "" {
+			payload2, mac2, key2, err := readBundle(*compareFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rec2, err := gpurelay.RecordingFromBundle(payload2, mac2, key2)
+			if err != nil {
+				reject(*compareFlag, "verify", payload2, err)
+			}
+			if err := rec2.Audit(); err != nil {
+				reject(*compareFlag, "audit", payload2, err)
+			}
+			fmt.Printf("audit: %s passed all structural checks\n", *compareFlag)
+		}
+		return
+	}
 
 	client := gpurelay.NewClient("grtreplay-cli", sku)
 	sess, err := client.NewReplaySession(rec)
 	if err != nil {
-		log.Fatalf("replay session: %v", err)
+		reject(*recFlag, "session", payload, err)
 	}
 	var scope *gpurelay.Scope
 	if *metricsFlag != "" || *traceFlag != "" {
@@ -109,17 +187,18 @@ func main() {
 		}
 		rec2, err := gpurelay.RecordingFromBundle(payload2, mac2, key2)
 		if err != nil {
-			log.Fatalf("verifying %s: %v", *compareFlag, err)
+			reject(*compareFlag, "verify", payload2, err)
 		}
 		if !bytes.Equal(payload, payload2) {
-			log.Fatalf("compare: recordings differ: %s has %d payload bytes, %s has %d",
-				*recFlag, len(payload), *compareFlag, len(payload2))
+			reject(*compareFlag, "compare", payload2, fmt.Errorf(
+				"recordings differ: %s has %d payload bytes, %s has %d: %w",
+				*recFlag, len(payload), *compareFlag, len(payload2), gpurelay.ErrBadRecording))
 		}
 		fmt.Printf("compare: %s is byte-identical to %s (%d bytes)\n", *compareFlag, *recFlag, len(payload))
 		client2 := gpurelay.NewClient("grtreplay-cli-compare", sku)
 		sess2, err = client2.NewReplaySession(rec2)
 		if err != nil {
-			log.Fatalf("compare replay session: %v", err)
+			reject(*compareFlag, "session", payload2, err)
 		}
 	}
 
@@ -158,6 +237,9 @@ func main() {
 		}
 		res, err := sess.Run()
 		if err != nil {
+			if errors.Is(err, gpurelay.ErrBadRecording) {
+				reject(*recFlag, "replay", payload, err)
+			}
 			log.Fatalf("replay %d: %v", run, err)
 		}
 		out, err := sess.Output()

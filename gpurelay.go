@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"gpurelay/internal/audit"
 	"gpurelay/internal/cloud"
 	"gpurelay/internal/gpumem"
 	"gpurelay/internal/grterr"
@@ -204,6 +205,21 @@ func RecordingFromBundle(payload, mac, key []byte) (*Recording, error) {
 	}, nil
 }
 
+// Audit re-verifies the recording and checks its structural invariants —
+// region-map geometry, event-field discipline, job/IRQ balance, dump
+// containment — without touching a GPU. The seal authenticates the
+// recorder, not the recording: a key-holding but buggy or compromised
+// recorder can seal hostile structure, which is exactly what Audit rejects.
+// Replay sessions run the same audit; Audit lets tools (grtreplay -audit)
+// and ingestion pipelines reject early with ErrBadRecording.
+func (r *Recording) Audit() error {
+	rec, err := trace.Verify(r.signed, r.key)
+	if err != nil {
+		return err
+	}
+	return rec.Audit()
+}
+
 // Client is a simulated mobile device: a GPU of some SKU behind a TrustZone
 // controller, with a virtual clock and a device-unique sealing key (as fused
 // at manufacture).
@@ -336,6 +352,9 @@ type Service struct {
 	// Scope — every per-session counter and histogram, double-written by
 	// the scope.
 	fleet *obs.Registry
+	// quarantine retains the recordings IngestRecording rejected, with
+	// fingerprints and stable reasons, and feeds the grt_ingest_* metrics.
+	quarantine *audit.Quarantine
 }
 
 // ServiceConfig tunes a Service. The zero value gives a pool of 16
@@ -380,7 +399,10 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 	mgr.Instrument(fleet)
 	histories := shim.NewHistoryStore(k)
 	histories.Instrument(fleet)
-	return &Service{svc: svc, mgr: mgr, image: img, histories: histories, fleet: fleet}
+	return &Service{
+		svc: svc, mgr: mgr, image: img, histories: histories, fleet: fleet,
+		quarantine: audit.New(0),
+	}
 }
 
 // Metrics returns a snapshot of the service's fleet-wide metrics registry.
@@ -389,6 +411,53 @@ func (s *Service) Metrics() *MetricsSnapshot { return s.fleet.Snapshot() }
 // WriteMetrics writes the fleet metrics in Prometheus text exposition
 // format (what a /metrics endpoint would serve).
 func (s *Service) WriteMetrics(w io.Writer) error { return s.fleet.WritePrometheus(w) }
+
+// QuarantineEntry describes one recording rejected by IngestRecording: a
+// payload fingerprint (truncated SHA-256), a stable machine-readable reason
+// token, and the rejection detail.
+type QuarantineEntry = audit.Entry
+
+// IngestRecording is the service's front door for recordings arriving from
+// untrusted storage or transit. It runs the full trust-boundary pipeline —
+// MAC verification, resource-bounded parse, structural audit — and only
+// then admits the recording. Rejected payloads are quarantined (fingerprint
+// + reason, retrievable via Quarantined) and counted in the fleet metrics
+// (grt_ingest_recordings_total, grt_ingest_rejects_total), so rejection
+// pressure is visible on the service's /metrics surface.
+func (s *Service) IngestRecording(payload, mac, key []byte) (*Recording, error) {
+	rec, err := s.ingest(payload, mac, key)
+	if err != nil {
+		e := s.quarantine.Add(payload, err)
+		s.fleet.Add(obs.MIngestRecordings, 1, obs.L("outcome", "rejected"))
+		s.fleet.Add(obs.MIngestRejects, 1, obs.L("reason", e.Reason))
+		s.fleet.GaugeSet(obs.MIngestQuarantine, int64(len(s.quarantine.Entries())))
+		return nil, err
+	}
+	s.fleet.Add(obs.MIngestRecordings, 1, obs.L("outcome", "accepted"))
+	return rec, nil
+}
+
+func (s *Service) ingest(payload, mac, key []byte) (*Recording, error) {
+	if len(mac) != 32 {
+		return nil, fmt.Errorf("gpurelay: MAC must be 32 bytes, got %d: %w", len(mac), ErrBadRecording)
+	}
+	signed := &trace.Signed{Payload: payload}
+	copy(signed.MAC[:], mac)
+	rec, err := trace.Verify(signed, key)
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.Audit(); err != nil {
+		return nil, fmt.Errorf("gpurelay: %w", err)
+	}
+	return &Recording{
+		signed: signed, key: append([]byte(nil), key...),
+		Workload: rec.Workload, ProductID: rec.ProductID,
+	}, nil
+}
+
+// Quarantined returns the retained rejection entries, oldest first.
+func (s *Service) Quarantined() []QuarantineEntry { return s.quarantine.Entries() }
 
 // ActiveVMs reports the number of live recording VMs.
 func (s *Service) ActiveVMs() int { return s.mgr.ActiveVMs() }
@@ -585,6 +654,11 @@ func (c *Client) NewChainedReplaySession(rec *SegmentedRecording) (*ReplaySessio
 	if err != nil {
 		return nil, err
 	}
+	// Audit before sizing the pool: PoolSize is attacker-chosen until the
+	// structural audit (which bounds it) has passed.
+	if err := first.Audit(); err != nil {
+		return nil, fmt.Errorf("gpurelay: %w", err)
+	}
 	pool := gpumem.NewPool(first.PoolSize)
 	gpu := mali.New(c.SKU, pool, c.clock, c.currentSeed()^0xC0DEC0DE)
 	ctrl := tee.NewController(gpu)
@@ -624,10 +698,14 @@ func (c *Client) NewReplaySessionContext(ctx context.Context, rec *Recording) (*
 		return nil, fmt.Errorf("gpurelay: replay session setup: %w", err)
 	}
 	// Peek at the pool size requirement (the payload is verified again by
-	// replay.New).
+	// replay.New). Audit before sizing the pool: PoolSize is
+	// attacker-chosen until the structural audit (which bounds it) passes.
 	peek, err := trace.Verify(rec.signed, rec.key)
 	if err != nil {
 		return nil, err
+	}
+	if err := peek.Audit(); err != nil {
+		return nil, fmt.Errorf("gpurelay: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("gpurelay: replay session setup: %w", err)

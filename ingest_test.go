@@ -1,0 +1,219 @@
+package gpurelay
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"gpurelay/internal/audit"
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/trace"
+)
+
+// recordedBundle records MNIST once and returns the sealed bundle parts.
+func recordedBundle(t *testing.T) (payload, mac, key []byte) {
+	t.Helper()
+	client := NewClient("ingest-phone", MaliG71MP8)
+	rec, _, err := client.Record(NewService(), MNIST(), RecordOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Bundle()
+}
+
+// reseal parses a genuine payload, applies a structural mutation, and seals
+// the result under the same session key — the key-holding-recorder attack:
+// the MAC verifies, the structure lies.
+func reseal(t *testing.T, payload, key []byte, mutate func(*trace.Recording)) (mutPayload, mutMAC []byte) {
+	t.Helper()
+	var rec trace.Recording
+	if err := rec.UnmarshalBinary(payload); err != nil {
+		t.Fatalf("parsing genuine payload: %v", err)
+	}
+	mutate(&rec)
+	signed, err := trace.Sign(&rec, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signed.Payload, signed.MAC[:]
+}
+
+// resealBytes seals raw mutated bytes under the session key.
+func resealBytes(t *testing.T, mut, key []byte) (mutPayload, mutMAC []byte) {
+	t.Helper()
+	signed, err := trace.SignBytes(mut, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return signed.Payload, signed.MAC[:]
+}
+
+func TestIngestAcceptsGenuineRecording(t *testing.T) {
+	payload, mac, key := recordedBundle(t)
+	svc := NewService()
+	rec, err := svc.IngestRecording(payload, mac, key)
+	if err != nil {
+		t.Fatalf("genuine recording rejected: %v", err)
+	}
+	if rec.Workload != "MNIST" {
+		t.Fatalf("ingested workload %q", rec.Workload)
+	}
+	if q := svc.Quarantined(); len(q) != 0 {
+		t.Fatalf("accepted recording quarantined: %+v", q)
+	}
+	var buf bytes.Buffer
+	if err := svc.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `grt_ingest_recordings_total{outcome="accepted"} 1`) {
+		t.Fatalf("accepted counter missing from metrics:\n%s", buf.String())
+	}
+}
+
+func TestIngestCorruptionMatrix(t *testing.T) {
+	payload, mac, key := recordedBundle(t)
+	cases := []struct {
+		name   string
+		reason string // expected quarantine reason token
+		bundle func(t *testing.T) (p, m []byte)
+	}{
+		{"bit flip without reseal", audit.ReasonBadRecording, func(t *testing.T) (p, m []byte) {
+			p = append([]byte(nil), payload...)
+			p[len(p)/2] ^= 0x40
+			return p, mac
+		}},
+		{"mac bit flip", audit.ReasonBadRecording, func(t *testing.T) (p, m []byte) {
+			m = append([]byte(nil), mac...)
+			m[0] ^= 1
+			return payload, m
+		}},
+		{"short mac", audit.ReasonBadRecording, func(t *testing.T) (p, m []byte) {
+			return payload, mac[:16]
+		}},
+		{"truncated and resealed", audit.ReasonBadRecording, func(t *testing.T) (p, m []byte) {
+			return resealBytes(t, payload[:len(payload)/2], key)
+		}},
+		{"huge region count resealed", audit.ReasonBadRecording, func(t *testing.T) (p, m []byte) {
+			mut := append([]byte(nil), payload...)
+			// Region count follows magic, workload "MNIST", product, pool.
+			off := 4 + 2 + len("MNIST") + 4 + 8
+			mut[off], mut[off+1], mut[off+2], mut[off+3] = 0xFF, 0xFF, 0xFF, 0x0F
+			return resealBytes(t, mut, key)
+		}},
+		{"duplicated region", audit.ReasonAudit, func(t *testing.T) (p, m []byte) {
+			return reseal(t, payload, key, func(r *trace.Recording) {
+				r.Regions = append(r.Regions, r.Regions[0])
+			})
+		}},
+		{"region outside pool", audit.ReasonAudit, func(t *testing.T) (p, m []byte) {
+			return reseal(t, payload, key, func(r *trace.Recording) {
+				r.Regions[0].PA = gpumem.PA(r.PoolSize)
+			})
+		}},
+		{"hostile pool size", audit.ReasonAudit, func(t *testing.T) (p, m []byte) {
+			return reseal(t, payload, key, func(r *trace.Recording) {
+				r.PoolSize = 1 << 62
+			})
+		}},
+		{"out of range dump target", audit.ReasonAudit, func(t *testing.T) (p, m []byte) {
+			return reseal(t, payload, key, func(r *trace.Recording) {
+				// Shrink a region some dump actually writes, so the dump
+				// overruns its map entry.
+				for i := range r.Events {
+					e := &r.Events[i]
+					if e.Kind != trace.KDumpToClient && e.Kind != trace.KDumpToCloud {
+						continue
+					}
+					wrs, err := gpumem.WireInfo(e.Dump)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, wr := range wrs {
+						if wr.Kind == gpumem.KindPageTable || wr.DataLen <= 8 {
+							continue
+						}
+						if reg, ok := r.FindRegion(wr.Name); ok {
+							reg.Size = 8
+							return
+						}
+					}
+				}
+				t.Fatal("no dumped region to shrink")
+			})
+		}},
+		{"unbounded poll resealed", audit.ReasonAudit, func(t *testing.T) (p, m []byte) {
+			return reseal(t, payload, key, func(r *trace.Recording) {
+				for i := range r.Events {
+					if r.Events[i].Kind == trace.KPoll {
+						r.Events[i].MaxIters = 1 << 31
+						return
+					}
+				}
+				t.Fatal("no poll event to corrupt")
+			})
+		}},
+	}
+
+	svc := NewService()
+	rejected := 0
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, m := tc.bundle(t)
+			rec, err := svc.IngestRecording(p, m, key)
+			if err == nil {
+				t.Fatalf("corrupt bundle accepted: %+v", rec)
+			}
+			if !errors.Is(err, ErrBadRecording) {
+				t.Fatalf("rejection does not wrap ErrBadRecording: %v", err)
+			}
+			rejected++
+			q := svc.Quarantined()
+			if len(q) != rejected {
+				t.Fatalf("quarantine holds %d entries after %d rejections", len(q), rejected)
+			}
+			last := q[len(q)-1]
+			if last.Reason != tc.reason {
+				t.Fatalf("quarantine reason %q, want %q (error: %v)", last.Reason, tc.reason, err)
+			}
+			if last.Fingerprint != audit.Fingerprint(p) || last.Bytes != len(p) {
+				t.Fatalf("quarantine entry does not identify the payload: %+v", last)
+			}
+		})
+	}
+
+	var buf bytes.Buffer
+	if err := svc.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	metrics := buf.String()
+	for _, want := range []string{
+		`grt_ingest_recordings_total{outcome="rejected"}`,
+		`grt_ingest_rejects_total{reason="bad_recording"}`,
+		`grt_ingest_rejects_total{reason="audit"}`,
+		`grt_ingest_quarantine_entries`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// The quarantine ring stays bounded however many rejections arrive, while
+// the monotonic total keeps counting.
+func TestIngestQuarantineBounded(t *testing.T) {
+	q := audit.New(4)
+	for i := 0; i < 10; i++ {
+		q.Add([]byte{byte(i)}, ErrBadRecording)
+	}
+	if got := len(q.Entries()); got != 4 {
+		t.Fatalf("ring holds %d entries, want 4", got)
+	}
+	if q.Total() != 10 {
+		t.Fatalf("total %d, want 10", q.Total())
+	}
+	// Oldest-first: the survivors are rejections 6..9.
+	if first := q.Entries()[0]; first.Fingerprint != audit.Fingerprint([]byte{6}) {
+		t.Fatalf("eviction order wrong: %+v", first)
+	}
+}

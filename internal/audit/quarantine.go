@@ -1,0 +1,132 @@
+// Package audit tracks recordings rejected at the ingestion boundary. A
+// rejected recording is evidence — of a buggy recorder, a corrupted store,
+// or an active attack — so instead of vanishing into an error return it is
+// quarantined: fingerprinted, tagged with a stable machine-readable reason,
+// and counted, so operators can see rejection pressure in the fleet metrics
+// and pull the offending payloads for forensics.
+package audit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"sync"
+
+	"gpurelay/internal/grterr"
+	"gpurelay/internal/trace"
+)
+
+// Reason tokens, stable across releases: these appear as metric label
+// values and in grtreplay's machine-readable rejection reports.
+const (
+	ReasonBadRecording      = "bad_recording"
+	ReasonCheckpointCorrupt = "checkpoint_corrupt"
+	ReasonSKUMismatch       = "sku_mismatch"
+	ReasonAudit             = "audit"
+	ReasonOther             = "other"
+)
+
+// Reason maps a rejection error to its stable token. Structural-audit
+// failures are distinguished from codec/signature failures even though both
+// wrap ErrBadRecording — the former means a well-formed, correctly sealed
+// payload that lies about the session it describes, which is the more
+// alarming signal.
+func Reason(err error) string {
+	var ae *trace.AuditError
+	switch {
+	case err == nil:
+		return ""
+	case errors.As(err, &ae):
+		return ReasonAudit
+	case errors.Is(err, grterr.ErrBadRecording):
+		return ReasonBadRecording
+	case errors.Is(err, grterr.ErrCheckpointCorrupt):
+		return ReasonCheckpointCorrupt
+	case errors.Is(err, grterr.ErrSKUMismatch):
+		return ReasonSKUMismatch
+	default:
+		return ReasonOther
+	}
+}
+
+// Fingerprint identifies a rejected payload without retaining it: the first
+// 16 hex digits of its SHA-256.
+func Fingerprint(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Entry is one quarantined rejection.
+type Entry struct {
+	// Fingerprint identifies the payload (truncated SHA-256).
+	Fingerprint string
+	// Reason is the stable rejection token (see the Reason* constants).
+	Reason string
+	// Detail is the rejection error's message.
+	Detail string
+	// Bytes is the payload size; the payload itself is not retained.
+	Bytes int
+}
+
+// DefaultCapacity bounds a quarantine's retained entries. The counters keep
+// counting past it; only the per-entry detail ring is bounded.
+const DefaultCapacity = 128
+
+// Quarantine is a bounded, thread-safe ring of rejection entries. When full
+// the oldest entry is dropped — the total rejection count is monotonic and
+// survives eviction.
+type Quarantine struct {
+	mu      sync.Mutex
+	entries []Entry
+	start   int // ring head
+	total   int
+	cap     int
+}
+
+// New creates a quarantine retaining at most capacity entries
+// (DefaultCapacity if <= 0).
+func New(capacity int) *Quarantine {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Quarantine{cap: capacity}
+}
+
+// Add quarantines one rejected payload and returns its entry.
+func (q *Quarantine) Add(payload []byte, err error) Entry {
+	e := Entry{
+		Fingerprint: Fingerprint(payload),
+		Reason:      Reason(err),
+		Detail:      err.Error(),
+		Bytes:       len(payload),
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.total++
+	if len(q.entries) < q.cap {
+		q.entries = append(q.entries, e)
+	} else {
+		q.entries[q.start] = e
+		q.start = (q.start + 1) % q.cap
+	}
+	return e
+}
+
+// Entries returns the retained entries, oldest first.
+func (q *Quarantine) Entries() []Entry {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Entry, 0, len(q.entries))
+	for i := 0; i < len(q.entries); i++ {
+		out = append(out, q.entries[(q.start+i)%len(q.entries)])
+	}
+	return out
+}
+
+// Total returns the number of rejections ever quarantined, including
+// entries since evicted from the ring.
+func (q *Quarantine) Total() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.total
+}

@@ -18,6 +18,7 @@ import (
 
 	"gpurelay/internal/grterr"
 	"gpurelay/internal/trace"
+	"gpurelay/internal/wire"
 )
 
 // ckptMagic is "GRTK" little-endian.
@@ -99,17 +100,34 @@ func (c *Checkpoint) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalBinary parses a checkpoint. Corruption wraps
-// grterr.ErrCheckpointCorrupt.
+// UnmarshalBinary parses a checkpoint under the default decode limits.
+// Corruption wraps grterr.ErrCheckpointCorrupt.
 func (c *Checkpoint) UnmarshalBinary(data []byte) error {
+	return c.UnmarshalBinaryLimited(data, wire.DefaultLimits())
+}
+
+// UnmarshalBinaryLimited is UnmarshalBinary with a caller-supplied decode
+// budget. Every length prefix — the two header strings and the embedded log
+// blob — is validated against the bytes actually remaining before its buffer
+// is allocated, and the blob's recording parse inherits the same budget.
+func (c *Checkpoint) UnmarshalBinaryLimited(data []byte, lim wire.DecodeLimits) error {
 	corrupt := func(what string) error {
 		return fmt.Errorf("ckpt: %s: %w", what, grterr.ErrCheckpointCorrupt)
 	}
+	budget := lim.Budget()
 	r := bytes.NewReader(data)
 	rd := func(v any) bool { return binary.Read(r, binary.LittleEndian, v) == nil }
+	var strErr error
 	rds := func(s *string) bool {
 		var n uint16
 		if !rd(&n) {
+			return false
+		}
+		if int(n) > r.Len() {
+			return false
+		}
+		if err := budget.String("checkpoint string", int(n)); err != nil {
+			strErr = err
 			return false
 		}
 		b := make([]byte, n)
@@ -128,15 +146,24 @@ func (c *Checkpoint) UnmarshalBinary(data []byte) error {
 		!rd(&c.ClientSeed) || !rd(&c.Variant) || !rd(&job) ||
 		!rd(&c.SyncOutFP) || !rd(&c.SyncInFP) || !rd(&c.HistorySigs) ||
 		!rd(&blobLen) {
+		if strErr != nil {
+			return corrupt(strErr.Error())
+		}
 		return corrupt("truncated header")
 	}
 	c.Job = int(job)
+	if int64(blobLen) > int64(r.Len()) {
+		return corrupt("log blob length exceeds input")
+	}
+	if err := budget.Alloc("checkpoint log blob", int64(blobLen)); err != nil {
+		return corrupt(err.Error())
+	}
 	blob := make([]byte, blobLen)
 	if n, err := r.Read(blob); err != nil || n != int(blobLen) {
 		return corrupt("truncated log blob")
 	}
 	var rec trace.Recording
-	if err := rec.UnmarshalBinary(blob); err != nil {
+	if err := rec.UnmarshalBinaryLimited(blob, lim); err != nil {
 		return corrupt(fmt.Sprintf("log blob: %v", err))
 	}
 	c.Workload = rec.Workload
@@ -157,15 +184,22 @@ func (c *Checkpoint) Seal(key []byte) (*trace.Signed, error) {
 	return trace.SignBytes(payload, key)
 }
 
-// Open verifies a sealed checkpoint and parses it. Authentication or format
-// failure wraps grterr.ErrCheckpointCorrupt.
+// Open verifies a sealed checkpoint and parses it under the default decode
+// limits. Authentication or format failure wraps grterr.ErrCheckpointCorrupt.
 func Open(s *trace.Signed, key []byte) (*Checkpoint, error) {
+	return OpenLimited(s, key, wire.DefaultLimits())
+}
+
+// OpenLimited is Open with a caller-supplied decode budget. The MAC check
+// runs first, but passing it does not make the payload's structure
+// trustworthy — the parse stays bounded.
+func OpenLimited(s *trace.Signed, key []byte, lim wire.DecodeLimits) (*Checkpoint, error) {
 	payload, err := trace.VerifyBytes(s, key)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %v: %w", err, grterr.ErrCheckpointCorrupt)
 	}
 	c := &Checkpoint{}
-	if err := c.UnmarshalBinary(payload); err != nil {
+	if err := c.UnmarshalBinaryLimited(payload, lim); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -183,6 +217,12 @@ func (c *Checkpoint) Matches(workload string, productID uint32) error {
 	}
 	if len(c.Events) == 0 {
 		return fmt.Errorf("ckpt: checkpoint holds no events: %w", grterr.ErrCheckpointCorrupt)
+	}
+	// Every completed job contributes at least one event to the log, so a
+	// job index past the event count cannot describe a prefix of it.
+	if c.Job < 0 || c.Job > len(c.Events) {
+		return fmt.Errorf("ckpt: job index %d inconsistent with %d-event log: %w",
+			c.Job, len(c.Events), grterr.ErrCheckpointCorrupt)
 	}
 	return nil
 }

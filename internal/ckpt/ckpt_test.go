@@ -17,7 +17,7 @@ func sampleCheckpoint() *Checkpoint {
 		ClientSeed: 0x9e3779,
 		Variant:    3,
 		Network:    "wifi",
-		Job:        7,
+		Job:        3,
 		Events: []trace.Event{
 			{Kind: trace.KWrite, Fn: "kbase_job_submit", Reg: 0x1000, Value: 0xdead},
 			{Kind: trace.KPoll, Fn: "kbase_wait_ready", Reg: 0x1004,

@@ -1,0 +1,84 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+
+	"gpurelay/internal/fuzzcorpus"
+	"gpurelay/internal/grterr"
+	"gpurelay/internal/trace"
+	"gpurelay/internal/wire"
+)
+
+var ckptFuzzKey = []byte("ckpt-fuzz-key-0123456789abcdef01")
+
+var ckptFuzzLimits = wire.DecodeLimits{
+	MaxEvents:    1 << 12,
+	MaxRegions:   256,
+	MaxStringLen: 256,
+	MaxDumpBytes: 1 << 20,
+	MaxAlloc:     4 << 20,
+}
+
+func ckptFuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	blob, err := sampleCheckpoint().MarshalBinary()
+	if err != nil {
+		tb.Fatalf("marshaling seed checkpoint: %v", err)
+	}
+	return [][]byte{blob, blob[:len(blob)/2], []byte("GRTK")}
+}
+
+// FuzzOpenCheckpoint seals arbitrary payloads under a fixed key — modeling a
+// key-holding but corrupted checkpointer — and asserts OpenLimited never
+// panics and every rejection wraps ErrCheckpointCorrupt, so the resume path
+// stays fail-closed.
+func FuzzOpenCheckpoint(f *testing.F) {
+	for _, s := range ckptFuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		signed, err := trace.SignBytes(payload, ckptFuzzKey)
+		if err != nil {
+			t.Fatalf("sealing fuzz payload: %v", err)
+		}
+		c, err := OpenLimited(signed, ckptFuzzKey, ckptFuzzLimits)
+		if err != nil {
+			if !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+				t.Fatalf("rejection does not wrap ErrCheckpointCorrupt: %v", err)
+			}
+			return
+		}
+		// Anything that parses must survive the resumability checks without
+		// panicking.
+		_ = c.Matches(c.Workload, c.ProductID)
+	})
+}
+
+// Every truncation of a valid checkpoint must be rejected with the corrupt
+// sentinel — whichever field the cut lands in, including mid-blob where the
+// declared blob length exceeds the bytes remaining.
+func TestUnmarshalEveryTruncation(t *testing.T) {
+	blob, err := sampleCheckpoint().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Checkpoint
+	for cut := len(blob) - 1; cut > 0; cut-- {
+		if err := c.UnmarshalBinary(blob[:cut]); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+			t.Fatalf("truncation to %d bytes: error %v does not wrap ErrCheckpointCorrupt", cut, err)
+		}
+	}
+}
+
+func TestUpdateFuzzCorpus(t *testing.T) {
+	seeds := ckptFuzzSeeds(t)
+	if !fuzzcorpus.Update() {
+		t.Skipf("set %s=1 to regenerate testdata/fuzz", fuzzcorpus.UpdateEnv)
+	}
+	for _, s := range seeds {
+		if err := fuzzcorpus.WriteSeed("FuzzOpenCheckpoint", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

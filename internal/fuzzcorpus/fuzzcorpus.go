@@ -1,0 +1,54 @@
+// Package fuzzcorpus writes Go native-fuzzing seed-corpus files. The fuzz
+// harnesses guarding the recording trust boundary keep their seeds in two
+// places: f.Add calls (always active) and committed files under each
+// package's testdata/fuzz/<FuzzName>/ (what `go test -fuzz` mutates from
+// and CI smoke runs pick up). The files are generated from the same golden
+// fixtures by env-gated corpus tests — set GRT_UPDATE_FUZZ_CORPUS=1 and run
+// the package tests to refresh them after a wire-format change.
+package fuzzcorpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// UpdateEnv is the environment variable that arms corpus regeneration.
+const UpdateEnv = "GRT_UPDATE_FUZZ_CORPUS"
+
+// Update reports whether corpus regeneration is armed.
+func Update() bool { return os.Getenv(UpdateEnv) != "" }
+
+// WriteSeed writes one seed file in the "go test fuzz v1" encoding to
+// testdata/fuzz/<fuzzName>/ under the current package directory. The file
+// name is derived from the argument contents, so regenerating an unchanged
+// corpus is a no-op. Supported argument types: []byte, string, uint32,
+// int64, byte.
+func WriteSeed(fuzzName string, args ...any) error {
+	body := "go test fuzz v1\n"
+	for _, a := range args {
+		switch v := a.(type) {
+		case []byte:
+			body += fmt.Sprintf("[]byte(%s)\n", strconv.Quote(string(v)))
+		case string:
+			body += fmt.Sprintf("string(%s)\n", strconv.Quote(v))
+		case uint32:
+			body += fmt.Sprintf("uint32(%d)\n", v)
+		case int64:
+			body += fmt.Sprintf("int64(%d)\n", v)
+		case byte:
+			body += fmt.Sprintf("byte(%s)\n", strconv.QuoteRune(rune(v)))
+		default:
+			return fmt.Errorf("fuzzcorpus: unsupported seed arg type %T", a)
+		}
+	}
+	sum := sha256.Sum256([]byte(body))
+	dir := filepath.Join("testdata", "fuzz", fuzzName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "seed-"+hex.EncodeToString(sum[:8])), []byte(body), 0o644)
+}

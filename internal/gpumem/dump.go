@@ -3,6 +3,8 @@ package gpumem
 import (
 	"encoding/binary"
 	"fmt"
+
+	"gpurelay/internal/wire"
 )
 
 // Snapshot is the contents of a set of regions at one synchronization point.
@@ -321,67 +323,132 @@ func (s *Snapshot) Encode(prev *Snapshot, opts EncodeOptions) ([]byte, error) {
 	return out, nil
 }
 
-// Decode reconstructs a snapshot from wire bytes. prev must be the same
-// previous snapshot the encoder used when the stream is delta-encoded.
-// Compressed payloads are expanded directly into the per-region buffers and
-// delta streams are un-XORed in parallel; the concatenated body is never
-// materialized.
-func Decode(wire []byte, prev *Snapshot) (*Snapshot, error) {
+// WireRegion describes one region entry of an encoded snapshot's header:
+// what Decode would reconstruct, minus the payload. The structural verifier
+// uses it to validate a dump against a recording's region map without
+// materializing a byte of region data.
+type WireRegion struct {
+	Name    string
+	Kind    RegionKind
+	VA      VA
+	PA      PA
+	DataLen int
+}
+
+// snapRegionMinWire is the smallest wire footprint of one header entry: a
+// 2-byte name length plus kind, VA, PA, and data length.
+const snapRegionMinWire = 2 + 1 + 8 + 8 + 4
+
+// parseWireHeader parses and validates an encoded snapshot's header against
+// a decode budget: the region count must fit the remaining input, names are
+// capped, and every declared payload length is charged to the dump budget —
+// all before a single region buffer exists. Returns the header entries, the
+// (still encoded) body, and the flag byte.
+func parseWireHeader(data []byte, budget *wire.Budget) ([]WireRegion, []byte, uint8, error) {
 	le := binary.LittleEndian
-	if len(wire) < 9 || le.Uint32(wire) != wireMagic {
-		return nil, fmt.Errorf("gpumem: bad dump magic")
+	if len(data) < 9 || le.Uint32(data) != wireMagic {
+		return nil, nil, 0, fmt.Errorf("gpumem: bad dump magic")
 	}
-	flags := wire[4]
-	delta, compressed := flags&1 != 0, flags&2 != 0
-	nRegions := le.Uint32(wire[5:])
+	flags := data[4]
+	nRegions, err := wire.CheckCount("snapshot region", uint64(le.Uint32(data[5:])),
+		budget.Limits().MaxRegions, snapRegionMinWire, len(data)-9)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("gpumem: %w", err)
+	}
 	off := 9
-	s := &Snapshot{Regions: make([]RegionSnapshot, nRegions)}
-	total := 0
-	for i := range s.Regions {
-		if off+2 > len(wire) {
-			return nil, fmt.Errorf("gpumem: truncated dump header")
+	regs := make([]WireRegion, nRegions)
+	for i := range regs {
+		if off+2 > len(data) {
+			return nil, nil, 0, fmt.Errorf("gpumem: truncated dump header")
 		}
-		nameLen := int(le.Uint16(wire[off:]))
+		nameLen := int(le.Uint16(data[off:]))
 		off += 2
-		if off+nameLen+1+8+8+4 > len(wire) {
-			return nil, fmt.Errorf("gpumem: truncated dump header")
+		if off+nameLen+1+8+8+4 > len(data) {
+			return nil, nil, 0, fmt.Errorf("gpumem: truncated dump header")
 		}
-		name := string(wire[off : off+nameLen])
+		if err := budget.String("snapshot region name", nameLen); err != nil {
+			return nil, nil, 0, fmt.Errorf("gpumem: %w", err)
+		}
+		name := string(data[off : off+nameLen])
 		off += nameLen
-		kind := wire[off]
+		kind := data[off]
 		off++
-		va := le.Uint64(wire[off:])
+		va := le.Uint64(data[off:])
 		off += 8
-		pa := le.Uint64(wire[off:])
+		pa := le.Uint64(data[off:])
 		off += 8
-		dataLen := int(le.Uint32(wire[off:]))
+		dataLen := int(le.Uint32(data[off:]))
 		off += 4
-		s.Regions[i] = RegionSnapshot{
-			Name: name, Kind: RegionKind(kind), VA: VA(va), PA: PA(pa),
-			Data: getBuf(dataLen),
+		if err := budget.Dump("snapshot region payload", int64(dataLen)); err != nil {
+			return nil, nil, 0, fmt.Errorf("gpumem: %w", err)
 		}
-		total += dataLen
+		regs[i] = WireRegion{Name: name, Kind: RegionKind(kind), VA: VA(va), PA: PA(pa), DataLen: dataLen}
 	}
-	if off+4 > len(wire) {
-		return nil, fmt.Errorf("gpumem: truncated dump header")
+	if off+4 > len(data) {
+		return nil, nil, 0, fmt.Errorf("gpumem: truncated dump header")
 	}
-	bodyLen := int(le.Uint32(wire[off:]))
+	bodyLen := int(le.Uint32(data[off:]))
 	off += 4
-	if off+bodyLen > len(wire) {
-		return nil, fmt.Errorf("gpumem: truncated dump body")
+	if bodyLen < 0 || bodyLen > len(data)-off {
+		return nil, nil, 0, fmt.Errorf("gpumem: truncated dump body")
 	}
-	body := wire[off : off+bodyLen]
+	return regs, data[off : off+bodyLen], flags, nil
+}
+
+// WireInfo parses just the header of an encoded snapshot under the default
+// decode limits, without allocating any region payload.
+func WireInfo(data []byte) ([]WireRegion, error) {
+	regs, _, _, err := parseWireHeader(data, wire.DefaultLimits().Budget())
+	return regs, err
+}
+
+// Decode reconstructs a snapshot from wire bytes under the default decode
+// limits. prev must be the same previous snapshot the encoder used when the
+// stream is delta-encoded. Compressed payloads are expanded directly into
+// the per-region buffers and delta streams are un-XORed in parallel; the
+// concatenated body is never materialized.
+func Decode(data []byte, prev *Snapshot) (*Snapshot, error) {
+	return DecodeLimited(data, prev, wire.DefaultLimits())
+}
+
+// DecodeLimited is Decode with a caller-supplied decode budget. The header
+// is parsed and validated in full — counts against remaining input,
+// payload lengths against the dump budget, the declared body against the
+// actual input, the delta base against the declared shape — before any
+// region buffer is allocated, so a hostile header can never force an
+// allocation the input has not paid for (compressed payloads are bounded by
+// the budget, since expansion past wire size is what compression is for).
+func DecodeLimited(data []byte, prev *Snapshot, lim wire.DecodeLimits) (*Snapshot, error) {
+	hdr, body, flags, err := parseWireHeader(data, lim.Budget())
+	if err != nil {
+		return nil, err
+	}
+	delta, compressed := flags&1 != 0, flags&2 != 0
+	total := 0
+	for i := range hdr {
+		total += hdr[i].DataLen
+	}
 	if delta && prev == nil {
 		return nil, fmt.Errorf("gpumem: delta stream requires its base snapshot")
 	}
-	if delta && len(prev.Regions) != int(nRegions) {
+	if delta && len(prev.Regions) != len(hdr) {
 		return nil, fmt.Errorf("gpumem: delta stream with mismatched base")
 	}
 	if delta {
-		for i := range s.Regions {
-			if len(prev.Regions[i].Data) != len(s.Regions[i].Data) {
+		for i := range hdr {
+			if len(prev.Regions[i].Data) != hdr[i].DataLen {
 				return nil, fmt.Errorf("gpumem: delta region %d size mismatch", i)
 			}
+		}
+	}
+	if !compressed && len(body) != total {
+		return nil, fmt.Errorf("gpumem: dump payload %d bytes, regions need %d", len(body), total)
+	}
+	s := &Snapshot{Regions: make([]RegionSnapshot, len(hdr))}
+	for i := range hdr {
+		s.Regions[i] = RegionSnapshot{
+			Name: hdr[i].Name, Kind: hdr[i].Kind, VA: hdr[i].VA, PA: hdr[i].PA,
+			Data: getBuf(hdr[i].DataLen),
 		}
 	}
 
@@ -394,9 +461,6 @@ func Decode(wire []byte, prev *Snapshot) (*Snapshot, error) {
 			return nil, err
 		}
 	} else {
-		if bodyLen != total {
-			return nil, fmt.Errorf("gpumem: dump payload %d bytes, regions need %d", bodyLen, total)
-		}
 		offs := make([]int, len(s.Regions))
 		o := 0
 		for i := range s.Regions {

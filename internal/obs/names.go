@@ -47,6 +47,12 @@ const (
 	MCkptResyncEvents = "grt_ckpt_resync_events_total"
 	MResumeBackoff    = "grt_resume_backoff_seconds" // virtual backoff before re-admission
 
+	// ingestion trust boundary: recordings entering the service from
+	// untrusted storage or transit (bounded decode + structural audit).
+	MIngestRecordings = "grt_ingest_recordings_total" // outcome=accepted|rejected
+	MIngestRejects    = "grt_ingest_rejects_total"    // reason=bad_recording|audit|...
+	MIngestQuarantine = "grt_ingest_quarantine_entries" // gauge: retained quarantine entries
+
 	// fleet (service-owned registry; multi-tenant view).
 	MFleetActiveVMs      = "grt_fleet_active_vms"       // gauge
 	MFleetQueueDepth     = "grt_fleet_queue_depth"      // gauge

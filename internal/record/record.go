@@ -282,6 +282,17 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		case shim.ResyncDiverged:
 			res, err = nil, fmt.Errorf("record: %v: %w", e, grterr.ErrCheckpointCorrupt)
 		default:
+			// A resumed session drives the real driver stack with events
+			// from the checkpoint; the stack, like its real counterpart,
+			// panics rather than error-returns on impossible state. When
+			// the events are untrusted that is an attack surface, so a
+			// resume fails closed: any residual panic means the checkpoint
+			// does not describe a session this stack can have run.
+			if cfg.Resume != nil {
+				res, err = nil, fmt.Errorf("record: resume panicked (%v): %w",
+					r, grterr.ErrCheckpointCorrupt)
+				return
+			}
 			panic(r)
 		}
 	}()

@@ -20,6 +20,7 @@ import (
 	"gpurelay/internal/tee"
 	"gpurelay/internal/timesim"
 	"gpurelay/internal/trace"
+	"gpurelay/internal/wire"
 )
 
 // Per-event replayer overheads: a TEE-resident replayer pays a secure-world
@@ -30,6 +31,12 @@ const (
 	restorePerByte   = 1 * time.Nanosecond // ~1 GB/s secure-memory restore
 	irqWaitSliceTime = time.Microsecond
 	maxIRQWaitSlices = 10000
+	// maxPollIters is a hard per-event polling cap, enforced at replay time
+	// independently of the structural audit: even if a hostile MaxIters
+	// slipped through, one poll event cannot spin the replayer for more
+	// than this many register reads. The recorded driver polls at most 64
+	// times, so the cap never binds on a legitimate recording.
+	maxPollIters = 1 << 16
 )
 
 // Event-kind label slices for the per-event counter, built once: replay
@@ -89,6 +96,11 @@ type Replayer struct {
 	gpu   *mali.GPU
 	ctrl  *tee.Controller
 	clock *timesim.Clock
+	// lim bounds every dump decode during the run. Derived from the
+	// recording's pool size at construction: an audited recording's dump
+	// regions all land inside the pool, so no legitimate dump can
+	// materialize more than the pool holds.
+	lim wire.DecodeLimits
 
 	// inject holds program data to (re)apply after every restored dump:
 	// fresh input, and the model parameters that never left the TEE.
@@ -107,13 +119,19 @@ type Replayer struct {
 	Obs *obs.Scope
 }
 
-// New verifies a signed recording against the session key and binds it to
-// the local GPU. It refuses recordings for a different GPU SKU — the
-// early-binding property of §2.4.
+// New verifies a signed recording against the session key, audits its
+// structure, and binds it to the local GPU. It refuses recordings for a
+// different GPU SKU — the early-binding property of §2.4 — and recordings
+// whose structure the recorded driver stack could not have produced, even
+// when correctly sealed (the MAC authenticates the recorder, not the
+// recording).
 func New(signed *trace.Signed, key []byte, gpu *mali.GPU, ctrl *tee.Controller, clock *timesim.Clock) (*Replayer, error) {
 	rec, err := trace.Verify(signed, key)
 	if err != nil {
 		return nil, err
+	}
+	if err := rec.Audit(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
 	}
 	if rec.ProductID != gpu.SKU().ProductID {
 		return nil, fmt.Errorf("replay: recording is for GPU product %#x, this device is %#x: %w",
@@ -125,9 +143,21 @@ func New(signed *trace.Signed, key []byte, gpu *mali.GPU, ctrl *tee.Controller, 
 	}
 	return &Replayer{
 		rec: rec, gpu: gpu, ctrl: ctrl, clock: clock,
+		lim:    poolLimits(rec.PoolSize),
 		inject: map[string][]byte{},
 		Strict: true,
 	}, nil
+}
+
+// poolLimits tightens the default decode limits with what the replayer
+// knows: one dump can never legitimately materialize more bytes than the
+// recording's pool holds, since dump regions must land inside it.
+func poolLimits(poolSize uint64) wire.DecodeLimits {
+	lim := wire.DefaultLimits()
+	if poolSize > 0 && int64(poolSize) < lim.MaxDumpBytes {
+		lim.MaxDumpBytes = int64(poolSize)
+	}
+	return lim
 }
 
 // NewChained builds a replayer from a sequence of independently signed
@@ -144,6 +174,9 @@ func NewChained(segs []*trace.Signed, key []byte, gpu *mali.GPU, ctrl *tee.Contr
 	for i, s := range segs {
 		rec, err := trace.Verify(s, key)
 		if err != nil {
+			return nil, fmt.Errorf("replay: segment %d: %w", i, err)
+		}
+		if err := rec.Audit(); err != nil {
 			return nil, fmt.Errorf("replay: segment %d: %w", i, err)
 		}
 		if merged == nil {
@@ -168,6 +201,7 @@ func NewChained(segs []*trace.Signed, key []byte, gpu *mali.GPU, ctrl *tee.Contr
 	}
 	return &Replayer{
 		rec: merged, gpu: gpu, ctrl: ctrl, clock: clock,
+		lim:    poolLimits(merged.PoolSize),
 		inject: map[string][]byte{},
 		Strict: true,
 	}, nil
@@ -245,7 +279,19 @@ func (r *Replayer) applyInjections() {
 
 // Run replays the recording end to end. The GPU is claimed by the secure
 // world for the whole session and scrubbed on both ends (§3.2).
+//
+// Run is a fail-closed boundary: whatever a hostile recording manages to
+// provoke inside the replay loop surfaces as an ErrBadRecording-wrapped
+// error, never a panic. Per-event work is budgeted — polls are hard-capped
+// at maxPollIters, interrupt waits at maxIRQWaitSlices, and dump decodes at
+// the pool-derived decode limits — so a replay terminates in time
+// proportional to the recording regardless of its contents.
 func (r *Replayer) Run() (res Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("replay: panic replaying event: %v: %w", p, grterr.ErrBadRecording)
+		}
+	}()
 	r.Obs.BindClock(r.clock)
 	defer func() { res.Obs = r.Obs.Snapshot() }()
 	endRun := r.Obs.Span("replay.run", "replay", obs.A("events", int64(len(r.rec.Events))))
@@ -302,8 +348,12 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 		}
 	case trace.KPoll:
 		r.Obs.Count(obs.MReplayEvents, 1, lblPoll...)
+		iters := e.MaxIters
+		if iters > maxPollIters {
+			iters = maxPollIters
+		}
 		done := false
-		for it := uint32(0); it < e.MaxIters; it++ {
+		for it := uint32(0); it < iters; it++ {
 			r.spend(replayPollStep)
 			v := r.gpu.ReadReg(e.Reg)
 			if v&e.DoneMask == e.DoneVal {
@@ -337,9 +387,10 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 		// Non-delta dumps (first sync, or a structural change at record
 		// time) decode standalone; delta dumps chain off the previous
 		// restored snapshot, mirroring the record-side encoder.
-		snap, err := gpumem.Decode(e.Dump, r.prevOut)
+		snap, err := gpumem.DecodeLimited(e.Dump, r.prevOut, r.lim)
 		if err != nil {
-			return fmt.Errorf("replay: event %d: decoding memory dump: %w", i, err)
+			return fmt.Errorf("replay: event %d: decoding memory dump: %v: %w",
+				i, err, grterr.ErrBadRecording)
 		}
 		endRestore := r.Obs.Span("replay.restore", "replay", obs.A("bytes", int64(len(e.Dump))))
 		snap.Restore(r.gpu.Pool())

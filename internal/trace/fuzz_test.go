@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"gpurelay/internal/fuzzcorpus"
+	"gpurelay/internal/grterr"
+	"gpurelay/internal/wire"
+)
+
+// fuzzLimits keeps fuzz-side allocations small so the harness explores
+// structure, not allocator throughput.
+var fuzzLimits = wire.DecodeLimits{
+	MaxEvents:    1 << 12,
+	MaxRegions:   256,
+	MaxStringLen: 256,
+	MaxDumpBytes: 1 << 20,
+	MaxAlloc:     4 << 20,
+}
+
+// fuzzSeeds are the corpus starting points: a full valid recording, a
+// truncation of it, and a bare magic.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	blob, err := sampleRecording().MarshalBinary()
+	if err != nil {
+		tb.Fatalf("marshaling seed recording: %v", err)
+	}
+	return [][]byte{blob, blob[:len(blob)/2], []byte("GRTR")}
+}
+
+// FuzzUnmarshalRecording asserts the bounded decoder never panics and that
+// anything it accepts round-trips and audits without panicking.
+func FuzzUnmarshalRecording(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r Recording
+		if err := r.UnmarshalBinaryLimited(data, fuzzLimits); err != nil {
+			return
+		}
+		out, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted recording does not re-marshal: %v", err)
+		}
+		var r2 Recording
+		if err := r2.UnmarshalBinaryLimited(out, fuzzLimits); err != nil {
+			t.Fatalf("re-marshaled recording does not re-parse: %v", err)
+		}
+		_ = r.Audit() // must not panic on any parsed recording
+	})
+}
+
+// regionCountOffset locates the region-count field in a marshaled recording:
+// magic, workload (2+len), product id, pool size.
+func regionCountOffset(r *Recording) int { return 4 + 2 + len(r.Workload) + 4 + 8 }
+
+// eventCountOffset locates the event-count field: past the region table.
+func eventCountOffset(r *Recording) int {
+	off := regionCountOffset(r) + 4
+	for i := range r.Regions {
+		off += 2 + len(r.Regions[i].Name) + 1 + 8 + 8 + 8
+	}
+	return off
+}
+
+// A tiny payload declaring a huge element count must be rejected by the
+// count-versus-remaining check before anything proportional to the count is
+// allocated — the classic length-prefix memory bomb.
+func TestUnmarshalHugeCounts(t *testing.T) {
+	rec := sampleRecording()
+	blob, err := rec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		off  int
+	}{
+		{"region count", regionCountOffset(rec)},
+		{"event count", eventCountOffset(rec)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := append([]byte(nil), blob...)
+			binary.LittleEndian.PutUint32(mut[tc.off:], 0x0FFFFFFF)
+			var r Recording
+			if err := r.UnmarshalBinaryLimited(mut, wire.DefaultLimits()); err == nil {
+				t.Fatal("huge count accepted")
+			}
+			// Through the trust boundary — a key-holding recorder sealing the
+			// same bytes — the rejection carries the sentinel.
+			signed, err := SignBytes(mut, []byte("trace-fuzz-key-0123456789abcdef0"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := VerifyLimited(signed, []byte("trace-fuzz-key-0123456789abcdef0"),
+				wire.DefaultLimits()); !errors.Is(err, grterr.ErrBadRecording) {
+				t.Fatalf("verify error does not wrap ErrBadRecording: %v", err)
+			}
+		})
+	}
+}
+
+// Every truncation of a valid recording must fail cleanly — no panic, no
+// partial success.
+func TestUnmarshalEveryTruncation(t *testing.T) {
+	blob, err := sampleRecording().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Recording
+	for n := 0; n < len(blob); n++ {
+		if err := r.UnmarshalBinaryLimited(blob[:n], wire.DefaultLimits()); err == nil {
+			t.Fatalf("truncation to %d of %d bytes parsed", n, len(blob))
+		}
+	}
+}
+
+// A recording whose cumulative dumps exceed the budget is rejected even
+// though each individual length prefix is plausible.
+func TestUnmarshalDumpBudget(t *testing.T) {
+	rec := sampleRecording()
+	for i := range rec.Events {
+		if rec.Events[i].Kind == KDumpToClient || rec.Events[i].Kind == KDumpToCloud {
+			rec.Events[i].Dump = make([]byte, 4096)
+		}
+	}
+	blob, err := rec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := wire.DefaultLimits()
+	lim.MaxDumpBytes = 4096 // two 4096-byte dumps: second one busts the budget
+	var r Recording
+	if err := r.UnmarshalBinaryLimited(blob, lim); err == nil {
+		t.Fatal("cumulative dump budget not enforced")
+	}
+	if err := r.UnmarshalBinaryLimited(blob, wire.DefaultLimits()); err != nil {
+		t.Fatalf("same recording under default limits: %v", err)
+	}
+}
+
+// Rejecting a memory-bomb header must itself be cheap: the huge-count
+// payload is refused in a handful of allocations, not after materializing
+// anything proportional to the declared count.
+func TestUnmarshalMalformedAllocBudget(t *testing.T) {
+	rec := sampleRecording()
+	blob, err := rec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), blob...)
+	binary.LittleEndian.PutUint32(mut[eventCountOffset(rec):], 0x0FFFFFFF)
+	var r Recording
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := r.UnmarshalBinaryLimited(mut, wire.DefaultLimits()); err == nil {
+			t.Fatal("huge count accepted")
+		}
+	})
+	// The reject path allocates the region table and the error chain —
+	// nothing scaling with the declared 268M events (which would be ~25GB).
+	if allocs > 64 {
+		t.Fatalf("rejecting malformed input cost %.0f allocs/op", allocs)
+	}
+}
+
+// TestUpdateFuzzCorpus regenerates the committed seed corpus when
+// GRT_UPDATE_FUZZ_CORPUS is set; otherwise it only verifies the generator
+// stays in sync with the f.Add seeds.
+func TestUpdateFuzzCorpus(t *testing.T) {
+	seeds := fuzzSeeds(t)
+	if !fuzzcorpus.Update() {
+		t.Skipf("set %s=1 to regenerate testdata/fuzz", fuzzcorpus.UpdateEnv)
+	}
+	for _, s := range seeds {
+		if err := fuzzcorpus.WriteSeed("FuzzUnmarshalRecording", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

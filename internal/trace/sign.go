@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"gpurelay/internal/grterr"
+	"gpurelay/internal/wire"
 )
 
 // The cloud signs every recording before returning it to the client; the
@@ -56,9 +57,18 @@ func VerifyBytes(s *Signed, key []byte) ([]byte, error) {
 	return s.Payload, nil
 }
 
-// Verify checks the tag and parses the recording. Any tampering with the
-// payload or a wrong key yields an error and no recording.
+// Verify checks the tag and parses the recording under the default decode
+// limits. Any tampering with the payload or a wrong key yields an error and
+// no recording.
 func Verify(s *Signed, key []byte) (*Recording, error) {
+	return VerifyLimited(s, key, wire.DefaultLimits())
+}
+
+// VerifyLimited is Verify with a caller-supplied decode budget. The MAC
+// authenticates the payload's origin, not its shape: a key-holding but buggy
+// or compromised recorder can seal a structurally hostile recording, so the
+// parse after the MAC check is still bounded.
+func VerifyLimited(s *Signed, key []byte, lim wire.DecodeLimits) (*Recording, error) {
 	mac := hmac.New(sha256.New, key)
 	mac.Write(s.Payload)
 	if !hmac.Equal(mac.Sum(nil), s.MAC[:]) {
@@ -66,7 +76,7 @@ func Verify(s *Signed, key []byte) (*Recording, error) {
 			grterr.ErrBadRecording)
 	}
 	r := &Recording{}
-	if err := r.UnmarshalBinary(s.Payload); err != nil {
+	if err := r.UnmarshalBinaryLimited(s.Payload, lim); err != nil {
 		return nil, fmt.Errorf("trace: signed payload corrupt (%v): %w", err, grterr.ErrBadRecording)
 	}
 	return r, nil

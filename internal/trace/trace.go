@@ -15,6 +15,7 @@ import (
 
 	"gpurelay/internal/gpumem"
 	"gpurelay/internal/mali"
+	"gpurelay/internal/wire"
 )
 
 // Kind discriminates log events.
@@ -191,21 +192,51 @@ func (r *Recording) MarshalBinary() ([]byte, error) {
 	return out, nil
 }
 
-// UnmarshalBinary parses a serialized recording. Fn strings are interned —
-// a recording holds millions of events drawn from a few dozen driver
-// functions, so sharing one string per function collapses what used to be a
-// per-event allocation.
+// Minimum wire footprints: a region entry is a 2-byte name length plus
+// kind/VA/PA/size, an event is a kind byte, a 2-byte fn length, and ten
+// u32 fields. Untrusted counts are validated against these before any
+// slice is sized — a count can never exceed remaining/minWire, so decode
+// allocation stays proportional to the input actually shipped.
+const (
+	regionMinWire = 2 + 1 + 8 + 8 + 8
+	eventMinWire  = 1 + 2 + 4*10
+)
+
+// In-memory element sizes charged to the decode budget when pre-sizing the
+// region and event slices (conservative 64-bit upper bounds).
+const (
+	regionInfoSize = 64
+	eventSize      = 96
+)
+
+// UnmarshalBinary parses a serialized recording under the default decode
+// limits. Fn strings are interned — a recording holds millions of events
+// drawn from a few dozen driver functions, so sharing one string per
+// function collapses what used to be a per-event allocation.
 func (r *Recording) UnmarshalBinary(data []byte) error {
+	return r.UnmarshalBinaryLimited(data, wire.DefaultLimits())
+}
+
+// UnmarshalBinaryLimited parses a serialized recording with a caller-supplied
+// decode budget: declared counts are validated against the bytes remaining in
+// the input before any slice is sized, and every variable-length allocation
+// (event slice, region slice, dump payloads, strings) is charged to the
+// budget. The recording crosses the trust boundary from the (possibly buggy
+// or compromised) recorder, so nothing in the header is believed until the
+// input proves it can pay for it.
+func (r *Recording) UnmarshalBinaryLimited(data []byte, lim wire.DecodeLimits) error {
 	le := binary.LittleEndian
+	budget := lim.Budget()
 	off := 0
 	fail := func() error { return fmt.Errorf("trace: truncated recording") }
-	need := func(n int) bool { return off+n <= len(data) }
+	need := func(n int) bool { return n <= len(data)-off }
 	if !need(4) || le.Uint32(data) != recMagic {
 		return fmt.Errorf("trace: bad recording magic")
 	}
 	off = 4
 	intern := map[string]string{}
-	rs := func() (string, bool) {
+	var rsErr error
+	rs := func(what string) (string, bool) {
 		if !need(2) {
 			return "", false
 		}
@@ -219,13 +250,23 @@ func (r *Recording) UnmarshalBinary(data []byte) error {
 		if s, ok := intern[string(raw)]; ok { // map lookup: no allocation
 			return s, true
 		}
+		if err := budget.String(what, n); err != nil {
+			rsErr = err
+			return "", false
+		}
 		s := string(raw)
 		intern[s] = s
 		return s, true
 	}
-	var ok bool
-	if r.Workload, ok = rs(); !ok {
+	strFail := func() error {
+		if rsErr != nil {
+			return fmt.Errorf("trace: %w", rsErr)
+		}
 		return fail()
+	}
+	var ok bool
+	if r.Workload, ok = rs("workload"); !ok {
+		return strFail()
 	}
 	if !need(4 + 8 + 4) {
 		return fail()
@@ -234,13 +275,20 @@ func (r *Recording) UnmarshalBinary(data []byte) error {
 	off += 4
 	r.PoolSize = le.Uint64(data[off:])
 	off += 8
-	nRegions := le.Uint32(data[off:])
+	nRegions, err := wire.CheckCount("region", uint64(le.Uint32(data[off:])),
+		budget.Limits().MaxRegions, regionMinWire, len(data)-off-4)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
 	off += 4
+	if err := budget.Alloc("region map", int64(nRegions)*int64(regionInfoSize)); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
 	r.Regions = make([]RegionInfo, nRegions)
 	for i := range r.Regions {
 		reg := &r.Regions[i]
-		if reg.Name, ok = rs(); !ok {
-			return fail()
+		if reg.Name, ok = rs("region name"); !ok {
+			return strFail()
 		}
 		if !need(1 + 8 + 8 + 8) {
 			return fail()
@@ -257,8 +305,15 @@ func (r *Recording) UnmarshalBinary(data []byte) error {
 	if !need(4) {
 		return fail()
 	}
-	nEvents := le.Uint32(data[off:])
+	nEvents, err := wire.CheckCount("event", uint64(le.Uint32(data[off:])),
+		budget.Limits().MaxEvents, eventMinWire, len(data)-off-4)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
 	off += 4
+	if err := budget.Alloc("event log", int64(nEvents)*int64(eventSize)); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
 	r.Events = make([]Event, nEvents)
 	for i := range r.Events {
 		e := &r.Events[i]
@@ -267,8 +322,8 @@ func (r *Recording) UnmarshalBinary(data []byte) error {
 		}
 		e.Kind = Kind(data[off])
 		off++
-		if e.Fn, ok = rs(); !ok {
-			return fail()
+		if e.Fn, ok = rs("event fn"); !ok {
+			return strFail()
 		}
 		if !need(4 * 10) {
 			return fail()
@@ -287,6 +342,9 @@ func (r *Recording) UnmarshalBinary(data []byte) error {
 		if dumpLen > 0 {
 			if !need(dumpLen) {
 				return fail()
+			}
+			if err := budget.Dump("event dump", int64(dumpLen)); err != nil {
+				return fmt.Errorf("trace: %w", err)
 			}
 			e.Dump = make([]byte, dumpLen)
 			copy(e.Dump, data[off:])

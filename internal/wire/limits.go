@@ -1,0 +1,152 @@
+// Package wire bounds what decoding untrusted wire bytes may cost. Every
+// GR-T artifact that crosses the recording trust boundary — recordings,
+// checkpoints, memory dumps — is length-prefixed, and before this package
+// existed the decoders trusted those prefixes blindly: a 4-byte count field
+// could force a multi-gigabyte make before the first payload byte was
+// checked. The codecs in internal/trace, internal/gpumem, and internal/ckpt
+// now validate every declared count against the bytes actually remaining in
+// the input (an element cannot occupy fewer wire bytes than its fixed
+// header), and charge every allocation to a caller-supplied DecodeLimits
+// budget, so the memory a decode can consume is proportional to the input
+// the attacker actually paid to ship.
+package wire
+
+import "fmt"
+
+// DecodeLimits caps one decode of untrusted bytes. The zero value of any
+// field selects that field's default; Normalized resolves them. Ingestion
+// boundaries that know tighter bounds (the replayer knows the recording's
+// pool size; a fuzz harness wants megabytes, not gigabytes) pass their own.
+type DecodeLimits struct {
+	// MaxEvents caps the event count a recording header may declare.
+	MaxEvents int
+	// MaxRegions caps region counts, in recording region maps and in
+	// snapshot wire headers alike.
+	MaxRegions int
+	// MaxStringLen caps decoded name/function strings.
+	MaxStringLen int
+	// MaxDumpBytes caps the total region payload one snapshot decode may
+	// materialize. Compressed snapshots can legitimately expand far beyond
+	// their wire size, so this is the one bound that remaining-input
+	// arithmetic cannot provide.
+	MaxDumpBytes int64
+	// MaxAlloc caps the cumulative bytes a single decode may allocate
+	// across all of its variable-length fields.
+	MaxAlloc int64
+}
+
+// Default limits: generous enough for the largest evaluation workload
+// (VGG16's pool is under a gigabyte) with headroom, small enough that a
+// hostile header cannot ask for unbounded memory.
+const (
+	DefaultMaxEvents    = 64 << 20 // recordings hold millions of events
+	DefaultMaxRegions   = 1 << 16
+	DefaultMaxStringLen = 1 << 12
+	DefaultMaxDumpBytes = 2 << 30
+	DefaultMaxAlloc     = 4 << 30
+)
+
+// DefaultLimits returns the package defaults.
+func DefaultLimits() DecodeLimits {
+	return DecodeLimits{
+		MaxEvents:    DefaultMaxEvents,
+		MaxRegions:   DefaultMaxRegions,
+		MaxStringLen: DefaultMaxStringLen,
+		MaxDumpBytes: DefaultMaxDumpBytes,
+		MaxAlloc:     DefaultMaxAlloc,
+	}
+}
+
+// Normalized resolves zero fields to their defaults. Negative fields mean
+// "nothing allowed" and are kept, so a caller can fail-close a dimension.
+func (l DecodeLimits) Normalized() DecodeLimits {
+	d := DefaultLimits()
+	if l.MaxEvents == 0 {
+		l.MaxEvents = d.MaxEvents
+	}
+	if l.MaxRegions == 0 {
+		l.MaxRegions = d.MaxRegions
+	}
+	if l.MaxStringLen == 0 {
+		l.MaxStringLen = d.MaxStringLen
+	}
+	if l.MaxDumpBytes == 0 {
+		l.MaxDumpBytes = d.MaxDumpBytes
+	}
+	if l.MaxAlloc == 0 {
+		l.MaxAlloc = d.MaxAlloc
+	}
+	return l
+}
+
+// Budget tracks one decode's cumulative spend against its limits. Not safe
+// for concurrent use; a decode is single-threaded by construction.
+type Budget struct {
+	lim   DecodeLimits
+	alloc int64
+	dump  int64
+}
+
+// Budget starts a spend tracker for one decode.
+func (l DecodeLimits) Budget() *Budget {
+	return &Budget{lim: l.Normalized()}
+}
+
+// Limits returns the normalized limits the budget enforces.
+func (b *Budget) Limits() DecodeLimits { return b.lim }
+
+// CheckCount validates an untrusted element count: it must not exceed max,
+// and n elements at minWire bytes each must fit in the remaining input.
+// The second condition is the structural defense — however large the limit,
+// a count can never exceed remaining/minWire, so slice pre-allocation stays
+// proportional to the bytes the sender actually shipped.
+func CheckCount(what string, n uint64, max int, minWire, remaining int) (int, error) {
+	if max < 0 {
+		max = 0
+	}
+	if n > uint64(max) {
+		return 0, fmt.Errorf("wire: %s count %d exceeds limit %d", what, n, max)
+	}
+	if minWire < 1 {
+		minWire = 1
+	}
+	if n > uint64(remaining/minWire) {
+		return 0, fmt.Errorf("wire: %s count %d needs at least %d bytes, %d remain",
+			what, n, n*uint64(minWire), remaining)
+	}
+	return int(n), nil
+}
+
+// String validates an untrusted string length against the budget's string
+// cap and charges it to the allocation budget.
+func (b *Budget) String(what string, n int) error {
+	if n > b.lim.MaxStringLen {
+		return fmt.Errorf("wire: %s length %d exceeds limit %d", what, n, b.lim.MaxStringLen)
+	}
+	return b.Alloc(what, int64(n))
+}
+
+// Alloc charges n bytes to the cumulative allocation budget.
+func (b *Budget) Alloc(what string, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("wire: negative %s size", what)
+	}
+	b.alloc += n
+	if b.alloc > b.lim.MaxAlloc {
+		return fmt.Errorf("wire: %s pushes decode past its %d-byte allocation budget", what, b.lim.MaxAlloc)
+	}
+	return nil
+}
+
+// Dump charges n bytes of snapshot payload to the dump budget (and to the
+// allocation budget, since dump payloads are materialized).
+func (b *Budget) Dump(what string, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("wire: negative %s size", what)
+	}
+	b.dump += n
+	if b.dump > b.lim.MaxDumpBytes {
+		return fmt.Errorf("wire: %s pushes decode past its %d-byte dump budget", what, b.lim.MaxDumpBytes)
+	}
+	return b.Alloc(what, n)
+}

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizedDefaults(t *testing.T) {
+	l := DecodeLimits{}.Normalized()
+	if l != DefaultLimits() {
+		t.Fatalf("zero limits did not normalize to defaults: %+v", l)
+	}
+	// Explicit values survive; negatives (fail-closed) survive.
+	l = DecodeLimits{MaxEvents: 5, MaxDumpBytes: -1}.Normalized()
+	if l.MaxEvents != 5 || l.MaxDumpBytes != -1 {
+		t.Fatalf("explicit limits clobbered: %+v", l)
+	}
+	if l.MaxRegions != DefaultMaxRegions {
+		t.Fatalf("unset field not defaulted: %+v", l)
+	}
+}
+
+func TestCheckCountRemainingBytes(t *testing.T) {
+	// A count that fits the limit but not the remaining input must fail:
+	// this is the bound that keeps allocation proportional to input size.
+	if _, err := CheckCount("events", 1000, 1<<20, 43, 100); err == nil {
+		t.Fatal("1000 events cannot fit in 100 remaining bytes")
+	}
+	n, err := CheckCount("events", 2, 1<<20, 43, 100)
+	if err != nil || n != 2 {
+		t.Fatalf("plausible count rejected: %d, %v", n, err)
+	}
+	if _, err := CheckCount("events", 10, 5, 1, 1000); err == nil {
+		t.Fatal("count over explicit limit accepted")
+	}
+	// 32-bit-overflow-shaped counts must not wrap.
+	if _, err := CheckCount("events", 0xFFFFFFFF, 1<<30, 43, 50); err == nil {
+		t.Fatal("huge count accepted")
+	}
+}
+
+func TestBudgetCumulative(t *testing.T) {
+	b := DecodeLimits{MaxAlloc: 100, MaxDumpBytes: 60}.Budget()
+	if err := b.Alloc("a", 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Alloc("b", 51); err == nil {
+		t.Fatal("cumulative allocation over budget accepted")
+	}
+	b = DecodeLimits{MaxAlloc: 1000, MaxDumpBytes: 60}.Budget()
+	if err := b.Dump("d1", 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Dump("d2", 40); err == nil {
+		t.Fatal("cumulative dump bytes over budget accepted")
+	}
+	if err := b.Alloc("neg", -1); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("negative alloc accepted: %v", err)
+	}
+}
+
+func TestBudgetString(t *testing.T) {
+	b := DecodeLimits{MaxStringLen: 8}.Budget()
+	if err := b.String("name", 9); err == nil {
+		t.Fatal("oversized string accepted")
+	}
+	if err := b.String("name", 8); err != nil {
+		t.Fatal(err)
+	}
+}
