@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/platform"
+	"gpurelay/internal/record"
+	"gpurelay/internal/timesim"
+)
+
+// The -fleet mode measures the discrete-event engine itself: N identical
+// record sessions admitted through the cloud session manager and run as
+// engine processes. The serial engine is the baseline; the parallel engine
+// executes same-timestamp events on all host cores and must produce
+// byte-identical recordings while doing it. Wall time, events/sec, and the
+// parallel-vs-serial speedup go into BENCH_PR6.json — the scheduling
+// trajectory CI tracks, next to the PR4 memory-sync artifact.
+
+// fleetRow is one engine's drill measurement in the fleet artifact.
+type fleetRow struct {
+	Engine       string  `json:"engine"`
+	Sessions     int     `json:"sessions"`
+	WallMS       float64 `json:"wall_ms"`
+	VirtualMS    float64 `json:"virtual_ms"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Timestamps and MaxBatch describe how events grouped: MaxBatch is the
+	// widest same-timestamp batch, i.e. the structural parallelism the
+	// parallel engine can exploit given that many cores.
+	Timestamps int64 `json:"timestamps"`
+	MaxBatch   int   `json:"max_batch"`
+}
+
+// fleetArtifact is the BENCH_PR6.json schema.
+type fleetArtifact struct {
+	Schema     string     `json:"schema"`
+	GOOS       string     `json:"goos"`
+	GOARCH     string     `json:"goarch"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	Timestamp  string     `json:"timestamp"`
+	Drills     []fleetRow `json:"drills"`
+	// ParallelSpeedup is serial wall time over parallel wall time; 0 when
+	// only the serial drill ran (-engine serial).
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+	// Deterministic records that the parallel drill's seals matched the
+	// serial baseline's byte for byte.
+	Deterministic bool `json:"deterministic"`
+}
+
+func drillOptions(sessions int) platform.FleetOptions {
+	return platform.FleetOptions{
+		Sessions: sessions,
+		Model:    mlfw.MNIST(),
+		SKU:      mali.G71MP8,
+		Variant:  record.OursMDS,
+		Seed:     42,
+	}
+}
+
+func measureDrill(engine string, eng timesim.Engine, opts platform.FleetOptions) (*platform.FleetResult, fleetRow, error) {
+	res, err := platform.FleetDrill(context.Background(), eng, opts)
+	if err != nil {
+		return nil, fleetRow{}, fmt.Errorf("%s drill: %w", engine, err)
+	}
+	row := fleetRow{
+		Engine:       engine,
+		Sessions:     len(res.Results),
+		WallMS:       float64(res.Wall.Nanoseconds()) / 1e6,
+		VirtualMS:    float64(res.VirtualTime.Nanoseconds()) / 1e6,
+		Events:       res.Events,
+		EventsPerSec: float64(res.Events) / res.Wall.Seconds(),
+		Timestamps:   res.Batches.Timestamps,
+		MaxBatch:     res.Batches.MaxWidth,
+	}
+	fmt.Printf("%-8s engine: %3d sessions  %8.1f ms wall  %10.0f events/s  batch width ≤%d  (%.1fs virtual)\n",
+		engine, row.Sessions, row.WallMS, row.EventsPerSec, row.MaxBatch, res.VirtualTime.Seconds())
+	return res, row, nil
+}
+
+// runFleet runs the fleet drill on the serial engine and, when engine is
+// "parallel", again on the parallel engine — checking byte-identical seals
+// and reporting the wall-clock speedup — then writes the artifact.
+func runFleet(engine string, sessions int, outPath string) error {
+	if sessions <= 1 {
+		sessions = 16
+	}
+	fmt.Printf("=== fleet drill: %d record sessions on one discrete-event engine (GOMAXPROCS=%d) ===\n",
+		sessions, runtime.GOMAXPROCS(0))
+	opts := drillOptions(sessions)
+
+	serialRes, serialRow, err := measureDrill("serial", timesim.NewSerialEngine(), opts)
+	if err != nil {
+		return err
+	}
+	art := fleetArtifact{
+		Schema: "grt-fleet/1", GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Drills:    []fleetRow{serialRow},
+	}
+
+	if engine == "parallel" {
+		parRes, parRow, err := measureDrill("parallel", timesim.NewParallelEngine(), opts)
+		if err != nil {
+			return err
+		}
+		art.Drills = append(art.Drills, parRow)
+		art.ParallelSpeedup = serialRow.WallMS / parRow.WallMS
+		art.Deterministic = true
+		for i := range serialRes.Seals {
+			if parRes.Seals[i] != serialRes.Seals[i] {
+				art.Deterministic = false
+				return fmt.Errorf("fleet drill: session %d seal diverged between engines", i)
+			}
+		}
+		fmt.Printf("parallel speedup: %.2fx (seals byte-identical across engines)\n", art.ParallelSpeedup)
+	} else {
+		art.Deterministic = true // one engine, trivially
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote fleet artifact to %s\n", outPath)
+	return nil
+}

@@ -9,6 +9,8 @@
 //	grtbench            # the full paper evaluation
 //	grtbench -fast      # MNIST + AlexNet only
 //	grtbench -perf      # memory-sync micro-benchmarks -> BENCH_PR4.json
+//	grtbench -fleet -engine parallel -gpus 16
+//	                    # fleet drill, serial vs parallel engine -> BENCH_PR6.json
 package main
 
 import (
@@ -25,10 +27,23 @@ func main() {
 	fast := flag.Bool("fast", false, "run only MNIST and AlexNet")
 	perf := flag.Bool("perf", false, "run memory-sync micro-benchmarks and write a perf artifact")
 	perfOut := flag.String("perfout", "BENCH_PR4.json", "perf artifact output path (with -perf)")
+	fleet := flag.Bool("fleet", false, "run the multi-session fleet drill on the discrete-event engine and write a scheduling artifact")
+	fleetOut := flag.String("fleetout", "BENCH_PR6.json", "fleet artifact output path (with -fleet)")
+	engineFlag := flag.String("engine", "serial", "discrete-event engine for the fleet drill: serial|parallel (parallel also runs the serial baseline and reports the speedup)")
+	gpus := flag.Int("gpus", 1, "fleet drill sessions, one GPU each (with -fleet; 1 selects the default 16-session drill)")
 	flag.Parse()
 
+	if *engineFlag != "serial" && *engineFlag != "parallel" {
+		log.Fatalf("unknown engine %q (serial|parallel)", *engineFlag)
+	}
 	if *perf {
 		if err := runPerf(*perfOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *fleet {
+		if err := runFleet(*engineFlag, *gpus, *fleetOut); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -6,6 +6,12 @@
 //
 //	grtrecord -model mnist -sku g71 -network wifi -variant oursmds -o mnist.grt
 //
+// Multi-GPU: -gpus records N sessions, one GPU each, on one discrete-event
+// engine (-engine parallel uses all host cores; recordings stay byte-identical
+// to -engine serial), and writes them as one bundle:
+//
+//	grtrecord -model mnist -gpus 4 -engine parallel -o fleet.grt
+//
 // Resilience: -faults injects a deterministic chaos plan, -ckpt saves the
 // latest job-boundary checkpoint, and -resume continues a lost session from
 // a saved checkpoint:
@@ -86,6 +92,9 @@ func main() {
 	resumeFlag := flag.String("resume", "", "resume a lost session from this checkpoint file")
 	ckptFlag := flag.String("ckpt", "", "keep the latest job-boundary checkpoint in this file (enables resumable recording)")
 	maxResumesFlag := flag.Int("max-resumes", 0, "automatic resumes of a lost session before giving up (0 = default 3, negative = never)")
+	engineFlag := flag.String("engine", "serial", "discrete-event engine hosting the session(s): serial|parallel")
+	gpusFlag := flag.Int("gpus", 1, "number of GPUs (one record session each, sharing one engine)")
+	seedFlag := flag.Uint64("seed", 1, "session key / client seed derivation seed (with -gpus > 1 or -engine parallel)")
 	flag.Parse()
 
 	model, err := modelByName(*modelFlag)
@@ -103,6 +112,35 @@ func main() {
 	network := gpurelay.WiFi
 	if strings.ToLower(*netFlag) == "cellular" {
 		network = gpurelay.Cellular
+	}
+
+	if *engineFlag != "serial" && *engineFlag != "parallel" {
+		log.Fatalf("unknown engine %q (serial|parallel)", *engineFlag)
+	}
+	if *gpusFlag < 1 {
+		log.Fatalf("-gpus %d: need at least one GPU", *gpusFlag)
+	}
+	if *gpusFlag > 1 || *engineFlag == "parallel" {
+		// Engine-hosted recording: platform-built sessions on a shared
+		// discrete-event engine. Resilience and telemetry flags belong to
+		// the classic single-session path.
+		for name, set := range map[string]bool{
+			"-faults": *faultsFlag != "", "-resume": *resumeFlag != "",
+			"-ckpt": *ckptFlag != "", "-max-resumes": *maxResumesFlag != 0,
+			"-metrics": *metricsFlag != "", "-trace-out": *traceFlag != "",
+		} {
+			if set {
+				log.Fatalf("%s is not supported with -gpus > 1 or -engine parallel", name)
+			}
+		}
+		if err := runPlatform(platformOpts{
+			engine: *engineFlag, gpus: *gpusFlag, seed: *seedFlag,
+			model: model, sku: sku, network: network, variant: variant,
+			out: *outFlag,
+		}); err != nil {
+			log.Fatalf("record: %v", err)
+		}
+		return
 	}
 
 	client := gpurelay.NewClient("grtrecord-cli", sku)

@@ -22,7 +22,6 @@ package main
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -34,6 +33,7 @@ import (
 
 	"gpurelay"
 	"gpurelay/internal/audit"
+	"gpurelay/internal/platform"
 	"gpurelay/internal/trace"
 )
 
@@ -80,33 +80,29 @@ func reject(file, stage string, payload []byte, err error) {
 	os.Exit(2)
 }
 
-func readBundle(path string) (payload, mac, key []byte, err error) {
+// readBundle reads either bundle layout — classic single-GPU "GRTB" or the
+// multi-GPU "GRTP" container — as per-GPU entries (payload, MAC, key each).
+func readBundle(path string) ([]platform.Entry, error) {
 	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return platform.ReadBundle(f)
+}
+
+// readSingle reads a bundle that must hold exactly one recording (the
+// classic replay and compare paths).
+func readSingle(path string) (payload, mac, key []byte, err error) {
+	entries, err := readBundle(path)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	defer f.Close()
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != "GRTB" {
-		return nil, nil, nil, fmt.Errorf("%s is not a grtrecord bundle", path)
+	if len(entries) != 1 {
+		return nil, nil, nil, fmt.Errorf("%s holds %d per-GPU recordings; expected a single-GPU bundle",
+			path, len(entries))
 	}
-	read := func() ([]byte, error) {
-		var n uint32
-		if err := binary.Read(f, binary.LittleEndian, &n); err != nil {
-			return nil, err
-		}
-		b := make([]byte, n)
-		_, err := io.ReadFull(f, b)
-		return b, err
-	}
-	if payload, err = read(); err != nil {
-		return
-	}
-	if mac, err = read(); err != nil {
-		return
-	}
-	key, err = read()
-	return
+	return entries[0].Payload, entries[0].MAC, entries[0].Key, nil
 }
 
 func main() {
@@ -117,9 +113,14 @@ func main() {
 	traceFlag := flag.String("trace-out", "", "write the replay timeline as Chrome trace JSON to this file (load in chrome://tracing or Perfetto)")
 	compareFlag := flag.String("compare", "", "second recording bundle: verify both are byte-identical and replay to identical outputs")
 	auditFlag := flag.Bool("audit", false, "verify and structurally audit the bundle without replaying; exit 2 with a JSON report if it is rejected")
+	engineFlag := flag.String("engine", "serial", "discrete-event engine hosting the replay(s): serial|parallel")
+	gpusFlag := flag.Int("gpus", 1, "GPUs to replay on (must match the bundle; 1 adapts to the bundle's GPU count)")
 	flag.Parse()
 	if *recFlag == "" {
 		log.Fatal("-recording is required")
+	}
+	if *engineFlag != "serial" && *engineFlag != "parallel" {
+		log.Fatalf("unknown engine %q (serial|parallel)", *engineFlag)
 	}
 
 	var sku *gpurelay.SKU
@@ -136,10 +137,21 @@ func main() {
 		log.Fatalf("unknown SKU %q", *skuFlag)
 	}
 
-	payload, mac, key, err := readBundle(*recFlag)
+	entries, err := readBundle(*recFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if len(entries) > 1 || *gpusFlag > 1 || *engineFlag == "parallel" {
+		if *gpusFlag != 1 && *gpusFlag != len(entries) {
+			log.Fatalf("-gpus %d, but %s holds %d per-GPU recording(s)", *gpusFlag, *recFlag, len(entries))
+		}
+		if *compareFlag != "" || *auditFlag || *metricsFlag != "" || *traceFlag != "" {
+			log.Fatal("-compare, -audit, -metrics and -trace-out work on the classic single-GPU replay path only")
+		}
+		runPlatformReplay(entries, sku, *engineFlag, *nFlag)
+		return
+	}
+	payload, mac, key := entries[0].Payload, entries[0].MAC, entries[0].Key
 	rec, err := gpurelay.RecordingFromBundle(payload, mac, key)
 	if err != nil {
 		reject(*recFlag, "verify", payload, err)
@@ -152,7 +164,7 @@ func main() {
 		}
 		fmt.Printf("audit: %s passed all structural checks\n", *recFlag)
 		if *compareFlag != "" {
-			payload2, mac2, key2, err := readBundle(*compareFlag)
+			payload2, mac2, key2, err := readSingle(*compareFlag)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -181,7 +193,7 @@ func main() {
 
 	var sess2 *gpurelay.ReplaySession
 	if *compareFlag != "" {
-		payload2, mac2, key2, err := readBundle(*compareFlag)
+		payload2, mac2, key2, err := readSingle(*compareFlag)
 		if err != nil {
 			log.Fatal(err)
 		}

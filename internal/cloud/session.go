@@ -8,6 +8,7 @@ import (
 
 	"gpurelay/internal/grterr"
 	"gpurelay/internal/obs"
+	"gpurelay/internal/timesim"
 )
 
 // SessionConfig tunes a SessionManager. The zero value gives a pool of 16
@@ -64,6 +65,10 @@ type SessionManager struct {
 	// gauges, admission outcome counters, and the (wall-clock) admission
 	// wait histogram.
 	reg *obs.Registry
+	// timeSrc, when set, measures admission waits on a virtual timeline
+	// instead of the wall clock — a fleet drill running on a discrete-event
+	// engine passes the engine here so the wait histogram is deterministic.
+	timeSrc timesim.Source
 }
 
 // NewSessionManager wraps a Service with admission control. The config's
@@ -85,6 +90,30 @@ func (m *SessionManager) Instrument(reg *obs.Registry) {
 	m.mu.Lock()
 	m.reg = reg
 	m.mu.Unlock()
+}
+
+// SetTimeSource measures subsequent admission waits on the given virtual
+// timeline instead of the wall clock. Fleet drills sharing one engine pass
+// the engine here, which keeps the admission-wait histogram deterministic
+// across runs and GOMAXPROCS settings.
+func (m *SessionManager) SetTimeSource(s timesim.Source) {
+	m.mu.Lock()
+	m.timeSrc = s
+	m.mu.Unlock()
+}
+
+// waitTimer starts one admission-wait measurement on whichever timeline the
+// manager uses: the returned function reports the elapsed wait.
+func (m *SessionManager) waitTimer() func() time.Duration {
+	m.mu.Lock()
+	s := m.timeSrc
+	m.mu.Unlock()
+	if s != nil {
+		start := s.Now()
+		return func() time.Duration { return s.Now() - start }
+	}
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
 }
 
 // registry reads the attached registry (nil when uninstrumented).
@@ -146,13 +175,13 @@ func (m *SessionManager) Acquire(ctx context.Context, clientID, imageName, gpuCo
 		m.queue = append(m.queue, turn)
 		m.syncGauges()
 		m.mu.Unlock()
-		waitStart := time.Now()
+		waited := m.waitTimer()
 		select {
 		case <-turn:
 			// The releaser handed its slot to us; inUse already counts it.
 			if reg := m.registry(); reg != nil {
 				reg.Add(obs.MFleetAdmissions, 1, obs.L("outcome", "queued"))
-				reg.Observe(obs.MFleetAdmissionWait, time.Since(waitStart).Seconds())
+				reg.Observe(obs.MFleetAdmissionWait, waited().Seconds())
 			}
 		case <-ctx.Done():
 			m.abandon(turn)

@@ -19,7 +19,7 @@ const regAccessTime = 500 * time.Nanosecond
 // baseline that remote recording is compared against.
 type DirectBus struct {
 	GPU   *mali.GPU
-	Clock *timesim.Clock
+	Clock timesim.Time
 	// Accesses counts register reads+writes, the denominator of the
 	// paper's round-trip statistics.
 	mu       sync.Mutex
@@ -27,7 +27,7 @@ type DirectBus struct {
 }
 
 // NewDirectBus creates a bus bound to a local GPU.
-func NewDirectBus(g *mali.GPU, clock *timesim.Clock) *DirectBus {
+func NewDirectBus(g *mali.GPU, clock timesim.Time) *DirectBus {
 	return &DirectBus{GPU: g, Clock: clock}
 }
 
@@ -101,7 +101,7 @@ func (b *DirectBus) WaitIRQ(fn string) IRQState {
 // mutexes, delays advance the virtual clock, logs are discarded (or captured
 // for tests).
 type StdKernel struct {
-	Clock *timesim.Clock
+	Clock timesim.Time
 
 	mu    sync.Mutex
 	locks map[string]*sync.Mutex
@@ -111,7 +111,7 @@ type StdKernel struct {
 }
 
 // NewStdKernel creates a kernel facade on the virtual clock.
-func NewStdKernel(clock *timesim.Clock) *StdKernel {
+func NewStdKernel(clock timesim.Time) *StdKernel {
 	return &StdKernel{Clock: clock, locks: make(map[string]*sync.Mutex)}
 }
 

@@ -80,7 +80,7 @@ type GPU struct {
 	mu    sync.Mutex
 	sku   *SKU
 	pool  *gpumem.Pool
-	clock *timesim.Clock
+	clock timesim.Time
 
 	gpuIRQRaw, gpuIRQMask uint32
 	jobIRQRaw, jobIRQMask uint32
@@ -101,6 +101,14 @@ type GPU struct {
 	slots  []slotState
 	spaces []asState
 
+	// sched, when non-nil, switches job-chain completion from a synchronous
+	// clock advance to a scheduled engine event (AttachScheduler). The
+	// record path never sets it — deferred completion changes the poll
+	// timeline and with it the recording bytes.
+	sched    timesim.Scheduler
+	schedKey uint64
+	onJobIRQ func()
+
 	stats Stats
 }
 
@@ -109,7 +117,7 @@ type GPU struct {
 // LATEST_FLUSH_ID; two record runs with different seeds observe different
 // flush IDs, which is what defeats speculation on job-submission commits
 // (§7.3).
-func New(sku *SKU, pool *gpumem.Pool, clock *timesim.Clock, flushSeed uint64) *GPU {
+func New(sku *SKU, pool *gpumem.Pool, clock timesim.Time, flushSeed uint64) *GPU {
 	if sku == nil || pool == nil || clock == nil {
 		panic("mali: nil SKU, pool, or clock")
 	}
@@ -120,6 +128,27 @@ func New(sku *SKU, pool *gpumem.Pool, clock *timesim.Clock, flushSeed uint64) *G
 		spaces:         make([]asState, sku.AddressSpaces),
 	}
 	return g
+}
+
+// AttachScheduler switches the GPU to event-driven job completion: a job
+// chain submitted to a slot leaves the slot ACTIVE and schedules a completion
+// event at now plus the chain's modeled duration, instead of advancing the
+// clock inline. When the event fires the slot flips to DONE, the job
+// interrupt line rises, and onIRQ (the simulated IRQ wire; may be nil) is
+// invoked. key orders this GPU's events against other components sharing the
+// engine — the platform uses the GPU index, so same-timestamp completions on
+// different GPUs run concurrently on a parallel engine.
+//
+// This mode exists for platform-native multi-GPU scenarios. The record
+// pipeline stays in synchronous mode: its recordings capture poll iteration
+// counts, and deferring completion would change them.
+func (g *GPU) AttachScheduler(s timesim.Scheduler, key uint64, onIRQ func()) {
+	if s == nil {
+		panic("mali: nil scheduler")
+	}
+	g.mu.Lock()
+	g.sched, g.schedKey, g.onJobIRQ = s, key, onIRQ
+	g.mu.Unlock()
 }
 
 // SKU returns the hardware model identity.
@@ -606,6 +635,18 @@ func (g *GPU) runJobChain(slot int) {
 		duration += perJobOverhead + time.Duration(float64(res.FLOPs)/(g.sku.GFLOPS*1e9)*float64(time.Second))
 		va = nextVA
 	}
+	if g.sched != nil {
+		// Event-driven mode: the chain completes at now+duration via an
+		// engine event; the slot stays ACTIVE until then. Decode-side
+		// counters (Instructions, FastPathed) were accounted above;
+		// completion-side counters move with the event.
+		flops := totalFLOPs
+		timesim.After(g.sched, duration, g.schedKey, func() error {
+			g.completeChain(slot, duration, flops)
+			return nil
+		})
+		return
+	}
 	g.clock.Advance(duration)
 	g.stats.Busy += duration
 	g.stats.JobsExecuted++
@@ -615,12 +656,44 @@ func (g *GPU) runJobChain(slot int) {
 	g.jobIRQRaw |= 1 << uint(slot)
 }
 
+// completeChain retires an event-driven job chain: slot DONE, interrupt
+// raised, completion-side counters accounted, IRQ wire poked.
+func (g *GPU) completeChain(slot int, duration time.Duration, flops int64) {
+	g.mu.Lock()
+	s := &g.slots[slot]
+	g.stats.Busy += duration
+	g.stats.JobsExecuted++
+	g.stats.FLOPs += flops
+	s.status = JSStatusDone
+	s.head = 0
+	g.jobIRQRaw |= 1 << uint(slot)
+	onIRQ := g.onJobIRQ
+	g.mu.Unlock()
+	if onIRQ != nil {
+		onIRQ()
+	}
+}
+
 func (g *GPU) failJob(slot int, status uint32, addr uint64) {
 	s := &g.slots[slot]
 	s.status = status
 	s.head = 0
 	g.stats.Faults++
 	g.jobIRQRaw |= 1 << uint(16+slot) // failure bits live in the high half
+	if g.sched != nil {
+		// Event-driven mode delivers every outcome over the IRQ wire, so a
+		// synchronous fault still pokes it — via a zero-delay event, since
+		// g.mu is held here and the wire callback reads GPU state.
+		timesim.After(g.sched, 0, g.schedKey, func() error {
+			g.mu.Lock()
+			onIRQ := g.onJobIRQ
+			g.mu.Unlock()
+			if onIRQ != nil {
+				onIRQ()
+			}
+			return nil
+		})
+	}
 	_ = addr
 }
 

@@ -47,7 +47,7 @@ const (
 type Runtime struct {
 	dev   *kbase.Device
 	ctx   *kbase.Context
-	clock *timesim.Clock
+	clock timesim.Time
 	model *Model
 	opts  Options
 
@@ -66,7 +66,7 @@ type Runtime struct {
 // NewRuntime prepares a model for execution on dev. This is the expensive
 // "first run" path a real runtime performs: buffer allocation (with its MMU
 // traffic), JIT compilation, and descriptor emission.
-func NewRuntime(dev *kbase.Device, clock *timesim.Clock, model *Model, opts Options) (*Runtime, error) {
+func NewRuntime(dev *kbase.Device, clock timesim.Time, model *Model, opts Options) (*Runtime, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}

@@ -142,7 +142,7 @@ type FaultInjector interface {
 // bound to a virtual clock. Methods advance that clock; they never sleep.
 type Link struct {
 	cond  Condition
-	clock *timesim.Clock
+	clock timesim.Time
 	ctx   context.Context
 	// obs collects per-session telemetry (round-trip counters and spans on
 	// the virtual clock); nil means uninstrumented and is a true no-op.
@@ -159,7 +159,7 @@ type Link struct {
 // NewLink creates a link with the given condition on clock. Jitter and loss
 // draws are deterministic for a given condition (seeded from its name), so
 // experiments stay reproducible.
-func NewLink(cond Condition, clock *timesim.Clock) *Link {
+func NewLink(cond Condition, clock timesim.Time) *Link {
 	if clock == nil {
 		panic("netsim: nil clock")
 	}
@@ -351,6 +351,33 @@ func (l *Link) WaitUntil(t time.Duration) time.Duration {
 	endSpan()
 	l.obs.Count(obs.MNetStallNS, int64(t-now))
 	return t - now
+}
+
+// ScheduleOneWay posts a unidirectional message of n bytes as a deferred
+// delivery event on s: the sender does not stall (its clock is untouched),
+// and fn runs at the arrival time — half an RTT plus serialization, plus any
+// injected fault latency — ordered against other engine events by key. It
+// returns the arrival time. Traffic statistics are accounted at send time,
+// exactly as OneWay accounts them, so a link's Stats are identical whichever
+// form a message takes.
+func (l *Link) ScheduleOneWay(s timesim.Scheduler, key uint64, n int64, fn func()) time.Duration {
+	l.checkCtx()
+	busy := l.cond.TransferTime(n)
+	extra, _ := l.applyFaults(l.cond.RTT/2 + busy)
+	delay := l.cond.RTT/2 + busy + extra
+	l.mu.Lock()
+	l.stats.BytesSent += n
+	l.stats.Busy += busy
+	l.mu.Unlock()
+	l.obs.Count(obs.MNetBytes, n, obs.L("dir", "sent"))
+	arrival := s.Now() + delay
+	timesim.After(s, delay, key, func() error {
+		if fn != nil {
+			fn()
+		}
+		return nil
+	})
+	return arrival
 }
 
 // OneWay models a unidirectional message (e.g. the final recording download

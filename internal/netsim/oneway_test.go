@@ -1,0 +1,55 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"gpurelay/internal/timesim"
+)
+
+func TestScheduleOneWayDeliversAtArrivalTime(t *testing.T) {
+	eng := timesim.NewSerialEngine()
+	clock := timesim.NewClock()
+	l := NewLink(WiFi, clock)
+
+	const n = 1 << 20
+	wantDelay := WiFi.RTT/2 + WiFi.TransferTime(n)
+	var deliveredAt time.Duration
+	arrival := l.ScheduleOneWay(eng, 5, n, func() { deliveredAt = eng.Now() })
+	if arrival != wantDelay {
+		t.Fatalf("arrival = %v, want %v", arrival, wantDelay)
+	}
+	if clock.Now() != 0 {
+		t.Fatal("ScheduleOneWay advanced the sender's clock; it must not stall")
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if deliveredAt != wantDelay {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, wantDelay)
+	}
+	st := l.Stats()
+	if st.BytesSent != n {
+		t.Fatalf("BytesSent = %d, want %d", st.BytesSent, n)
+	}
+	if st.Busy != WiFi.TransferTime(n) {
+		t.Fatalf("Busy = %v, want %v", st.Busy, WiFi.TransferTime(n))
+	}
+}
+
+func TestScheduleOneWayMatchesOneWayStats(t *testing.T) {
+	// Whichever form a message takes, the link's traffic statistics agree.
+	const n = 4096
+	sync := NewLink(Cellular, timesim.NewClock())
+	sync.OneWay(n)
+
+	eng := timesim.NewSerialEngine()
+	async := NewLink(Cellular, timesim.NewClock())
+	async.ScheduleOneWay(eng, 0, n, nil)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := sync.Stats(), async.Stats(); a.BytesSent != b.BytesSent || a.Busy != b.Busy {
+		t.Fatalf("stats diverge: OneWay %+v vs ScheduleOneWay %+v", a, b)
+	}
+}

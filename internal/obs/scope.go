@@ -63,7 +63,7 @@ type Scope struct {
 
 	mu      sync.Mutex
 	fleet   *Registry
-	clock   *timesim.Clock
+	clock   timesim.Source
 	spans   []Span
 	dropped int64
 }
@@ -93,6 +93,17 @@ func (s *Scope) ID() string {
 // binding carry timestamp 0. record.RunContext binds the clock it creates at
 // session start.
 func (s *Scope) BindClock(c *timesim.Clock) {
+	if c == nil {
+		return
+	}
+	s.BindClockSource(c)
+}
+
+// BindClockSource attaches any virtual-time source — a session Clock, an
+// engine, or an engine process clock. Spans only read timestamps, so the
+// read-only Source interface is all a scope needs; this is what lets fleet
+// drills stamp every session's spans off one shared engine timeline.
+func (s *Scope) BindClockSource(c timesim.Source) {
 	if s == nil {
 		return
 	}

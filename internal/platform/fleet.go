@@ -1,0 +1,169 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"gpurelay/internal/cloud"
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/record"
+	"gpurelay/internal/timesim"
+)
+
+// FleetOptions configures a fleet drill: N identical record sessions sharing
+// one engine behind the cloud service's admission controller.
+type FleetOptions struct {
+	// Sessions is the fleet size; 0 selects 16 (the drill the ROADMAP and
+	// BENCH_PR6.json benchmark).
+	Sessions int
+	// Model and SKU describe every session's workload; both required.
+	Model *mlfw.Model
+	SKU   *mali.SKU
+	// Network is each session's link condition; the zero value selects
+	// loopback (the drill measures scheduling, not the network).
+	Network netsim.Condition
+	// Variant selects the recorder; the zero value is OursMDS.
+	Variant record.Variant
+	// Seed derives every session's key and client seed. Identical seeds
+	// give byte-identical drills — on either engine, at any GOMAXPROCS.
+	Seed uint64
+	// PoolSize overrides each session's shared-memory size. 0 sizes
+	// compactly from the model (the record path's default sizing carries
+	// 64 MiB of headroom per session, which a 16-session fleet on one host
+	// does not want).
+	PoolSize uint64
+}
+
+// FleetResult is what a drill reports: the determinism witnesses (per-session
+// seals) plus the scheduling metrics BENCH_PR6.json records.
+type FleetResult struct {
+	// Seals are the per-session recording HMACs in session order — the
+	// byte-identity witness the determinism tests compare across engines.
+	Seals [][32]byte
+	// Results are the per-session record results, in session order.
+	Results []*record.Result
+	// Wall is the host wall-clock duration of Engine.Run.
+	Wall time.Duration
+	// VirtualTime is the engine's final virtual time.
+	VirtualTime time.Duration
+	// Events is the number of engine events executed.
+	Events int64
+	// Batches is the engine's batch-width statistics: MaxWidth is the
+	// drill's structural parallelism (how many sessions shared a
+	// timestamp), independent of how many cores the host actually had.
+	Batches timesim.BatchStats
+}
+
+// fleetPoolSize sizes one drill session's pool: the model's buffers with
+// headroom for metastate and page tables, but without the record path's
+// 64 MiB default slack — a 16-session fleet allocates 2 pools per session.
+func fleetPoolSize(m *mlfw.Model) uint64 {
+	size := m.TotalBytes()*3/2 + (8 << 20)
+	return size &^ (gpumem.PageSize - 1)
+}
+
+// FleetDrill runs opts.Sessions identical record sessions on eng, admitted
+// through a cloud.SessionManager that measures its waits on the engine's
+// timeline. Every VM is acquired before the engine runs — admission is a
+// host-side wall-clock affair, and a session parked on an admission queue
+// inside the engine would stall the whole timeline — and each session then
+// executes as one engine process. On a parallel engine, sessions'
+// same-timestamp events run on all host cores; the per-session recordings
+// (and therefore Seals) are byte-identical to a serial-engine drill.
+func FleetDrill(ctx context.Context, eng timesim.Engine, opts FleetOptions) (*FleetResult, error) {
+	if opts.Model == nil || opts.SKU == nil {
+		return nil, fmt.Errorf("platform: fleet drill needs a model and a SKU")
+	}
+	n := opts.Sessions
+	if n == 0 {
+		n = 16
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("platform: fleet of %d sessions", n)
+	}
+	network := opts.Network
+	if network.Name == "" {
+		network = netsim.Loopback
+	}
+	poolSize := opts.PoolSize
+	if poolSize == 0 {
+		poolSize = fleetPoolSize(opts.Model)
+	}
+	compat := ""
+	for c, sku := range mali.Catalog {
+		if sku == opts.SKU {
+			compat = c
+			break
+		}
+	}
+	if compat == "" {
+		return nil, fmt.Errorf("platform: SKU %s not in catalog", opts.SKU)
+	}
+
+	img := cloud.DefaultImage()
+	mgr := cloud.NewSessionManager(cloud.NewService(img), cloud.SessionConfig{
+		Capacity: n,
+	})
+	mgr.SetTimeSource(eng)
+	vms := make([]*cloud.VM, 0, n)
+	defer func() {
+		for _, vm := range vms {
+			mgr.Release(vm)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		vm, err := mgr.Acquire(ctx, fmt.Sprintf("drill-%04d", i), img.Name, compat,
+			SessionKey(opts.Seed, i)[:16])
+		if err != nil {
+			return nil, fmt.Errorf("platform: admitting drill session %d: %w", i, err)
+		}
+		vms = append(vms, vm)
+	}
+
+	results := make([]*record.Result, n)
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Go(uint64(i), func(tm timesim.Time) error {
+			res, err := record.RunContext(ctx, record.Config{
+				Variant: opts.Variant, Model: opts.Model, SKU: opts.SKU,
+				Network: network,
+				// The drill signs with deterministic derived keys, not the
+				// VMs' attestation-derived ones: seals are the determinism
+				// witness, and attestation nonces are (correctly) random.
+				SessionKey:            SessionKey(opts.Seed, i),
+				ClientSeed:            opts.Seed*1_000_003 + uint64(i)*7 + 1,
+				InjectMispredictionAt: -1,
+				PoolSize:              poolSize,
+				SessionID:             fmt.Sprintf("drill-%04d", i),
+				Clock:                 tm,
+			})
+			if err != nil {
+				return fmt.Errorf("platform: drill session %d: %w", i, err)
+			}
+			results[i] = res
+			return nil
+		})
+	}
+	wallStart := time.Now()
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	wall := time.Since(wallStart)
+
+	out := &FleetResult{
+		Results:     results,
+		Wall:        wall,
+		VirtualTime: eng.Now(),
+		Events:      eng.Events(),
+		Batches:     eng.Batches(),
+		Seals:       make([][32]byte, n),
+	}
+	for i, res := range results {
+		out.Seals[i] = res.Signed.MAC
+	}
+	return out, nil
+}

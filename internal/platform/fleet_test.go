@@ -1,0 +1,94 @@
+package platform
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/timesim"
+)
+
+func drillOpts(sessions int) FleetOptions {
+	return FleetOptions{
+		Sessions: sessions,
+		Model:    mlfw.MNIST(),
+		SKU:      mali.G71MP8,
+		Seed:     42,
+	}
+}
+
+func TestFleetDrillRuns(t *testing.T) {
+	res, err := FleetDrill(context.Background(), timesim.NewSerialEngine(), drillOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seals) != 4 || len(res.Results) != 4 {
+		t.Fatalf("drill returned %d seals, %d results", len(res.Seals), len(res.Results))
+	}
+	if res.Events == 0 {
+		t.Fatal("no engine events executed")
+	}
+	if res.VirtualTime == 0 {
+		t.Fatal("virtual time did not advance")
+	}
+	for i, r := range res.Results {
+		if r.Stats.RecordingDelay == 0 {
+			t.Fatalf("session %d: zero recording delay", i)
+		}
+	}
+	// Distinct client seeds ⇒ distinct recordings.
+	if res.Seals[0] == res.Seals[1] {
+		t.Fatal("distinct drill sessions produced identical seals")
+	}
+}
+
+// TestFleetDrillDeterminism is the PR6 determinism property test: the
+// parallel engine must produce recordings byte-identical (same HMAC seals)
+// to the serial engine, across GOMAXPROCS ∈ {1, 2, 8} and repeated runs.
+func TestFleetDrillDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run drill matrix")
+	}
+	const sessions = 8
+	serial, err := FleetDrill(context.Background(), timesim.NewSerialEngine(), drillOpts(sessions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for rep := 0; rep < 2; rep++ {
+			par, err := FleetDrill(context.Background(), timesim.NewParallelEngine(), drillOpts(sessions))
+			if err != nil {
+				t.Fatalf("GOMAXPROCS=%d rep %d: %v", procs, rep, err)
+			}
+			for i := range serial.Seals {
+				if par.Seals[i] != serial.Seals[i] {
+					t.Fatalf("GOMAXPROCS=%d rep %d: session %d seal diverged from serial engine",
+						procs, rep, i)
+				}
+			}
+			if par.VirtualTime != serial.VirtualTime {
+				t.Fatalf("GOMAXPROCS=%d rep %d: virtual end time %v, serial %v",
+					procs, rep, par.VirtualTime, serial.VirtualTime)
+			}
+			if par.Events != serial.Events {
+				t.Fatalf("GOMAXPROCS=%d rep %d: %d events, serial %d",
+					procs, rep, par.Events, serial.Events)
+			}
+		}
+	}
+}
+
+func TestFleetDrillValidation(t *testing.T) {
+	if _, err := FleetDrill(context.Background(), timesim.NewSerialEngine(), FleetOptions{}); err == nil {
+		t.Fatal("drill without model/SKU accepted")
+	}
+	opts := drillOpts(1)
+	opts.SKU = &mali.SKU{Name: "bogus"}
+	if _, err := FleetDrill(context.Background(), timesim.NewSerialEngine(), opts); err == nil {
+		t.Fatal("uncataloged SKU accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package record
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/timesim"
+)
+
+// TestRecordingGoldenOnEngines re-pins the PR4 golden hashes with the record
+// session running as a discrete-event engine process — on the serial engine
+// and on the parallel engine — against the UNCHANGED golden file. A session's
+// process clock must hand it exactly the timeline a private Clock would, so
+// the recording bytes and seal may not move by a single bit whichever engine
+// hosts the session.
+func TestRecordingGoldenOnEngines(t *testing.T) {
+	if os.Getenv("GRT_UPDATE_GOLDEN") != "" {
+		t.Skip("golden file is owned by TestRecordingGolden; engines must match it, not write it")
+	}
+	blob, err := os.ReadFile(filepath.Join("testdata", "recording_golden.json"))
+	if err != nil {
+		t.Fatalf("missing golden file (generate with GRT_UPDATE_GOLDEN=1): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mk := range []struct {
+		name string
+		eng  func() timesim.Engine
+	}{
+		{"serial", func() timesim.Engine { return timesim.NewSerialEngine() }},
+		{"parallel", func() timesim.Engine { return timesim.NewParallelEngine() }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			for _, v := range []Variant{Naive, OursMDS} {
+				eng := mk.eng()
+				var res *Result
+				eng.Go(1, func(tm timesim.Time) error {
+					var err error
+					res, err = RunContext(context.Background(), Config{
+						Variant: v, Model: mlfw.MNIST(), SKU: mali.G71MP8,
+						Network: netsim.WiFi, SessionKey: testKey,
+						ClientSeed: 42, InjectMispredictionAt: -1,
+						Clock: tm,
+					})
+					return err
+				})
+				if err := eng.Run(); err != nil {
+					t.Fatalf("record %v on %s engine: %v", v, mk.name, err)
+				}
+				blob, err := res.Recording.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum := sha256.Sum256(blob)
+				if got := hex.EncodeToString(sum[:]); got != want["mnist/"+v.String()+"/recording"] {
+					t.Errorf("%v recording hash diverged on %s engine: %s", v, mk.name, got)
+				}
+				if got := hex.EncodeToString(res.Signed.MAC[:]); got != want["mnist/"+v.String()+"/seal"] {
+					t.Errorf("%v seal diverged on %s engine: %s", v, mk.name, got)
+				}
+			}
+		})
+	}
+}

@@ -116,6 +116,13 @@ type Config struct {
 	// completed job (skipping jobs a Resume already covers). The callback
 	// runs inside the session; it must not block.
 	OnCheckpoint func(*ckpt.Checkpoint)
+	// Clock, when non-nil, supplies the session's virtual timeline instead
+	// of a freshly created Clock. The platform layer passes an engine
+	// process clock here, which is how a whole record session runs as one
+	// discrete-event process: identical code path, identical delays,
+	// byte-identical recording — but every Advance is a scheduled wakeup
+	// the engine can interleave with other sessions' events.
+	Clock timesim.Time
 }
 
 // Stats aggregates everything the evaluation reports about a record run.
@@ -311,8 +318,13 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		}
 		resumeJob = cfg.Resume.Job
 	}
-	clock := timesim.NewClock()
-	cfg.Obs.BindClock(clock)
+	clock := cfg.Clock
+	if clock == nil {
+		c := timesim.NewClock()
+		c.SetOwner("record.Session " + cfg.SessionID)
+		clock = c
+	}
+	cfg.Obs.BindClockSource(clock)
 	poolSize := cfg.PoolSize
 	if poolSize == 0 && cfg.Resume != nil {
 		// The resumed run must lay memory out exactly as the original did.

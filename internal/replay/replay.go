@@ -95,7 +95,7 @@ type Replayer struct {
 	rec   *trace.Recording
 	gpu   *mali.GPU
 	ctrl  *tee.Controller
-	clock *timesim.Clock
+	clock timesim.Time
 	// lim bounds every dump decode during the run. Derived from the
 	// recording's pool size at construction: an audited recording's dump
 	// regions all land inside the pool, so no legitimate dump can
@@ -125,7 +125,7 @@ type Replayer struct {
 // whose structure the recorded driver stack could not have produced, even
 // when correctly sealed (the MAC authenticates the recorder, not the
 // recording).
-func New(signed *trace.Signed, key []byte, gpu *mali.GPU, ctrl *tee.Controller, clock *timesim.Clock) (*Replayer, error) {
+func New(signed *trace.Signed, key []byte, gpu *mali.GPU, ctrl *tee.Controller, clock timesim.Time) (*Replayer, error) {
 	rec, err := trace.Verify(signed, key)
 	if err != nil {
 		return nil, err
@@ -166,7 +166,7 @@ func poolLimits(poolSize uint64) wire.DecodeLimits {
 // share the region map. The segments replay back-to-back: intermediate
 // activations persist in shared memory across segment boundaries, exactly as
 // on one device.
-func NewChained(segs []*trace.Signed, key []byte, gpu *mali.GPU, ctrl *tee.Controller, clock *timesim.Clock) (*Replayer, error) {
+func NewChained(segs []*trace.Signed, key []byte, gpu *mali.GPU, ctrl *tee.Controller, clock timesim.Time) (*Replayer, error) {
 	if len(segs) == 0 {
 		return nil, fmt.Errorf("replay: empty segment chain")
 	}
@@ -292,7 +292,7 @@ func (r *Replayer) Run() (res Result, err error) {
 			err = fmt.Errorf("replay: panic replaying event: %v: %w", p, grterr.ErrBadRecording)
 		}
 	}()
-	r.Obs.BindClock(r.clock)
+	r.Obs.BindClockSource(r.clock)
 	defer func() { res.Obs = r.Obs.Snapshot() }()
 	endRun := r.Obs.Span("replay.run", "replay", obs.A("events", int64(len(r.rec.Events))))
 	defer endRun()

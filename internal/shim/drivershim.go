@@ -167,7 +167,7 @@ type DriverShim struct {
 	mode   Mode
 	link   *netsim.Link
 	client *GPUShim
-	clock  *timesim.Clock
+	clock  timesim.Time
 	inner  kbase.Kernel
 	hot    map[string]bool
 
@@ -209,7 +209,7 @@ type Config struct {
 	Mode    Mode
 	Link    *netsim.Link
 	Client  *GPUShim
-	Clock   *timesim.Clock
+	Clock   timesim.Time
 	Kernel  kbase.Kernel
 	History *History // optional; shared across workloads as in §7.3
 	// Hot overrides the hot-function list (defaults to kbase.HotFunctions).

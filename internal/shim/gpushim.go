@@ -79,7 +79,7 @@ const (
 // the cloud side.
 type GPUShim struct {
 	GPU   *mali.GPU
-	Clock *timesim.Clock
+	Clock timesim.Time
 	// OnIRQDump, when set, captures the client→cloud memory dump that
 	// rides along with interrupt notifications (§5). Installed by the
 	// recorder.
@@ -101,7 +101,7 @@ func (s *GPUShim) spend(d time.Duration) {
 }
 
 // NewGPUShim wraps the client GPU.
-func NewGPUShim(g *mali.GPU, clock *timesim.Clock) *GPUShim {
+func NewGPUShim(g *mali.GPU, clock timesim.Time) *GPUShim {
 	return &GPUShim{GPU: g, Clock: clock}
 }
 

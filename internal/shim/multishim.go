@@ -1,0 +1,152 @@
+package shim
+
+import (
+	"fmt"
+	"sync"
+
+	"gpurelay/internal/mali"
+	"gpurelay/internal/timesim"
+)
+
+// MultiShim drives the job slots of several GPUs from one control plane on a
+// discrete-event engine. Each GPU is attached to the engine in event-driven
+// completion mode (mali.AttachScheduler), so a submitted chain leaves its
+// slot ACTIVE and completes via an engine event at now plus the chain's
+// modeled duration; MultiShim owns the simulated IRQ wires and dispatches
+// each completion to the per-submission callback. Because every GPU's events
+// carry its own index as the ordering key, same-timestamp completions on
+// different GPUs execute concurrently on a parallel engine and serially (in
+// GPU order) on a serial one — with identical observable results either way.
+//
+// This is the platform's native multi-GPU data plane. The record pipeline
+// does not use it: recordings capture poll iteration counts, which deferred
+// completion would change.
+type MultiShim struct {
+	sched timesim.Scheduler
+	gpus  []*mali.GPU
+
+	mu       sync.Mutex
+	inflight []map[int]func(error) // per GPU: slot → completion callback
+	stats    MultiStats
+}
+
+// MultiStats counts MultiShim submissions and outcomes.
+type MultiStats struct {
+	Submitted int
+	Completed int
+	Failed    int
+}
+
+// Inflight reports submissions whose completion has not yet been dispatched.
+func (s MultiStats) Inflight() int { return s.Submitted - s.Completed - s.Failed }
+
+// NewMultiShim attaches every GPU to the scheduler in event-driven mode and
+// unmasks their job interrupt lines. GPU i's events are keyed by i.
+func NewMultiShim(sched timesim.Scheduler, gpus []*mali.GPU) *MultiShim {
+	if sched == nil {
+		panic("shim: nil scheduler")
+	}
+	if len(gpus) == 0 {
+		panic("shim: MultiShim needs at least one GPU")
+	}
+	m := &MultiShim{
+		sched:    sched,
+		gpus:     gpus,
+		inflight: make([]map[int]func(error), len(gpus)),
+	}
+	for i, g := range gpus {
+		i, g := i, g
+		m.inflight[i] = make(map[int]func(error))
+		g.AttachScheduler(sched, uint64(i), func() { m.dispatch(i) })
+		g.WriteReg(mali.JOB_IRQ_MASK, 0xFFFFFFFF)
+	}
+	return m
+}
+
+// GPUs returns the attached GPUs, in index order.
+func (m *MultiShim) GPUs() []*mali.GPU { return m.gpus }
+
+// Stats returns a snapshot of the submission counters.
+func (m *MultiShim) Stats() MultiStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// SetAddressSpace programs address space 0 of one GPU with the given page
+// table root and waits out the (synchronous, micro-op) AS update — the same
+// sequence a kernel driver performs before first submission.
+func (m *MultiShim) SetAddressSpace(gpu int, root uint64) {
+	g := m.gpu(gpu)
+	g.WriteReg(mali.ASReg(0, mali.AS_TRANSTAB_LO), uint32(root))
+	g.WriteReg(mali.ASReg(0, mali.AS_TRANSTAB_HI), uint32(root>>32))
+	g.WriteReg(mali.ASReg(0, mali.AS_COMMAND), mali.ASCommandUpdate)
+	for g.ReadReg(mali.ASReg(0, mali.AS_STATUS))&mali.ASStatusActive != 0 {
+	}
+}
+
+// Submit starts the job chain at descVA on the given GPU and slot. The slot
+// must be free (one chain per slot, the queue-length-1 discipline); done is
+// invoked — from an engine event, at the chain's completion time — with nil
+// on success or an error describing the hardware fault. Submit may be called
+// before Engine.Run (events land at time 0) or from inside a running handler
+// or callback (events land at the current engine time), which is how a
+// workload chains its next job off the previous completion.
+func (m *MultiShim) Submit(gpu, slot int, descVA uint64, config uint32, done func(error)) {
+	g := m.gpu(gpu)
+	m.mu.Lock()
+	if _, busy := m.inflight[gpu][slot]; busy {
+		m.mu.Unlock()
+		panic(fmt.Sprintf("shim: gpu %d slot %d already has a chain in flight", gpu, slot))
+	}
+	m.inflight[gpu][slot] = done
+	m.stats.Submitted++
+	m.mu.Unlock()
+	g.WriteReg(mali.JSReg(slot, mali.JS_HEAD_NEXT_LO), uint32(descVA))
+	g.WriteReg(mali.JSReg(slot, mali.JS_HEAD_NEXT_HI), uint32(descVA>>32))
+	g.WriteReg(mali.JSReg(slot, mali.JS_CONFIG_NEXT), config)
+	g.WriteReg(mali.JSReg(slot, mali.JS_COMMAND_NEXT), mali.JSCommandStart)
+}
+
+func (m *MultiShim) gpu(i int) *mali.GPU {
+	if i < 0 || i >= len(m.gpus) {
+		panic(fmt.Sprintf("shim: no GPU %d (platform has %d)", i, len(m.gpus)))
+	}
+	return m.gpus[i]
+}
+
+// dispatch services one GPU's job interrupt: acknowledge the raised lines
+// and deliver each slot's outcome to its callback. It runs from the engine
+// event that completed (or failed) a chain.
+func (m *MultiShim) dispatch(gpu int) {
+	g := m.gpus[gpu]
+	job, _, _ := g.PendingIRQ()
+	if job == 0 {
+		return
+	}
+	g.WriteReg(mali.JOB_IRQ_CLEAR, job)
+	for slot := 0; slot < g.SKU().JobSlots; slot++ {
+		okBit := job&(1<<uint(slot)) != 0
+		failBit := job&(1<<uint(16+slot)) != 0
+		if !okBit && !failBit {
+			continue
+		}
+		m.mu.Lock()
+		done := m.inflight[gpu][slot]
+		delete(m.inflight[gpu], slot)
+		if failBit {
+			m.stats.Failed++
+		} else {
+			m.stats.Completed++
+		}
+		m.mu.Unlock()
+		var err error
+		if failBit {
+			err = fmt.Errorf("shim: gpu %d slot %d job failed (status %#x)",
+				gpu, slot, g.ReadReg(mali.JSReg(slot, mali.JS_STATUS)))
+		}
+		if done != nil {
+			done(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package shim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mali/isa"
+	"gpurelay/internal/timesim"
+)
+
+// buildSlotJob mirrors the runtime's job setup against one GPU's pool: page
+// table, a one-instruction scale shader, and a job descriptor. It returns
+// the descriptor VA and the page-table root.
+func buildSlotJob(t *testing.T, g *mali.GPU) (descVA gpumem.VA, root uint64) {
+	t.Helper()
+	pool := g.Pool()
+	pt, err := gpumem.NewPageTable(pool, g.SKU().PTFormat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := func(size uint64, flags gpumem.PTEFlag, va gpumem.VA) gpumem.PA {
+		pa, err := pool.Alloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pt.MapRange(va, pa, size, flags); err != nil {
+			t.Fatal(err)
+		}
+		return pa
+	}
+	const (
+		inVA     = gpumem.VA(0x1000000)
+		shaderVA = gpumem.VA(0x2000000)
+		descV    = gpumem.VA(0x3000000)
+		outV     = gpumem.VA(0x4000000)
+	)
+	inPA := alloc(gpumem.PageSize, gpumem.PTERead, inVA)
+	shaderPA := alloc(gpumem.PageSize, gpumem.PTERead|gpumem.PTEExec, shaderVA)
+	descPA := alloc(gpumem.PageSize, gpumem.PTERead|gpumem.PTEExec, descV)
+	alloc(gpumem.PageSize, gpumem.PTERead|gpumem.PTEWrite, outV)
+	for i, v := range []float32{1, -2, 3, -4} {
+		pool.Write32(inPA+gpumem.PA(4*i), math.Float32bits(v))
+	}
+	buf := make([]byte, isa.HeaderSize+isa.InstrSize)
+	isa.EncodeHeader(isa.Header{ProductID: g.SKU().ProductID, NumInstr: 1}, buf)
+	(&isa.Instr{
+		Op: isa.OpScale, Src0: inVA, Dst: outV,
+		P: [10]uint32{4, math.Float32bits(2.0)},
+	}).Encode(buf[isa.HeaderSize:])
+	pool.Write(shaderPA, buf)
+	desc := make([]byte, mali.JobDescSize)
+	mali.EncodeJobDesc(desc, shaderVA, 0)
+	pool.Write(descPA, desc)
+	return descV, uint64(pt.Root())
+}
+
+func newMultiRig(t *testing.T, eng timesim.Engine, n int) *MultiShim {
+	t.Helper()
+	gpus := make([]*mali.GPU, n)
+	for i := range gpus {
+		c := timesim.NewClock()
+		gpus[i] = mali.New(mali.G71MP8, gpumem.NewPool(16<<20), c, uint64(i)*7+1)
+	}
+	return NewMultiShim(eng, gpus)
+}
+
+func TestMultiShimCompletesAcrossGPUs(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		eng  timesim.Engine
+	}{
+		{"serial", timesim.NewSerialEngine()},
+		{"parallel", timesim.NewParallelEngine()},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			eng := mk.eng
+			m := newMultiRig(t, eng, 3)
+			done := make([]bool, 3)
+			for i, g := range m.GPUs() {
+				i := i
+				descVA, root := buildSlotJob(t, g)
+				m.SetAddressSpace(i, root)
+				m.Submit(i, 1, uint64(descVA), 0, func(err error) {
+					if err != nil {
+						t.Errorf("gpu %d: %v", i, err)
+					}
+					done[i] = true
+				})
+				// Submission leaves the slot active; completion is an event.
+				if st := g.ReadReg(mali.JSReg(1, mali.JS_STATUS)); st != mali.JSStatusActive {
+					t.Fatalf("gpu %d slot status %#x before Run, want ACTIVE", i, st)
+				}
+			}
+			if err := eng.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i, g := range m.GPUs() {
+				if !done[i] {
+					t.Fatalf("gpu %d chain never completed", i)
+				}
+				if st := g.Stats(); st.JobsExecuted != 1 || st.Faults != 0 {
+					t.Fatalf("gpu %d stats %+v", i, st)
+				}
+				if g.Stats().Busy < 20*time.Microsecond {
+					t.Fatalf("gpu %d busy time not accounted", i)
+				}
+			}
+			if st := m.Stats(); st.Completed != 3 || st.Failed != 0 || st.Inflight() != 0 {
+				t.Fatalf("shim stats %+v", st)
+			}
+			if eng.Now() == 0 {
+				t.Fatal("engine time did not advance over job execution")
+			}
+		})
+	}
+}
+
+func TestMultiShimChainsNextJobFromCallback(t *testing.T) {
+	eng := timesim.NewSerialEngine()
+	m := newMultiRig(t, eng, 1)
+	g := m.GPUs()[0]
+	descVA, root := buildSlotJob(t, g)
+	m.SetAddressSpace(0, root)
+	runs := 0
+	var completions []time.Duration
+	var resubmit func(error)
+	resubmit = func(err error) {
+		if err != nil {
+			t.Errorf("run %d: %v", runs, err)
+		}
+		runs++
+		completions = append(completions, eng.Now())
+		if runs < 3 {
+			m.Submit(0, 1, uint64(descVA), 0, resubmit)
+		}
+	}
+	m.Submit(0, 1, uint64(descVA), 0, resubmit)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 3 {
+		t.Fatalf("chained %d runs, want 3", runs)
+	}
+	for i := 1; i < len(completions); i++ {
+		if completions[i] <= completions[i-1] {
+			t.Fatalf("completion times not strictly increasing: %v", completions)
+		}
+	}
+	if g.Stats().JobsExecuted != 3 {
+		t.Fatalf("JobsExecuted = %d", g.Stats().JobsExecuted)
+	}
+}
+
+func TestMultiShimReportsJobFault(t *testing.T) {
+	eng := timesim.NewSerialEngine()
+	m := newMultiRig(t, eng, 1)
+	g := m.GPUs()[0]
+	pool := g.Pool()
+	pt, err := gpumem.NewPageTable(pool, g.SKU().PTFormat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := pool.Alloc(gpumem.PageSize)
+	const descVA = gpumem.VA(0x1000)
+	if err := pt.MapRange(descVA, pa, gpumem.PageSize, gpumem.PTERead); err != nil {
+		t.Fatal(err)
+	}
+	pool.Write32(pa, 0xBADC0DE) // wrong magic
+	m.SetAddressSpace(0, uint64(pt.Root()))
+	var got error
+	m.Submit(0, 0, uint64(descVA), 0, func(err error) { got = err })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("bad descriptor completed without error")
+	}
+	if st := m.Stats(); st.Failed != 1 || st.Completed != 0 {
+		t.Fatalf("shim stats %+v", st)
+	}
+}
+
+func TestMultiShimSlotBusyPanics(t *testing.T) {
+	eng := timesim.NewSerialEngine()
+	m := newMultiRig(t, eng, 1)
+	g := m.GPUs()[0]
+	descVA, root := buildSlotJob(t, g)
+	m.SetAddressSpace(0, root)
+	m.Submit(0, 1, uint64(descVA), 0, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double submission to a busy slot did not panic")
+		}
+	}()
+	m.Submit(0, 1, uint64(descVA), 0, nil)
+}

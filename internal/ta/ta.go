@@ -89,7 +89,7 @@ type Params struct {
 type App struct {
 	gpu   *mali.GPU
 	ctrl  *tee.Controller
-	clock *timesim.Clock
+	clock timesim.Time
 	// key verifies recording signatures; provisioned during the attested
 	// cloud session and kept in TA secure storage.
 	key []byte
@@ -104,7 +104,7 @@ type session struct {
 }
 
 // NewApp installs the TA on a device.
-func NewApp(gpu *mali.GPU, ctrl *tee.Controller, clock *timesim.Clock, sessionKey []byte) *App {
+func NewApp(gpu *mali.GPU, ctrl *tee.Controller, clock timesim.Time, sessionKey []byte) *App {
 	return &App{
 		gpu: gpu, ctrl: ctrl, clock: clock,
 		key:      append([]byte(nil), sessionKey...),

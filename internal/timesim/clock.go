@@ -1,19 +1,27 @@
-// Package timesim provides the virtual clock that underlies every delay in
+// Package timesim provides the virtual time that underlies every delay in
 // the GR-T simulation.
 //
 // The paper's experiments span hundreds of wall-clock seconds (a naive VGG16
 // recording takes ~800 s over a cellular link). Re-running those experiments
 // in real time would make the test suite unusable, so nothing in this
 // repository ever sleeps: instead, every component that would block — a
-// network round trip, a GPU job, driver CPU work, a rollback — advances a
-// shared virtual clock. Recording delays, replay delays, and energy are all
-// read off this clock.
+// network round trip, a GPU job, driver CPU work, a rollback — advances
+// virtual time. Recording delays, replay delays, and energy are all read off
+// that virtual timeline.
 //
-// The clock is safe for concurrent use. The GR-T record pipeline is logically
-// sequential (the driver serializes GPU jobs, queue length 1, per §5 of the
-// paper), so a single monotonic timeline is a faithful model; concurrent
-// driver threads that contend on it are serialized by the driver's own locks
-// before they reach a blocking operation.
+// Two implementations of the Time interface exist:
+//
+//   - Clock, a mutex-guarded monotonic counter. One session owns one Clock;
+//     the GR-T record pipeline is logically sequential (the driver
+//     serializes GPU jobs, queue length 1, per §5 of the paper), so a single
+//     monotonic timeline is a faithful model.
+//
+//   - the process clocks handed out by an Engine (engine.go): a discrete-
+//     event simulation core where components post future work as events
+//     instead of imperatively bumping a counter. The serial engine is a
+//     drop-in faithful to Clock semantics; the parallel engine executes
+//     same-timestamp events concurrently, which is what lets a multi-GPU
+//     platform or a fleet drill use every host core deterministically.
 package timesim
 
 import (
@@ -22,15 +30,63 @@ import (
 	"time"
 )
 
+// Source is a read-only view of virtual time. obs spans, admission-wait
+// histograms, and everything else that only timestamps (never delays) reads
+// through this interface, so the same instrumentation works whether the
+// timeline is a session Clock or an event engine.
+type Source interface {
+	// Now returns the current virtual time as an offset from the
+	// timeline's origin.
+	Now() time.Duration
+}
+
+// Time is the virtual-time interface every delaying component advances.
+// *Clock implements it with a shared counter; an Engine's process clocks
+// implement it by scheduling a wakeup event and parking until the engine
+// reaches it. Components hold a Time, not a *Clock, so one code path serves
+// both the faithful single-timeline model and the discrete-event engines.
+type Time interface {
+	Source
+	// Advance moves virtual time forward by d and returns the new time.
+	// Negative advances panic: virtual time is monotonic by construction,
+	// and a negative delay always indicates a bug in a cost model.
+	Advance(d time.Duration) time.Duration
+	// AdvanceTo moves virtual time forward to t if t is in the future; it
+	// never moves time backwards. It returns the (possibly unchanged)
+	// current time. A negative t panics — no timeline has a time before
+	// its origin, so a negative target is always a cost-model bug.
+	AdvanceTo(t time.Duration) time.Duration
+}
+
 // Clock is a virtual monotonic clock. The zero value is ready to use and
 // reads 0.
 type Clock struct {
-	mu  sync.Mutex
-	now time.Duration
+	mu    sync.Mutex
+	now   time.Duration
+	owner string
 }
+
+var _ Time = (*Clock)(nil)
 
 // NewClock returns a clock starting at zero virtual time.
 func NewClock() *Clock { return &Clock{} }
+
+// SetOwner names the component that owns this clock. The name appears in
+// monotonicity-violation panics, so a bad advance points at the offending
+// component instead of an anonymous counter.
+func (c *Clock) SetOwner(name string) {
+	c.mu.Lock()
+	c.owner = name
+	c.mu.Unlock()
+}
+
+// ownerTag renders the owner for diagnostics. Callers hold c.mu.
+func (c *Clock) ownerTag() string {
+	if c.owner == "" {
+		return ""
+	}
+	return " (clock owned by " + c.owner + ")"
+}
 
 // Now returns the current virtual time as an offset from the clock's origin.
 func (c *Clock) Now() time.Duration {
@@ -43,11 +99,11 @@ func (c *Clock) Now() time.Duration {
 // advances panic: virtual time is monotonic by construction, and a negative
 // delay always indicates a bug in a cost model.
 func (c *Clock) Advance(d time.Duration) time.Duration {
-	if d < 0 {
-		panic(fmt.Sprintf("timesim: negative advance %v", d))
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if d < 0 {
+		panic(fmt.Sprintf("timesim: negative advance %v at %v%s", d, c.now, c.ownerTag()))
+	}
 	c.now += d
 	return c.now
 }
@@ -55,10 +111,17 @@ func (c *Clock) Advance(d time.Duration) time.Duration {
 // AdvanceTo moves the clock forward to t if t is in the future; it never
 // moves the clock backwards. It returns the (possibly unchanged) current
 // time. This is used when two components account overlapping intervals, e.g.
-// an asynchronous commit whose round trip overlaps driver execution.
+// an asynchronous commit whose round trip overlaps driver execution — a
+// target already in the past is therefore legitimate and a no-op. A negative
+// target is not: no timeline has a time before its origin, so it panics with
+// the same monotonicity diagnostics Advance gives a negative delta.
 func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if t < 0 {
+		panic(fmt.Sprintf("timesim: AdvanceTo(%v) before the timeline origin at %v%s",
+			t, c.now, c.ownerTag()))
+	}
 	if t > c.now {
 		c.now = t
 	}
@@ -67,12 +130,12 @@ func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
 
 // Stopwatch measures an interval of virtual time.
 type Stopwatch struct {
-	clock *Clock
+	clock Source
 	start time.Duration
 }
 
 // StartWatch begins measuring virtual time on c.
-func StartWatch(c *Clock) Stopwatch {
+func StartWatch(c Source) Stopwatch {
 	return Stopwatch{clock: c, start: c.Now()}
 }
 

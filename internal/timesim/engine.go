@@ -1,0 +1,324 @@
+package timesim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Scheduler is the event-posting half of an engine: components that defer
+// work (a GPU slot completing a job chain, a link delivering a one-way
+// message) hold a Scheduler and post events instead of advancing a clock.
+type Scheduler interface {
+	Source
+	// Schedule admits an event. Scheduling at a time before Now panics —
+	// the engine's timeline, like a Clock's, is monotonic.
+	Schedule(e Event)
+}
+
+// After posts fn on s at now+d with ordering key. It is the one-liner most
+// deferred work wants.
+func After(s Scheduler, d time.Duration, key uint64, fn func() error) {
+	if d < 0 {
+		panic(fmt.Sprintf("timesim: negative deferral %v", d))
+	}
+	s.Schedule(&FuncEvent{At: s.Now() + d, K: key, Fn: fn})
+}
+
+// Engine is a discrete-event simulation core: events are executed in
+// timestamp order, and engine time jumps from one event timestamp to the
+// next. The two implementations differ only in how they treat events that
+// share a timestamp:
+//
+//   - NewSerialEngine executes them one at a time, ordered by key — a
+//     drop-in faithful to the single-Clock semantics.
+//
+//   - NewParallelEngine executes the whole same-timestamp batch
+//     concurrently, with a barrier before time moves on. Handlers in one
+//     batch must touch disjoint state (distinct sessions, distinct GPUs);
+//     under that rule the parallel engine produces results byte-identical
+//     to the serial engine at any GOMAXPROCS.
+//
+// Besides raw events, an engine hosts processes (Go): goroutines that drive
+// the existing imperative record/replay pipeline unchanged, with every
+// Advance of their process clock turned into a scheduled wakeup event. That
+// is how whole record sessions become engine workloads without rewriting
+// the driver stack.
+type Engine interface {
+	Scheduler
+	// Go launches fn as an engine process with the given deterministic
+	// key: fn runs on its own goroutine, and the Time it receives parks
+	// the goroutine at every Advance until the engine reaches the wakeup.
+	// The returned error of fn is reported by Run. Go must be called
+	// before Run (processes admitted at time 0) or from inside a running
+	// handler/process (admitted at the current engine time).
+	Go(key uint64, fn func(t Time) error)
+	// Run drains the event queue, executing every event and process to
+	// completion, and returns the first error any of them reported.
+	Run() error
+	// Events reports the number of events executed so far (scheduling
+	// throughput; the fleet drill's events/sec metric).
+	Events() int64
+	// Batches reports batch-width statistics: how many distinct timestamps
+	// have executed and the widest same-timestamp batch. MaxWidth is the
+	// structural parallelism available to the parallel engine — the
+	// wall-clock speedup it can reach given enough cores — and is what the
+	// fleet artifact records alongside the measured speedup, which on a
+	// starved host says more about the machine than the engine.
+	Batches() BatchStats
+}
+
+// BatchStats summarizes how events grouped by timestamp during Run.
+type BatchStats struct {
+	// Timestamps is the number of distinct executed event timestamps.
+	Timestamps int64
+	// MaxWidth is the largest number of events sharing one timestamp.
+	MaxWidth int
+}
+
+// engineCore is the state shared by both engines.
+type engineCore struct {
+	mu       sync.Mutex
+	now      time.Duration
+	q        eventQueue
+	seq      uint64
+	handled  int64
+	running  bool
+	firstErr error
+
+	batches   int64 // distinct executed timestamps
+	width     int   // events executed at the current timestamp
+	maxWidth  int
+	timeKnown bool // false until the first event executes
+}
+
+// Now implements Source. It reads the engine's global virtual time — the
+// timestamp of the batch currently executing.
+func (c *engineCore) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Schedule implements Scheduler.
+func (c *engineCore) Schedule(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.Time() < c.now {
+		panic(fmt.Sprintf("timesim: event scheduled at %v, engine already at %v", e.Time(), c.now))
+	}
+	c.seq++
+	c.q.push(eventEntry{ev: e, seq: c.seq})
+}
+
+// Events implements Engine.
+func (c *engineCore) Events() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.handled
+}
+
+// Batches implements Engine.
+func (c *engineCore) Batches() BatchStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return BatchStats{Timestamps: c.batches, MaxWidth: c.maxWidth}
+}
+
+// countWidth folds n same-timestamp events into the batch-width statistics;
+// the caller holds c.mu and has already advanced c.now.
+func (c *engineCore) countWidth(newTimestamp bool, n int) {
+	if newTimestamp {
+		c.batches++
+		c.width = 0
+	}
+	c.width += n
+	if c.width > c.maxWidth {
+		c.maxWidth = c.width
+	}
+}
+
+// fail records the first handler error.
+func (c *engineCore) fail(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+	c.mu.Unlock()
+}
+
+// next pops the earliest event, advancing engine time to it. It returns
+// false when the queue is empty.
+func (c *engineCore) next() (eventEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.q) == 0 {
+		return eventEntry{}, false
+	}
+	e := c.q.pop()
+	fresh := !c.timeKnown || e.ev.Time() != c.now
+	c.timeKnown = true
+	c.now = e.ev.Time()
+	c.handled++
+	c.countWidth(fresh, 1)
+	return e, true
+}
+
+// batch pops every event sharing the earliest timestamp, advancing engine
+// time to it. The batch comes out sorted by (key, seq).
+func (c *engineCore) batch(scratch []eventEntry) []eventEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.q) == 0 {
+		return scratch[:0]
+	}
+	out := scratch[:0]
+	first := c.q.pop()
+	fresh := !c.timeKnown || first.ev.Time() != c.now
+	c.timeKnown = true
+	c.now = first.ev.Time()
+	out = append(out, first)
+	for len(c.q) > 0 && c.q[0].ev.Time() == c.now {
+		out = append(out, c.q.pop())
+	}
+	c.handled += int64(len(out))
+	c.countWidth(fresh, len(out))
+	return out
+}
+
+// SerialEngine executes events strictly one at a time in (time, key) order.
+// It reproduces exactly the timeline a single Clock would have produced for
+// the same components, which is what keeps single-GPU recordings
+// byte-identical to the pre-engine pipeline.
+type SerialEngine struct {
+	engineCore
+}
+
+var _ Engine = (*SerialEngine)(nil)
+
+// NewSerialEngine creates a serial engine at time 0.
+func NewSerialEngine() *SerialEngine { return &SerialEngine{} }
+
+// Go implements Engine.
+func (e *SerialEngine) Go(key uint64, fn func(t Time) error) {
+	launchProc(&e.engineCore, key, fn)
+}
+
+// Run implements Engine.
+func (e *SerialEngine) Run() error {
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		panic("timesim: Engine.Run is not reentrant")
+	}
+	e.running = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.running = false
+		e.mu.Unlock()
+	}()
+	for {
+		ent, ok := e.next()
+		if !ok {
+			break
+		}
+		e.fail(ent.ev.Handler().Handle(ent.ev))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firstErr
+}
+
+// ParallelEngine executes every event of the earliest timestamp
+// concurrently, then waits for the whole batch (a barrier) before engine
+// time moves to the next timestamp. Same-timestamp handlers must touch
+// disjoint state; each individual handler observes exactly the event
+// sequence it would have observed under the serial engine, so per-component
+// results (recordings, seals, stats) are byte-identical — the determinism
+// property test pins this at GOMAXPROCS 1, 2, and 8.
+type ParallelEngine struct {
+	engineCore
+	// MaxConcurrency bounds the goroutines dispatched per batch; 0 means
+	// unbounded (the Go scheduler's GOMAXPROCS already bounds true
+	// parallelism).
+	MaxConcurrency int
+}
+
+var _ Engine = (*ParallelEngine)(nil)
+
+// NewParallelEngine creates a parallel engine at time 0.
+func NewParallelEngine() *ParallelEngine { return &ParallelEngine{} }
+
+// Go implements Engine.
+func (e *ParallelEngine) Go(key uint64, fn func(t Time) error) {
+	launchProc(&e.engineCore, key, fn)
+}
+
+// Run implements Engine.
+func (e *ParallelEngine) Run() error {
+	e.mu.Lock()
+	if e.running {
+		e.mu.Unlock()
+		panic("timesim: Engine.Run is not reentrant")
+	}
+	e.running = true
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		e.running = false
+		e.mu.Unlock()
+	}()
+	var scratch []eventEntry
+	var panicVal any
+	var panicMu sync.Mutex
+	for {
+		batch := e.batch(scratch)
+		if len(batch) == 0 {
+			break
+		}
+		scratch = batch // reuse the backing array next round
+		if len(batch) == 1 {
+			e.fail(batch[0].ev.Handler().Handle(batch[0].ev))
+			continue
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, e.concurrency(len(batch)))
+		for i := range batch {
+			ent := batch[i]
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicVal == nil {
+							panicVal = r
+						}
+						panicMu.Unlock()
+					}
+					<-sem
+					wg.Done()
+				}()
+				e.fail(ent.ev.Handler().Handle(ent.ev))
+			}()
+		}
+		wg.Wait()
+		if panicVal != nil {
+			panic(panicVal)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firstErr
+}
+
+func (e *ParallelEngine) concurrency(batchLen int) int {
+	if e.MaxConcurrency > 0 && e.MaxConcurrency < batchLen {
+		return e.MaxConcurrency
+	}
+	return batchLen
+}

@@ -1,0 +1,71 @@
+package timesim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Ticker posts a periodic event on an engine: every period, fn runs at the
+// tick's virtual time. Components that need a heartbeat (queue managers,
+// health monitors, rollup emitters) hold a Ticker instead of spinning on a
+// clock. Ticks stop when Stop is called or when fn returns false — so an
+// idle component quiesces and the engine can drain.
+type Ticker struct {
+	s      Scheduler
+	period time.Duration
+	key    uint64
+	// fn runs at every tick with the tick's virtual time; returning false
+	// cancels the ticker.
+	fn func(now time.Duration) bool
+
+	mu      sync.Mutex
+	stopped bool
+	ticks   int64
+}
+
+// NewTicker creates a ticker on s. Start schedules the first tick.
+func NewTicker(s Scheduler, period time.Duration, key uint64, fn func(now time.Duration) bool) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("timesim: non-positive ticker period %v", period))
+	}
+	return &Ticker{s: s, period: period, key: key, fn: fn}
+}
+
+// Start schedules the first tick one period from now.
+func (t *Ticker) Start() { t.schedule() }
+
+// Stop cancels future ticks. An in-queue tick event becomes a no-op.
+func (t *Ticker) Stop() {
+	t.mu.Lock()
+	t.stopped = true
+	t.mu.Unlock()
+}
+
+// Ticks reports how many ticks have fired.
+func (t *Ticker) Ticks() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ticks
+}
+
+func (t *Ticker) schedule() {
+	t.s.Schedule(&FuncEventAt{at: t.s.Now() + t.period, key: t.key, h: t})
+}
+
+// Handle implements Handler.
+func (t *Ticker) Handle(e Event) error {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return nil
+	}
+	t.ticks++
+	t.mu.Unlock()
+	if !t.fn(e.Time()) {
+		t.Stop()
+		return nil
+	}
+	t.schedule()
+	return nil
+}
