@@ -9,8 +9,10 @@ import (
 	"runtime"
 	"time"
 
+	"gpurelay/internal/cloud"
 	"gpurelay/internal/mali"
 	"gpurelay/internal/mlfw"
+	"gpurelay/internal/obs"
 	"gpurelay/internal/platform"
 	"gpurelay/internal/record"
 	"gpurelay/internal/timesim"
@@ -88,19 +90,28 @@ func measureDrill(engine string, eng timesim.Engine, opts platform.FleetOptions)
 
 // runFleet runs the fleet drill on the serial engine and, when engine is
 // "parallel", again on the parallel engine — checking byte-identical seals
-// and reporting the wall-clock speedup — then writes the artifact.
-func runFleet(engine string, sessions int, outPath string) error {
+// and reporting the wall-clock speedup — then writes the artifact. When
+// traceOut or healthOut is set, the selected engine's drill runs instrumented
+// (the serial baseline stays bare), so the seal comparison also witnesses
+// that observability never perturbs the recordings.
+func runFleet(engine string, sessions int, outPath, traceOut, healthOut string) error {
 	if sessions <= 1 {
 		sessions = 16
 	}
 	fmt.Printf("=== fleet drill: %d record sessions on one discrete-event engine (GOMAXPROCS=%d) ===\n",
 		sessions, runtime.GOMAXPROCS(0))
 	opts := drillOptions(sessions)
+	instrument := traceOut != "" || healthOut != ""
 
-	serialRes, serialRow, err := measureDrill("serial", timesim.NewSerialEngine(), opts)
+	serialOpts := opts
+	if instrument && engine == "serial" {
+		serialOpts.Instrument = true
+	}
+	serialRes, serialRow, err := measureDrill("serial", timesim.NewSerialEngine(), serialOpts)
 	if err != nil {
 		return err
 	}
+	instrumented := serialRes
 	art := fleetArtifact{
 		Schema: "grt-fleet/1", GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
@@ -109,10 +120,13 @@ func runFleet(engine string, sessions int, outPath string) error {
 	}
 
 	if engine == "parallel" {
-		parRes, parRow, err := measureDrill("parallel", timesim.NewParallelEngine(), opts)
+		parOpts := opts
+		parOpts.Instrument = instrument
+		parRes, parRow, err := measureDrill("parallel", timesim.NewParallelEngine(), parOpts)
 		if err != nil {
 			return err
 		}
+		instrumented = parRes
 		art.Drills = append(art.Drills, parRow)
 		art.ParallelSpeedup = serialRow.WallMS / parRow.WallMS
 		art.Deterministic = true
@@ -127,6 +141,12 @@ func runFleet(engine string, sessions int, outPath string) error {
 		art.Deterministic = true // one engine, trivially
 	}
 
+	if instrument {
+		if err := writeFleetObservability(instrumented, traceOut, healthOut); err != nil {
+			return err
+		}
+	}
+
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
@@ -137,5 +157,44 @@ func runFleet(engine string, sessions int, outPath string) error {
 		return err
 	}
 	fmt.Printf("wrote fleet artifact to %s\n", outPath)
+	return nil
+}
+
+// writeFleetObservability exports an instrumented drill's Chrome trace and
+// grt-health/1 report.
+func writeFleetObservability(res *platform.FleetResult, traceOut, healthOut string) error {
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteFleetTrace(f, res.EngineTrace, res.Scopes...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote fleet Chrome trace to %s (%d engine events; load in chrome://tracing)\n",
+			traceOut, res.EngineTrace.Len())
+	}
+	if healthOut != "" {
+		rep := cloud.EvaluateHealth(res.Fleet.Snapshot(), nil, cloud.DefaultHealthThresholds())
+		for _, sc := range res.Scopes {
+			rep.Sessions = append(rep.Sessions, cloud.EvaluateSessionHealth(sc.ID(), sc.Snapshot()))
+		}
+		f, err := os.Create(healthOut)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote fleet health report to %s (state: %s)\n", healthOut, rep.State)
+	}
 	return nil
 }

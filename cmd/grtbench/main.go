@@ -29,6 +29,8 @@ func main() {
 	perfOut := flag.String("perfout", "BENCH_PR4.json", "perf artifact output path (with -perf)")
 	fleet := flag.Bool("fleet", false, "run the multi-session fleet drill on the discrete-event engine and write a scheduling artifact")
 	fleetOut := flag.String("fleetout", "BENCH_PR6.json", "fleet artifact output path (with -fleet)")
+	traceOut := flag.String("trace-out", "", "with -fleet: write the instrumented drill's combined Chrome trace (per-session spans + engine handler spans) to this file")
+	healthOut := flag.String("health-out", "", "with -fleet: write the instrumented drill's fleet health report (grt-health/1 JSON, for grtdiag health) to this file")
 	engineFlag := flag.String("engine", "serial", "discrete-event engine for the fleet drill: serial|parallel (parallel also runs the serial baseline and reports the speedup)")
 	gpus := flag.Int("gpus", 1, "fleet drill sessions, one GPU each (with -fleet; 1 selects the default 16-session drill)")
 	flag.Parse()
@@ -43,10 +45,13 @@ func main() {
 		return
 	}
 	if *fleet {
-		if err := runFleet(*engineFlag, *gpus, *fleetOut); err != nil {
+		if err := runFleet(*engineFlag, *gpus, *fleetOut, *traceOut, *healthOut); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *traceOut != "" || *healthOut != "" {
+		log.Fatal("-trace-out and -health-out need -fleet")
 	}
 
 	var suite *experiments.Suite

@@ -92,6 +92,8 @@ func main() {
 	resumeFlag := flag.String("resume", "", "resume a lost session from this checkpoint file")
 	ckptFlag := flag.String("ckpt", "", "keep the latest job-boundary checkpoint in this file (enables resumable recording)")
 	maxResumesFlag := flag.Int("max-resumes", 0, "automatic resumes of a lost session before giving up (0 = default 3, negative = never)")
+	flightFlag := flag.String("flight-out", "", "write the service's flight-recorder journal (JSON Lines, for grtdiag flight) to this file (\"-\" for stdout); written on success and on failure")
+	bundleOutFlag := flag.String("bundle-out", "", "on failure, write the sealed diagnostic bundle (GRTD, for grtdiag bundle) to this file before exiting")
 	engineFlag := flag.String("engine", "serial", "discrete-event engine hosting the session(s): serial|parallel")
 	gpusFlag := flag.Int("gpus", 1, "number of GPUs (one record session each, sharing one engine)")
 	seedFlag := flag.Uint64("seed", 1, "session key / client seed derivation seed (with -gpus > 1 or -engine parallel)")
@@ -128,6 +130,7 @@ func main() {
 			"-faults": *faultsFlag != "", "-resume": *resumeFlag != "",
 			"-ckpt": *ckptFlag != "", "-max-resumes": *maxResumesFlag != 0,
 			"-metrics": *metricsFlag != "", "-trace-out": *traceFlag != "",
+			"-flight-out": *flightFlag != "", "-bundle-out": *bundleOutFlag != "",
 		} {
 			if set {
 				log.Fatalf("%s is not supported with -gpus > 1 or -engine parallel", name)
@@ -146,8 +149,18 @@ func main() {
 	client := gpurelay.NewClient("grtrecord-cli", sku)
 	svc := gpurelay.NewService()
 	var scope *gpurelay.Scope
-	if *metricsFlag != "" || *traceFlag != "" {
+	if *metricsFlag != "" || *traceFlag != "" || *flightFlag != "" {
+		// A scope is what routes the session's own events (sync phases,
+		// speculation commits, checkpoints) into the service's flight
+		// recorder, so -flight-out implies one.
 		scope = gpurelay.NewScope(fmt.Sprintf("record/%s/%v/%s", model.Name, variant, network.Name))
+	}
+	// fail writes the observability artifacts a failed session leaves behind
+	// — the flight journal and the sealed diagnostic bundle — then exits.
+	fail := func(format string, args ...any) {
+		writeFlight(svc, *flightFlag)
+		writeDiagBundle(svc, *bundleOutFlag)
+		log.Fatalf(format, args...)
 	}
 	fmt.Printf("recording %s on %s over %s with %v...\n", model.Name, sku.Name, network.Name, variant)
 	recOpts := gpurelay.RecordOptions{Variant: variant, Network: network, Obs: scope}
@@ -187,7 +200,7 @@ func main() {
 			}
 		}
 		if err != nil {
-			log.Fatalf("record: %v", err)
+			fail("record: %v", err)
 		}
 		if stats.Resumes > 0 {
 			fmt.Printf("survived %d session loss(es) via checkpoint resume\n", stats.Resumes)
@@ -195,7 +208,7 @@ func main() {
 	} else {
 		rec, stats, err = client.Record(svc, model, recOpts)
 		if err != nil {
-			log.Fatalf("record: %v", err)
+			fail("record: %v", err)
 		}
 	}
 
@@ -231,6 +244,45 @@ func main() {
 			fmt.Printf("wrote session timeline to %s (%d spans)\n", *traceFlag, len(scope.Spans()))
 		}
 	}
+	writeFlight(svc, *flightFlag)
+}
+
+// writeFlight dumps the service's flight-recorder journal as JSON Lines.
+// It runs on success and on failure — the journal is most valuable when the
+// session just died.
+func writeFlight(svc *gpurelay.Service, path string) {
+	if path == "" {
+		return
+	}
+	if err := writeOutput(path, svc.WriteFlight); err != nil {
+		fmt.Fprintf(os.Stderr, "grtrecord: writing flight journal to %s: %v\n", path, err)
+		return
+	}
+	if path != "-" {
+		fmt.Printf("wrote flight journal to %s (%d events)\n", path, len(svc.FlightEvents()))
+	}
+}
+
+// writeDiagBundle saves the newest sealed diagnostic bundle the service
+// captured, if any, so a failed run leaves verifiable evidence behind
+// (open it with grtdiag bundle -in <path>).
+func writeDiagBundle(svc *gpurelay.Service, path string) {
+	if path == "" {
+		return
+	}
+	sb, ok := svc.LastDiagBundle()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "grtrecord: no diagnostic bundle was captured")
+		return
+	}
+	err := writeOutput(path, func(w io.Writer) error {
+		return gpurelay.EncodeDiagBundle(w, sb, svc.BundleKey())
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grtrecord: writing diagnostic bundle to %s: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "grtrecord: wrote sealed diagnostic bundle to %s\n", path)
 }
 
 // writeOutput writes via fn to path, or to stdout when path is "-".

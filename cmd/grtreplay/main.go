@@ -109,8 +109,9 @@ func main() {
 	recFlag := flag.String("recording", "", "recording bundle from grtrecord")
 	skuFlag := flag.String("sku", "g71", "device GPU SKU: g71|g72|g52|g76")
 	nFlag := flag.Int("n", 1, "number of replays")
-	metricsFlag := flag.String("metrics", "", "write replay metrics in Prometheus text format to this file (\"-\" for stdout)")
+	metricsFlag := flag.String("metrics", "", "write the complete metrics registry (ingest, replay, fleet counters) in Prometheus text format to this file (\"-\" for stdout)")
 	traceFlag := flag.String("trace-out", "", "write the replay timeline as Chrome trace JSON to this file (load in chrome://tracing or Perfetto)")
+	bundleOutFlag := flag.String("bundle-out", "", "on rejection, write the sealed diagnostic bundle (GRTD) to this file before exiting")
 	compareFlag := flag.String("compare", "", "second recording bundle: verify both are byte-identical and replay to identical outputs")
 	auditFlag := flag.Bool("audit", false, "verify and structurally audit the bundle without replaying; exit 2 with a JSON report if it is rejected")
 	engineFlag := flag.String("engine", "serial", "discrete-event engine hosting the replay(s): serial|parallel")
@@ -145,35 +146,37 @@ func main() {
 		if *gpusFlag != 1 && *gpusFlag != len(entries) {
 			log.Fatalf("-gpus %d, but %s holds %d per-GPU recording(s)", *gpusFlag, *recFlag, len(entries))
 		}
-		if *compareFlag != "" || *auditFlag || *metricsFlag != "" || *traceFlag != "" {
-			log.Fatal("-compare, -audit, -metrics and -trace-out work on the classic single-GPU replay path only")
+		if *compareFlag != "" || *auditFlag || *metricsFlag != "" || *traceFlag != "" || *bundleOutFlag != "" {
+			log.Fatal("-compare, -audit, -metrics, -trace-out and -bundle-out work on the classic single-GPU replay path only")
 		}
 		runPlatformReplay(entries, sku, *engineFlag, *nFlag)
 		return
 	}
 	payload, mac, key := entries[0].Payload, entries[0].MAC, entries[0].Key
-	rec, err := gpurelay.RecordingFromBundle(payload, mac, key)
+	// The classic path routes the recording through the service's ingestion
+	// boundary (MAC verify → bounded parse → structural audit), so the
+	// grt_ingest_* counters, quarantine, and — on rejection — a sealed
+	// diagnostic bundle all populate exactly as they would on a real service.
+	svc := gpurelay.NewService()
+	rec, err := svc.IngestRecording(payload, mac, key)
 	if err != nil {
-		reject(*recFlag, "verify", payload, err)
+		writeRejectBundle(svc, *bundleOutFlag)
+		reject(*recFlag, "ingest", payload, err)
 	}
 	fmt.Printf("verified recording of %s for GPU product %#x\n", rec.Workload, rec.ProductID)
 
 	if *auditFlag {
-		if err := rec.Audit(); err != nil {
-			reject(*recFlag, "audit", payload, err)
-		}
+		// Ingestion already ran the structural audit; reaching here means
+		// the bundle passed it.
 		fmt.Printf("audit: %s passed all structural checks\n", *recFlag)
 		if *compareFlag != "" {
 			payload2, mac2, key2, err := readSingle(*compareFlag)
 			if err != nil {
 				log.Fatal(err)
 			}
-			rec2, err := gpurelay.RecordingFromBundle(payload2, mac2, key2)
-			if err != nil {
-				reject(*compareFlag, "verify", payload2, err)
-			}
-			if err := rec2.Audit(); err != nil {
-				reject(*compareFlag, "audit", payload2, err)
+			if _, err := svc.IngestRecording(payload2, mac2, key2); err != nil {
+				writeRejectBundle(svc, *bundleOutFlag)
+				reject(*compareFlag, "ingest", payload2, err)
 			}
 			fmt.Printf("audit: %s passed all structural checks\n", *compareFlag)
 		}
@@ -187,7 +190,11 @@ func main() {
 	}
 	var scope *gpurelay.Scope
 	if *metricsFlag != "" || *traceFlag != "" {
-		scope = gpurelay.NewScope(fmt.Sprintf("replay/%s", rec.Workload))
+		// The scope aggregates into the service's fleet registry, so
+		// -metrics dumps one complete registry: replay counters alongside
+		// the ingest outcomes above.
+		scope = gpurelay.NewScopeWith(fmt.Sprintf("replay/%s", rec.Workload),
+			gpurelay.ScopeOptions{Fleet: svc.FleetRegistry()})
 		sess.Instrument(scope)
 	}
 
@@ -197,9 +204,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rec2, err := gpurelay.RecordingFromBundle(payload2, mac2, key2)
+		rec2, err := svc.IngestRecording(payload2, mac2, key2)
 		if err != nil {
-			reject(*compareFlag, "verify", payload2, err)
+			writeRejectBundle(svc, *bundleOutFlag)
+			reject(*compareFlag, "ingest", payload2, err)
 		}
 		if !bytes.Equal(payload, payload2) {
 			reject(*compareFlag, "compare", payload2, fmt.Errorf(
@@ -289,11 +297,11 @@ func main() {
 		}
 	}
 	if *metricsFlag != "" {
-		if err := writeOutput(*metricsFlag, scope.Snapshot().WritePrometheus); err != nil {
+		if err := writeOutput(*metricsFlag, svc.WriteMetrics); err != nil {
 			log.Fatalf("writing metrics to %s: %v", *metricsFlag, err)
 		}
 		if *metricsFlag != "-" {
-			fmt.Printf("wrote replay metrics to %s\n", *metricsFlag)
+			fmt.Printf("wrote complete metrics registry to %s\n", *metricsFlag)
 		}
 	}
 	if *traceFlag != "" {
@@ -304,6 +312,27 @@ func main() {
 			fmt.Printf("wrote replay timeline to %s (%d spans)\n", *traceFlag, len(scope.Spans()))
 		}
 	}
+}
+
+// writeRejectBundle exports the service's latest sealed diagnostic bundle
+// (captured by the ingestion rejection) to path, when -bundle-out was given.
+func writeRejectBundle(svc *gpurelay.Service, path string) {
+	if path == "" {
+		return
+	}
+	sb, ok := svc.LastDiagBundle()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "grtreplay: no diagnostic bundle was captured")
+		return
+	}
+	err := writeOutput(path, func(w io.Writer) error {
+		return gpurelay.EncodeDiagBundle(w, sb, svc.BundleKey())
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grtreplay: writing diagnostic bundle to %s: %v\n", path, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "grtreplay: wrote diagnostic bundle to %s\n", path)
 }
 
 // writeOutput writes via fn to path, or to stdout when path is "-".

@@ -156,6 +156,10 @@ type ScopeOptions = obs.Options
 // (WritePrometheus).
 type MetricsSnapshot = obs.Snapshot
 
+// MetricsRegistry is a live metrics registry (the type behind
+// Service.FleetRegistry and ScopeOptions.Fleet).
+type MetricsRegistry = obs.Registry
+
 // MetricLabel selects one series of a labeled metric when reading a
 // MetricsSnapshot, e.g. Counter("grt_net_rtts_total", Label("mode", "blocking")).
 type MetricLabel = obs.Label
@@ -170,6 +174,68 @@ func NewScope(id string) *Scope { return obs.NewScope(id, obs.Options{}) }
 
 // NewScopeWith creates a telemetry scope with explicit options.
 func NewScopeWith(id string, opts ScopeOptions) *Scope { return obs.NewScope(id, opts) }
+
+// FlightEvent is one structured flight-recorder journal entry: a virtual
+// timestamp, the session it belongs to, a stable kind token (admission,
+// sync, spec_commit, fault, resync, checkpoint, resume, ingest_reject, …),
+// and numeric arguments.
+type FlightEvent = obs.FlightEvent
+
+// FlightRecorder is a bounded, thread-safe ring of FlightEvents. A nil
+// *FlightRecorder is a true no-op, mirroring Scope's nil semantics.
+type FlightRecorder = obs.FlightRecorder
+
+// NewFlightRecorder creates a flight recorder retaining at most capacity
+// events (0 → 4096).
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewFlightRecorder(capacity) }
+
+// ReadFlight decodes a flight journal from its JSON Lines form.
+func ReadFlight(r io.Reader) ([]FlightEvent, error) { return obs.ReadFlightJSONL(r) }
+
+// DiagBundle is a diagnostic bundle: the sealed evidence artifact the
+// service captures on failure paths (ingest rejection, checkpoint
+// corruption), packaging the flight-recorder tail, a metrics snapshot, and
+// the quarantine entry when one exists.
+type DiagBundle = audit.Bundle
+
+// SealedDiagBundle pairs a DiagBundle with its HMAC seal.
+type SealedDiagBundle = audit.SealedBundle
+
+// EncodeDiagBundle writes a sealed bundle as a GRTD file (the format grtdiag
+// bundle reads).
+func EncodeDiagBundle(w io.Writer, sb SealedDiagBundle, key []byte) error {
+	return audit.EncodeBundleFile(w, sb.Signed, key)
+}
+
+// OpenDiagBundleFile reads a GRTD file, verifies its seal, and decodes the
+// bundle.
+func OpenDiagBundleFile(r io.Reader) (*DiagBundle, error) {
+	payload, mac, key, err := audit.DecodeBundleFile(r)
+	if err != nil {
+		return nil, err
+	}
+	return audit.OpenBundle(payload, mac, key)
+}
+
+// HealthThresholds tunes the fleet health rollup (ServiceConfig.Health).
+type HealthThresholds = cloud.HealthThresholds
+
+// HealthReport is one window's fleet health rollup: a threshold state
+// (healthy, degraded, unhealthy), the reasons, and the window's SLO summary.
+type HealthReport = cloud.HealthReport
+
+// HealthState is a rollup verdict: healthy, degraded, or unhealthy.
+type HealthState = cloud.HealthState
+
+// Health states.
+const (
+	HealthHealthy   = cloud.Healthy
+	HealthDegraded  = cloud.Degraded
+	HealthUnhealthy = cloud.Unhealthy
+)
+
+// SessionHealth is one session's health row inside a HealthReport.
+type SessionHealth = cloud.SessionHealth
 
 // Recording is a signed, replayable capture of one workload on one GPU SKU.
 type Recording struct {
@@ -355,6 +421,18 @@ type Service struct {
 	// quarantine retains the recordings IngestRecording rejected, with
 	// fingerprints and stable reasons, and feeds the grt_ingest_* metrics.
 	quarantine *audit.Quarantine
+	// flight journals structured events (admissions, sync phases,
+	// speculation commits, faults, resumes, ingest rejections) across every
+	// session the service hosts, stamped with each session's virtual time.
+	// Nil when disabled; every write is nil-safe and free.
+	flight *obs.FlightRecorder
+	// bundles retains the sealed diagnostic bundles captured on failure
+	// paths; bundleKey seals them (drawn at service construction, the way a
+	// real service would hold an evidence-signing key).
+	bundles   *audit.BundleLog
+	bundleKey []byte
+	// health rolls the fleet registry into windowed SLO health reports.
+	health *cloud.HealthTracker
 }
 
 // ServiceConfig tunes a Service. The zero value gives a pool of 16
@@ -373,6 +451,14 @@ type ServiceConfig struct {
 	// HistoryK is the speculation confidence threshold for the shared
 	// history store (0 → 3).
 	HistoryK int
+	// FlightCapacity bounds the service's flight recorder (0 → 4096 events;
+	// negative → flight recording and diagnostic-bundle capture disabled).
+	// Disabling changes nothing observable about recordings — the flight
+	// recorder is strictly a witness.
+	FlightCapacity int
+	// Health tunes the fleet health rollup thresholds (zero value →
+	// defaults; see HealthThresholds).
+	Health HealthThresholds
 }
 
 // NewService creates a cloud service hosting the default Bifrost GPU-stack
@@ -399,14 +485,33 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 	mgr.Instrument(fleet)
 	histories := shim.NewHistoryStore(k)
 	histories.Instrument(fleet)
-	return &Service{
+	s := &Service{
 		svc: svc, mgr: mgr, image: img, histories: histories, fleet: fleet,
 		quarantine: audit.New(0),
+		health:     cloud.NewHealthTracker(cfg.Health),
 	}
+	if cfg.FlightCapacity >= 0 {
+		s.flight = obs.NewFlightRecorder(cfg.FlightCapacity)
+		s.bundles = audit.NewBundleLog(0)
+		s.bundleKey = make([]byte, 32)
+		if _, err := rand.Read(s.bundleKey); err != nil {
+			// No entropy means no evidence seal; run without bundles rather
+			// than sealing under a predictable key.
+			s.bundles, s.bundleKey = nil, nil
+		}
+		mgr.InstrumentFlight(s.flight)
+	}
+	return s
 }
 
 // Metrics returns a snapshot of the service's fleet-wide metrics registry.
 func (s *Service) Metrics() *MetricsSnapshot { return s.fleet.Snapshot() }
+
+// FleetRegistry exposes the service's live fleet registry, so callers can
+// aggregate their own scopes into it (ScopeOptions.Fleet) — e.g. a replay
+// scope whose counters should land on the same /metrics surface as the
+// service's ingest and admission counters.
+func (s *Service) FleetRegistry() *MetricsRegistry { return s.fleet }
 
 // WriteMetrics writes the fleet metrics in Prometheus text exposition
 // format (what a /metrics endpoint would serve).
@@ -431,6 +536,10 @@ func (s *Service) IngestRecording(payload, mac, key []byte) (*Recording, error) 
 		s.fleet.Add(obs.MIngestRecordings, 1, obs.L("outcome", "rejected"))
 		s.fleet.Add(obs.MIngestRejects, 1, obs.L("reason", e.Reason))
 		s.fleet.GaugeSet(obs.MIngestQuarantine, int64(len(s.quarantine.Entries())))
+		// Ingestion happens outside any session clock; the rejection lands
+		// on the flight timeline at t=0 and seals a diagnostic bundle.
+		s.flight.Emit(0, "", obs.FKIngestReject, e.Reason, obs.A("bytes", int64(len(payload))))
+		s.captureBundle("", err, 0, &e)
 		return nil, err
 	}
 	s.fleet.Add(obs.MIngestRecordings, 1, obs.L("outcome", "accepted"))
@@ -458,6 +567,54 @@ func (s *Service) ingest(payload, mac, key []byte) (*Recording, error) {
 
 // Quarantined returns the retained rejection entries, oldest first.
 func (s *Service) Quarantined() []QuarantineEntry { return s.quarantine.Entries() }
+
+// captureBundle seals a diagnostic bundle from the observability state at a
+// failure: the flight-recorder tail, a fleet metrics snapshot, and the
+// quarantine entry when the failure crossed the ingestion boundary. A no-op
+// when the service runs with flight recording disabled.
+func (s *Service) captureBundle(session string, err error, vt time.Duration, q *audit.Entry) {
+	if s.bundles == nil {
+		return
+	}
+	b := audit.CaptureBundle(session, err, vt, s.flight.Tail(bundleFlightTail), s.fleet.Snapshot(), q)
+	signed, serr := b.Seal(s.bundleKey)
+	if serr != nil {
+		return
+	}
+	s.bundles.Add(audit.SealedBundle{Bundle: b, Signed: signed})
+	s.flight.Emit(vt, session, obs.FKBundle, b.Reason)
+}
+
+// bundleFlightTail is how many trailing flight events a diagnostic bundle
+// packages: enough to see the failing session's recent phases without
+// shipping the whole journal.
+const bundleFlightTail = 64
+
+// FlightEvents returns the service's retained flight-recorder journal,
+// oldest first (nil when flight recording is disabled).
+func (s *Service) FlightEvents() []FlightEvent { return s.flight.Events() }
+
+// WriteFlight writes the flight journal as JSON Lines — the format grtdiag
+// flight reads back.
+func (s *Service) WriteFlight(w io.Writer) error { return s.flight.WriteJSONL(w) }
+
+// DiagBundles returns the sealed diagnostic bundles captured so far, oldest
+// first.
+func (s *Service) DiagBundles() []SealedDiagBundle { return s.bundles.Entries() }
+
+// LastDiagBundle returns the most recent diagnostic bundle, if any was
+// captured.
+func (s *Service) LastDiagBundle() (SealedDiagBundle, bool) { return s.bundles.Last() }
+
+// BundleKey exposes the service's evidence-sealing key so a sealed bundle
+// can be exported with EncodeDiagBundle (the demo-CLI convention; a real
+// deployment keeps it in secure storage).
+func (s *Service) BundleKey() []byte { return append([]byte(nil), s.bundleKey...) }
+
+// Health rolls the window since the previous Health call into a fleet health
+// report and starts a new window. The first call reports since service
+// construction.
+func (s *Service) Health() *HealthReport { return s.health.Observe(s.fleet.Snapshot()) }
 
 // ActiveVMs reports the number of live recording VMs.
 func (s *Service) ActiveVMs() int { return s.mgr.ActiveVMs() }
@@ -531,6 +688,7 @@ func (c *Client) RecordContext(ctx context.Context, svc *Service, model *Model, 
 		return nil, RecordStats{}, err
 	}
 	opts.Obs.AttachFleet(svc.fleet)
+	opts.Obs.AttachFlight(svc.flight)
 	vm, err := svc.mgr.Acquire(ctx, c.ID, svc.image.Name, compat, nonce)
 	if err != nil {
 		return nil, RecordStats{}, fmt.Errorf("gpurelay: launching recording VM: %w", err)
@@ -624,6 +782,7 @@ func (c *Client) RecordSegmentedContext(ctx context.Context, svc *Service, model
 		hist = svc.SharedHistory(c.SKU, model)
 	}
 	opts.Obs.AttachFleet(svc.fleet)
+	opts.Obs.AttachFlight(svc.flight)
 	res, err := record.RunContext(ctx, record.Config{
 		Variant: opts.Variant, Model: model, SKU: c.SKU, Network: opts.Network,
 		SessionKey: key, History: hist,

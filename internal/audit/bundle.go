@@ -1,0 +1,286 @@
+// Diagnostic bundles: the sealed evidence artifact captured automatically on
+// a failure path (ingest rejection, resync divergence, checkpoint
+// corruption). A bundle packages everything an operator needs to triage the
+// failure after the fact — the flight-recorder tail leading up to it, a
+// metrics snapshot, and the quarantine entry when one exists — and is sealed
+// with HMAC-SHA256 so the evidence itself is tamper-evident, the same
+// property recordings and checkpoints already have.
+package audit
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"gpurelay/internal/obs"
+	"gpurelay/internal/trace"
+)
+
+// BundleSchema identifies the diagnostic-bundle JSON payload version.
+const BundleSchema = "grt-diag/1"
+
+// BundleMagic is the on-disk magic of a sealed bundle file ("GRTD"), followed
+// by uint32-LE length-prefixed chunks (payload, mac, key) — the same chunk
+// layout as recording ("GRTB") and checkpoint ("GRTC") files.
+const BundleMagic = "GRTD"
+
+// Bundle is one diagnostic bundle's payload: what failed, when (virtual
+// time), and the observability state around the failure.
+type Bundle struct {
+	Schema string `json:"schema"`
+	// Session names the failing session ("" for sessionless failures such
+	// as ingest rejections).
+	Session string `json:"session,omitempty"`
+	// Reason is the stable rejection token (Reason* constants).
+	Reason string `json:"reason"`
+	// Detail is the failure error's message.
+	Detail string `json:"detail"`
+	// Fingerprint identifies the offending payload when one exists
+	// (truncated SHA-256, matching the quarantine entry).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// VTNS is the virtual time of capture, in nanoseconds.
+	VTNS int64 `json:"vt_ns"`
+	// Flight is the flight-recorder tail leading up to the failure.
+	Flight []obs.FlightEvent `json:"flight,omitempty"`
+	// Metrics is a Prometheus text exposition of the registry snapshot at
+	// capture (text, not structured: the exposition format is the stable
+	// contract every other surface already speaks).
+	Metrics string `json:"metrics,omitempty"`
+	// Quarantine is the matching quarantine entry, when the failure passed
+	// through the ingestion boundary.
+	Quarantine *Entry `json:"quarantine,omitempty"`
+}
+
+// CaptureBundle assembles a diagnostic bundle from the observability state at
+// a failure. Any of flight/metrics/quarantine may be nil/empty — a bundle
+// captured from an uninstrumented service still records reason and detail.
+func CaptureBundle(session string, err error, vt time.Duration,
+	flight []obs.FlightEvent, metrics *obs.Snapshot, q *Entry) *Bundle {
+	b := &Bundle{
+		Schema:  BundleSchema,
+		Session: session,
+		Reason:  Reason(err),
+		Detail:  err.Error(),
+		VTNS:    vt.Nanoseconds(),
+		Flight:  flight,
+	}
+	if q != nil {
+		qc := *q
+		b.Quarantine = &qc
+		b.Fingerprint = q.Fingerprint
+	}
+	if metrics != nil {
+		b.Metrics = metrics.Prometheus()
+	}
+	return b
+}
+
+// Seal signs the bundle's canonical JSON encoding under key.
+func (b *Bundle) Seal(key []byte) (*trace.Signed, error) {
+	payload, err := json.Marshal(b)
+	if err != nil {
+		return nil, err
+	}
+	return trace.SignBytes(payload, key)
+}
+
+// OpenBundle verifies a sealed bundle and decodes its payload. A bad MAC or
+// a payload that is not a BundleSchema document fails.
+func OpenBundle(payload, mac, key []byte) (*Bundle, error) {
+	if len(mac) != 32 {
+		return nil, fmt.Errorf("audit: bundle MAC must be 32 bytes, got %d", len(mac))
+	}
+	s := &trace.Signed{Payload: payload}
+	copy(s.MAC[:], mac)
+	verified, err := trace.VerifyBytes(s, key)
+	if err != nil {
+		return nil, fmt.Errorf("audit: bundle seal: %w", err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(verified, &b); err != nil {
+		return nil, fmt.Errorf("audit: bundle payload: %w", err)
+	}
+	if b.Schema != BundleSchema {
+		return nil, fmt.Errorf("audit: bundle schema %q, want %q", b.Schema, BundleSchema)
+	}
+	return &b, nil
+}
+
+// Render pretty-prints the bundle for terminal output (grtdiag bundle).
+func (b *Bundle) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "diagnostic bundle (%s)\n", b.Schema)
+	if b.Session != "" {
+		fmt.Fprintf(&sb, "  session:     %s\n", b.Session)
+	}
+	fmt.Fprintf(&sb, "  reason:      %s\n", b.Reason)
+	fmt.Fprintf(&sb, "  detail:      %s\n", b.Detail)
+	if b.Fingerprint != "" {
+		fmt.Fprintf(&sb, "  fingerprint: %s\n", b.Fingerprint)
+	}
+	fmt.Fprintf(&sb, "  virtual time: %.6f ms\n", float64(b.VTNS)/1e6)
+	if b.Quarantine != nil {
+		fmt.Fprintf(&sb, "  quarantine:  %s (%d bytes): %s\n",
+			b.Quarantine.Reason, b.Quarantine.Bytes, b.Quarantine.Detail)
+	}
+	if len(b.Flight) > 0 {
+		fmt.Fprintf(&sb, "  flight tail (%d events):\n", len(b.Flight))
+		for _, e := range b.Flight {
+			fmt.Fprintf(&sb, "    %s\n", e)
+		}
+	}
+	if b.Metrics != "" {
+		fmt.Fprintf(&sb, "  metrics snapshot: %d lines of Prometheus text\n",
+			strings.Count(b.Metrics, "\n"))
+	}
+	return sb.String()
+}
+
+// SealedBundle pairs a bundle with its seal, as retained by a BundleLog.
+type SealedBundle struct {
+	Bundle *Bundle
+	Signed *trace.Signed
+}
+
+// DefaultBundleCapacity bounds a BundleLog's retained bundles.
+const DefaultBundleCapacity = 32
+
+// BundleLog is a bounded, thread-safe ring of sealed diagnostic bundles,
+// newest-biased like the quarantine: when full the oldest is dropped, while
+// the total capture count stays monotonic.
+type BundleLog struct {
+	mu      sync.Mutex
+	bundles []SealedBundle
+	start   int
+	total   int
+	cap     int
+}
+
+// NewBundleLog creates a log retaining at most capacity bundles
+// (DefaultBundleCapacity if <= 0).
+func NewBundleLog(capacity int) *BundleLog {
+	if capacity <= 0 {
+		capacity = DefaultBundleCapacity
+	}
+	return &BundleLog{cap: capacity}
+}
+
+// Add retains one sealed bundle. Safe (and a no-op) on a nil log.
+func (l *BundleLog) Add(sb SealedBundle) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.bundles) < l.cap {
+		l.bundles = append(l.bundles, sb)
+	} else {
+		l.bundles[l.start] = sb
+		l.start = (l.start + 1) % l.cap
+	}
+}
+
+// Entries returns the retained bundles, oldest first.
+func (l *BundleLog) Entries() []SealedBundle {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SealedBundle, 0, len(l.bundles))
+	for i := 0; i < len(l.bundles); i++ {
+		out = append(out, l.bundles[(l.start+i)%len(l.bundles)])
+	}
+	return out
+}
+
+// Last returns the newest retained bundle, or a zero SealedBundle and false
+// when none has been captured.
+func (l *BundleLog) Last() (SealedBundle, bool) {
+	if l == nil {
+		return SealedBundle{}, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.bundles) == 0 {
+		return SealedBundle{}, false
+	}
+	idx := (l.start + len(l.bundles) - 1) % len(l.bundles)
+	return l.bundles[idx], true
+}
+
+// Total returns the number of bundles ever captured, including ones since
+// evicted from the ring.
+func (l *BundleLog) Total() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// EncodeBundleFile writes a sealed bundle in the GRTD file layout: magic +
+// uint32-LE length-prefixed (payload, mac, key) chunks. Bundling the key
+// follows the demo-CLI convention of recordings and checkpoints; a real
+// deployment keeps it in secure storage.
+func EncodeBundleFile(w io.Writer, signed *trace.Signed, key []byte) error {
+	if _, err := io.WriteString(w, BundleMagic); err != nil {
+		return err
+	}
+	for _, chunk := range [][]byte{signed.Payload, signed.MAC[:], key} {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(chunk))); err != nil {
+			return err
+		}
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeBundleFile reads a GRTD file back into (payload, mac, key) chunks.
+// It bounds each chunk by the bytes actually present, so a corrupt length
+// prefix cannot force allocation beyond the file size.
+func DecodeBundleFile(r io.Reader) (payload, mac, key []byte, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(data) < len(BundleMagic) || string(data[:len(BundleMagic)]) != BundleMagic {
+		return nil, nil, nil, fmt.Errorf("audit: not a diagnostic bundle (GRTD) file")
+	}
+	rest := data[len(BundleMagic):]
+	next := func() ([]byte, error) {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("audit: bundle file truncated")
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint32(len(rest)) < n {
+			return nil, fmt.Errorf("audit: bundle chunk of %d bytes, %d remain", n, len(rest))
+		}
+		chunk := rest[:n]
+		rest = rest[n:]
+		return chunk, nil
+	}
+	if payload, err = next(); err != nil {
+		return nil, nil, nil, err
+	}
+	if mac, err = next(); err != nil {
+		return nil, nil, nil, err
+	}
+	if key, err = next(); err != nil {
+		return nil, nil, nil, err
+	}
+	if len(bytes.TrimSpace(rest)) != 0 {
+		return nil, nil, nil, fmt.Errorf("audit: %d trailing bytes after bundle chunks", len(rest))
+	}
+	return payload, mac, key, nil
+}

@@ -1,0 +1,373 @@
+// Fleet health rollups: an obs-fed model that folds the service's fleet
+// metrics registry into per-window SLO summaries (admission waits,
+// speculation hit rate, fault/resume/reject rates, record amplification) and
+// a threshold-based health state. Counters are monotonic, so health is
+// evaluated over windows — the delta between two registry snapshots — which
+// is what lets a fleet recover: a VM that gave up a session last window and
+// records cleanly this window is healthy again.
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"gpurelay/internal/obs"
+)
+
+// HealthState is the threshold-based rollup verdict.
+type HealthState string
+
+// Health states, ordered by severity.
+const (
+	Healthy   HealthState = "healthy"
+	Degraded  HealthState = "degraded"
+	Unhealthy HealthState = "unhealthy"
+)
+
+// worse reports whether a is more severe than b.
+func worse(a, b HealthState) bool {
+	rank := map[HealthState]int{Healthy: 0, Degraded: 1, Unhealthy: 2}
+	return rank[a] > rank[b]
+}
+
+// HealthSchema identifies the health-report JSON version (grtdiag health,
+// grtbench -health-out).
+const HealthSchema = "grt-health/1"
+
+// HealthThresholds tunes the rollup. Zero values select defaults noted per
+// field; negative values disable a check where noted.
+type HealthThresholds struct {
+	// MaxAdmissionWaitP99 degrades the fleet when the windowed p99
+	// admission wait exceeds it (0 → 2s; negative → disabled).
+	MaxAdmissionWaitP99 time.Duration
+	// MinSpecHitRate degrades the fleet when the windowed speculation hit
+	// rate (speculated commits / all commits) falls below it — checked only
+	// when > 0 and the window actually committed through a speculating
+	// recorder, so non-speculating variants never false-degrade.
+	MinSpecHitRate float64
+	// MaxFaultsPerSession degrades the fleet when the window fired more
+	// faults per completed-or-crashed session than this (0 → any fault
+	// degrades; negative → disabled).
+	MaxFaultsPerSession float64
+	// MaxRecordAmplification degrades the fleet when sessions per unique
+	// workload (approximated by speculation-history misses) exceeds it.
+	// 0 disables: until the content-addressed recording cache lands,
+	// amplification is report-only.
+	MaxRecordAmplification float64
+}
+
+func (t HealthThresholds) withDefaults() HealthThresholds {
+	if t.MaxAdmissionWaitP99 == 0 {
+		t.MaxAdmissionWaitP99 = 2 * time.Second
+	}
+	return t
+}
+
+// DefaultHealthThresholds returns the thresholds the service and CLIs use.
+func DefaultHealthThresholds() HealthThresholds {
+	return HealthThresholds{}.withDefaults()
+}
+
+// HealthStats is one window's SLO summary: deltas between two fleet-registry
+// snapshots, plus the derived rates.
+type HealthStats struct {
+	Sessions       int64   `json:"sessions"`
+	Crashes        int64   `json:"crashes"`
+	Resumed        int64   `json:"resumed"`
+	GaveUp         int64   `json:"gave_up"`
+	FaultsFired    int64   `json:"faults_fired"`
+	Checkpoints    int64   `json:"checkpoints"`
+	IngestAccepted int64   `json:"ingest_accepted"`
+	IngestRejected int64   `json:"ingest_rejected"`
+	Admissions     int64   `json:"admissions"`
+	AdmissionP50   float64 `json:"admission_wait_p50_s"`
+	AdmissionP99   float64 `json:"admission_wait_p99_s"`
+	Commits        int64   `json:"commits"`
+	SpecCommits    int64   `json:"spec_commits"`
+	SpecHitRate    float64 `json:"spec_hit_rate"`
+	Mispredictions int64   `json:"mispredictions"`
+	HistoryMisses  int64   `json:"history_misses"`
+	// RecordAmplification approximates records per unique workload:
+	// completed sessions over speculation-history misses (a miss warms a
+	// fresh (SKU, stack, workload) entry). 0 when the window recorded
+	// nothing.
+	RecordAmplification float64 `json:"record_amplification"`
+}
+
+// SessionHealth is one session's (or VM's) rollup, evaluated from its
+// per-session scope snapshot.
+type SessionHealth struct {
+	Session        string      `json:"session"`
+	State          HealthState `json:"state"`
+	Reasons        []string    `json:"reasons,omitempty"`
+	FaultsFired    int64       `json:"faults_fired"`
+	Resyncs        int64       `json:"resyncs"`
+	Mispredictions int64       `json:"mispredictions"`
+	GuardViolation int64       `json:"guard_violations"`
+	SpecHitRate    float64     `json:"spec_hit_rate"`
+}
+
+// HealthReport is the full rollup: fleet-wide state plus optional per-session
+// rows. Its JSON form is deterministic and stable (grt-health/1).
+type HealthReport struct {
+	Schema   string          `json:"schema"`
+	State    HealthState     `json:"state"`
+	Reasons  []string        `json:"reasons,omitempty"`
+	Window   HealthStats     `json:"window"`
+	Sessions []SessionHealth `json:"sessions,omitempty"`
+}
+
+// delta reads a counter's windowed increase. Both snapshots may be nil (a
+// nil prev means "since the beginning").
+func delta(cur, prev *obs.Snapshot, name string, labels ...obs.Label) int64 {
+	return cur.Counter(name, labels...) - prev.Counter(name, labels...)
+}
+
+func deltaTotal(cur, prev *obs.Snapshot, name string) int64 {
+	return cur.CounterTotal(name) - prev.CounterTotal(name)
+}
+
+// histQuantile estimates a quantile of a histogram family's windowed
+// observations from cumulative bucket deltas: the upper bound of the first
+// bucket covering the quantile, the conservative (pessimistic) estimate SLO
+// gates want. Observations in the +Inf bucket report the histogram's largest
+// finite bound. Returns 0 when the window observed nothing.
+func histQuantile(cur, prev *obs.Snapshot, name string, q float64) float64 {
+	if cur == nil {
+		return 0
+	}
+	var fam *obs.SnapFamily
+	for i := range cur.Families {
+		if cur.Families[i].Name == name {
+			fam = &cur.Families[i]
+			break
+		}
+	}
+	if fam == nil || len(fam.Series) == 0 {
+		return 0
+	}
+	// Sum cumulative bucket counts across series (the admission-wait family
+	// is unlabeled, but stay correct if labels appear later), then subtract
+	// the previous window's.
+	counts := make([]uint64, len(fam.Buckets)+1)
+	accumulate := func(s *obs.Snapshot, sign int64) {
+		if s == nil {
+			return
+		}
+		for i := range s.Families {
+			if s.Families[i].Name != name {
+				continue
+			}
+			for _, ser := range s.Families[i].Series {
+				for j := range ser.Counts {
+					if j < len(counts) {
+						counts[j] = uint64(int64(counts[j]) + sign*int64(ser.Counts[j]))
+					}
+				}
+			}
+		}
+	}
+	accumulate(cur, 1)
+	accumulate(prev, -1)
+	total := counts[len(counts)-1]
+	if total == 0 {
+		return 0
+	}
+	// Nearest-rank: ceil(q·N), so a single straggler among 1/(1-q)
+	// observations still lands the quantile in its bucket.
+	want := uint64(math.Ceil(q * float64(total)))
+	if want < 1 {
+		want = 1
+	}
+	for i, ub := range fam.Buckets {
+		if counts[i] >= want {
+			return ub
+		}
+	}
+	return fam.Buckets[len(fam.Buckets)-1]
+}
+
+// windowStats folds the snapshot delta into one window's SLO summary.
+func windowStats(cur, prev *obs.Snapshot) HealthStats {
+	st := HealthStats{
+		Sessions:       delta(cur, prev, obs.MFleetSessions),
+		Crashes:        delta(cur, prev, obs.MFleetVMCrashes),
+		Resumed:        delta(cur, prev, obs.MFleetResumes, obs.L("outcome", "resumed")),
+		GaveUp:         delta(cur, prev, obs.MFleetResumes, obs.L("outcome", "gave_up")),
+		FaultsFired:    deltaTotal(cur, prev, obs.MFaultsFired),
+		Checkpoints:    delta(cur, prev, obs.MCkptCheckpoints),
+		IngestAccepted: delta(cur, prev, obs.MIngestRecordings, obs.L("outcome", "accepted")),
+		IngestRejected: delta(cur, prev, obs.MIngestRecordings, obs.L("outcome", "rejected")),
+		Admissions:     deltaTotal(cur, prev, obs.MFleetAdmissions),
+		AdmissionP50:   histQuantile(cur, prev, obs.MFleetAdmissionWait, 0.50),
+		AdmissionP99:   histQuantile(cur, prev, obs.MFleetAdmissionWait, 0.99),
+		Commits:        deltaTotal(cur, prev, obs.MShimCommits),
+		SpecCommits:    delta(cur, prev, obs.MShimCommits, obs.L("kind", "async")),
+		Mispredictions: delta(cur, prev, obs.MShimMispredictions),
+		HistoryMisses:  delta(cur, prev, obs.MFleetHistoryLookups, obs.L("result", "miss")),
+	}
+	if st.Commits > 0 {
+		st.SpecHitRate = float64(st.SpecCommits) / float64(st.Commits)
+	}
+	if st.HistoryMisses > 0 {
+		st.RecordAmplification = float64(st.Sessions) / float64(st.HistoryMisses)
+	}
+	return st
+}
+
+// EvaluateHealth rolls one window — the delta from prev to cur — into a
+// health report. prev may be nil ("since the beginning"). The severity
+// ladder: a session permanently lost (resume exhaustion) is unhealthy;
+// faults, resumes, ingest rejections, slow admissions, or a cold speculation
+// history degrade; otherwise the fleet is healthy.
+func EvaluateHealth(cur, prev *obs.Snapshot, thr HealthThresholds) *HealthReport {
+	thr = thr.withDefaults()
+	st := windowStats(cur, prev)
+	rep := &HealthReport{Schema: HealthSchema, State: Healthy, Window: st}
+	raise := func(s HealthState, format string, args ...any) {
+		if worse(s, rep.State) {
+			rep.State = s
+		}
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf(format, args...))
+	}
+	if st.GaveUp > 0 {
+		raise(Unhealthy, "%d session(s) lost permanently after resume exhaustion", st.GaveUp)
+	}
+	if st.Resumed > 0 {
+		raise(Degraded, "%d session loss(es) survived via checkpoint resume", st.Resumed)
+	}
+	if thr.MaxFaultsPerSession >= 0 {
+		sessions := st.Sessions + st.Crashes
+		if sessions < 1 {
+			sessions = 1
+		}
+		if rate := float64(st.FaultsFired) / float64(sessions); rate > thr.MaxFaultsPerSession {
+			raise(Degraded, "%.1f fault(s) fired per session (threshold %.1f)",
+				rate, thr.MaxFaultsPerSession)
+		}
+	}
+	if st.IngestRejected > 0 {
+		raise(Degraded, "%d recording(s) rejected at the ingestion boundary", st.IngestRejected)
+	}
+	if thr.MaxAdmissionWaitP99 > 0 && st.AdmissionP99 > thr.MaxAdmissionWaitP99.Seconds() {
+		raise(Degraded, "p99 admission wait %.3fs exceeds %.3fs",
+			st.AdmissionP99, thr.MaxAdmissionWaitP99.Seconds())
+	}
+	if thr.MinSpecHitRate > 0 && st.SpecCommits > 0 && st.SpecHitRate < thr.MinSpecHitRate {
+		raise(Degraded, "speculation hit rate %.2f below %.2f", st.SpecHitRate, thr.MinSpecHitRate)
+	}
+	if thr.MaxRecordAmplification > 0 && st.RecordAmplification > thr.MaxRecordAmplification {
+		raise(Degraded, "record amplification %.2f exceeds %.2f",
+			st.RecordAmplification, thr.MaxRecordAmplification)
+	}
+	return rep
+}
+
+// EvaluateSessionHealth rolls one session's scope snapshot into a per-session
+// row: guard violations (never present in a healthy run) are unhealthy;
+// faults, resyncs, and mispredictions degrade.
+func EvaluateSessionHealth(session string, snap *obs.Snapshot) SessionHealth {
+	sh := SessionHealth{
+		Session:        session,
+		State:          Healthy,
+		FaultsFired:    snap.CounterTotal(obs.MFaultsFired),
+		Resyncs:        snap.Counter(obs.MCkptResyncEvents),
+		Mispredictions: snap.Counter(obs.MShimMispredictions),
+		GuardViolation: snap.Counter(obs.MRecordGuardViolations),
+	}
+	if commits := snap.CounterTotal(obs.MShimCommits); commits > 0 {
+		sh.SpecHitRate = float64(snap.Counter(obs.MShimCommits, obs.L("kind", "async"))) / float64(commits)
+	}
+	raise := func(s HealthState, format string, args ...any) {
+		if worse(s, sh.State) {
+			sh.State = s
+		}
+		sh.Reasons = append(sh.Reasons, fmt.Sprintf(format, args...))
+	}
+	if sh.GuardViolation > 0 {
+		raise(Unhealthy, "%d continuous-validation guard violation(s)", sh.GuardViolation)
+	}
+	if sh.FaultsFired > 0 {
+		raise(Degraded, "%d fault(s) fired", sh.FaultsFired)
+	}
+	if sh.Resyncs > 0 {
+		raise(Degraded, "%d resync event(s)", sh.Resyncs)
+	}
+	if sh.Mispredictions > 0 {
+		raise(Degraded, "%d misprediction(s)", sh.Mispredictions)
+	}
+	return sh
+}
+
+// HealthTracker evaluates health over successive windows: each Observe
+// reports the delta since the previous Observe (or since the beginning, on
+// the first call) and then starts a new window. This is what lets a fleet's
+// state recover — unhealthy last window, healthy this window.
+type HealthTracker struct {
+	mu   sync.Mutex
+	thr  HealthThresholds
+	prev *obs.Snapshot
+}
+
+// NewHealthTracker creates a tracker with the given thresholds.
+func NewHealthTracker(thr HealthThresholds) *HealthTracker {
+	return &HealthTracker{thr: thr.withDefaults()}
+}
+
+// Observe rolls the window since the previous Observe into a report and
+// advances the window boundary to cur.
+func (t *HealthTracker) Observe(cur *obs.Snapshot) *HealthReport {
+	t.mu.Lock()
+	prev := t.prev
+	t.prev = cur
+	t.mu.Unlock()
+	return EvaluateHealth(cur, prev, t.thr)
+}
+
+// WriteJSON writes the report as indented, deterministic JSON — the
+// grt-health/1 document grtdiag health consumes.
+func (r *HealthReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseHealthReport decodes a grt-health/1 JSON document.
+func ParseHealthReport(data []byte) (*HealthReport, error) {
+	var r HealthReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("cloud: health report: %w", err)
+	}
+	if r.Schema != HealthSchema {
+		return nil, fmt.Errorf("cloud: health report schema %q, want %q", r.Schema, HealthSchema)
+	}
+	return &r, nil
+}
+
+// Render pretty-prints the report for terminal output (grtdiag health).
+func (r *HealthReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fleet health: %s\n", r.State)
+	for _, reason := range r.Reasons {
+		fmt.Fprintf(&sb, "  - %s\n", reason)
+	}
+	st := r.Window
+	fmt.Fprintf(&sb, "  window: %d session(s), %d crash(es), %d resumed, %d gave up\n",
+		st.Sessions, st.Crashes, st.Resumed, st.GaveUp)
+	fmt.Fprintf(&sb, "          %d fault(s), %d checkpoint(s), ingest %d accepted / %d rejected\n",
+		st.FaultsFired, st.Checkpoints, st.IngestAccepted, st.IngestRejected)
+	fmt.Fprintf(&sb, "          admission wait p50 %.3fs p99 %.3fs over %d admission(s)\n",
+		st.AdmissionP50, st.AdmissionP99, st.Admissions)
+	fmt.Fprintf(&sb, "          spec hit rate %.2f (%d/%d commits), amplification %.2f\n",
+		st.SpecHitRate, st.SpecCommits, st.Commits, st.RecordAmplification)
+	for _, s := range r.Sessions {
+		fmt.Fprintf(&sb, "  %-24s %-10s faults=%d resyncs=%d mispred=%d spec=%.2f\n",
+			s.Session, s.State, s.FaultsFired, s.Resyncs, s.Mispredictions, s.SpecHitRate)
+	}
+	return sb.String()
+}

@@ -1,0 +1,190 @@
+package cloud
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"gpurelay/internal/obs"
+)
+
+func TestHealthEmptyWindowHealthy(t *testing.T) {
+	reg := obs.NewRegistry()
+	rep := EvaluateHealth(reg.Snapshot(), nil, HealthThresholds{})
+	if rep.State != Healthy {
+		t.Fatalf("empty window is %s (%v), want healthy", rep.State, rep.Reasons)
+	}
+	if rep.Schema != HealthSchema {
+		t.Errorf("schema %q, want %q", rep.Schema, HealthSchema)
+	}
+}
+
+func TestHealthSeverityLadder(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Add(obs.MFleetSessions, 4)
+	reg.Add(obs.MFleetResumes, 1, obs.L("outcome", "resumed"))
+	rep := EvaluateHealth(reg.Snapshot(), nil, HealthThresholds{MaxFaultsPerSession: -1})
+	if rep.State != Degraded {
+		t.Fatalf("resumed session: state %s, want degraded (%v)", rep.State, rep.Reasons)
+	}
+
+	reg.Add(obs.MFleetResumes, 1, obs.L("outcome", "gave_up"))
+	rep = EvaluateHealth(reg.Snapshot(), nil, HealthThresholds{MaxFaultsPerSession: -1})
+	if rep.State != Unhealthy {
+		t.Fatalf("gave-up session: state %s, want unhealthy (%v)", rep.State, rep.Reasons)
+	}
+	if rep.Window.Resumed != 1 || rep.Window.GaveUp != 1 {
+		t.Errorf("window resumed=%d gaveup=%d, want 1/1", rep.Window.Resumed, rep.Window.GaveUp)
+	}
+}
+
+func TestHealthDegradedByIngestAndFaults(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Add(obs.MFleetSessions, 2)
+	reg.Add(obs.MIngestRecordings, 1, obs.L("outcome", "rejected"))
+	rep := EvaluateHealth(reg.Snapshot(), nil, HealthThresholds{MaxFaultsPerSession: -1})
+	if rep.State != Degraded {
+		t.Fatalf("ingest reject: state %s, want degraded", rep.State)
+	}
+
+	reg2 := obs.NewRegistry()
+	reg2.Add(obs.MFleetSessions, 1)
+	reg2.Add(obs.MFaultsFired, 1, obs.L("kind", "link_outage"))
+	// Default MaxFaultsPerSession (0) means any fault degrades.
+	rep = EvaluateHealth(reg2.Snapshot(), nil, HealthThresholds{})
+	if rep.State != Degraded {
+		t.Fatalf("fault fired: state %s, want degraded", rep.State)
+	}
+	// A negative threshold disables the fault check.
+	rep = EvaluateHealth(reg2.Snapshot(), nil, HealthThresholds{MaxFaultsPerSession: -1})
+	if rep.State != Healthy {
+		t.Fatalf("fault check disabled: state %s, want healthy (%v)", rep.State, rep.Reasons)
+	}
+}
+
+func TestHealthAdmissionWaitQuantiles(t *testing.T) {
+	reg := obs.NewRegistry()
+	for i := 0; i < 9; i++ {
+		reg.Observe(obs.MFleetAdmissionWait, 0.01)
+	}
+	reg.Observe(obs.MFleetAdmissionWait, 8.0)
+	rep := EvaluateHealth(reg.Snapshot(), nil, HealthThresholds{MaxFaultsPerSession: -1})
+	// p50 lands in the 0.01 bucket; the nearest-rank p99 of 10 observations
+	// is the straggler itself, reported as the upper bound of its bucket.
+	if rep.Window.AdmissionP50 != 0.01 {
+		t.Errorf("p50 = %v, want 0.01", rep.Window.AdmissionP50)
+	}
+	if rep.Window.AdmissionP99 != 10 {
+		t.Errorf("p99 = %v, want 10 (upper bound of the 8s bucket)", rep.Window.AdmissionP99)
+	}
+	if rep.State != Degraded {
+		t.Errorf("p99 of 10s over the 2s default: state %s, want degraded", rep.State)
+	}
+	// Raising the threshold above the p99 clears it.
+	rep = EvaluateHealth(reg.Snapshot(), nil,
+		HealthThresholds{MaxAdmissionWaitP99: time.Minute, MaxFaultsPerSession: -1})
+	if rep.State != Healthy {
+		t.Errorf("relaxed threshold: state %s, want healthy (%v)", rep.State, rep.Reasons)
+	}
+}
+
+func TestHealthSpecHitRate(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Add(obs.MShimCommits, 8, obs.L("kind", "sync"))
+	reg.Add(obs.MShimCommits, 2, obs.L("kind", "async"))
+	thr := HealthThresholds{MinSpecHitRate: 0.5, MaxFaultsPerSession: -1}
+	rep := EvaluateHealth(reg.Snapshot(), nil, thr)
+	if rep.Window.SpecHitRate != 0.2 {
+		t.Errorf("spec hit rate %v, want 0.2", rep.Window.SpecHitRate)
+	}
+	if rep.State != Degraded {
+		t.Errorf("hit rate 0.2 under floor 0.5: state %s, want degraded", rep.State)
+	}
+
+	// A non-speculating window (no async commits) never false-degrades.
+	sync := obs.NewRegistry()
+	sync.Add(obs.MShimCommits, 10, obs.L("kind", "sync"))
+	rep = EvaluateHealth(sync.Snapshot(), nil, thr)
+	if rep.State != Healthy {
+		t.Errorf("naive-variant window: state %s, want healthy (%v)", rep.State, rep.Reasons)
+	}
+}
+
+// TestHealthTrackerWindowRecovery is the transition property the rollup is
+// built around: health reflects the window, not the lifetime counters, so a
+// fleet that lost a session last window and ran clean this window reads
+// healthy again.
+func TestHealthTrackerWindowRecovery(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := NewHealthTracker(HealthThresholds{MaxFaultsPerSession: -1})
+
+	reg.Add(obs.MFleetSessions, 1)
+	if rep := tr.Observe(reg.Snapshot()); rep.State != Healthy {
+		t.Fatalf("window 1: %s (%v), want healthy", rep.State, rep.Reasons)
+	}
+
+	reg.Add(obs.MFleetResumes, 1, obs.L("outcome", "gave_up"))
+	if rep := tr.Observe(reg.Snapshot()); rep.State != Unhealthy {
+		t.Fatalf("window 2: %s, want unhealthy", rep.State)
+	}
+
+	// Nothing new happened: the cumulative gave_up counter is unchanged, so
+	// the next window deltas to zero and the fleet recovers.
+	reg.Add(obs.MFleetSessions, 2)
+	if rep := tr.Observe(reg.Snapshot()); rep.State != Healthy {
+		t.Fatalf("window 3: %s (%v), want healthy", rep.State, rep.Reasons)
+	}
+}
+
+func TestHealthReportJSONRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Add(obs.MFleetSessions, 2)
+	rep := EvaluateHealth(reg.Snapshot(), nil, HealthThresholds{})
+	rep.Sessions = append(rep.Sessions, SessionHealth{Session: "drill-0000", State: Healthy})
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseHealthReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.State != rep.State || back.Window.Sessions != 2 || len(back.Sessions) != 1 {
+		t.Errorf("round trip: got %+v, want %+v", back, rep)
+	}
+	if !strings.Contains(back.Render(), "drill-0000") {
+		t.Error("Render() missing the session row")
+	}
+
+	if _, err := ParseHealthReport([]byte(`{"schema":"grt-health/999","state":"healthy"}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, err := ParseHealthReport([]byte(`not json`)); err == nil {
+		t.Error("malformed report accepted")
+	}
+}
+
+func TestSessionHealthLadder(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Add(obs.MShimCommits, 6, obs.L("kind", "sync"))
+	reg.Add(obs.MShimCommits, 4, obs.L("kind", "async"))
+	sh := EvaluateSessionHealth("s-0", reg.Snapshot())
+	if sh.State != Healthy || sh.SpecHitRate != 0.4 {
+		t.Fatalf("clean session: %+v, want healthy with hit rate 0.4", sh)
+	}
+
+	reg.Add(obs.MFaultsFired, 2, obs.L("kind", "loss_burst"))
+	reg.Add(obs.MCkptResyncEvents, 3)
+	sh = EvaluateSessionHealth("s-0", reg.Snapshot())
+	if sh.State != Degraded || sh.FaultsFired != 2 || sh.Resyncs != 3 {
+		t.Fatalf("faulted session: %+v, want degraded with faults=2 resyncs=3", sh)
+	}
+
+	reg.Add(obs.MRecordGuardViolations, 1)
+	sh = EvaluateSessionHealth("s-0", reg.Snapshot())
+	if sh.State != Unhealthy {
+		t.Fatalf("guard violation: %s, want unhealthy", sh.State)
+	}
+}

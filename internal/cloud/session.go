@@ -69,6 +69,9 @@ type SessionManager struct {
 	// instead of the wall clock — a fleet drill running on a discrete-event
 	// engine passes the engine here so the wait histogram is deterministic.
 	timeSrc timesim.Source
+	// flight, when set, journals every admission decision as a flight-
+	// recorder event alongside the counters.
+	flight *obs.FlightRecorder
 }
 
 // NewSessionManager wraps a Service with admission control. The config's
@@ -116,6 +119,32 @@ func (m *SessionManager) waitTimer() func() time.Duration {
 	return func() time.Duration { return time.Since(start) }
 }
 
+// InstrumentFlight attaches a flight recorder: every admission decision is
+// journaled with its outcome (immediate, queued, rejected, abandoned,
+// launch_failed). A nil recorder detaches.
+func (m *SessionManager) InstrumentFlight(f *obs.FlightRecorder) {
+	m.mu.Lock()
+	m.flight = f
+	m.mu.Unlock()
+}
+
+// emitAdmission journals one admission decision. Admission happens before a
+// session's virtual clock exists, so the event is stamped with the shared
+// time source when one is set (a fleet drill's engine time) and 0 otherwise.
+func (m *SessionManager) emitAdmission(clientID, outcome string, args ...obs.Arg) {
+	m.mu.Lock()
+	f, src := m.flight, m.timeSrc
+	m.mu.Unlock()
+	if f == nil {
+		return
+	}
+	var vt time.Duration
+	if src != nil {
+		vt = src.Now()
+	}
+	f.Emit(vt, clientID, obs.FKAdmission, outcome, args...)
+}
+
 // registry reads the attached registry (nil when uninstrumented).
 func (m *SessionManager) registry() *obs.Registry {
 	m.mu.Lock()
@@ -161,6 +190,7 @@ func (m *SessionManager) Acquire(ctx context.Context, clientID, imageName, gpuCo
 		if reg := m.registry(); reg != nil {
 			reg.Add(obs.MFleetAdmissions, 1, obs.L("outcome", "immediate"))
 		}
+		m.emitAdmission(clientID, "immediate")
 	} else {
 		if len(m.queue) >= m.cfg.QueueLimit {
 			busy, queued := m.inUse, len(m.queue)
@@ -168,6 +198,8 @@ func (m *SessionManager) Acquire(ctx context.Context, clientID, imageName, gpuCo
 			if reg := m.registry(); reg != nil {
 				reg.Add(obs.MFleetAdmissions, 1, obs.L("outcome", "rejected"))
 			}
+			m.emitAdmission(clientID, "rejected",
+				obs.A("busy", int64(busy)), obs.A("queued", int64(queued)))
 			return nil, fmt.Errorf("cloud: pool saturated (%d VMs busy, %d admissions queued): %w",
 				busy, queued, grterr.ErrCapacity)
 		}
@@ -183,11 +215,13 @@ func (m *SessionManager) Acquire(ctx context.Context, clientID, imageName, gpuCo
 				reg.Add(obs.MFleetAdmissions, 1, obs.L("outcome", "queued"))
 				reg.Observe(obs.MFleetAdmissionWait, waited().Seconds())
 			}
+			m.emitAdmission(clientID, "queued", obs.A("wait_ns", int64(waited())))
 		case <-ctx.Done():
 			m.abandon(turn)
 			if reg := m.registry(); reg != nil {
 				reg.Add(obs.MFleetAdmissions, 1, obs.L("outcome", "abandoned"))
 			}
+			m.emitAdmission(clientID, "abandoned")
 			return nil, fmt.Errorf("cloud: admission wait: %w", ctx.Err())
 		}
 	}
@@ -197,6 +231,7 @@ func (m *SessionManager) Acquire(ctx context.Context, clientID, imageName, gpuCo
 		if reg := m.registry(); reg != nil {
 			reg.Add(obs.MFleetAdmissions, 1, obs.L("outcome", "launch_failed"))
 		}
+		m.emitAdmission(clientID, "launch_failed")
 		return nil, err
 	}
 	m.mu.Lock()

@@ -158,6 +158,7 @@ func (s *Session) NextAttempt() {
 // count records one fired fault. Callers hold s.mu.
 func (s *Session) count(k Kind) {
 	s.scope.Count(obs.MFaultsFired, 1, obs.L("kind", k.String()))
+	s.scope.Emit(obs.FKFault, k.String())
 	if s.fleet != nil {
 		s.fleet.Add(obs.MFaultsFired, 1, obs.L("kind", k.String()))
 	}

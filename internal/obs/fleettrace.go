@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gpurelay/internal/timesim"
+)
+
+// WriteFleetTrace writes a fleet drill's combined timeline as one Chrome
+// trace_event JSON document: the per-session span timelines (pid 1, one
+// thread per scope — exactly what WriteChromeTrace renders) plus the
+// discrete-event engine's execution trace (pid 2): per-handler spans on one
+// thread per engine key, and queue-depth / batch-width counter series.
+//
+// Engine events execute at single virtual instants, so a key's "handler
+// span" is the interval between its consecutive events — for engine-hosted
+// processes (one record session per key) that is exactly the virtual time
+// the session spent between wakeups. Same-timestamp events collapse into the
+// span's args. For a deterministic drill the span structure — timestamps,
+// threads, per-span event counts — is identical across engines; the seq and
+// depth args are engine-local diagnostics (see timesim.EngineTrace).
+func WriteFleetTrace(w io.Writer, et *timesim.EngineTrace, scopes ...*Scope) error {
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) error {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := io.WriteString(w, "\n"+s)
+		return err
+	}
+	if err := emit(`{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"gpurelay sessions"}}`); err != nil {
+		return err
+	}
+	for i, sc := range scopes {
+		if sc == nil {
+			continue
+		}
+		tid := i + 1
+		if err := emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%q}}`,
+			tid, sc.ID())); err != nil {
+			return err
+		}
+		for _, sp := range sc.Spans() {
+			line, err := chromeEvent(sp, tid)
+			if err != nil {
+				return err
+			}
+			if err := emit(line); err != nil {
+				return err
+			}
+		}
+	}
+	if et == nil || et.Len() == 0 {
+		_, err := io.WriteString(w, "\n]}\n")
+		return err
+	}
+
+	if err := emit(`{"ph":"M","pid":2,"tid":0,"name":"process_name","args":{"name":"engine"}}`); err != nil {
+		return err
+	}
+	events := et.Events()
+
+	// One engine thread per key, threads ordered by key. tid is 1-based to
+	// keep tid 0 for the process metadata.
+	byKey := map[uint64][]timesim.TraceEvent{}
+	var keys []uint64
+	for _, e := range events {
+		if _, seen := byKey[e.Key]; !seen {
+			keys = append(keys, e.Key)
+		}
+		byKey[e.Key] = append(byKey[e.Key], e)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for tid, k := range keys {
+		if err := emit(fmt.Sprintf(`{"ph":"M","pid":2,"tid":%d,"name":"thread_name","args":{"name":"key %d"}}`,
+			tid+1, k)); err != nil {
+			return err
+		}
+		evs := byKey[k]
+		// Collapse same-timestamp runs: each run is one handler activation
+		// of this key; the span stretches to the key's next activation.
+		for i := 0; i < len(evs); {
+			j := i
+			for j < len(evs) && evs[j].TS == evs[i].TS {
+				j++
+			}
+			var line string
+			if j < len(evs) {
+				line = fmt.Sprintf(`{"ph":"X","pid":2,"tid":%d,"ts":%s,"dur":%s,"name":"handle","cat":"engine","args":{"events":%d,"seq":%d,"depth":%d}}`,
+					tid+1, usec(evs[i].TS.Nanoseconds()), usec((evs[j].TS - evs[i].TS).Nanoseconds()),
+					j-i, evs[i].Seq, evs[i].Depth)
+			} else {
+				line = fmt.Sprintf(`{"ph":"i","s":"t","pid":2,"tid":%d,"ts":%s,"name":"handle","cat":"engine","args":{"events":%d,"seq":%d,"depth":%d}}`,
+					tid+1, usec(evs[i].TS.Nanoseconds()), j-i, evs[i].Seq, evs[i].Depth)
+			}
+			if err := emit(line); err != nil {
+				return err
+			}
+			i = j
+		}
+	}
+
+	// Counter series per distinct timestamp: batch width (events sharing the
+	// timestamp) and queue depth after the last pop of the timestamp. Events
+	// arrive in pop order, so timestamps are nondecreasing.
+	for i := 0; i < len(events); {
+		j := i
+		for j < len(events) && events[j].TS == events[i].TS {
+			j++
+		}
+		if err := emit(fmt.Sprintf(`{"ph":"C","pid":2,"tid":0,"ts":%s,"name":"batch_width","args":{"width":%d}}`,
+			usec(events[i].TS.Nanoseconds()), j-i)); err != nil {
+			return err
+		}
+		if err := emit(fmt.Sprintf(`{"ph":"C","pid":2,"tid":0,"ts":%s,"name":"queue_depth","args":{"depth":%d}}`,
+			usec(events[i].TS.Nanoseconds()), events[j-1].Depth)); err != nil {
+			return err
+		}
+		i = j
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

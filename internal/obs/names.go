@@ -53,6 +53,20 @@ const (
 	MIngestRejects    = "grt_ingest_rejects_total"    // reason=bad_recording|audit|...
 	MIngestQuarantine = "grt_ingest_quarantine_entries" // gauge: retained quarantine entries
 
+	// flight-recorder event kinds (FlightEvent.Kind). Stable tokens: they
+	// appear in JSONL exports, diagnostic bundles, and grtdiag filters.
+	FKAdmission    = "admission"
+	FKSync         = "sync"
+	FKSpecCommit   = "spec_commit"
+	FKSpecMiss     = "spec_miss"
+	FKFault        = "fault"
+	FKResync       = "resync"
+	FKCheckpoint   = "checkpoint"
+	FKResume       = "resume"
+	FKIngestReject = "ingest_reject"
+	FKReplay       = "replay"
+	FKBundle       = "bundle"
+
 	// fleet (service-owned registry; multi-tenant view).
 	MFleetActiveVMs      = "grt_fleet_active_vms"       // gauge
 	MFleetQueueDepth     = "grt_fleet_queue_depth"      // gauge

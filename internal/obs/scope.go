@@ -8,10 +8,11 @@ import (
 )
 
 // Arg is one integer-valued span annotation (kept integral so trace exports
-// are bit-deterministic).
+// are bit-deterministic). The JSON tags are the flight-recorder JSONL
+// wire names.
 type Arg struct {
-	Key   string
-	Value int64
+	Key   string `json:"k"`
+	Value int64  `json:"v"`
 }
 
 // A returns an Arg.
@@ -44,6 +45,10 @@ type Options struct {
 	// addition to the scope's own registry, aggregating the fleet-wide
 	// totals a multi-tenant service exposes.
 	Fleet *Registry
+	// Flight, when set, receives the scope's Emit events — the structured
+	// flight-recorder journal a service or fleet drill keeps for
+	// diagnostics. Nil leaves Emit a no-op.
+	Flight *FlightRecorder
 }
 
 // Scope is one session's telemetry collector: a private metrics registry
@@ -63,6 +68,7 @@ type Scope struct {
 
 	mu      sync.Mutex
 	fleet   *Registry
+	flight  *FlightRecorder
 	clock   timesim.Source
 	spans   []Span
 	dropped int64
@@ -78,7 +84,7 @@ func NewScope(id string, opts Options) *Scope {
 	case cap < 0:
 		cap = 0
 	}
-	return &Scope{id: id, local: NewRegistry(), spanCap: cap, fleet: opts.Fleet}
+	return &Scope{id: id, local: NewRegistry(), spanCap: cap, fleet: opts.Fleet, flight: opts.Flight}
 }
 
 // ID returns the session id ("" for nil).
@@ -129,6 +135,49 @@ func (s *Scope) fleetReg() *Registry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.fleet
+}
+
+// AttachFlight installs a flight recorder if the scope does not already have
+// one (first wins, mirroring AttachFleet): a caller-provided recorder
+// overrides the service default.
+func (s *Scope) AttachFlight(f *FlightRecorder) {
+	if s == nil || f == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.flight == nil {
+		s.flight = f
+	}
+	s.mu.Unlock()
+}
+
+// Flight reads the attached flight recorder (nil for a nil or unattached
+// scope).
+func (s *Scope) Flight() *FlightRecorder {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flight
+}
+
+// Emit journals a structured flight-recorder event stamped with the scope's
+// session id and current virtual time. A nil scope, or a scope without an
+// attached recorder, is a true no-op — the args stay on the caller's stack,
+// so hot paths pay one branch and zero allocations when flight recording is
+// off.
+func (s *Scope) Emit(kind, note string, args ...Arg) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	f := s.flight
+	s.mu.Unlock()
+	if f == nil {
+		return
+	}
+	f.Emit(s.Now(), s.id, kind, note, args...)
 }
 
 // Now reads the bound virtual clock (0 when unbound).

@@ -10,6 +10,7 @@ import (
 	"gpurelay/internal/mali"
 	"gpurelay/internal/mlfw"
 	"gpurelay/internal/netsim"
+	"gpurelay/internal/obs"
 	"gpurelay/internal/record"
 	"gpurelay/internal/timesim"
 )
@@ -36,6 +37,12 @@ type FleetOptions struct {
 	// 64 MiB of headroom per session, which a 16-session fleet on one host
 	// does not want).
 	PoolSize uint64
+	// Instrument attaches the drill's observability: a fleet metrics
+	// registry, per-session telemetry scopes, a shared flight recorder, and
+	// an engine execution trace (for Chrome trace export). Instrumentation
+	// only ever reads the timeline, so an instrumented drill's Seals are
+	// byte-identical to an uninstrumented one's.
+	Instrument bool
 }
 
 // FleetResult is what a drill reports: the determinism witnesses (per-session
@@ -56,6 +63,20 @@ type FleetResult struct {
 	// drill's structural parallelism (how many sessions shared a
 	// timestamp), independent of how many cores the host actually had.
 	Batches timesim.BatchStats
+
+	// The remaining fields are populated only for instrumented drills
+	// (FleetOptions.Instrument).
+
+	// Fleet is the drill-wide metrics registry (admissions, per-session
+	// counters double-written by the scopes).
+	Fleet *obs.Registry
+	// Scopes are the per-session telemetry scopes, in session order.
+	Scopes []*obs.Scope
+	// Flight is the drill's shared flight recorder.
+	Flight *obs.FlightRecorder
+	// EngineTrace is the engine's execution trace (every popped event in
+	// deterministic pop order) — the input to obs.WriteFleetTrace.
+	EngineTrace *timesim.EngineTrace
 }
 
 // fleetPoolSize sizes one drill session's pool: the model's buffers with
@@ -109,6 +130,26 @@ func FleetDrill(ctx context.Context, eng timesim.Engine, opts FleetOptions) (*Fl
 		Capacity: n,
 	})
 	mgr.SetTimeSource(eng)
+
+	var (
+		fleetReg *obs.Registry
+		scopes   []*obs.Scope
+		flight   *obs.FlightRecorder
+		etrace   *timesim.EngineTrace
+	)
+	if opts.Instrument {
+		fleetReg = obs.NewRegistry()
+		flight = obs.NewFlightRecorder(0)
+		etrace = timesim.NewEngineTrace(0)
+		mgr.Instrument(fleetReg)
+		mgr.InstrumentFlight(flight)
+		eng.SetTrace(etrace)
+		scopes = make([]*obs.Scope, n)
+		for i := 0; i < n; i++ {
+			scopes[i] = obs.NewScope(fmt.Sprintf("drill-%04d", i),
+				obs.Options{Fleet: fleetReg, Flight: flight})
+		}
+	}
 	vms := make([]*cloud.VM, 0, n)
 	defer func() {
 		for _, vm := range vms {
@@ -127,8 +168,13 @@ func FleetDrill(ctx context.Context, eng timesim.Engine, opts FleetOptions) (*Fl
 	results := make([]*record.Result, n)
 	for i := 0; i < n; i++ {
 		i := i
+		var sc *obs.Scope
+		if scopes != nil {
+			sc = scopes[i]
+		}
 		eng.Go(uint64(i), func(tm timesim.Time) error {
 			res, err := record.RunContext(ctx, record.Config{
+				Obs: sc,
 				Variant: opts.Variant, Model: opts.Model, SKU: opts.SKU,
 				Network: network,
 				// The drill signs with deterministic derived keys, not the
@@ -161,6 +207,10 @@ func FleetDrill(ctx context.Context, eng timesim.Engine, opts FleetOptions) (*Fl
 		Events:      eng.Events(),
 		Batches:     eng.Batches(),
 		Seals:       make([][32]byte, n),
+		Fleet:       fleetReg,
+		Scopes:      scopes,
+		Flight:      flight,
+		EngineTrace: etrace,
 	}
 	for i, res := range results {
 		out.Seals[i] = res.Signed.MAC

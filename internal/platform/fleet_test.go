@@ -1,12 +1,15 @@
 package platform
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"runtime"
 	"testing"
 
 	"gpurelay/internal/mali"
 	"gpurelay/internal/mlfw"
+	"gpurelay/internal/obs"
 	"gpurelay/internal/timesim"
 )
 
@@ -90,5 +93,91 @@ func TestFleetDrillValidation(t *testing.T) {
 	opts.SKU = &mali.SKU{Name: "bogus"}
 	if _, err := FleetDrill(context.Background(), timesim.NewSerialEngine(), opts); err == nil {
 		t.Fatal("uncataloged SKU accepted")
+	}
+}
+
+// TestFleetDrillInstrumented is the observability acceptance test: an
+// instrumented drill must produce seals byte-identical to a bare drill's
+// (instrumentation only reads the timeline), populate the fleet registry,
+// flight recorder, and engine trace, and export a Chrome trace document that
+// parses as JSON with per-handler engine spans.
+func TestFleetDrillInstrumented(t *testing.T) {
+	const sessions = 4
+	bare, err := FleetDrill(context.Background(), timesim.NewSerialEngine(), drillOpts(sessions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := drillOpts(sessions)
+	opts.Instrument = true
+	inst, err := FleetDrill(context.Background(), timesim.NewParallelEngine(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bare.Seals {
+		if inst.Seals[i] != bare.Seals[i] {
+			t.Fatalf("session %d: instrumented drill's seal diverged from bare drill", i)
+		}
+	}
+
+	if inst.Fleet == nil || inst.Flight == nil || inst.EngineTrace == nil || len(inst.Scopes) != sessions {
+		t.Fatal("instrumented drill did not populate observability fields")
+	}
+	snap := inst.Fleet.Snapshot()
+	if got := snap.Counter(obs.MFleetAdmissions, obs.L("outcome", "immediate")); got != sessions {
+		t.Errorf("immediate admissions = %d, want %d", got, sessions)
+	}
+	if got := snap.Counter(obs.MShimCommits, obs.L("kind", "sync")) +
+		snap.Counter(obs.MShimCommits, obs.L("kind", "async")); got == 0 {
+		t.Error("no commits reached the fleet registry")
+	}
+	if inst.Flight.Len() == 0 {
+		t.Error("flight recorder is empty")
+	}
+	kinds := map[string]bool{}
+	for _, e := range inst.Flight.Events() {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{obs.FKAdmission, obs.FKSync} {
+		if !kinds[want] {
+			t.Errorf("flight journal has no %q events (kinds: %v)", want, kinds)
+		}
+	}
+	if inst.EngineTrace.Len() == 0 {
+		t.Error("engine trace is empty")
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteFleetTrace(&buf, inst.EngineTrace, inst.Scopes...); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("fleet trace is not valid JSON: %v", err)
+	}
+	var handlerSpans, sessionSpans int
+	for _, e := range doc.TraceEvents {
+		if e.Pid == 2 && e.Name == "handle" {
+			handlerSpans++
+		}
+		if e.Pid == 1 && e.Ph == "X" {
+			sessionSpans++
+		}
+	}
+	if handlerSpans == 0 {
+		t.Error("no per-handler engine spans in the export")
+	}
+	if sessionSpans == 0 {
+		t.Error("no per-session spans in the export")
+	}
+
+	// A bare drill reports no observability state at all.
+	if bare.Fleet != nil || bare.Flight != nil || bare.EngineTrace != nil || bare.Scopes != nil {
+		t.Error("bare drill populated observability fields")
 	}
 }

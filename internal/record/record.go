@@ -364,6 +364,8 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		dshim.InjectMispredictionAt(cfg.InjectMispredictionAt)
 	}
 	if cfg.Resume != nil {
+		cfg.Obs.Emit(obs.FKResync, "begin",
+			obs.A("job", int64(resumeJob)), obs.A("events", int64(len(cfg.Resume.Events))))
 		dshim.BeginResync(cfg.Resume.Events, recovery.ReplayPerEvent)
 	}
 
@@ -432,13 +434,17 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 				// silently diverge from the lost session.
 				out, in := sync.metaFP()
 				if out != cfg.Resume.SyncOutFP || in != cfg.Resume.SyncInFP {
+					cfg.Obs.Emit(obs.FKResync, "diverged", obs.A("job", int64(job)))
 					panic(shim.ResyncDiverged{Pos: jobLogOffsets[job],
 						Reason: "memsync metastate fingerprint mismatch at resume boundary"})
 				}
+				cfg.Obs.Emit(obs.FKResync, "boundary_ok", obs.A("job", int64(job)))
 			}
 			if cfg.OnCheckpoint != nil && job > resumeJob && !dshim.Resyncing() {
 				cp := snapshotCheckpoint(&cfg, dshim, sync, rt, poolSize, job)
 				cfg.Obs.Annotate("ckpt.capture", "record",
+					obs.A("job", int64(job)), obs.A("events", int64(len(cp.Events))))
+				cfg.Obs.Emit(obs.FKCheckpoint, "capture",
 					obs.A("job", int64(job)), obs.A("events", int64(len(cp.Events))))
 				cfg.OnCheckpoint(cp)
 			}

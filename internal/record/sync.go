@@ -58,6 +58,8 @@ func (s *syncer) countDump(dir []obs.Label, j int, wire, raw int64) {
 	s.obs.Count(obs.MSyncRawBytes, raw, dir...)
 	s.obs.Annotate("sync.dump", "sync",
 		obs.A("job", int64(j)), obs.A("wire_bytes", wire), obs.A("raw_bytes", raw))
+	s.obs.Emit(obs.FKSync, dir[0].Value,
+		obs.A("job", int64(j)), obs.A("wire_bytes", wire), obs.A("raw_bytes", raw))
 }
 
 // regions returns the current synchronization region list: the context's

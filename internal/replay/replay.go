@@ -294,6 +294,11 @@ func (r *Replayer) Run() (res Result, err error) {
 	}()
 	r.Obs.BindClockSource(r.clock)
 	defer func() { res.Obs = r.Obs.Snapshot() }()
+	r.Obs.Emit(obs.FKReplay, "start", obs.A("events", int64(len(r.rec.Events))))
+	defer func() {
+		r.Obs.Emit(obs.FKReplay, "done",
+			obs.A("events", int64(res.Events)), obs.A("verified_reads", int64(res.VerifiedReads)))
+	}()
 	endRun := r.Obs.Span("replay.run", "replay", obs.A("events", int64(len(r.rec.Events))))
 	defer endRun()
 	start := r.clock.Now()
@@ -340,6 +345,8 @@ func (r *Replayer) step(i int, e *trace.Event, res *Result) error {
 			m := Mismatch{EventIndex: i, Reg: e.Reg, Recorded: e.Value, Observed: v}
 			r.Obs.Count(obs.MReplayMismatches, 1)
 			r.Obs.Annotate("replay.mismatch", "replay",
+				obs.A("event", int64(i)), obs.A("reg", int64(e.Reg)))
+			r.Obs.Emit(obs.FKReplay, "mismatch",
 				obs.A("event", int64(i)), obs.A("reg", int64(e.Reg)))
 			if r.Strict {
 				return &m

@@ -685,6 +685,8 @@ func (s *DriverShim) commitMaybeSpeculate(tid string) []OpResult {
 	s.obs.Count(obs.MShimCommits, 1, lblKindAsync...)
 	s.obs.Count(obs.MShimCommitsByCat, 1, catLabels(cat)...)
 	s.obs.Count(obs.MShimSpeculatedByCat, 1, catLabels(cat)...)
+	s.obs.Emit(obs.FKSpecCommit, string(cat),
+		obs.A("ops", int64(len(ops))), obs.A("seq", int64(s.asyncSeq-1)))
 	return predResults
 }
 
@@ -757,6 +759,9 @@ func (s *DriverShim) recover(c *asyncCommit) {
 	s.stats.RecoveryTime += cost
 	s.obs.Count(obs.MShimMispredictions, 1)
 	s.obs.Count(obs.MShimRecoveryNS, int64(cost))
+	s.obs.Emit(obs.FKSpecMiss, "rollback",
+		obs.A("seq", int64(c.seq)), obs.A("log_events", int64(len(s.log))),
+		obs.A("cost_ns", int64(cost)))
 	// The speculation history at this signature is no longer trusted.
 	s.history.Invalidate(c.sig)
 }

@@ -66,6 +66,11 @@ type Engine interface {
 	// fleet artifact records alongside the measured speedup, which on a
 	// starved host says more about the machine than the engine.
 	Batches() BatchStats
+	// SetTrace attaches an execution trace: every event is recorded (time,
+	// key, queue depth) at pop time, in deterministic pop order, for Chrome
+	// trace export. Nil detaches. Tracing never changes scheduling, so a
+	// traced run stays byte-identical to an untraced one.
+	SetTrace(t *EngineTrace)
 }
 
 // BatchStats summarizes how events grouped by timestamp during Run.
@@ -90,6 +95,15 @@ type engineCore struct {
 	width     int   // events executed at the current timestamp
 	maxWidth  int
 	timeKnown bool // false until the first event executes
+
+	trace *EngineTrace
+}
+
+// SetTrace implements Engine.
+func (c *engineCore) SetTrace(t *EngineTrace) {
+	c.mu.Lock()
+	c.trace = t
+	c.mu.Unlock()
 }
 
 // Now implements Source. It reads the engine's global virtual time — the
@@ -164,6 +178,18 @@ func (c *engineCore) next() (eventEntry, bool) {
 	c.now = e.ev.Time()
 	c.handled++
 	c.countWidth(fresh, 1)
+	if c.trace != nil {
+		// Depth is the backlog beyond the current timestamp's batch — the
+		// same value batch() records — so serial and parallel engines
+		// produce identical traces.
+		depth := len(c.q)
+		for i := range c.q {
+			if c.q[i].ev.Time() == c.now {
+				depth--
+			}
+		}
+		c.trace.record(c.now, e.ev.Key(), e.seq, depth)
+	}
 	return e, true
 }
 
@@ -186,6 +212,14 @@ func (c *engineCore) batch(scratch []eventEntry) []eventEntry {
 	}
 	c.handled += int64(len(out))
 	c.countWidth(fresh, len(out))
+	if c.trace != nil {
+		// Pop order is deterministic ((time, key, seq) heap order), so the
+		// trace is identical however the batch later executes.
+		depth := len(c.q)
+		for _, ent := range out {
+			c.trace.record(c.now, ent.ev.Key(), ent.seq, depth)
+		}
+	}
 	return out
 }
 

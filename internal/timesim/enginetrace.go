@@ -1,0 +1,102 @@
+package timesim
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceEvent is one executed engine event as seen by an EngineTrace: its
+// virtual timestamp, its deterministic ordering key (the component identity —
+// session index, GPU index), its admission sequence, and the queue depth
+// right after it was popped. Batch width per timestamp falls out of grouping
+// events by TS; queue depth gives the backlog series.
+type TraceEvent struct {
+	TS    time.Duration
+	Key   uint64
+	Seq   uint64
+	Depth int
+}
+
+// DefaultEngineTraceCapacity bounds retained trace events unless
+// NewEngineTrace is told otherwise. A 16-session MNIST fleet drill executes
+// on the order of 10^5 events; the default keeps the head of such a drill
+// while the Chrome export stays a few megabytes.
+const DefaultEngineTraceCapacity = 1 << 16
+
+// EngineTrace records the execution timeline of a discrete-event engine:
+// every popped event with its timestamp, key, and queue depth, in
+// deterministic pop order. Recording happens inside the engine core under
+// its mutex at pop time — before handlers run concurrently — so the
+// (TS, Key) pop order is identical between the serial and parallel engines
+// at any GOMAXPROCS, just like the recordings themselves. Seq (admission
+// order) and Depth (backlog beyond the current timestamp, as seen at pop)
+// are engine-local diagnostics: handlers running concurrently admit events
+// in racy order, and the serial engine interleaves handler scheduling with
+// a batch's pops.
+//
+// Retention is head-first: once the capacity is reached, later events are
+// counted in Dropped rather than retained, so the trace always describes the
+// drill's start (probe, runtime init, first jobs), which is the navigable
+// part of a chrome://tracing render.
+//
+// A nil *EngineTrace is a true no-op; every method checks the receiver.
+type EngineTrace struct {
+	mu      sync.Mutex
+	events  []TraceEvent
+	dropped int64
+	cap     int
+}
+
+// NewEngineTrace creates a trace retaining at most capacity events
+// (DefaultEngineTraceCapacity if <= 0).
+func NewEngineTrace(capacity int) *EngineTrace {
+	if capacity <= 0 {
+		capacity = DefaultEngineTraceCapacity
+	}
+	return &EngineTrace{cap: capacity}
+}
+
+// record appends one popped event. The engine core calls this under its own
+// mutex; the trace's mutex still guards against concurrent reads.
+func (t *EngineTrace) record(ts time.Duration, key, seq uint64, depth int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.events) >= t.cap {
+		t.dropped++
+	} else {
+		t.events = append(t.events, TraceEvent{TS: ts, Key: key, Seq: seq, Depth: depth})
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the retained trace in execution order.
+func (t *EngineTrace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Len reports the number of retained events.
+func (t *EngineTrace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped reports events executed past the retention capacity.
+func (t *EngineTrace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

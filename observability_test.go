@@ -1,0 +1,300 @@
+package gpurelay
+
+// Observability acceptance tests (flight recorder, diagnostic bundles,
+// fleet health): flight recording must be a pure witness (recordings
+// byte-identical with it on or off), every specified failure path must leave
+// a sealed, verifiable diagnostic bundle behind, and the health rollup must
+// walk a VM through healthy → degraded → unhealthy → healthy as a chaos plan
+// unfolds and resolves.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"gpurelay/internal/audit"
+	"gpurelay/internal/obs"
+)
+
+// TestObsFlightDeterminism is the flight-recorder analogue of
+// TestObsNilScopeDeterminism: a session recorded with the service's flight
+// recorder enabled (and a scope routing events into it) produces a recording
+// byte-identical to one recorded with flight recording disabled — including
+// across a chaos plan with a mid-session crash and resume.
+func TestObsFlightDeterminism(t *testing.T) {
+	run := func(flightCap int, withScope bool) ([]byte, *Service) {
+		svc := NewServiceWith(ServiceConfig{FlightCapacity: flightCap})
+		var scope *Scope
+		if withScope {
+			scope = NewScope("flight-det")
+		}
+		plan, err := ParseFaultPlan("vm-crash")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, _, err := NewClient("flight-phone", MaliG71MP8).RecordResumable(
+			context.Background(), svc, MNIST(), ResilienceOptions{
+				RecordOptions: RecordOptions{Obs: scope},
+				Faults:        plan,
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, _, _ := rec.Bundle()
+		return payload, svc
+	}
+	offPayload, offSvc := run(-1, false)
+	onPayload, onSvc := run(0, true)
+	if !bytes.Equal(offPayload, onPayload) {
+		t.Error("recording payload changed under flight recording")
+	}
+	if len(offSvc.FlightEvents()) != 0 {
+		t.Errorf("disabled flight recorder journaled %d events", len(offSvc.FlightEvents()))
+	}
+	events := onSvc.FlightEvents()
+	if len(events) == 0 {
+		t.Fatal("enabled flight recorder journaled nothing")
+	}
+	kinds := map[string]bool{}
+	for _, e := range events {
+		kinds[e.Kind] = true
+	}
+	for _, want := range []string{obs.FKAdmission, obs.FKSync, obs.FKFault, obs.FKCheckpoint, obs.FKResume} {
+		if !kinds[want] {
+			t.Errorf("flight journal has no %q events (kinds: %v)", want, kinds)
+		}
+	}
+	// The journal round-trips through its JSONL export (the grtrecord
+	// -flight-out → grtdiag flight path).
+	var buf bytes.Buffer
+	if err := onSvc.WriteFlight(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFlight(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Errorf("journal round trip: %d events, want %d", len(back), len(events))
+	}
+}
+
+// TestObsIngestRejectBundle: a rejected ingestion seals a diagnostic bundle
+// that survives the GRTD file round-trip, opens under the service's bundle
+// key, and carries the quarantine fingerprint and flight tail.
+func TestObsIngestRejectBundle(t *testing.T) {
+	svc := NewService()
+	garbage := []byte("not a recording at all")
+	if _, err := svc.IngestRecording(garbage, bytes.Repeat([]byte{1}, 32), []byte("key")); err == nil {
+		t.Fatal("garbage payload ingested")
+	}
+	sb, ok := svc.LastDiagBundle()
+	if !ok {
+		t.Fatal("rejection captured no diagnostic bundle")
+	}
+	b := sb.Bundle
+	if b.Reason == "" || b.Detail == "" {
+		t.Fatalf("bundle missing reason/detail: %+v", b)
+	}
+	if b.Quarantine == nil || b.Quarantine.Bytes != len(garbage) {
+		t.Fatalf("bundle missing quarantine entry: %+v", b.Quarantine)
+	}
+	if b.Fingerprint != b.Quarantine.Fingerprint {
+		t.Errorf("bundle fingerprint %q != quarantine %q", b.Fingerprint, b.Quarantine.Fingerprint)
+	}
+	var sawReject, sawBundle bool
+	for _, e := range svc.FlightEvents() {
+		sawReject = sawReject || e.Kind == obs.FKIngestReject
+		sawBundle = sawBundle || e.Kind == obs.FKBundle
+	}
+	if !sawReject || !sawBundle {
+		t.Errorf("flight journal missing ingest_reject/bundle events (reject=%v bundle=%v)",
+			sawReject, sawBundle)
+	}
+
+	// GRTD round-trip: encode, reopen, verify — then prove tampering is
+	// detected (the grtdiag bundle exit-2 path).
+	var file bytes.Buffer
+	if err := EncodeDiagBundle(&file, sb, svc.BundleKey()); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenDiagBundleFile(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opened.Reason != b.Reason || opened.Detail != b.Detail || opened.Fingerprint != b.Fingerprint {
+		t.Errorf("reopened bundle differs: %+v vs %+v", opened, b)
+	}
+	tampered := append([]byte(nil), file.Bytes()...)
+	tampered[len(tampered)/2] ^= 1
+	if _, err := OpenDiagBundleFile(bytes.NewReader(tampered)); err == nil {
+		t.Error("tampered bundle file opened")
+	}
+}
+
+// TestObsResyncDivergedBundle: a resume whose checkpoint passes the seal and
+// identity checks but diverges at the resync boundary (the ResyncDiverged →
+// ErrCheckpointCorrupt path) seals a diagnostic bundle naming the session,
+// with the resync flight events in its tail.
+func TestObsResyncDivergedBundle(t *testing.T) {
+	svc := NewService()
+	plan, err := ParseFaultPlan("vm-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var last *Checkpoint
+	_, _, err = NewClient("diverge", MaliG71MP8).RecordResumable(
+		context.Background(), svc, MNIST(), ResilienceOptions{
+			Faults: plan, MaxResumes: -1,
+			OnCheckpoint: func(cp *Checkpoint) {
+				mu.Lock()
+				last = cp
+				mu.Unlock()
+			},
+		})
+	if !errors.Is(err, ErrSessionLost) || last == nil {
+		t.Fatalf("setup: err = %v, checkpoint = %v", err, last)
+	}
+
+	// In-memory tamper past the seal: flip the memsync metastate
+	// fingerprint, exactly what a divergent resume looks like.
+	tampered := *last.cp
+	tampered.SyncOutFP ^= 1
+	scope := NewScope("diverge-resume")
+	_, _, err = NewClient("diverge", MaliG71MP8).RecordResumable(
+		context.Background(), svc, MNIST(), ResilienceOptions{
+			RecordOptions: RecordOptions{Obs: scope},
+			Resume:        &Checkpoint{cp: &tampered, signed: last.signed, key: last.key},
+		})
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("divergent resume: err = %v, want ErrCheckpointCorrupt", err)
+	}
+	sb, ok := svc.LastDiagBundle()
+	if !ok {
+		t.Fatal("divergence captured no diagnostic bundle")
+	}
+	b := sb.Bundle
+	if b.Session != last.SessionID() {
+		t.Errorf("bundle session %q, want %q", b.Session, last.SessionID())
+	}
+	if b.Reason != audit.ReasonCheckpointCorrupt {
+		t.Errorf("bundle reason %q, want %q", b.Reason, audit.ReasonCheckpointCorrupt)
+	}
+	var sawResync bool
+	for _, e := range b.Flight {
+		if e.Kind == obs.FKResync {
+			sawResync = true
+		}
+	}
+	if !sawResync {
+		t.Errorf("bundle flight tail has no resync events (%d events)", len(b.Flight))
+	}
+	if b.Metrics == "" {
+		t.Error("bundle carries no metrics snapshot")
+	}
+	// The sealed form verifies under the service's key.
+	if _, err := audit.OpenBundle(sb.Signed.Payload, sb.Signed.MAC[:], svc.BundleKey()); err != nil {
+		t.Errorf("bundle seal: %v", err)
+	}
+}
+
+// TestObsHealthTransitions walks one service through the rollup's whole
+// state machine on windowed deltas: a clean window is healthy, a window that
+// survived a crash via resume is degraded, a window that lost a session
+// permanently is unhealthy, and the next clean window is healthy again. The
+// unhealthy report also round-trips through its JSON form — the exact
+// document grtdiag health consumes.
+func TestObsHealthTransitions(t *testing.T) {
+	svc := NewService()
+	record := func(opts ResilienceOptions) error {
+		_, _, err := NewClient("health-phone", MaliG71MP8).RecordResumable(
+			context.Background(), svc, MNIST(), opts)
+		return err
+	}
+	crashPlan := func() *FaultPlan {
+		plan, err := ParseFaultPlan("vm-crash")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+
+	if err := record(ResilienceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if rep := svc.Health(); rep.State != HealthHealthy {
+		t.Fatalf("clean window: %s (%v), want healthy", rep.State, rep.Reasons)
+	}
+
+	if err := record(ResilienceOptions{Faults: crashPlan()}); err != nil {
+		t.Fatal(err)
+	}
+	if rep := svc.Health(); rep.State != HealthDegraded {
+		t.Fatalf("resumed window: %s (%v), want degraded", rep.State, rep.Reasons)
+	} else if rep.Window.Resumed == 0 {
+		t.Errorf("degraded window reports no resumes: %+v", rep.Window)
+	}
+
+	if err := record(ResilienceOptions{Faults: crashPlan(), MaxResumes: -1}); !errors.Is(err, ErrSessionLost) {
+		t.Fatalf("crash without resumes: err = %v, want ErrSessionLost", err)
+	}
+	rep := svc.Health()
+	if rep.State != HealthUnhealthy {
+		t.Fatalf("gave-up window: %s (%v), want unhealthy", rep.State, rep.Reasons)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"grt-health/1"`) {
+		t.Errorf("health JSON missing schema:\n%s", buf.String())
+	}
+
+	if err := record(ResilienceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if rep := svc.Health(); rep.State != HealthHealthy {
+		t.Fatalf("recovered window: %s (%v), want healthy", rep.State, rep.Reasons)
+	}
+}
+
+// TestObsServiceMetricsComplete pins the -metrics contract: after a
+// checkpointed chaos run and an ingest (accept + reject), the service's one
+// Prometheus exposition carries the resilience, ingestion, and admission
+// families together.
+func TestObsServiceMetricsComplete(t *testing.T) {
+	svc := NewService()
+	plan, err := ParseFaultPlan("vm-crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := NewClient("metrics-phone", MaliG71MP8).RecordResumable(
+		context.Background(), svc, MNIST(), ResilienceOptions{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, mac, key := rec.Bundle()
+	if _, err := svc.IngestRecording(payload, mac, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.IngestRecording([]byte("junk"), mac, key); err == nil {
+		t.Fatal("junk ingested")
+	}
+	var buf bytes.Buffer
+	if err := svc.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		obs.MCkptCheckpoints, obs.MFleetResumes, obs.MIngestRecordings,
+		obs.MIngestRejects, obs.MFleetAdmissions, obs.MFleetSessions,
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("metrics exposition missing %s", name)
+		}
+	}
+}

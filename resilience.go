@@ -155,6 +155,25 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 		return nil, RecordStats{}, err
 	}
 	opts.Obs.AttachFleet(svc.fleet)
+	opts.Obs.AttachFlight(svc.flight)
+	// Checkpoint and resume telemetry routes through the session scope when
+	// one is carried (it double-writes into the fleet registry), so a
+	// session's own snapshot tells its full resilience story; an
+	// uninstrumented session still lands the fleet-level counts.
+	countFleet := func(name string, n int64, labels ...obs.Label) {
+		if opts.Obs != nil {
+			opts.Obs.Count(name, n, labels...)
+		} else {
+			svc.fleet.Add(name, n, labels...)
+		}
+	}
+	observeFleet := func(name string, v float64) {
+		if opts.Obs != nil {
+			opts.Obs.Observe(name, v)
+		} else {
+			svc.fleet.Observe(name, v)
+		}
+	}
 	maxResumes := opts.MaxResumes
 	switch {
 	case maxResumes == 0:
@@ -246,7 +265,7 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 
 		onCkpt := func(cp *ckpt.Checkpoint) {
 			last = cp
-			svc.fleet.Add(obs.MCkptCheckpoints, 1)
+			countFleet(obs.MCkptCheckpoints, 1)
 			if opts.OnCheckpoint == nil {
 				return
 			}
@@ -254,7 +273,7 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 			if serr != nil {
 				return
 			}
-			svc.fleet.Add(obs.MCkptBytes, int64(len(signed.Payload)))
+			countFleet(obs.MCkptBytes, int64(len(signed.Payload)))
 			opts.OnCheckpoint(&Checkpoint{cp: cp, signed: signed, key: ckptKey})
 		}
 
@@ -277,16 +296,24 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 		}
 		if !errors.Is(err, grterr.ErrSessionLost) {
 			svc.mgr.Release(vm)
+			if errors.Is(err, grterr.ErrCheckpointCorrupt) {
+				// The checkpoint failed resync verification (or parsing) —
+				// the exact failure an operator needs evidence for: seal a
+				// diagnostic bundle with the flight tail leading up to it.
+				svc.captureBundle(sessionID, err, c.clock.Now(), nil)
+			}
 			return nil, RecordStats{}, err
 		}
 		// Session lost: the VM (and its key) are gone.
 		svc.mgr.Crash(vm)
 		if attempt >= maxResumes {
-			svc.fleet.Add(obs.MFleetResumes, 1, obs.L("outcome", "gave_up"))
+			countFleet(obs.MFleetResumes, 1, obs.L("outcome", "gave_up"))
 			lastJob := -1
 			if last != nil {
 				lastJob = last.Job
 			}
+			svc.flight.Emit(c.clock.Now(), sessionID, obs.FKResume, "gave_up",
+				obs.A("attempts", int64(attempt+1)), obs.A("last_job", int64(lastJob)))
 			return nil, RecordStats{}, fmt.Errorf(
 				"gpurelay: session %s lost after %d attempts (last checkpoint: job %d): %w",
 				sessionID, attempt+1, lastJob, err)
@@ -302,13 +329,16 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 		jrng ^= jrng << 17
 		d += time.Duration(jrng % uint64(d/2+1))
 		c.clock.Advance(d)
-		svc.fleet.Add(obs.MFleetResumes, 1, obs.L("outcome", "resumed"))
-		svc.fleet.Observe(obs.MResumeBackoff, d.Seconds())
+		countFleet(obs.MFleetResumes, 1, obs.L("outcome", "resumed"))
+		observeFleet(obs.MResumeBackoff, d.Seconds())
 		resumeJob := int64(-1)
 		if last != nil {
 			resumeJob = int64(last.Job)
 		}
 		opts.Obs.Annotate("session.resume", "session",
+			obs.A("attempt", int64(attempt+1)), obs.A("from_job", resumeJob),
+			obs.A("backoff_ns", int64(d)))
+		svc.flight.Emit(c.clock.Now(), sessionID, obs.FKResume, "resumed",
 			obs.A("attempt", int64(attempt+1)), obs.A("from_job", resumeJob),
 			obs.A("backoff_ns", int64(d)))
 	}
