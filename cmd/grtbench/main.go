@@ -11,17 +11,47 @@
 //	grtbench -perf      # memory-sync micro-benchmarks -> BENCH_PR4.json
 //	grtbench -fleet -engine parallel -gpus 16
 //	                    # fleet drill, serial vs parallel engine -> BENCH_PR6.json
+//	grtbench -fleet -clients 10000 -workloads 100 -shards 4
+//	                    # sharded cache-first fleet drill -> BENCH_PR8.json
+//
+// Inconsistent flag combinations (e.g. -clients without -fleet, or an
+// explicit -shards 0) are rejected with exit code 2 and a single-line JSON
+// report on stderr ({"rejected":true,"stage":"flags","reason":...}), so
+// pipelines can triage misconfiguration without parsing error prose.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"gpurelay/internal/experiments"
 	"gpurelay/internal/mlfw"
 	"gpurelay/internal/netsim"
 )
+
+// flagRejection is the machine-readable report grtbench emits when the flag
+// surface is combined inconsistently. Mirrors grtreplay's rejection schema.
+type flagRejection struct {
+	Rejected bool   `json:"rejected"`
+	Stage    string `json:"stage"`  // always "flags"
+	Reason   string `json:"reason"` // stable token: needs_fleet|bad_shards|...
+	Error    string `json:"error"`
+}
+
+// rejectFlags prints one JSON line to stderr and exits 2: the invocation,
+// not the environment, is at fault.
+func rejectFlags(reason, msg string) {
+	line, err := json.Marshal(flagRejection{Rejected: true, Stage: "flags", Reason: reason, Error: msg})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, `{"rejected":true,"stage":"flags","reason":%q}`+"\n", reason)
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, string(line))
+	os.Exit(2)
+}
 
 func main() {
 	fast := flag.Bool("fast", false, "run only MNIST and AlexNet")
@@ -33,10 +63,58 @@ func main() {
 	healthOut := flag.String("health-out", "", "with -fleet: write the instrumented drill's fleet health report (grt-health/1 JSON, for grtdiag health) to this file")
 	engineFlag := flag.String("engine", "serial", "discrete-event engine for the fleet drill: serial|parallel (parallel also runs the serial baseline and reports the speedup)")
 	gpus := flag.Int("gpus", 1, "fleet drill sessions, one GPU each (with -fleet; 1 selects the default 16-session drill)")
+	clients := flag.Int("clients", 0, "with -fleet: simulated client admissions for the sharded cache-first drill (selects the sharded drill; 0 with -shards/-workloads -> 10000)")
+	workloads := flag.Int("workloads", 0, "with -fleet: distinct workloads across the sharded drill's clients (0 -> 100)")
+	shards := flag.Int("shards", 0, "with -fleet: session-manager partitions under consistent hashing on the cache key (0 -> 4; an explicit 0 is rejected)")
+	shardOut := flag.String("shardout", "BENCH_PR8.json", "sharded fleet artifact output path (with -fleet -clients/-workloads/-shards)")
+	ampGate := flag.Float64("amp-gate", 0, "with the sharded drill: fail (exit 1) when record-amplification exceeds this ceiling (0 = no gate)")
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	shardDrill := set["clients"] || set["workloads"] || set["shards"]
 
 	if *engineFlag != "serial" && *engineFlag != "parallel" {
 		log.Fatalf("unknown engine %q (serial|parallel)", *engineFlag)
+	}
+	if shardDrill {
+		// The sharded drill's flag surface is validated before anything
+		// runs; inconsistent combinations are a misconfiguration, reported
+		// machine-readably (satellite: `grtbench -fleet` flag surface).
+		if !*fleet {
+			rejectFlags("needs_fleet", "-clients/-workloads/-shards select the sharded fleet drill and need -fleet")
+		}
+		if set["shards"] && *shards <= 0 {
+			rejectFlags("bad_shards", fmt.Sprintf("-shards %d: the drill needs at least one admission partition", *shards))
+		}
+		if set["clients"] && *clients <= 0 {
+			rejectFlags("bad_clients", fmt.Sprintf("-clients %d: the drill needs at least one admission", *clients))
+		}
+		if set["workloads"] && *workloads <= 0 {
+			rejectFlags("bad_workloads", fmt.Sprintf("-workloads %d: the drill needs at least one workload", *workloads))
+		}
+		if *clients == 0 {
+			*clients = 10000
+		}
+		if *workloads == 0 {
+			*workloads = 100
+		}
+		if *shards == 0 {
+			*shards = 4
+		}
+		if *workloads > *clients {
+			rejectFlags("workloads_exceed_clients",
+				fmt.Sprintf("-workloads %d > -clients %d: every workload needs at least one admission", *workloads, *clients))
+		}
+		if set["engine"] && *engineFlag == "parallel" {
+			rejectFlags("engine_conflict", "the sharded drill is event-native on its own serial engine; -engine parallel belongs to the -gpus drill")
+		}
+		if set["gpus"] {
+			rejectFlags("gpus_conflict", "-gpus selects the per-GPU fleet drill; it cannot combine with -clients/-workloads/-shards")
+		}
+		if *traceOut != "" {
+			rejectFlags("trace_conflict", "the sharded drill exports no engine trace; -trace-out belongs to the -gpus drill")
+		}
 	}
 	if *perf {
 		if err := runPerf(*perfOut); err != nil {
@@ -45,6 +123,12 @@ func main() {
 		return
 	}
 	if *fleet {
+		if shardDrill {
+			if err := runShardFleet(*clients, *workloads, *shards, *shardOut, *healthOut, *ampGate); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
 		if err := runFleet(*engineFlag, *gpus, *fleetOut, *traceOut, *healthOut); err != nil {
 			log.Fatal(err)
 		}

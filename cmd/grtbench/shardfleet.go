@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/platform"
+	"gpurelay/internal/record"
+)
+
+// The sharded -fleet mode measures the cache-first admission path at fleet
+// scale: -clients admissions over -workloads distinct workloads, routed by
+// consistent hashing on the cache key across -shards session-manager
+// partitions. The interesting numbers are record-amplification (records per
+// unique workload — the ROADMAP's → 1.0 target), the cache hit rate, the
+// p99 leader admission wait on the virtual clock, and the shed rate. The
+// drill runs twice and the artifact records whether every metric and every
+// per-workload recording seal matched byte for byte — the determinism claim
+// CI gates on, next to the amplification ceiling.
+
+// shardRunRow is one drill run's measurement in the artifact.
+type shardRunRow struct {
+	WallMS    float64 `json:"wall_ms"`
+	VirtualMS float64 `json:"virtual_ms"`
+	Events    int64   `json:"events"`
+}
+
+// shardArtifact is the BENCH_PR8.json schema (grt-shardfleet/1).
+type shardArtifact struct {
+	Schema     string `json:"schema"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Timestamp  string `json:"timestamp"`
+
+	Clients   int `json:"clients"`
+	Workloads int `json:"workloads"`
+	Shards    int `json:"shards"`
+
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Shed      int64 `json:"shed"`
+	Records   int64 `json:"records"`
+
+	RecordAmplification float64 `json:"record_amplification"`
+	CacheHitRate        float64 `json:"cache_hit_rate"`
+	ShedRate            float64 `json:"shed_rate"`
+	P99AdmissionWaitMS  float64 `json:"p99_admission_wait_ms"`
+	MaxShardQueue       int     `json:"max_shard_queue"`
+
+	Runs []shardRunRow `json:"runs"`
+	// Deterministic records that the second run reproduced every metric and
+	// every per-workload recording seal byte for byte.
+	Deterministic bool `json:"deterministic"`
+	// SealDigest is the hex SHA-256-free concatenated witness of the
+	// per-workload seals (first 8 bytes of each), for eyeballing drift
+	// across artifact generations.
+	SealDigest string `json:"seal_digest"`
+
+	// AmpGate echoes the -amp-gate ceiling (0 = not gated) and whether the
+	// measured amplification passed it.
+	AmpGate     float64 `json:"amp_gate,omitempty"`
+	AmpGatePass bool    `json:"amp_gate_pass"`
+}
+
+// runShardFleet runs the sharded cache-first fleet drill twice, writes
+// BENCH_PR8.json, and enforces the amplification gate.
+func runShardFleet(clients, workloads, shards int, outPath, healthOut string, ampGate float64) error {
+	opts := platform.ShardedFleetOptions{
+		Clients:   clients,
+		Workloads: workloads,
+		Shards:    shards,
+		Model:     mlfw.Micro(),
+		SKU:       mali.G71MP8,
+		Variant:   record.OursMDS,
+		Seed:      42,
+	}
+	fmt.Printf("=== sharded fleet drill: %d clients x %d workloads over %d shards (cache-first admission) ===\n",
+		clients, workloads, shards)
+
+	run := func() (*platform.ShardedFleetResult, error) {
+		return platform.ShardedFleetDrill(context.Background(), opts)
+	}
+	a, err := run()
+	if err != nil {
+		return fmt.Errorf("sharded drill: %w", err)
+	}
+	fmt.Printf("run 1: %d records  %d hits  %d coalesced  %d shed  amplification %.3f  hit rate %.3f  p99 wait %s  (%.1f ms wall)\n",
+		a.Records, a.Hits, a.Coalesced, a.Shed, a.RecordAmplification, a.CacheHitRate,
+		a.P99AdmissionWait, float64(a.Wall.Nanoseconds())/1e6)
+	b, err := run()
+	if err != nil {
+		return fmt.Errorf("sharded drill (repeat): %w", err)
+	}
+
+	deterministic := a.Hits == b.Hits && a.Misses == b.Misses &&
+		a.Coalesced == b.Coalesced && a.Shed == b.Shed && a.Records == b.Records &&
+		a.CacheHitRate == b.CacheHitRate &&
+		a.RecordAmplification == b.RecordAmplification &&
+		a.P99AdmissionWait == b.P99AdmissionWait &&
+		a.VirtualTime == b.VirtualTime && a.Events == b.Events
+	for w := range a.WorkloadSeals {
+		if a.WorkloadSeals[w] != b.WorkloadSeals[w] {
+			deterministic = false
+			break
+		}
+	}
+	if !deterministic {
+		return fmt.Errorf("sharded drill: repeat run diverged — metrics or seals are not deterministic")
+	}
+	fmt.Printf("run 2: metrics and all %d workload seals byte-identical\n", len(a.WorkloadSeals))
+
+	witness := make([]byte, 0, 8*len(a.WorkloadSeals))
+	for _, s := range a.WorkloadSeals {
+		witness = append(witness, s[:8]...)
+	}
+	art := shardArtifact{
+		Schema: "grt-shardfleet/1", GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Clients:   a.Clients, Workloads: a.Workloads, Shards: a.Shards,
+		Hits: a.Hits, Misses: a.Misses, Coalesced: a.Coalesced,
+		Shed: a.Shed, Records: a.Records,
+		RecordAmplification: a.RecordAmplification,
+		CacheHitRate:        a.CacheHitRate,
+		ShedRate:            float64(a.Shed) / float64(a.Clients),
+		P99AdmissionWaitMS:  float64(a.P99AdmissionWait.Nanoseconds()) / 1e6,
+		MaxShardQueue:       a.MaxShardQueue,
+		Runs: []shardRunRow{
+			{WallMS: float64(a.Wall.Nanoseconds()) / 1e6, VirtualMS: float64(a.VirtualTime.Nanoseconds()) / 1e6, Events: a.Events},
+			{WallMS: float64(b.Wall.Nanoseconds()) / 1e6, VirtualMS: float64(b.VirtualTime.Nanoseconds()) / 1e6, Events: b.Events},
+		},
+		Deterministic: true,
+		SealDigest:    hex.EncodeToString(witness[:minInt(len(witness), 32)]),
+		AmpGate:       ampGate,
+		AmpGatePass:   ampGate <= 0 || a.RecordAmplification <= ampGate,
+	}
+
+	if healthOut != "" {
+		f, err := os.Create(healthOut)
+		if err != nil {
+			return err
+		}
+		if err := a.Health.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote fleet health report to %s (state: %s, cache hit rate %.3f)\n",
+			healthOut, a.Health.State, a.Health.Window.CacheHitRate)
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote sharded fleet artifact to %s\n", outPath)
+
+	if !art.AmpGatePass {
+		return fmt.Errorf("record-amplification gate failed: %.3f > %.3f", a.RecordAmplification, ampGate)
+	}
+	if ampGate > 0 {
+		fmt.Printf("record-amplification gate passed: %.3f <= %.3f\n", a.RecordAmplification, ampGate)
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

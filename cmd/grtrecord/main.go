@@ -18,6 +18,12 @@
 //
 //	grtrecord -model mnist -faults outage -ckpt mnist.grtc -o mnist.grt
 //	grtrecord -model mnist -resume mnist.grtc -o mnist.grt
+//
+// Cache-first: -cached derives the content-addressed cache key (SKU, stack,
+// workload, input shape) before admission and serves a store hit with zero
+// VM time; -cache-dir persists the store, so a rerun serves from disk:
+//
+//	grtrecord -model mnist -cached -cache-dir /tmp/grtcache -o mnist.grt
 package main
 
 import (
@@ -94,6 +100,8 @@ func main() {
 	maxResumesFlag := flag.Int("max-resumes", 0, "automatic resumes of a lost session before giving up (0 = default 3, negative = never)")
 	flightFlag := flag.String("flight-out", "", "write the service's flight-recorder journal (JSON Lines, for grtdiag flight) to this file (\"-\" for stdout); written on success and on failure")
 	bundleOutFlag := flag.String("bundle-out", "", "on failure, write the sealed diagnostic bundle (GRTD, for grtdiag bundle) to this file before exiting")
+	cachedFlag := flag.Bool("cached", false, "serve through the service's content-addressed recording cache: a hit returns the stored sealed recording with zero VM time, a miss records once and publishes")
+	cacheDirFlag := flag.String("cache-dir", "", "with -cached: persistent on-disk cache tier; a rerun with the same model/SKU serves from disk (seal re-verified on load)")
 	engineFlag := flag.String("engine", "serial", "discrete-event engine hosting the session(s): serial|parallel")
 	gpusFlag := flag.Int("gpus", 1, "number of GPUs (one record session each, sharing one engine)")
 	seedFlag := flag.Uint64("seed", 1, "session key / client seed derivation seed (with -gpus > 1 or -engine parallel)")
@@ -146,8 +154,21 @@ func main() {
 		return
 	}
 
+	if *cacheDirFlag != "" && !*cachedFlag {
+		log.Fatal("-cache-dir needs -cached")
+	}
+	if *cachedFlag {
+		for name, set := range map[string]bool{
+			"-faults": *faultsFlag != "", "-resume": *resumeFlag != "",
+			"-ckpt": *ckptFlag != "", "-max-resumes": *maxResumesFlag != 0,
+		} {
+			if set {
+				log.Fatalf("%s records a live session; it cannot combine with -cached", name)
+			}
+		}
+	}
 	client := gpurelay.NewClient("grtrecord-cli", sku)
-	svc := gpurelay.NewService()
+	svc := gpurelay.NewServiceWith(gpurelay.ServiceConfig{CacheDir: *cacheDirFlag})
 	var scope *gpurelay.Scope
 	if *metricsFlag != "" || *traceFlag != "" || *flightFlag != "" {
 		// A scope is what routes the session's own events (sync phases,
@@ -204,6 +225,20 @@ func main() {
 		}
 		if stats.Resumes > 0 {
 			fmt.Printf("survived %d session loss(es) via checkpoint resume\n", stats.Resumes)
+		}
+	} else if *cachedFlag {
+		var outcome gpurelay.CacheOutcome
+		rec, outcome, stats, err = client.RecordCached(svc, model, recOpts)
+		if err != nil {
+			fail("record: %v", err)
+		}
+		switch outcome {
+		case gpurelay.CacheHit:
+			fmt.Println("served from the recording cache (zero VM time; stats below are the hit's, i.e. none)")
+		case gpurelay.CacheRecorded:
+			fmt.Println("cache miss: recorded once and published to the store")
+		case gpurelay.CacheCoalesced:
+			fmt.Println("coalesced onto a concurrent record of the same cache key")
 		}
 	} else {
 		rec, stats, err = client.Record(svc, model, recOpts)

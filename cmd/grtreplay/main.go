@@ -114,6 +114,7 @@ func main() {
 	bundleOutFlag := flag.String("bundle-out", "", "on rejection, write the sealed diagnostic bundle (GRTD) to this file before exiting")
 	compareFlag := flag.String("compare", "", "second recording bundle: verify both are byte-identical and replay to identical outputs")
 	auditFlag := flag.Bool("audit", false, "verify and structurally audit the bundle without replaying; exit 2 with a JSON report if it is rejected")
+	fingerprintFlag := flag.Bool("fingerprint", false, "print the accepted recording's content address (the truncated SHA-256 the recording cache and quarantine key on)")
 	engineFlag := flag.String("engine", "serial", "discrete-event engine hosting the replay(s): serial|parallel")
 	gpusFlag := flag.Int("gpus", 1, "GPUs to replay on (must match the bundle; 1 adapts to the bundle's GPU count)")
 	flag.Parse()
@@ -146,8 +147,8 @@ func main() {
 		if *gpusFlag != 1 && *gpusFlag != len(entries) {
 			log.Fatalf("-gpus %d, but %s holds %d per-GPU recording(s)", *gpusFlag, *recFlag, len(entries))
 		}
-		if *compareFlag != "" || *auditFlag || *metricsFlag != "" || *traceFlag != "" || *bundleOutFlag != "" {
-			log.Fatal("-compare, -audit, -metrics, -trace-out and -bundle-out work on the classic single-GPU replay path only")
+		if *compareFlag != "" || *auditFlag || *fingerprintFlag || *metricsFlag != "" || *traceFlag != "" || *bundleOutFlag != "" {
+			log.Fatal("-compare, -audit, -fingerprint, -metrics, -trace-out and -bundle-out work on the classic single-GPU replay path only")
 		}
 		runPlatformReplay(entries, sku, *engineFlag, *nFlag)
 		return
@@ -164,6 +165,9 @@ func main() {
 		reject(*recFlag, "ingest", payload, err)
 	}
 	fmt.Printf("verified recording of %s for GPU product %#x\n", rec.Workload, rec.ProductID)
+	if *fingerprintFlag {
+		fmt.Printf("fingerprint: %s\n", audit.Fingerprint(payload))
+	}
 
 	if *auditFlag {
 		// Ingestion already ran the structural audit; reaching here means

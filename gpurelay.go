@@ -33,13 +33,17 @@ package gpurelay
 
 import (
 	"context"
+	"crypto/hmac"
 	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 
 	"gpurelay/internal/audit"
+	"gpurelay/internal/castore"
 	"gpurelay/internal/cloud"
 	"gpurelay/internal/gpumem"
 	"gpurelay/internal/grterr"
@@ -83,7 +87,16 @@ var (
 	// parsing, or resync verification — the lost session cannot be
 	// reproduced from it.
 	ErrCheckpointCorrupt = grterr.ErrCheckpointCorrupt
+	// ErrShedding: a sharded service's target partition had its pool and
+	// queue both full. The rejection is a *SheddingError carrying a
+	// retry-after hint; the cache key pins the workload to its shard, so
+	// retry this service later rather than failing over.
+	ErrShedding = grterr.ErrShedding
 )
+
+// SheddingError is the typed rejection a sharded service returns when a
+// partition sheds load; errors.As extracts the shard and retry-after hint.
+type SheddingError = cloud.SheddingError
 
 // SKU identifies a mobile GPU hardware model.
 type SKU = mali.SKU
@@ -408,10 +421,25 @@ func (c *Client) compatible() (string, error) {
 // GPU SKU. It is safe for concurrent use — multiple clients (and multiple
 // sessions of one client, capacity permitting) can record in parallel.
 type Service struct {
-	svc       *cloud.Service
+	svc   *cloud.Service
+	image *cloud.Image
+	// Exactly one of mgr and sharded is set: a single admission pool, or
+	// ServiceConfig.Shards partitions under consistent hashing on the
+	// recording cache key. Admission routes through acquireVM/releaseVM.
 	mgr       *cloud.SessionManager
-	image     *cloud.Image
+	sharded   *cloud.ShardedService
 	histories *shim.HistoryStore
+	// cache is the content-addressed recording store behind the cache-first
+	// admission path (RecordCached): sealed recordings keyed by
+	// (SKU, stack, workload, input shape), interlocked with the quarantine.
+	cache *castore.Store
+	// coalescer deduplicates concurrent record attempts per cache key —
+	// one leader records, followers share the published entry.
+	coalescer *castore.Coalescer
+	// cacheSecret derives the deterministic session keys and client seeds
+	// cached recordings are sealed with, so every client admitted under one
+	// cache key receives byte-identical artifacts.
+	cacheSecret []byte
 	// fleet aggregates telemetry across every session the service hosts:
 	// admission outcomes and (wall-clock) queue waits from the session
 	// manager, history-store hit rates, and — for sessions recorded with a
@@ -459,6 +487,23 @@ type ServiceConfig struct {
 	// Health tunes the fleet health rollup thresholds (zero value →
 	// defaults; see HealthThresholds).
 	Health HealthThresholds
+	// Shards partitions admission across N SessionManager pools under
+	// consistent hashing on the recording cache key (0 or 1 → one pool).
+	// Each partition gets its own Capacity/QueueLimit budget; a saturated
+	// partition rejects with a *SheddingError instead of plain ErrCapacity.
+	Shards int
+	// CacheEntries and CacheBytes bound the recording store's memory tier
+	// (0 → castore defaults: 256 entries, 256 MiB).
+	CacheEntries int
+	CacheBytes   int64
+	// CacheDir, when non-empty, enables the store's on-disk tier: entries
+	// persist there and memory misses fall through to a re-verified load.
+	CacheDir string
+	// CacheSecret derives the deterministic per-cache-key session keys and
+	// client seeds cached recordings are sealed with. Nil draws a random
+	// secret at construction (caches are then byte-stable within one
+	// service lifetime; fix the secret to make them stable across services).
+	CacheSecret []byte
 }
 
 // NewService creates a cloud service hosting the default Bifrost GPU-stack
@@ -471,24 +516,57 @@ func NewService() *Service {
 // and history configuration.
 func NewServiceWith(cfg ServiceConfig) *Service {
 	img := cloud.DefaultImage()
-	svc := cloud.NewService(img)
-	mgr := cloud.NewSessionManager(svc, cloud.SessionConfig{
+	sessionCfg := cloud.SessionConfig{
 		Capacity:       cfg.Capacity,
 		QueueLimit:     cfg.QueueLimit,
 		PerClientLimit: cfg.PerClientSessions,
-	})
+	}
 	k := cfg.HistoryK
 	if k <= 0 {
 		k = 3
 	}
 	fleet := obs.NewRegistry()
-	mgr.Instrument(fleet)
 	histories := shim.NewHistoryStore(k)
 	histories.Instrument(fleet)
 	s := &Service{
-		svc: svc, mgr: mgr, image: img, histories: histories, fleet: fleet,
+		image: img, histories: histories, fleet: fleet,
 		quarantine: audit.New(0),
 		health:     cloud.NewHealthTracker(cfg.Health),
+		coalescer:  castore.NewCoalescer(),
+	}
+	if cfg.Shards > 1 {
+		s.sharded = cloud.NewShardedService(img, cloud.ShardedConfig{
+			Shards: cfg.Shards,
+			Shard:  sessionCfg,
+		})
+		s.sharded.Instrument(fleet)
+	} else {
+		s.svc = cloud.NewService(img)
+		s.mgr = cloud.NewSessionManager(s.svc, sessionCfg)
+		s.mgr.Instrument(fleet)
+	}
+	cache, err := castore.New(castore.Config{
+		MaxEntries: cfg.CacheEntries,
+		MaxBytes:   cfg.CacheBytes,
+		Dir:        cfg.CacheDir,
+	})
+	if err != nil {
+		// A broken cache directory must not take the record path down:
+		// fall back to a memory-only store.
+		cache, _ = castore.New(castore.Config{
+			MaxEntries: cfg.CacheEntries,
+			MaxBytes:   cfg.CacheBytes,
+		})
+	}
+	cache.SetQuarantine(s.quarantine)
+	cache.Instrument(fleet)
+	s.cache = cache
+	s.cacheSecret = append([]byte(nil), cfg.CacheSecret...)
+	if len(s.cacheSecret) == 0 {
+		s.cacheSecret = make([]byte, 32)
+		if _, err := rand.Read(s.cacheSecret); err != nil {
+			panic(err)
+		}
 	}
 	if cfg.FlightCapacity >= 0 {
 		s.flight = obs.NewFlightRecorder(cfg.FlightCapacity)
@@ -499,9 +577,55 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 			// than sealing under a predictable key.
 			s.bundles, s.bundleKey = nil, nil
 		}
-		mgr.InstrumentFlight(s.flight)
+		if s.sharded != nil {
+			s.sharded.InstrumentFlight(s.flight)
+		} else {
+			s.mgr.InstrumentFlight(s.flight)
+		}
 	}
 	return s
+}
+
+// NumShards reports the admission partition count (1 for an unsharded
+// service).
+func (s *Service) NumShards() int {
+	if s.sharded != nil {
+		return s.sharded.NumShards()
+	}
+	return 1
+}
+
+// cacheKeyFor derives the cache identity of recording model on this
+// service's stack for the client's SKU — the shared derivation that makes
+// cache hits (and shard routing) line up across every admission path.
+func (s *Service) cacheKeyFor(sku *SKU, model *Model) castore.Key {
+	return castore.KeyForModel(sku.Name, s.image.Stack, model)
+}
+
+// acquireVM routes one admission: to the key's shard when sharded, else the
+// single pool. The cache-key hash decides the shard, so a workload's
+// singleflight leader and followers always land on one partition.
+func (s *Service) acquireVM(ctx context.Context, key [32]byte, clientID, compat string, nonce []byte) (*cloud.VM, error) {
+	if s.sharded != nil {
+		return s.sharded.Acquire(ctx, key, clientID, compat, nonce)
+	}
+	return s.mgr.Acquire(ctx, clientID, s.image.Name, compat, nonce)
+}
+
+func (s *Service) releaseVM(vm *cloud.VM) {
+	if s.sharded != nil {
+		s.sharded.Release(vm)
+		return
+	}
+	s.mgr.Release(vm)
+}
+
+func (s *Service) crashVM(vm *cloud.VM) {
+	if s.sharded != nil {
+		s.sharded.Crash(vm)
+		return
+	}
+	s.mgr.Crash(vm)
 }
 
 // Metrics returns a snapshot of the service's fleet-wide metrics registry.
@@ -616,11 +740,30 @@ func (s *Service) BundleKey() []byte { return append([]byte(nil), s.bundleKey...
 // construction.
 func (s *Service) Health() *HealthReport { return s.health.Observe(s.fleet.Snapshot()) }
 
-// ActiveVMs reports the number of live recording VMs.
-func (s *Service) ActiveVMs() int { return s.mgr.ActiveVMs() }
+// ActiveVMs reports the number of live recording VMs (summed across shards
+// on a sharded service).
+func (s *Service) ActiveVMs() int {
+	if s.sharded != nil {
+		return s.sharded.ActiveVMs()
+	}
+	return s.mgr.ActiveVMs()
+}
 
-// QueuedSessions reports the number of admissions waiting for a VM slot.
-func (s *Service) QueuedSessions() int { return s.mgr.Queued() }
+// QueuedSessions reports the number of admissions waiting for a VM slot
+// (summed across shards on a sharded service).
+func (s *Service) QueuedSessions() int {
+	if s.sharded != nil {
+		return s.sharded.Queued()
+	}
+	return s.mgr.Queued()
+}
+
+// CacheStats reports the recording store's memory tier: resident entries,
+// resident payload bytes, and the number of distinct cache keys ever
+// admitted (the record-amplification denominator).
+func (s *Service) CacheStats() (entries int, bytes int64, keys int) {
+	return s.cache.Len(), s.cache.Bytes(), s.cache.KeysSeen()
+}
 
 // SharedHistory returns the service-owned speculation history that record
 // sessions for the given SKU and workload share (created empty on first
@@ -689,11 +832,11 @@ func (c *Client) RecordContext(ctx context.Context, svc *Service, model *Model, 
 	}
 	opts.Obs.AttachFleet(svc.fleet)
 	opts.Obs.AttachFlight(svc.flight)
-	vm, err := svc.mgr.Acquire(ctx, c.ID, svc.image.Name, compat, nonce)
+	vm, err := svc.acquireVM(ctx, svc.cacheKeyFor(c.SKU, model).Hash(), c.ID, compat, nonce)
 	if err != nil {
 		return nil, RecordStats{}, fmt.Errorf("gpurelay: launching recording VM: %w", err)
 	}
-	defer svc.mgr.Release(vm)
+	defer svc.releaseVM(vm)
 	// Admission and attestation happen before the session's virtual clock
 	// exists, so they land on the timeline as instants at t=0.
 	opts.Obs.Annotate("session.admitted", "session")
@@ -734,6 +877,174 @@ func (c *Client) RecordContext(ctx context.Context, svc *Service, model *Model, 
 	}, res.Stats, nil
 }
 
+// CacheOutcome reports how a cache-first record request was served.
+type CacheOutcome string
+
+const (
+	// CacheHit: served straight from the recording store — zero VM time,
+	// no admission-queue slot consumed.
+	CacheHit CacheOutcome = "hit"
+	// CacheRecorded: this request led the record for its cache key and
+	// published the result.
+	CacheRecorded CacheOutcome = "recorded"
+	// CacheCoalesced: another request was already recording this cache
+	// key; this one waited and shares the published artifact.
+	CacheCoalesced CacheOutcome = "coalesced"
+)
+
+// RecordCached is the cache-first record workflow of a fleet-scale service:
+// derive the cache key (SKU, stack, workload, input shape) *before*
+// admission, serve a store hit with zero VM time, and coalesce concurrent
+// misses so exactly one session records per key. See RecordCachedContext.
+func (c *Client) RecordCached(svc *Service, model *Model, opts RecordOptions) (*Recording, CacheOutcome, RecordStats, error) {
+	return c.RecordCachedContext(context.Background(), svc, model, opts)
+}
+
+// RecordCachedContext is RecordCached with cancellation. A hit returns
+// immediately with zero RecordStats (nothing was recorded — that is the
+// point). A miss runs singleflight: the leader admits a VM (through the
+// key's shard on a sharded service), records with a cache-derived session
+// key so the artifact is client-agnostic, publishes to the store, and every
+// coalesced follower receives the same sealed bytes. A follower whose
+// leader's context dies is promoted to lead the retry. Recordings this path
+// returns verify and replay exactly like RecordContext's, but two clients
+// requesting the same key receive byte-identical bundles.
+func (c *Client) RecordCachedContext(ctx context.Context, svc *Service, model *Model, opts RecordOptions) (*Recording, CacheOutcome, RecordStats, error) {
+	ck := svc.cacheKeyFor(c.SKU, model)
+	if e, ok := svc.cache.Get(ck); ok {
+		svc.flight.Emit(0, c.ID, obs.FKCacheHit, ck.Workload)
+		return recordingFromEntry(e), CacheHit, RecordStats{}, nil
+	}
+	svc.flight.Emit(0, c.ID, obs.FKCacheMiss, ck.Workload)
+	var stats RecordStats
+	e, led, err := svc.coalescer.Do(ctx, ck.Hash(), func(ctx context.Context) (*castore.Entry, error) {
+		// Leadership won after a race: the previous leader may have just
+		// published. Serve the store before spending a VM.
+		if e, ok := svc.cache.Get(ck); ok {
+			return e, nil
+		}
+		e, res, err := svc.recordForCache(ctx, c, ck, model, opts)
+		if err != nil {
+			return nil, err
+		}
+		stats = res.Stats
+		return e, nil
+	})
+	if err != nil {
+		return nil, "", RecordStats{}, err
+	}
+	if !led {
+		svc.fleet.Add(obs.MCacheCoalesced, 1)
+		svc.flight.Emit(0, c.ID, obs.FKCacheCoalesce, ck.Workload)
+		return recordingFromEntry(e), CacheCoalesced, RecordStats{}, nil
+	}
+	return recordingFromEntry(e), CacheRecorded, stats, nil
+}
+
+// recordForCache runs the leader's record session for one cache key: admit
+// (by key, so sharding and coalescing agree), attest, record under the
+// cache-derived session key and client seed, publish to the store. A store
+// that refuses publication (e.g. the fingerprint got quarantined while the
+// session ran) does not fail the request — the fresh recording still serves
+// this leader and its followers; it just is not cached.
+func (s *Service) recordForCache(ctx context.Context, c *Client, ck castore.Key, model *Model, opts RecordOptions) (*castore.Entry, *record.Result, error) {
+	if opts.Network.Name == "" {
+		opts.Network = WiFi
+	}
+	compat, err := c.compatible()
+	if err != nil {
+		return nil, nil, err
+	}
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, nil, err
+	}
+	opts.Obs.AttachFleet(s.fleet)
+	opts.Obs.AttachFlight(s.flight)
+	kh := ck.Hash()
+	vm, err := s.acquireVM(ctx, kh, c.ID, compat, nonce)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gpurelay: launching recording VM: %w", err)
+	}
+	defer s.releaseVM(vm)
+	want, err := cloud.ExpectedMeasurement(s.image, compat)
+	if err != nil {
+		return nil, nil, err
+	}
+	if vm.Measurement != want {
+		return nil, nil, fmt.Errorf("gpurelay: VM measurement mismatch for image %q on %q: %w",
+			s.image.Name, compat, ErrAttestation)
+	}
+
+	hist := opts.History
+	if hist == nil {
+		hist = s.SharedHistory(c.SKU, model)
+	}
+	res, err := record.RunContext(ctx, record.Config{
+		Variant: opts.Variant, Model: model, SKU: c.SKU, Network: opts.Network,
+		// Cache-derived key and seed, NOT the VM's attestation key or the
+		// client's seed: the artifact must not depend on who led.
+		SessionKey: s.cacheSessionKey(kh),
+		ClientSeed: s.cacheClientSeed(kh),
+		History:    hist, InjectMispredictionAt: -1,
+		Obs: opts.Obs,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	c.clock.Advance(res.Stats.RecordingDelay)
+	e := &castore.Entry{
+		Key:        ck,
+		Payload:    res.Signed.Payload,
+		MAC:        res.Signed.MAC,
+		SessionKey: s.cacheSessionKey(kh),
+		ProductID:  res.Recording.ProductID,
+	}
+	if perr := s.cache.Put(e); perr != nil {
+		// Served, not cached. The store already counted the reject.
+		return e, res, nil
+	}
+	return e, res, nil
+}
+
+// cacheSessionKey derives the session key cached recordings for one cache
+// key are sealed with: HMAC-SHA256(cacheSecret, "session-key" || keyhash).
+func (s *Service) cacheSessionKey(kh [32]byte) []byte {
+	m := hmac.New(sha256.New, s.cacheSecret)
+	m.Write([]byte("grt-cache-session-key/1"))
+	m.Write(kh[:])
+	return m.Sum(nil)
+}
+
+// cacheClientSeed derives the deterministic client seed for one cache key,
+// so the recorded GPU nondeterminism stream is a function of the key alone.
+func (s *Service) cacheClientSeed(kh [32]byte) uint64 {
+	m := hmac.New(sha256.New, s.cacheSecret)
+	m.Write([]byte("grt-cache-client-seed/1"))
+	m.Write(kh[:])
+	return binary.LittleEndian.Uint64(m.Sum(nil)[:8])
+}
+
+// recordingFromEntry wraps a store entry in the client-facing Recording.
+func recordingFromEntry(e *castore.Entry) *Recording {
+	return &Recording{
+		signed: e.Signed(), key: append([]byte(nil), e.SessionKey...),
+		Workload: e.Key.Workload, ProductID: e.ProductID,
+	}
+}
+
+// QuarantineRecording poisons a recording after the fact: its fingerprint
+// enters the audit quarantine and every cache entry carrying it is purged
+// from both store tiers, so subsequent cache-first requests miss and
+// re-record rather than serve the poison. Returns the quarantine entry.
+func (s *Service) QuarantineRecording(rec *Recording, cause error) QuarantineEntry {
+	e := s.quarantine.Add(rec.signed.Payload, cause)
+	s.cache.Purge(e.Fingerprint)
+	s.fleet.GaugeSet(obs.MIngestQuarantine, int64(len(s.quarantine.Entries())))
+	s.flight.Emit(0, "", obs.FKIngestReject, e.Reason, obs.A("bytes", int64(len(rec.signed.Payload))))
+	return e
+}
+
 // SegmentedRecording is a set of per-layer recordings of one workload
 // (Figure 2 of the paper): the developer-chosen granularity trading
 // composability against efficiency. Segments replay back-to-back on one
@@ -770,11 +1081,11 @@ func (c *Client) RecordSegmentedContext(ctx context.Context, svc *Service, model
 	if _, err := rand.Read(nonce); err != nil {
 		return nil, RecordStats{}, err
 	}
-	vm, err := svc.mgr.Acquire(ctx, c.ID, svc.image.Name, compat, nonce)
+	vm, err := svc.acquireVM(ctx, svc.cacheKeyFor(c.SKU, model).Hash(), c.ID, compat, nonce)
 	if err != nil {
 		return nil, RecordStats{}, fmt.Errorf("gpurelay: launching recording VM: %w", err)
 	}
-	defer svc.mgr.Release(vm)
+	defer svc.releaseVM(vm)
 	key := append([]byte(nil), vm.SessionKey...)
 
 	hist := opts.History

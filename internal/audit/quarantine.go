@@ -123,6 +123,23 @@ func (q *Quarantine) Entries() []Entry {
 	return out
 }
 
+// Contains reports whether a fingerprint is currently retained in the
+// ring. The recording cache uses this as its serve-side interlock: a
+// quarantined fingerprint must never be served from — or admitted into —
+// the content-addressed store while the evidence is still live. Eviction
+// from the ring (capacity pressure) releases the hold; the fail-closed
+// property callers rely on is "quarantined now → not servable now".
+func (q *Quarantine) Contains(fingerprint string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range q.entries {
+		if q.entries[i].Fingerprint == fingerprint {
+			return true
+		}
+	}
+	return false
+}
+
 // Total returns the number of rejections ever quarantined, including
 // entries since evicted from the ring.
 func (q *Quarantine) Total() int {

@@ -1,0 +1,81 @@
+// Package castore is the content-addressed recording store behind the
+// fleet's cache-first admission path. The paper's central observation —
+// GPUReplay deploys one pre-recorded dump to millions of clients — means a
+// recording for a given (SKU, driver stack, workload, input shape) is
+// deterministic, so a production fleet should almost never record the same
+// workload twice. The store keys sealed recordings by the SHA-256 of their
+// payload (the same digest internal/audit fingerprints), keeps a bounded
+// in-memory LRU tier in front of an optional on-disk tier, and re-verifies
+// the seal (bounded decode + structural audit) before serving anything that
+// re-enters from disk. A fingerprint currently held in the audit quarantine
+// is never served from — or admitted into — the store: quarantine evidence
+// fails the cache closed.
+package castore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"gpurelay/internal/mlfw"
+)
+
+// Key is the cache identity of a recording: the four coordinates that make
+// a GR-T recording deterministic (§2.4 early binding ties the JIT output to
+// the SKU; the workload and input shape fix the job stream; the driver
+// stack fixes the register dialect). Two admissions with equal Keys may
+// share one sealed recording.
+type Key struct {
+	// SKU is the GPU model the recording is bound to, e.g. "G71-EVAL".
+	SKU string
+	// Stack is the driver-stack identity baked into the VM image.
+	Stack string
+	// Workload names the model, e.g. "MNIST".
+	Workload string
+	// InputShape pins the input tensor, e.g. "f32[784]". Same model,
+	// different shape → different JIT tiling → different recording.
+	InputShape string
+}
+
+// Hash returns the key's cache address: SHA-256 over a length-prefixed
+// encoding of the four fields, domain-separated so it can never collide
+// with a payload digest.
+func (k Key) Hash() [32]byte {
+	h := sha256.New()
+	h.Write([]byte("grt-cache-key/1"))
+	var n [4]byte
+	for _, f := range []string{k.SKU, k.Stack, k.Workload, k.InputShape} {
+		binary.LittleEndian.PutUint32(n[:], uint32(len(f)))
+		h.Write(n[:])
+		h.Write([]byte(f))
+	}
+	var sum [32]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// String renders the key for logs and flight-recorder notes.
+func (k Key) String() string {
+	h := k.Hash()
+	return fmt.Sprintf("%s/%s@%s", k.Workload, k.SKU, hex.EncodeToString(h[:4]))
+}
+
+// InputShapeOf derives the canonical input-shape string for a model: the
+// element count of its input buffer in f32 lanes.
+func InputShapeOf(m *mlfw.Model) string {
+	if m == nil || int(m.Input) >= len(m.Buffers) || m.Input < 0 {
+		return "f32[?]"
+	}
+	return fmt.Sprintf("f32[%d]", m.Buffers[m.Input].Elems)
+}
+
+// KeyForModel builds the cache key for recording model m on a (SKU, stack)
+// pair — the derivation every admission path must share for hits to line up.
+func KeyForModel(sku, stack string, m *mlfw.Model) Key {
+	name := "?"
+	if m != nil {
+		name = m.Name
+	}
+	return Key{SKU: sku, Stack: stack, Workload: name, InputShape: InputShapeOf(m)}
+}

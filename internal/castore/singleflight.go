@@ -1,0 +1,95 @@
+package castore
+
+import (
+	"context"
+	"sync"
+)
+
+// Coalescer deduplicates concurrent record attempts for the same cache key:
+// the first caller in becomes the leader and runs the (expensive, VM-bound)
+// record; followers block until the leader publishes and then share the
+// result without touching the admission queue. If the leader's own context
+// dies mid-record, the call is marked abandoned and the waiting followers
+// contend to lead the retry — a canceled client must not take its followers
+// down with it.
+type Coalescer struct {
+	mu    sync.Mutex
+	calls map[[32]byte]*flightCall
+}
+
+type flightCall struct {
+	done      chan struct{}
+	e         *Entry
+	err       error
+	abandoned bool
+	// waiters counts followers attached to this flight (observability and
+	// deterministic tests; the leader is not a waiter).
+	waiters int
+}
+
+// NewCoalescer creates an empty coalescer.
+func NewCoalescer() *Coalescer {
+	return &Coalescer{calls: map[[32]byte]*flightCall{}}
+}
+
+// Do runs fn at most once among concurrent callers sharing key. It returns
+// the published entry, whether this caller led (ran fn itself), and the
+// terminal error. A follower whose own ctx dies returns ctx's error; a
+// follower whose leader was abandoned (leader ctx died) retries for
+// leadership instead of failing.
+func (c *Coalescer) Do(ctx context.Context, key [32]byte, fn func(context.Context) (*Entry, error)) (*Entry, bool, error) {
+	for {
+		c.mu.Lock()
+		if cl, ok := c.calls[key]; ok {
+			cl.waiters++
+			c.mu.Unlock()
+			select {
+			case <-cl.done:
+				if cl.abandoned {
+					if ctx.Err() != nil {
+						return nil, false, ctx.Err()
+					}
+					continue // promote: contend to lead the retry
+				}
+				return cl.e, false, cl.err
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		cl := &flightCall{done: make(chan struct{})}
+		c.calls[key] = cl
+		c.mu.Unlock()
+
+		e, err := fn(ctx)
+
+		c.mu.Lock()
+		delete(c.calls, key)
+		cl.e, cl.err = e, err
+		// The leader failed *because its own context died*: don't poison
+		// the followers with a cancellation that isn't theirs.
+		if err != nil && ctx.Err() != nil {
+			cl.abandoned = true
+		}
+		close(cl.done)
+		c.mu.Unlock()
+		return e, true, err
+	}
+}
+
+// Inflight returns the number of keys with a record in flight.
+func (c *Coalescer) Inflight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.calls)
+}
+
+// Waiters reports how many followers are attached to key's in-flight call
+// (0 when nothing is in flight; the leader does not count).
+func (c *Coalescer) Waiters(key [32]byte) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl, ok := c.calls[key]; ok {
+		return cl.waiters
+	}
+	return 0
+}

@@ -1,0 +1,203 @@
+package castore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCoalescerSingleFlight(t *testing.T) {
+	const K = 32
+	c := NewCoalescer()
+	key := [32]byte{1}
+	want := &Entry{Fingerprint: "aa"}
+
+	var calls int64
+	arrived := make(chan struct{}, K)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	leaders := int64(0)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, led, err := c.Do(context.Background(), key, func(context.Context) (*Entry, error) {
+				atomic.AddInt64(&calls, 1)
+				arrived <- struct{}{}
+				<-release // hold the flight open until all K contend
+				return want, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if e != want {
+				t.Error("follower received a different entry")
+			}
+			if led {
+				atomic.AddInt64(&leaders, 1)
+			}
+		}()
+	}
+	<-arrived // the leader is inside fn; followers now pile onto its call
+	for c.Waiters(key) != K-1 {
+		time.Sleep(time.Millisecond) // all K-1 followers attached before the leader may finish
+	}
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("fn ran %d times for %d concurrent callers", calls, K)
+	}
+	if leaders != 1 {
+		t.Fatalf("%d callers report leading", leaders)
+	}
+	if c.Inflight() != 0 {
+		t.Fatalf("%d calls left in flight", c.Inflight())
+	}
+}
+
+// TestCoalescerLeaderCancellation is the promotion case: the leader's own
+// context dies mid-record, and a waiting follower must take over and finish
+// the flight rather than inherit the leader's cancellation.
+func TestCoalescerLeaderCancellation(t *testing.T) {
+	c := NewCoalescer()
+	key := [32]byte{2}
+	want := &Entry{Fingerprint: "bb"}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	var calls int64
+
+	fn := func(ctx context.Context) (*Entry, error) {
+		n := atomic.AddInt64(&calls, 1)
+		if n == 1 {
+			close(leaderIn)
+			<-ctx.Done() // the doomed leader records until its client hangs up
+			return nil, ctx.Err()
+		}
+		return want, nil
+	}
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, led, err := c.Do(leaderCtx, key, fn)
+		if !led {
+			t.Error("first caller did not lead")
+		}
+		leaderErr <- err
+	}()
+	<-leaderIn
+
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		e, led, err := c.Do(context.Background(), key, fn)
+		if err != nil {
+			t.Errorf("promoted follower failed: %v", err)
+		}
+		if !led {
+			t.Error("follower was not promoted to leader")
+		}
+		if e != want {
+			t.Error("promoted follower returned the wrong entry")
+		}
+	}()
+	// Let the follower attach to the doomed flight, then kill the leader.
+	for c.Waiters(key) != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+
+	if err := <-leaderErr; err == nil {
+		t.Fatal("canceled leader reported success")
+	}
+	<-followerDone
+	if calls != 2 {
+		t.Fatalf("fn ran %d times, want 2 (doomed leader + promoted follower)", calls)
+	}
+}
+
+// A follower whose own context dies while the leader is abandoned must get
+// its own cancellation, not retry forever.
+func TestCoalescerFollowerCancellation(t *testing.T) {
+	c := NewCoalescer()
+	key := [32]byte{3}
+	in := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), key, func(context.Context) (*Entry, error) {
+		close(in)
+		<-release
+		return &Entry{}, nil
+	})
+	<-in
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Do(ctx, key, func(context.Context) (*Entry, error) {
+		t.Error("canceled follower ran fn")
+		return nil, nil
+	}); err != context.Canceled {
+		t.Fatalf("canceled follower got %v", err)
+	}
+	close(release)
+}
+
+func TestCoalescerDistinctKeys(t *testing.T) {
+	c := NewCoalescer()
+	var calls int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		key := [32]byte{byte(10 + i)}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := c.Do(context.Background(), key, func(context.Context) (*Entry, error) {
+				atomic.AddInt64(&calls, 1)
+				return &Entry{}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if calls != 4 {
+		t.Fatalf("distinct keys coalesced: %d calls for 4 keys", calls)
+	}
+}
+
+// Leader errors that are not the leader's own cancellation propagate to the
+// followers — a genuinely failed record must not be retried in a hot loop by
+// every waiter.
+func TestCoalescerErrorPropagates(t *testing.T) {
+	c := NewCoalescer()
+	key := [32]byte{4}
+	boom := fmt.Errorf("record failed")
+	in := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(context.Background(), key, func(context.Context) (*Entry, error) {
+		close(in)
+		<-release
+		return nil, boom
+	})
+	<-in
+	done := make(chan error, 1)
+	go func() {
+		_, led, err := c.Do(context.Background(), key, func(context.Context) (*Entry, error) {
+			t.Error("follower re-ran a non-abandoned failed flight")
+			return nil, nil
+		})
+		if led {
+			t.Error("follower claims leadership of the failed flight")
+		}
+		done <- err
+	}()
+	for c.Waiters(key) != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-done; err != boom {
+		t.Fatalf("follower got %v, want the leader's error", err)
+	}
+}

@@ -1,0 +1,398 @@
+package castore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpurelay/internal/audit"
+	"gpurelay/internal/gpumem"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/obs"
+	"gpurelay/internal/trace"
+)
+
+// sealedEntry builds a store entry around a minimal recording that passes
+// the structural audit (the same shape the trace-layer corruption tests
+// use), sealed under the given session key. Distinct workload names give
+// distinct payloads, and therefore distinct content addresses.
+func sealedEntry(t testing.TB, workload string, skey []byte) *Entry {
+	t.Helper()
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	snap := &gpumem.Snapshot{Regions: []gpumem.RegionSnapshot{
+		{Name: "cmds", Kind: gpumem.KindCommands, VA: 0x1000000, PA: 0x4000, Data: data},
+	}}
+	dump, err := snap.Encode(nil, gpumem.EncodeOptions{})
+	if err != nil {
+		t.Fatalf("encoding fixture dump: %v", err)
+	}
+	r := &trace.Recording{
+		Workload:  workload,
+		ProductID: 0x60000001,
+		PoolSize:  1 << 20,
+		Regions: []trace.RegionInfo{
+			{Name: "cmds", Kind: gpumem.KindCommands, VA: 0x1000000, PA: 0x4000, Size: 256},
+			{Name: "out", Kind: gpumem.KindOutput, VA: 0x2000000, PA: 0x8000, Size: 64},
+		},
+		Events: []trace.Event{
+			{Kind: trace.KRead, Fn: "kbase_job_hw_submit", Reg: mali.LATEST_FLUSH_ID, Value: 7},
+			{Kind: trace.KDumpToClient, Fn: "memsync", Dump: dump},
+			{Kind: trace.KWrite, Fn: "kbase_job_hw_submit", Reg: mali.JSReg(1, mali.JS_COMMAND_NEXT), Value: mali.JSCommandStart},
+			{Kind: trace.KPoll, Fn: "kbase_wait_ready", Reg: mali.JOB_IRQ_RAWSTAT,
+				DoneMask: 1 << 1, DoneVal: 1 << 1, MaxIters: 64, Iters: 5, Value: 1 << 1},
+			{Kind: trace.KIRQ, Fn: "kbase_job_irq_handler", IRQJob: 1 << 1},
+		},
+	}
+	signed, err := trace.Sign(r, skey)
+	if err != nil {
+		t.Fatalf("sealing fixture recording: %v", err)
+	}
+	return &Entry{
+		Key:        Key{SKU: "G71-EVAL", Stack: "test-stack", Workload: workload, InputShape: "f32[64]"},
+		Payload:    signed.Payload,
+		MAC:        signed.MAC,
+		SessionKey: skey,
+		ProductID:  r.ProductID,
+	}
+}
+
+func testKey() []byte { return bytes.Repeat([]byte{0x42}, 32) }
+
+func TestStorePutGet(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sealedEntry(t, "wl-a", testKey())
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(e.Key)
+	if !ok {
+		t.Fatal("published entry missed")
+	}
+	if !bytes.Equal(got.Payload, e.Payload) || got.MAC != e.MAC {
+		t.Fatal("served entry is not byte-identical to the published one")
+	}
+	if got.Sum != e.Sum || got.Fingerprint != audit.Fingerprint(e.Payload) {
+		t.Fatal("content address disagrees with the audit fingerprint")
+	}
+	if s.Len() != 1 || s.KeysSeen() != 1 || s.Bytes() != int64(len(e.Payload)) {
+		t.Fatalf("store accounting off: len=%d keys=%d bytes=%d", s.Len(), s.KeysSeen(), s.Bytes())
+	}
+	if _, ok := s.Get(Key{Workload: "other"}); ok {
+		t.Fatal("unknown key hit")
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	s, err := New(Config{MaxEntries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	var entries []*Entry
+	for i := 0; i < 3; i++ {
+		e := sealedEntry(t, fmt.Sprintf("wl-%d", i), testKey())
+		entries = append(entries, e)
+		if err := s.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len %d after 3 puts into a 2-entry store", s.Len())
+	}
+	if _, ok := s.Get(entries[0].Key); ok {
+		t.Fatal("LRU victim still served")
+	}
+	for _, e := range entries[1:] {
+		if _, ok := s.Get(e.Key); !ok {
+			t.Fatalf("recent entry %s evicted", e.Key.Workload)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter(obs.MCacheEvictions); got != 1 {
+		t.Fatalf("eviction counter %d, want 1", got)
+	}
+	// KeysSeen is monotonic: eviction does not shrink the amplification
+	// denominator.
+	if s.KeysSeen() != 3 {
+		t.Fatalf("keys seen %d, want 3", s.KeysSeen())
+	}
+}
+
+// TestStoreQuarantineInterlock is the PR8 cache/quarantine regression: a
+// fingerprint held in quarantine is never served from the store (even if it
+// was cached before the quarantine) and never admitted into it, so every
+// lookup misses and the admission path falls back to a fresh record. When
+// the quarantine later releases the evidence, publication works again.
+func TestStoreQuarantineInterlock(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := audit.New(1)
+	s.SetQuarantine(q)
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+
+	e := sealedEntry(t, "wl-poison", testKey())
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(e.Key); !ok {
+		t.Fatal("entry not served before quarantine")
+	}
+
+	// Poison: the payload is quarantined after it was cached.
+	q.Add(e.Payload, fmt.Errorf("test poison"))
+	if _, ok := s.Get(e.Key); ok {
+		t.Fatal("quarantined fingerprint served from the store")
+	}
+	if s.Len() != 0 {
+		t.Fatal("quarantined entry still resident after the failed lookup")
+	}
+	// Re-publication of the same bytes is refused while quarantined.
+	if err := s.Put(sealedEntry(t, "wl-poison", testKey())); err == nil {
+		t.Fatal("quarantined fingerprint admitted into the store")
+	}
+	if _, ok := s.Get(e.Key); ok {
+		t.Fatal("refused publication became servable")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter(obs.MCacheRejects, obs.L("reason", "quarantined")); got != 2 {
+		t.Fatalf("quarantine rejects %d, want 2 (one serve, one admit)", got)
+	}
+
+	// The single-slot quarantine releases the hold when fresh evidence
+	// displaces it; re-recording the workload can then republish.
+	q.Add([]byte("unrelated evidence"), fmt.Errorf("other"))
+	if err := s.Put(sealedEntry(t, "wl-poison", testKey())); err != nil {
+		t.Fatalf("released fingerprint still refused: %v", err)
+	}
+	if _, ok := s.Get(e.Key); !ok {
+		t.Fatal("re-recorded workload not served")
+	}
+}
+
+func TestStorePutRejectsBadSeal(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := audit.New(0)
+	s.SetQuarantine(q)
+	e := sealedEntry(t, "wl-bad", testKey())
+	e.SessionKey = bytes.Repeat([]byte{0x13}, 32) // wrong key: MAC cannot verify
+	if err := s.Put(e); err == nil {
+		t.Fatal("entry with unverifiable seal admitted")
+	}
+	if q.Total() == 0 {
+		t.Fatal("unverifiable publication not quarantined")
+	}
+	if s.Len() != 0 {
+		t.Fatal("rejected entry resident")
+	}
+}
+
+func TestStorePutRejectsDigestMismatch(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sealedEntry(t, "wl-sum", testKey())
+	e.Sum[0] ^= 0xff
+	if err := s.Put(e); err == nil {
+		t.Fatal("entry whose declared digest mismatches its payload admitted")
+	}
+}
+
+func TestStoreDiskTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	skey := testKey()
+	s1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sealedEntry(t, "wl-disk", skey)
+	if err := s1.Put(e); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same directory serves the entry from disk,
+	// re-verified, and admits it back into memory.
+	s2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s2.Instrument(reg)
+	got, ok := s2.Get(e.Key)
+	if !ok {
+		t.Fatal("disk entry missed")
+	}
+	if !bytes.Equal(got.Payload, e.Payload) || got.MAC != e.MAC || got.ProductID != e.ProductID {
+		t.Fatal("disk round-trip not byte-identical")
+	}
+	if s2.Len() != 1 {
+		t.Fatal("disk hit not admitted to memory")
+	}
+	snap := reg.Snapshot()
+	if snap.Counter(obs.MCacheDiskLoads, obs.L("outcome", "ok")) != 1 {
+		t.Fatal("disk load not counted")
+	}
+	if _, ok := s2.Get(e.Key); !ok {
+		t.Fatal("second lookup (memory tier) missed")
+	}
+}
+
+func TestStoreDiskTamperFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sealedEntry(t, "wl-tamper", testKey())
+	if err := s1.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	blob := filepath.Join(dir, "blobs", e.Fingerprint)
+	raw, err := os.ReadFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(blob, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := audit.New(0)
+	s2.SetQuarantine(q)
+	if _, ok := s2.Get(e.Key); ok {
+		t.Fatal("tampered disk entry served")
+	}
+	if q.Total() == 0 {
+		t.Fatal("tampered payload not quarantined")
+	}
+	if _, err := os.Stat(blob); !os.IsNotExist(err) {
+		t.Fatal("tampered blob not removed")
+	}
+	// The poison is gone for good: a fresh lookup is a plain miss.
+	if _, ok := s2.Get(e.Key); ok {
+		t.Fatal("removed entry reappeared")
+	}
+}
+
+// TestStoreDiskIndexAliasRejected plants one workload's index record under
+// another workload's key file; the load must notice the row does not
+// describe the key it is filed under and refuse to alias the recording.
+func TestStoreDiskIndexAliasRejected(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sealedEntry(t, "wl-real", testKey())
+	if err := s1.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	victim := Key{SKU: e.Key.SKU, Stack: e.Key.Stack, Workload: "wl-victim", InputShape: e.Key.InputShape}
+	realHash, victimHash := e.Key.Hash(), victim.Hash()
+	src := filepath.Join(dir, "index", fmt.Sprintf("%x.json", realHash[:]))
+	dst := filepath.Join(dir, "index", fmt.Sprintf("%x.json", victimHash[:]))
+	row, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, row, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(victim); ok {
+		t.Fatal("cross-linked index aliased another workload's recording")
+	}
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Fatal("aliased index file not removed")
+	}
+	// The real key is untouched.
+	if _, ok := s2.Get(e.Key); !ok {
+		t.Fatal("legitimate entry lost")
+	}
+}
+
+func TestStorePurge(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sealedEntry(t, "wl-purge", testKey())
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Purge(e.Fingerprint); n != 1 {
+		t.Fatalf("purged %d entries, want 1", n)
+	}
+	if _, ok := s.Get(e.Key); ok {
+		t.Fatal("purged entry served")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "blobs", e.Fingerprint)); !os.IsNotExist(err) {
+		t.Fatal("purged blob still on disk")
+	}
+}
+
+func TestKeyForModel(t *testing.T) {
+	m := mlfw.Micro()
+	k := KeyForModel("G71-EVAL", "stack-1", m)
+	if k.Workload != "Micro" || k.InputShape != "f32[64]" {
+		t.Fatalf("unexpected key %+v", k)
+	}
+	if k.Hash() == (Key{}).Hash() {
+		t.Fatal("key hash does not separate fields")
+	}
+	k2 := k
+	k2.InputShape = "f32[128]"
+	if k.Hash() == k2.Hash() {
+		t.Fatal("input shape not part of the cache identity")
+	}
+}
+
+// TestCacheHitServeAllocBudget is the CI-gated allocation budget on the
+// cache-hit serve path: a memory-tier hit on an instrumented store must stay
+// within a handful of allocations — the hit path is what 10k clients ride.
+func TestCacheHitServeAllocBudget(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Instrument(obs.NewRegistry())
+	e := sealedEntry(t, "wl-hot", testKey())
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	k := e.Key
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := s.Get(k); !ok {
+			t.Fatal("hot entry missed")
+		}
+	})
+	const budget = 8
+	if allocs > budget {
+		t.Fatalf("cache-hit serve path allocates %.1f objects/op, budget %d", allocs, budget)
+	}
+}

@@ -54,11 +54,17 @@ type HealthThresholds struct {
 	// faults per completed-or-crashed session than this (0 → any fault
 	// degrades; negative → disabled).
 	MaxFaultsPerSession float64
-	// MaxRecordAmplification degrades the fleet when sessions per unique
-	// workload (approximated by speculation-history misses) exceeds it.
-	// 0 disables: until the content-addressed recording cache lands,
-	// amplification is report-only.
+	// MaxRecordAmplification degrades the fleet when record sessions per
+	// unique workload exceed it. With the content-addressed cache
+	// instrumented the ratio is exact (sessions over new cache keys);
+	// otherwise it falls back to the speculation-history-miss
+	// approximation. 0 disables: amplification is report-only.
 	MaxRecordAmplification float64
+	// MinCacheHitRate degrades the fleet when the windowed cache hit rate
+	// (hits / lookups) falls below it — checked only when > 0 and the
+	// window actually looked the cache up, so uncached services never
+	// false-degrade.
+	MinCacheHitRate float64
 }
 
 func (t HealthThresholds) withDefaults() HealthThresholds {
@@ -92,10 +98,21 @@ type HealthStats struct {
 	SpecHitRate    float64 `json:"spec_hit_rate"`
 	Mispredictions int64   `json:"mispredictions"`
 	HistoryMisses  int64   `json:"history_misses"`
-	// RecordAmplification approximates records per unique workload:
-	// completed sessions over speculation-history misses (a miss warms a
-	// fresh (SKU, stack, workload) entry). 0 when the window recorded
-	// nothing.
+	// Cache counters from the content-addressed recording store: lookup
+	// outcomes, requests that coalesced onto another's record, recordings
+	// published, new keys admitted, and shard-level load-shed rejections.
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheCoalesced int64   `json:"cache_coalesced"`
+	CacheFills     int64   `json:"cache_fills"`
+	CacheKeys      int64   `json:"cache_keys"`
+	Shed           int64   `json:"shed"`
+	// RecordAmplification is records per unique workload this window. With
+	// cache instrumentation it is exact — completed record sessions over
+	// new cache keys; without it, the speculation-history-miss
+	// approximation (a miss warms a fresh (SKU, stack, workload) entry).
+	// 0 when the window recorded nothing.
 	RecordAmplification float64 `json:"record_amplification"`
 }
 
@@ -210,11 +227,23 @@ func windowStats(cur, prev *obs.Snapshot) HealthStats {
 		SpecCommits:    delta(cur, prev, obs.MShimCommits, obs.L("kind", "async")),
 		Mispredictions: delta(cur, prev, obs.MShimMispredictions),
 		HistoryMisses:  delta(cur, prev, obs.MFleetHistoryLookups, obs.L("result", "miss")),
+		CacheHits:      delta(cur, prev, obs.MCacheLookups, obs.L("result", "hit")),
+		CacheMisses:    delta(cur, prev, obs.MCacheLookups, obs.L("result", "miss")),
+		CacheCoalesced: delta(cur, prev, obs.MCacheCoalesced),
+		CacheFills:     delta(cur, prev, obs.MCacheFills),
+		CacheKeys:      delta(cur, prev, obs.MCacheKeys),
+		Shed:           deltaTotal(cur, prev, obs.MShardShed),
 	}
 	if st.Commits > 0 {
 		st.SpecHitRate = float64(st.SpecCommits) / float64(st.Commits)
 	}
-	if st.HistoryMisses > 0 {
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	switch {
+	case st.CacheKeys > 0:
+		st.RecordAmplification = float64(st.Sessions) / float64(st.CacheKeys)
+	case st.HistoryMisses > 0:
 		st.RecordAmplification = float64(st.Sessions) / float64(st.HistoryMisses)
 	}
 	return st
@@ -264,6 +293,12 @@ func EvaluateHealth(cur, prev *obs.Snapshot, thr HealthThresholds) *HealthReport
 	if thr.MaxRecordAmplification > 0 && st.RecordAmplification > thr.MaxRecordAmplification {
 		raise(Degraded, "record amplification %.2f exceeds %.2f",
 			st.RecordAmplification, thr.MaxRecordAmplification)
+	}
+	if thr.MinCacheHitRate > 0 && st.CacheHits+st.CacheMisses > 0 && st.CacheHitRate < thr.MinCacheHitRate {
+		raise(Degraded, "cache hit rate %.2f below %.2f", st.CacheHitRate, thr.MinCacheHitRate)
+	}
+	if st.Shed > 0 {
+		raise(Degraded, "%d admission(s) shed by saturated shards", st.Shed)
 	}
 	return rep
 }
@@ -365,6 +400,10 @@ func (r *HealthReport) Render() string {
 		st.AdmissionP50, st.AdmissionP99, st.Admissions)
 	fmt.Fprintf(&sb, "          spec hit rate %.2f (%d/%d commits), amplification %.2f\n",
 		st.SpecHitRate, st.SpecCommits, st.Commits, st.RecordAmplification)
+	if st.CacheHits+st.CacheMisses+st.CacheFills+st.Shed > 0 {
+		fmt.Fprintf(&sb, "          cache hit rate %.2f (%d hit / %d miss), %d coalesced, %d filled, %d shed\n",
+			st.CacheHitRate, st.CacheHits, st.CacheMisses, st.CacheCoalesced, st.CacheFills, st.Shed)
+	}
 	for _, s := range r.Sessions {
 		fmt.Fprintf(&sb, "  %-24s %-10s faults=%d resyncs=%d mispred=%d spec=%.2f\n",
 			s.Session, s.State, s.FaultsFired, s.Resyncs, s.Mispredictions, s.SpecHitRate)

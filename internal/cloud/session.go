@@ -72,6 +72,10 @@ type SessionManager struct {
 	// flight, when set, journals every admission decision as a flight-
 	// recorder event alongside the counters.
 	flight *obs.FlightRecorder
+	// gaugeLabels, when set, label this manager's pool gauges (active VMs,
+	// queue depth) so several managers sharing one registry — the shards of
+	// a ShardedService — publish distinct series instead of clobbering one.
+	gaugeLabels []obs.Label
 }
 
 // NewSessionManager wraps a Service with admission control. The config's
@@ -92,6 +96,17 @@ func (m *SessionManager) Config() SessionConfig { return m.cfg }
 func (m *SessionManager) Instrument(reg *obs.Registry) {
 	m.mu.Lock()
 	m.reg = reg
+	m.mu.Unlock()
+}
+
+// InstrumentShard attaches the fleet registry like Instrument, but labels
+// this manager's pool gauges with the given labels. Counter families and
+// the admission-wait histogram stay unlabeled so they aggregate across
+// shards into the fleet-wide series.
+func (m *SessionManager) InstrumentShard(reg *obs.Registry, labels ...obs.Label) {
+	m.mu.Lock()
+	m.reg = reg
+	m.gaugeLabels = labels
 	m.mu.Unlock()
 }
 
@@ -157,8 +172,8 @@ func (m *SessionManager) syncGauges() {
 	if m.reg == nil {
 		return
 	}
-	m.reg.GaugeSet(obs.MFleetQueueDepth, int64(len(m.queue)))
-	m.reg.GaugeSet(obs.MFleetActiveVMs, int64(m.inUse))
+	m.reg.GaugeSet(obs.MFleetQueueDepth, int64(len(m.queue)), m.gaugeLabels...)
+	m.reg.GaugeSet(obs.MFleetActiveVMs, int64(m.inUse), m.gaugeLabels...)
 }
 
 // ActiveVMs reports the number of live recording VMs.

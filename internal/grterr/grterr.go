@@ -35,4 +35,11 @@ var (
 	// authentication, parsing, or resync verification — resuming from it
 	// would not reproduce the interrupted session.
 	ErrCheckpointCorrupt = errors.New("checkpoint failed verification")
+	// ErrShedding marks an admission a sharded service refused because the
+	// target shard's pool and queue are both full. Unlike ErrCapacity it is
+	// a per-partition verdict and carries a retry-after hint (see
+	// cloud.SheddingError): other shards may be idle, and the client should
+	// retry this one after the hinted delay rather than fail over — the
+	// cache key pins the workload to its shard.
+	ErrShedding = errors.New("shard shedding load")
 )

@@ -12,6 +12,20 @@ package mlfw
 // G71's sustained throughput, lands near the native delays of Table 2 (the
 // paper does not state resolutions). See EXPERIMENTS.md.
 
+// Micro returns a deliberately tiny classifier — one hidden layer over an
+// 8×8 input. It is not an evaluation network: fleet-scale tests (thousand-
+// session drills, run-twice determinism over 10k admissions) need a
+// workload whose record session costs microseconds, not the ~10^2 ms of
+// MNIST, while still exercising the full record/replay pipeline.
+func Micro() *Model {
+	b := newBuilder("Micro")
+	b.input(1, 8, 8)
+	b.fc("fc1", 16, true, 1)
+	b.fc("fc2", 4, false, 1)
+	b.softmax("softmax")
+	return b.build()
+}
+
 // MNIST returns a LeNet-style MNIST classifier (23 jobs).
 func MNIST() *Model {
 	b := newBuilder("MNIST")

@@ -49,23 +49,43 @@ const (
 
 	// ingestion trust boundary: recordings entering the service from
 	// untrusted storage or transit (bounded decode + structural audit).
-	MIngestRecordings = "grt_ingest_recordings_total" // outcome=accepted|rejected
-	MIngestRejects    = "grt_ingest_rejects_total"    // reason=bad_recording|audit|...
+	MIngestRecordings = "grt_ingest_recordings_total"   // outcome=accepted|rejected
+	MIngestRejects    = "grt_ingest_rejects_total"      // reason=bad_recording|audit|...
 	MIngestQuarantine = "grt_ingest_quarantine_entries" // gauge: retained quarantine entries
+
+	// content-addressed recording store (internal/castore) and the
+	// cache-first admission path in front of it.
+	MCacheLookups   = "grt_cache_lookups_total"    // result=hit|miss; tier=memory|disk on hits
+	MCacheFills     = "grt_cache_fills_total"      // recordings published into the store
+	MCacheCoalesced = "grt_cache_coalesced_total"  // requests that waited on another's record
+	MCacheRejects   = "grt_cache_rejects_total"    // reason=quarantined|seal|decode|too_large
+	MCacheEvictions = "grt_cache_evictions_total"  // LRU evictions from the memory tier
+	MCacheDiskLoads = "grt_cache_disk_loads_total" // outcome=ok|miss|reject
+	MCacheKeys      = "grt_cache_keys_total"       // distinct cache keys ever admitted (monotonic)
+	MCacheEntries   = "grt_cache_entries"          // gauge: memory-tier entries
+	MCacheBytes     = "grt_cache_bytes"            // gauge: memory-tier payload bytes
+
+	// sharded service (cloud.ShardedService): per-partition admission.
+	MShardRequests = "grt_shard_requests_total" // shard=N
+	MShardShed     = "grt_shard_shed_total"     // shard=N; typed ErrShedding rejections
 
 	// flight-recorder event kinds (FlightEvent.Kind). Stable tokens: they
 	// appear in JSONL exports, diagnostic bundles, and grtdiag filters.
-	FKAdmission    = "admission"
-	FKSync         = "sync"
-	FKSpecCommit   = "spec_commit"
-	FKSpecMiss     = "spec_miss"
-	FKFault        = "fault"
-	FKResync       = "resync"
-	FKCheckpoint   = "checkpoint"
-	FKResume       = "resume"
-	FKIngestReject = "ingest_reject"
-	FKReplay       = "replay"
-	FKBundle       = "bundle"
+	FKAdmission     = "admission"
+	FKSync          = "sync"
+	FKSpecCommit    = "spec_commit"
+	FKSpecMiss      = "spec_miss"
+	FKFault         = "fault"
+	FKResync        = "resync"
+	FKCheckpoint    = "checkpoint"
+	FKResume        = "resume"
+	FKIngestReject  = "ingest_reject"
+	FKReplay        = "replay"
+	FKBundle        = "bundle"
+	FKCacheHit      = "cache_hit"
+	FKCacheMiss     = "cache_miss"
+	FKCacheCoalesce = "cache_coalesce"
+	FKShardShed     = "shard_shed"
 
 	// fleet (service-owned registry; multi-tenant view).
 	MFleetActiveVMs      = "grt_fleet_active_vms"       // gauge

@@ -43,6 +43,12 @@ type FleetOptions struct {
 	// only ever reads the timeline, so an instrumented drill's Seals are
 	// byte-identical to an uninstrumented one's.
 	Instrument bool
+	// Compact drops each session's record.Result (sealed payload + parsed
+	// event stream) as soon as its seal is captured, so FleetResult.Results
+	// stays nil and only Seals and the aggregate numbers are retained.
+	// Thousand-session drills need this: the per-session results, not the
+	// live sessions, dominate a big drill's memory.
+	Compact bool
 }
 
 // FleetResult is what a drill reports: the determinism witnesses (per-session
@@ -165,7 +171,11 @@ func FleetDrill(ctx context.Context, eng timesim.Engine, opts FleetOptions) (*Fl
 		vms = append(vms, vm)
 	}
 
-	results := make([]*record.Result, n)
+	var results []*record.Result
+	if !opts.Compact {
+		results = make([]*record.Result, n)
+	}
+	seals := make([][32]byte, n)
 	for i := 0; i < n; i++ {
 		i := i
 		var sc *obs.Scope
@@ -174,7 +184,7 @@ func FleetDrill(ctx context.Context, eng timesim.Engine, opts FleetOptions) (*Fl
 		}
 		eng.Go(uint64(i), func(tm timesim.Time) error {
 			res, err := record.RunContext(ctx, record.Config{
-				Obs: sc,
+				Obs:     sc,
 				Variant: opts.Variant, Model: opts.Model, SKU: opts.SKU,
 				Network: network,
 				// The drill signs with deterministic derived keys, not the
@@ -190,7 +200,10 @@ func FleetDrill(ctx context.Context, eng timesim.Engine, opts FleetOptions) (*Fl
 			if err != nil {
 				return fmt.Errorf("platform: drill session %d: %w", i, err)
 			}
-			results[i] = res
+			seals[i] = res.Signed.MAC
+			if results != nil {
+				results[i] = res
+			}
 			return nil
 		})
 	}
@@ -206,14 +219,11 @@ func FleetDrill(ctx context.Context, eng timesim.Engine, opts FleetOptions) (*Fl
 		VirtualTime: eng.Now(),
 		Events:      eng.Events(),
 		Batches:     eng.Batches(),
-		Seals:       make([][32]byte, n),
+		Seals:       seals,
 		Fleet:       fleetReg,
 		Scopes:      scopes,
 		Flight:      flight,
 		EngineTrace: etrace,
-	}
-	for i, res := range results {
-		out.Seals[i] = res.Signed.MAC
 	}
 	return out, nil
 }

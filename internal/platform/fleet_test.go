@@ -85,6 +85,63 @@ func TestFleetDrillDeterminism(t *testing.T) {
 	}
 }
 
+// TestFleetDrill1kSealIdentity is the PR8 scale test: a thousand-session
+// compact drill must stay deterministic — byte-identical seals across the
+// serial engine and the parallel engine at GOMAXPROCS ∈ {1, 8} — while
+// retaining no per-session results.
+func TestFleetDrill1kSealIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thousand-session drill matrix")
+	}
+	sessions := 1000
+	if raceDetectorEnabled {
+		// The race run proves the compact path race-clean at the same
+		// GOMAXPROCS matrix; the full thousand runs without -race.
+		sessions = 100
+	}
+	opts := FleetOptions{
+		Sessions: sessions,
+		Model:    mlfw.Micro(),
+		SKU:      mali.G71MP8,
+		Seed:     7,
+		Compact:  true,
+	}
+	serial, err := FleetDrill(context.Background(), timesim.NewSerialEngine(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Results != nil {
+		t.Fatal("compact drill retained per-session results")
+	}
+	if len(serial.Seals) != sessions {
+		t.Fatalf("%d seals for %d sessions", len(serial.Seals), sessions)
+	}
+	distinct := map[[32]byte]bool{}
+	for _, s := range serial.Seals {
+		distinct[s] = true
+	}
+	if len(distinct) != sessions {
+		t.Fatalf("%d distinct seals across %d sessions", len(distinct), sessions)
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		par, err := FleetDrill(context.Background(), timesim.NewParallelEngine(), opts)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		for i := range serial.Seals {
+			if par.Seals[i] != serial.Seals[i] {
+				t.Fatalf("GOMAXPROCS=%d: session %d seal diverged from serial engine", procs, i)
+			}
+		}
+		if par.VirtualTime != serial.VirtualTime || par.Events != serial.Events {
+			t.Fatalf("GOMAXPROCS=%d: timeline diverged (%v/%d vs %v/%d)",
+				procs, par.VirtualTime, par.Events, serial.VirtualTime, serial.Events)
+		}
+	}
+}
+
 func TestFleetDrillValidation(t *testing.T) {
 	if _, err := FleetDrill(context.Background(), timesim.NewSerialEngine(), FleetOptions{}); err == nil {
 		t.Fatal("drill without model/SKU accepted")

@@ -1,0 +1,9 @@
+//go:build !race
+
+package platform
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The thousand-session and 10k-admission drills scale themselves
+// down under the race detector: the race runs prove memory-safety of the
+// same code paths, the full-scale runs prove the scale numbers.
+const raceDetectorEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package platform
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. See race_off_test.go.
+const raceDetectorEnabled = true

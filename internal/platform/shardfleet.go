@@ -1,0 +1,431 @@
+// The sharded fleet drill: the target benchmark of the content-addressed
+// recording store. N simulated clients request W distinct workloads against
+// a cache-first, sharded admission path on one discrete-event timeline —
+// cache hit → served instantly with zero VM time and no queue slot; miss →
+// exactly one leader records per workload while followers coalesce; leader
+// overflow → per-shard FIFO queue on the virtual clock; queue overflow →
+// shed. The drill is the proof for the ROADMAP's record-amplification → 1.0
+// target at 10k clients / 100 workloads.
+package platform
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"gpurelay/internal/audit"
+	"gpurelay/internal/castore"
+	"gpurelay/internal/cloud"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/obs"
+	"gpurelay/internal/record"
+	"gpurelay/internal/timesim"
+)
+
+// ShardedFleetOptions configures a sharded cache-first drill.
+type ShardedFleetOptions struct {
+	// Clients is the number of simulated admissions (0 → 10000). Client i
+	// requests workload i mod Workloads, arriving ArrivalGap after client
+	// i−1 on the virtual timeline.
+	Clients int
+	// Workloads is the number of distinct workloads (0 → 100), derived
+	// from Model by renaming — same compute, distinct cache keys.
+	Workloads int
+	// Shards is the admission partition count (0 → 4).
+	Shards int
+	// ShardCapacity is each shard's VM pool size (0 → 16).
+	ShardCapacity int
+	// ShardQueueLimit bounds each shard's leader queue (0 →
+	// 4×ShardCapacity; negative → no queueing, overflow sheds instantly).
+	ShardQueueLimit int
+	// Model and SKU describe the base workload; both required.
+	Model *mlfw.Model
+	SKU   *mali.SKU
+	// Network is each record session's link condition (zero → loopback).
+	Network netsim.Condition
+	// Variant selects the recorder (zero → OursMDS).
+	Variant record.Variant
+	// Seed derives every workload's session key and client seed.
+	// Identical seeds give byte-identical drills.
+	Seed uint64
+	// ArrivalGap spaces client arrivals on the virtual clock (0 → 50µs).
+	ArrivalGap time.Duration
+	// PoolSize overrides each session's shared-memory size (0 → sized
+	// compactly from the model).
+	PoolSize uint64
+	// Instrument attaches a flight recorder journaling cache hits, misses,
+	// coalesces, and sheds. The metrics registry is always attached — the
+	// result's health rollup needs it — and never perturbs the timeline.
+	Instrument bool
+}
+
+func (o ShardedFleetOptions) withDefaults() (ShardedFleetOptions, error) {
+	if o.Model == nil || o.SKU == nil {
+		return o, fmt.Errorf("platform: sharded drill needs a model and a SKU")
+	}
+	if o.Clients == 0 {
+		o.Clients = 10000
+	}
+	if o.Workloads == 0 {
+		o.Workloads = 100
+	}
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.ShardCapacity == 0 {
+		o.ShardCapacity = 16
+	}
+	if o.ShardQueueLimit == 0 {
+		o.ShardQueueLimit = 4 * o.ShardCapacity
+	}
+	if o.ShardQueueLimit < 0 {
+		o.ShardQueueLimit = 0
+	}
+	if o.Clients < 1 || o.Workloads < 1 || o.Shards < 1 || o.ShardCapacity < 1 {
+		return o, fmt.Errorf("platform: sharded drill needs clients, workloads, shards, capacity >= 1 (got %d/%d/%d/%d)",
+			o.Clients, o.Workloads, o.Shards, o.ShardCapacity)
+	}
+	if o.Workloads > o.Clients {
+		return o, fmt.Errorf("platform: %d workloads exceed %d clients", o.Workloads, o.Clients)
+	}
+	if o.Network.Name == "" {
+		o.Network = netsim.Loopback
+	}
+	if o.ArrivalGap <= 0 {
+		o.ArrivalGap = 50 * time.Microsecond
+	}
+	if o.PoolSize == 0 {
+		o.PoolSize = fleetPoolSize(o.Model)
+	}
+	return o, nil
+}
+
+// ShardedFleetResult reports one sharded drill: the BENCH_PR8 metrics plus
+// the determinism witnesses.
+type ShardedFleetResult struct {
+	Clients, Workloads, Shards int
+
+	// Hits counts admissions served from the store (zero VM time, no
+	// queue slot). Misses counts store misses — leaders plus followers.
+	Hits, Misses int64
+	// Coalesced counts admissions that waited on another's in-flight
+	// record instead of recording themselves.
+	Coalesced int64
+	// Shed counts admissions rejected because their shard's pool and
+	// leader queue were both full.
+	Shed int64
+	// Records counts record sessions actually run — the amplification
+	// numerator.
+	Records int64
+	// CacheHitRate is Hits over all store lookups.
+	CacheHitRate float64
+	// RecordAmplification is Records per unique workload admitted to the
+	// store (the ROADMAP's → 1.0 target).
+	RecordAmplification float64
+	// P99AdmissionWait is the nearest-rank p99 of leader admission waits
+	// on the virtual clock. Cache hits never wait — they are excluded by
+	// construction, not by filtering.
+	P99AdmissionWait time.Duration
+	// MaxShardQueue is the deepest any shard's leader queue got.
+	MaxShardQueue int
+
+	// WorkloadSeals are the per-workload recording HMACs in workload
+	// order — the byte-identity witness the determinism test compares
+	// across runs. A workload whose every leader was shed has a zero seal.
+	WorkloadSeals [][32]byte
+
+	Wall        time.Duration
+	VirtualTime time.Duration
+	Events      int64
+
+	// Fleet is the drill-wide registry: cache, shard, and admission
+	// counters. Health is its rollup (cache hit rate, amplification).
+	Fleet  *obs.Registry
+	Health *cloud.HealthReport
+	// Flight is the drill's journal (nil unless Instrument).
+	Flight *obs.FlightRecorder
+	// Store and Service expose the drill's cache and sharded admission
+	// layers for inspection.
+	Store   *castore.Store
+	Service *cloud.ShardedService
+}
+
+// queuedLeader is one leader waiting for a shard slot on the virtual clock.
+type queuedLeader struct {
+	w        int
+	client   int
+	enqueued time.Duration
+}
+
+// shardDrill is the drill's mutable state. Everything here is touched only
+// from engine handlers and processes on a serial engine, which serializes
+// all access on the virtual timeline — no locks, fully deterministic.
+type shardDrill struct {
+	opts    ShardedFleetOptions
+	eng     *timesim.SerialEngine
+	sharded *cloud.ShardedService
+	store   *castore.Store
+	reg     *obs.Registry
+	flight  *obs.FlightRecorder
+	compat  string
+
+	models []*mlfw.Model
+	ckeys  []castore.Key
+	khash  [][32]byte
+	skeys  [][]byte
+
+	free     []int
+	queued   [][]queuedLeader
+	labels   []obs.Label
+	inflight []bool
+	pending  []int64 // followers awaiting each workload's publication
+
+	seals    [][32]byte
+	waits    []time.Duration
+	hits     int64
+	misses   int64
+	coal     int64
+	shed     int64
+	records  int64
+	served   int64
+	maxQueue int
+}
+
+// ShardedFleetDrill runs the drill. It builds its own serial engine: the
+// drill's handlers share the cache, the coalescing table, and the per-shard
+// queues, and same-timestamp handlers mutating shared state is exactly what
+// the parallel engine's batch concurrency would make nondeterministic. The
+// record sessions themselves are the same engine-hosted processes FleetDrill
+// runs.
+func ShardedFleetDrill(ctx context.Context, opts ShardedFleetOptions) (*ShardedFleetResult, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	compat := ""
+	for c, sku := range mali.Catalog {
+		if sku == opts.SKU {
+			compat = c
+			break
+		}
+	}
+	if compat == "" {
+		return nil, fmt.Errorf("platform: SKU %s not in catalog", opts.SKU)
+	}
+
+	img := cloud.DefaultImage()
+	sharded := cloud.NewShardedService(img, cloud.ShardedConfig{
+		Shards: opts.Shards,
+		Shard:  cloud.SessionConfig{Capacity: opts.ShardCapacity},
+	})
+	store, err := castore.New(castore.Config{
+		MaxEntries: 2 * opts.Workloads,
+		MaxBytes:   1 << 40, // the drill bounds by entries; never evict by bytes
+	})
+	if err != nil {
+		return nil, err
+	}
+	store.SetQuarantine(audit.New(0))
+
+	d := &shardDrill{
+		opts:     opts,
+		eng:      timesim.NewSerialEngine(),
+		sharded:  sharded,
+		store:    store,
+		reg:      obs.NewRegistry(),
+		compat:   compat,
+		free:     make([]int, opts.Shards),
+		queued:   make([][]queuedLeader, opts.Shards),
+		inflight: make([]bool, opts.Workloads),
+		pending:  make([]int64, opts.Workloads),
+		seals:    make([][32]byte, opts.Workloads),
+	}
+	store.Instrument(d.reg)
+	sharded.Instrument(d.reg)
+	sharded.SetTimeSource(d.eng)
+	if opts.Instrument {
+		d.flight = obs.NewFlightRecorder(0)
+		sharded.InstrumentFlight(d.flight)
+	}
+	for i := range d.free {
+		d.free[i] = opts.ShardCapacity
+		d.labels = append(d.labels, obs.L("shard", strconv.Itoa(i)))
+	}
+	for w := 0; w < opts.Workloads; w++ {
+		m := *opts.Model
+		m.Name = fmt.Sprintf("%s-wl-%03d", opts.Model.Name, w)
+		d.models = append(d.models, &m)
+		ck := castore.KeyForModel(opts.SKU.Name, img.Stack, &m)
+		d.ckeys = append(d.ckeys, ck)
+		d.khash = append(d.khash, ck.Hash())
+		d.skeys = append(d.skeys, SessionKey(opts.Seed, w))
+	}
+
+	for i := 0; i < opts.Clients; i++ {
+		i := i
+		d.eng.Schedule(&timesim.FuncEvent{
+			At: opts.ArrivalGap * time.Duration(i+1),
+			K:  uint64(i),
+			Fn: func() error { return d.arrive(ctx, i) },
+		})
+	}
+
+	wallStart := time.Now()
+	if err := d.eng.Run(); err != nil {
+		return nil, err
+	}
+	wall := time.Since(wallStart)
+	if d.served != d.coal {
+		return nil, fmt.Errorf("platform: %d coalesced admissions but %d served", d.coal, d.served)
+	}
+
+	res := &ShardedFleetResult{
+		Clients: opts.Clients, Workloads: opts.Workloads, Shards: opts.Shards,
+		Hits: d.hits, Misses: d.misses, Coalesced: d.coal, Shed: d.shed,
+		Records:       d.records,
+		MaxShardQueue: d.maxQueue,
+		WorkloadSeals: d.seals,
+		Wall:          wall,
+		VirtualTime:   d.eng.Now(),
+		Events:        d.eng.Events(),
+		Fleet:         d.reg,
+		Flight:        d.flight,
+		Store:         store,
+		Service:       sharded,
+	}
+	if lookups := d.hits + d.misses; lookups > 0 {
+		res.CacheHitRate = float64(d.hits) / float64(lookups)
+	}
+	if keys := store.KeysSeen(); keys > 0 {
+		res.RecordAmplification = float64(d.records) / float64(keys)
+	}
+	res.P99AdmissionWait = quantileWait(d.waits, 0.99)
+	res.Health = cloud.EvaluateHealth(d.reg.Snapshot(), nil, cloud.HealthThresholds{})
+	return res, nil
+}
+
+// quantileWait is the nearest-rank quantile of the exact wait samples —
+// unlike the registry histogram this is not bucketed, so BENCH_PR8.json
+// carries the precise virtual duration.
+func quantileWait(waits []time.Duration, q float64) time.Duration {
+	if len(waits) == 0 {
+		return 0
+	}
+	ws := append([]time.Duration(nil), waits...)
+	sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+	idx := int(float64(len(ws))*q+0.9999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(ws) {
+		idx = len(ws) - 1
+	}
+	return ws[idx]
+}
+
+// arrive handles one client's admission at its virtual arrival time.
+func (d *shardDrill) arrive(ctx context.Context, client int) error {
+	w := client % d.opts.Workloads
+	now := d.eng.Now()
+	id := fmt.Sprintf("client-%05d", client)
+	if _, ok := d.store.Get(d.ckeys[w]); ok {
+		// Cache hit: served sealed bytes, zero VM time, no queue slot.
+		d.hits++
+		d.flight.Emit(now, id, obs.FKCacheHit, d.ckeys[w].Workload)
+		return nil
+	}
+	d.misses++
+	d.flight.Emit(now, id, obs.FKCacheMiss, d.ckeys[w].Workload)
+	if d.inflight[w] {
+		// Coalesce onto the in-flight leader; served at publication.
+		d.coal++
+		d.pending[w]++
+		d.reg.Add(obs.MCacheCoalesced, 1)
+		d.flight.Emit(now, id, obs.FKCacheCoalesce, d.ckeys[w].Workload)
+		return nil
+	}
+	// This client leads the workload's record.
+	d.inflight[w] = true
+	shard := d.sharded.Shard(d.khash[w])
+	switch {
+	case d.free[shard] > 0:
+		d.free[shard]--
+		return d.startLeader(ctx, w, shard, client, 0)
+	case len(d.queued[shard]) < d.opts.ShardQueueLimit:
+		d.queued[shard] = append(d.queued[shard], queuedLeader{w: w, client: client, enqueued: now})
+		if len(d.queued[shard]) > d.maxQueue {
+			d.maxQueue = len(d.queued[shard])
+		}
+		return nil
+	default:
+		// Pool and queue full: shed. The workload loses its leader; the
+		// next miss for it leads a fresh attempt.
+		d.inflight[w] = false
+		d.shed++
+		d.reg.Add(obs.MShardShed, 1, d.labels[shard])
+		d.flight.Emit(now, id, obs.FKShardShed, d.ckeys[w].Workload, obs.A("shard", int64(shard)))
+		return nil
+	}
+}
+
+// startLeader launches workload w's record session as an engine process on
+// shard's pool. The drill's slot accounting mirrors the shard managers'
+// exactly, so the Acquire below always takes the immediate (non-blocking)
+// path — a channel wait inside an engine process would stall the timeline.
+func (d *shardDrill) startLeader(ctx context.Context, w, shard, client int, waited time.Duration) error {
+	d.waits = append(d.waits, waited)
+	vm, err := d.sharded.Acquire(ctx, d.khash[w], fmt.Sprintf("client-%05d", client),
+		d.compat, d.skeys[w][:16])
+	if err != nil {
+		return fmt.Errorf("platform: shard %d leader for workload %d: %w", shard, w, err)
+	}
+	d.eng.Go(uint64(1_000_000+w), func(tm timesim.Time) error {
+		res, err := record.RunContext(ctx, record.Config{
+			Variant: d.opts.Variant, Model: d.models[w], SKU: d.opts.SKU,
+			Network:               d.opts.Network,
+			SessionKey:            d.skeys[w],
+			ClientSeed:            d.opts.Seed*1_000_003 + uint64(w)*7 + 1,
+			InjectMispredictionAt: -1,
+			PoolSize:              d.opts.PoolSize,
+			SessionID:             fmt.Sprintf("wl-%03d", w),
+			Clock:                 tm,
+		})
+		if err != nil {
+			return fmt.Errorf("platform: recording workload %d: %w", w, err)
+		}
+		d.records++
+		d.seals[w] = res.Signed.MAC
+		if err := d.store.Put(&castore.Entry{
+			Key:        d.ckeys[w],
+			Payload:    res.Signed.Payload,
+			MAC:        res.Signed.MAC,
+			SessionKey: d.skeys[w],
+			ProductID:  res.Recording.ProductID,
+		}); err != nil {
+			return fmt.Errorf("platform: publishing workload %d: %w", w, err)
+		}
+		// Publication serves every coalesced follower the sealed bytes.
+		d.served += d.pending[w]
+		d.pending[w] = 0
+		d.inflight[w] = false
+		d.sharded.Release(vm)
+		return d.grantSlot(ctx, shard)
+	})
+	return nil
+}
+
+// grantSlot hands a freed shard slot to the oldest queued leader, FIFO, or
+// returns it to the free pool.
+func (d *shardDrill) grantSlot(ctx context.Context, shard int) error {
+	if len(d.queued[shard]) == 0 {
+		d.free[shard]++
+		return nil
+	}
+	head := d.queued[shard][0]
+	d.queued[shard] = d.queued[shard][1:]
+	return d.startLeader(ctx, head.w, shard, head.client, d.eng.Now()-head.enqueued)
+}

@@ -1,0 +1,187 @@
+package platform
+
+import (
+	"context"
+	"testing"
+
+	"gpurelay/internal/cloud"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/obs"
+)
+
+func shardOpts(clients, workloads int) ShardedFleetOptions {
+	return ShardedFleetOptions{
+		Clients:   clients,
+		Workloads: workloads,
+		Model:     mlfw.Micro(),
+		SKU:       mali.G71MP8,
+		Seed:      42,
+	}
+}
+
+func TestShardedFleetDrillRuns(t *testing.T) {
+	res, err := ShardedFleetDrill(context.Background(), shardOpts(200, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 10 {
+		t.Fatalf("%d records for 10 workloads", res.Records)
+	}
+	if res.RecordAmplification != 1.0 {
+		t.Fatalf("record amplification %v, want 1.0", res.RecordAmplification)
+	}
+	if res.Shed != 0 {
+		t.Fatalf("%d admissions shed on an unsaturated drill", res.Shed)
+	}
+	if res.Hits+res.Misses != int64(res.Clients) {
+		t.Fatalf("hits %d + misses %d != clients %d", res.Hits, res.Misses, res.Clients)
+	}
+	if res.Misses != res.Records+res.Coalesced {
+		t.Fatalf("misses %d != records %d + coalesced %d", res.Misses, res.Records, res.Coalesced)
+	}
+	if res.Store.Len() != 10 || res.Store.KeysSeen() != 10 {
+		t.Fatalf("store holds %d entries / %d keys, want 10/10", res.Store.Len(), res.Store.KeysSeen())
+	}
+	for w, seal := range res.WorkloadSeals {
+		if seal == ([32]byte{}) {
+			t.Fatalf("workload %d has no seal", w)
+		}
+	}
+	if res.Health == nil || res.Health.Window.CacheHitRate != res.CacheHitRate {
+		t.Fatalf("health rollup cache hit rate disagrees with the drill's")
+	}
+	if res.Health.Window.RecordAmplification != res.RecordAmplification {
+		t.Fatalf("health rollup amplification %v, drill %v",
+			res.Health.Window.RecordAmplification, res.RecordAmplification)
+	}
+}
+
+// TestShardedFleetDrillDeterminism is the PR8 acceptance test: the full
+// 10k-client / 100-workload sharded drill, run twice, must report identical
+// metrics and byte-identical recording seals — and cache hits must consume
+// zero VM time (the fleet admits exactly one session per record, never one
+// per hit).
+func TestShardedFleetDrillDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-admission drill, twice")
+	}
+	clients, workloads := 10000, 100
+	if raceDetectorEnabled {
+		// Race runs prove the drill race-clean at reduced scale; the full
+		// 10k/100 plan runs without -race (and in the CI bench job).
+		clients, workloads = 2000, 50
+	}
+	opts := shardOpts(clients, workloads)
+	a, err := ShardedFleetDrill(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Records != int64(workloads) || a.RecordAmplification != 1.0 {
+		t.Fatalf("amplification %v (%d records / %d workloads), want exactly 1.0",
+			a.RecordAmplification, a.Records, workloads)
+	}
+	if a.Shed != 0 {
+		t.Fatalf("%d admissions shed", a.Shed)
+	}
+	if a.CacheHitRate < 0.9 {
+		t.Fatalf("cache hit rate %v over %d admissions of %d workloads", a.CacheHitRate, clients, workloads)
+	}
+
+	// Zero VM time for cache hits: every admission the session managers ever
+	// granted corresponds to a record session, never to a hit.
+	snap := a.Fleet.Snapshot()
+	admitted := snap.Counter(obs.MFleetAdmissions, obs.L("outcome", "immediate")) +
+		snap.Counter(obs.MFleetAdmissions, obs.L("outcome", "queued"))
+	if admitted != a.Records {
+		t.Fatalf("%d VM admissions for %d records — cache hits consumed VM time", admitted, a.Records)
+	}
+	if sessions := snap.Counter(obs.MFleetSessions); sessions != a.Records {
+		t.Fatalf("%d completed VM sessions for %d records", sessions, a.Records)
+	}
+	if a.Service.ActiveVMs() != 0 || a.Service.Queued() != 0 {
+		t.Fatalf("drill left %d VMs live, %d queued", a.Service.ActiveVMs(), a.Service.Queued())
+	}
+
+	b, err := ShardedFleetDrill(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Hits != b.Hits || a.Misses != b.Misses || a.Coalesced != b.Coalesced ||
+		a.Shed != b.Shed || a.Records != b.Records {
+		t.Fatalf("run metrics diverged: %d/%d/%d/%d/%d vs %d/%d/%d/%d/%d",
+			a.Hits, a.Misses, a.Coalesced, a.Shed, a.Records,
+			b.Hits, b.Misses, b.Coalesced, b.Shed, b.Records)
+	}
+	if a.CacheHitRate != b.CacheHitRate || a.RecordAmplification != b.RecordAmplification {
+		t.Fatal("derived rates diverged between runs")
+	}
+	if a.P99AdmissionWait != b.P99AdmissionWait {
+		t.Fatalf("p99 admission wait diverged: %v vs %v", a.P99AdmissionWait, b.P99AdmissionWait)
+	}
+	if a.VirtualTime != b.VirtualTime || a.Events != b.Events {
+		t.Fatalf("timeline diverged: %v/%d events vs %v/%d events",
+			a.VirtualTime, a.Events, b.VirtualTime, b.Events)
+	}
+	for w := range a.WorkloadSeals {
+		if a.WorkloadSeals[w] != b.WorkloadSeals[w] {
+			t.Fatalf("workload %d seal diverged between runs", w)
+		}
+	}
+}
+
+// TestShardedFleetDrillSheds saturates a one-slot, no-queue shard and checks
+// the drill sheds (and counts) the overflow instead of deadlocking, and that
+// shed workloads are re-led and eventually recorded by later arrivals.
+func TestShardedFleetDrillSheds(t *testing.T) {
+	opts := shardOpts(300, 20)
+	opts.Shards = 1
+	opts.ShardCapacity = 1
+	opts.ShardQueueLimit = -1
+	res, err := ShardedFleetDrill(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatal("one-slot no-queue drill shed nothing")
+	}
+	if res.MaxShardQueue != 0 {
+		t.Fatalf("queue depth %d with queueing disabled", res.MaxShardQueue)
+	}
+	snap := res.Fleet.Snapshot()
+	if got := snap.Counter(obs.MShardShed, obs.L("shard", "0")); got != res.Shed {
+		t.Fatalf("shard shed counter %d, drill counted %d", got, res.Shed)
+	}
+	// Shedding degrades health; the report must say so.
+	if res.Health.State == cloud.Healthy {
+		t.Fatal("health rollup ignored shed admissions")
+	}
+	if len(res.Health.Reasons) == 0 {
+		t.Fatal("degraded report carries no reasons")
+	}
+	// Everything that wasn't shed was served.
+	if res.Hits+res.Coalesced+res.Records+res.Shed != int64(res.Clients) {
+		t.Fatalf("hits %d + coalesced %d + records %d + shed %d != %d clients",
+			res.Hits, res.Coalesced, res.Records, res.Shed, res.Clients)
+	}
+}
+
+func TestShardedFleetDrillValidation(t *testing.T) {
+	if _, err := ShardedFleetDrill(context.Background(), ShardedFleetOptions{}); err == nil {
+		t.Fatal("drill without model/SKU accepted")
+	}
+	bad := shardOpts(10, 20)
+	if _, err := ShardedFleetDrill(context.Background(), bad); err == nil {
+		t.Fatal("more workloads than clients accepted")
+	}
+	neg := shardOpts(10, 2)
+	neg.Shards = -1
+	if _, err := ShardedFleetDrill(context.Background(), neg); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	uncat := shardOpts(10, 2)
+	uncat.SKU = &mali.SKU{Name: "bogus"}
+	if _, err := ShardedFleetDrill(context.Background(), uncat); err == nil {
+		t.Fatal("uncataloged SKU accepted")
+	}
+}

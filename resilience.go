@@ -244,13 +244,13 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 		if _, err := rand.Read(nonce); err != nil {
 			return nil, RecordStats{}, err
 		}
-		vm, err := svc.mgr.Acquire(ctx, c.ID, svc.image.Name, compat, nonce)
+		vm, err := svc.acquireVM(ctx, svc.cacheKeyFor(c.SKU, model).Hash(), c.ID, compat, nonce)
 		if err != nil {
 			return nil, RecordStats{}, fmt.Errorf("gpurelay: launching recording VM: %w", err)
 		}
 		opts.Obs.Annotate("session.admitted", "session", obs.A("attempt", int64(attempt)))
 		if vm.Measurement != want {
-			svc.mgr.Release(vm)
+			svc.releaseVM(vm)
 			return nil, RecordStats{}, fmt.Errorf("gpurelay: VM measurement mismatch for image %q on %q: %w",
 				svc.image.Name, compat, ErrAttestation)
 		}
@@ -286,7 +286,7 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 			Resume: last, OnCheckpoint: onCkpt,
 		})
 		if err == nil {
-			svc.mgr.Release(vm)
+			svc.releaseVM(vm)
 			c.clock.Advance(res.Stats.RecordingDelay)
 			res.Stats.Resumes = attempt
 			return &Recording{
@@ -295,7 +295,7 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 			}, res.Stats, nil
 		}
 		if !errors.Is(err, grterr.ErrSessionLost) {
-			svc.mgr.Release(vm)
+			svc.releaseVM(vm)
 			if errors.Is(err, grterr.ErrCheckpointCorrupt) {
 				// The checkpoint failed resync verification (or parsing) —
 				// the exact failure an operator needs evidence for: seal a
@@ -305,7 +305,7 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 			return nil, RecordStats{}, err
 		}
 		// Session lost: the VM (and its key) are gone.
-		svc.mgr.Crash(vm)
+		svc.crashVM(vm)
 		if attempt >= maxResumes {
 			countFleet(obs.MFleetResumes, 1, obs.L("outcome", "gave_up"))
 			lastJob := -1
