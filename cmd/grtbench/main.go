@@ -13,6 +13,9 @@
 //	                    # fleet drill, serial vs parallel engine -> BENCH_PR6.json
 //	grtbench -fleet -clients 10000 -workloads 100 -shards 4
 //	                    # sharded cache-first fleet drill -> BENCH_PR8.json
+//	grtbench -perf -ckpt-mode incremental -ckpt-gate 0.5
+//	                    # checkpoint capture, full vs incremental, plus the
+//	                    # fleet speculation warm start -> BENCH_PR9.json
 //
 // Inconsistent flag combinations (e.g. -clients without -fleet, or an
 // explicit -shards 0) are rejected with exit code 2 and a single-line JSON
@@ -68,11 +71,35 @@ func main() {
 	shards := flag.Int("shards", 0, "with -fleet: session-manager partitions under consistent hashing on the cache key (0 -> 4; an explicit 0 is rejected)")
 	shardOut := flag.String("shardout", "BENCH_PR8.json", "sharded fleet artifact output path (with -fleet -clients/-workloads/-shards)")
 	ampGate := flag.Float64("amp-gate", 0, "with the sharded drill: fail (exit 1) when record-amplification exceeds this ceiling (0 = no gate)")
+	ckptMode := flag.String("ckpt-mode", "", "with -perf: also benchmark checkpoint capture (full|incremental; incremental measures both modes plus the fleet speculation warm start) and write the checkpoint artifact")
+	ckptOut := flag.String("ckptout", "BENCH_PR9.json", "checkpoint artifact output path (with -perf -ckpt-mode)")
+	ckptGate := flag.Float64("ckpt-gate", 0, "with -perf -ckpt-mode incremental: fail (exit 1) when the incremental/full capture-time ratio reaches this ceiling on any footprint (0 = no gate)")
 	flag.Parse()
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	shardDrill := set["clients"] || set["workloads"] || set["shards"]
+
+	if set["ckpt-mode"] || set["ckptout"] || set["ckpt-gate"] {
+		// The checkpoint benchmark's flag surface is validated before
+		// anything runs, same machine-readable convention as the sharded
+		// drill's (satellite: `-ckpt-mode` flag surface).
+		if !set["ckpt-mode"] {
+			rejectFlags("needs_ckpt_mode", "-ckptout/-ckpt-gate configure the checkpoint benchmark and need -ckpt-mode")
+		}
+		if *ckptMode != "full" && *ckptMode != "incremental" {
+			rejectFlags("bad_ckpt_mode", fmt.Sprintf("unknown checkpoint mode %q (full|incremental)", *ckptMode))
+		}
+		if !*perf {
+			rejectFlags("needs_perf", "-ckpt-mode benchmarks checkpoint capture and needs -perf")
+		}
+		if set["ckpt-gate"] && *ckptGate < 0 {
+			rejectFlags("bad_ckpt_gate", fmt.Sprintf("-ckpt-gate %v: the capture-ratio ceiling cannot be negative", *ckptGate))
+		}
+		if set["ckpt-gate"] && *ckptGate > 0 && *ckptMode != "incremental" {
+			rejectFlags("gate_needs_incremental", "-ckpt-gate compares incremental to full capture and needs -ckpt-mode incremental")
+		}
+	}
 
 	if *engineFlag != "serial" && *engineFlag != "parallel" {
 		log.Fatalf("unknown engine %q (serial|parallel)", *engineFlag)
@@ -119,6 +146,11 @@ func main() {
 	if *perf {
 		if err := runPerf(*perfOut); err != nil {
 			log.Fatal(err)
+		}
+		if *ckptMode != "" {
+			if err := runCkptBench(*ckptMode, *ckptOut, *ckptGate); err != nil {
+				log.Fatal(err)
+			}
 		}
 		return
 	}

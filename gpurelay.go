@@ -37,6 +37,7 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -612,6 +613,51 @@ func (s *Service) acquireVM(ctx context.Context, key [32]byte, clientID, compat 
 	return s.mgr.Acquire(ctx, clientID, s.image.Name, compat, nonce)
 }
 
+// maxShedRetries bounds how many times an admission honors a shedding
+// partition's retry-after hint before surfacing the rejection.
+const maxShedRetries = 4
+
+// acquireVMShedAware is acquireVM honoring a sharded partition's shed
+// rejection: a *SheddingError carries the partition's retry-after hint, so
+// instead of failing the session the client waits out the hint (plus a
+// small deterministic jitter so a herd of shed clients does not re-arrive
+// in lockstep) on its virtual clock and re-admits, up to maxShedRetries
+// times. Plain ErrCapacity (unsharded saturation) and every other error
+// surface immediately, unchanged.
+func (s *Service) acquireVMShedAware(ctx context.Context, clock *timesim.Clock,
+	scope *obs.Scope, jitterSeed uint64, key [32]byte, clientID, compat string,
+	nonce []byte) (*cloud.VM, error) {
+	vm, err := s.acquireVM(ctx, key, clientID, compat, nonce)
+	jrng := jitterSeed ^ 0xA24BAED4963EE407
+	if jrng == 0 {
+		jrng = 1
+	}
+	for try := 1; err != nil && try <= maxShedRetries; try++ {
+		var shed *cloud.SheddingError
+		if !errors.As(err, &shed) || shed.RetryAfter <= 0 {
+			break
+		}
+		jrng ^= jrng << 13
+		jrng ^= jrng >> 7
+		jrng ^= jrng << 17
+		d := shed.RetryAfter + time.Duration(jrng%uint64(shed.RetryAfter/8+1))
+		clock.Advance(d)
+		if scope != nil {
+			scope.Count(obs.MShedRetries, 1)
+		} else {
+			s.fleet.Add(obs.MShedRetries, 1)
+		}
+		scope.Annotate("session.shed-retry", "session",
+			obs.A("try", int64(try)), obs.A("wait_ns", int64(d)),
+			obs.A("shard", int64(shed.Shard)))
+		s.flight.Emit(clock.Now(), clientID, obs.FKShardShed, "retry",
+			obs.A("try", int64(try)), obs.A("wait_ns", int64(d)),
+			obs.A("shard", int64(shed.Shard)))
+		vm, err = s.acquireVM(ctx, key, clientID, compat, nonce)
+	}
+	return vm, err
+}
+
 func (s *Service) releaseVM(vm *cloud.VM) {
 	if s.sharded != nil {
 		s.sharded.Release(vm)
@@ -771,6 +817,48 @@ func (s *Service) CacheStats() (entries int, bytes int64, keys int) {
 // history-ablation experiments use.
 func (s *Service) SharedHistory(sku *SKU, model *Model) *SpeculationHistory {
 	return s.histories.Get(shim.HistoryKey{SKU: sku.Name, Stack: s.image.Stack, Workload: model.Name})
+}
+
+// SpecHistorySnapshot carries validated speculation-commit histories
+// between services: the fleet-shared warm start (DESIGN.md §14). Opaque —
+// produce one with ExportSpecHistory, consume it with ImportSpecHistory.
+type SpecHistorySnapshot struct {
+	snap map[shim.HistoryKey]map[string]shim.Outcome
+}
+
+// Keys reports how many (SKU, stack, workload) histories the snapshot
+// carries.
+func (s *SpecHistorySnapshot) Keys() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.snap)
+}
+
+// ExportSpecHistory snapshots every speculation history this service has
+// validated to prediction confidence: only signatures whose recent window
+// already satisfies the k-of-k prediction rule are exported, so a peer
+// imports exactly the outcomes this fleet member would itself speculate on.
+// The snapshot is keyed like the recording cache key (SKU, stack, workload)
+// and is safe to hand to ImportSpecHistory on any service running the same
+// stack.
+func (s *Service) ExportSpecHistory() *SpecHistorySnapshot {
+	return &SpecHistorySnapshot{snap: s.histories.Export()}
+}
+
+// ImportSpecHistory seeds this service's speculation histories from a
+// peer's export, so a cold session's first commits already predict. Only
+// signatures absent locally are seeded — locally observed outcomes outrank
+// imported ones — which also makes imports from several peers
+// order-independent. Returns the number of signatures seeded.
+func (s *Service) ImportSpecHistory(sn *SpecHistorySnapshot) int {
+	if sn == nil || len(sn.snap) == 0 {
+		return 0
+	}
+	n := s.histories.Import(sn.snap)
+	s.flight.Emit(0, "", obs.FKSpecWarm, "import",
+		obs.A("keys", int64(len(sn.snap))), obs.A("seeded", int64(n)))
+	return n
 }
 
 // RecordOptions tunes a record run. The zero value records with all
@@ -962,7 +1050,8 @@ func (s *Service) recordForCache(ctx context.Context, c *Client, ck castore.Key,
 	opts.Obs.AttachFleet(s.fleet)
 	opts.Obs.AttachFlight(s.flight)
 	kh := ck.Hash()
-	vm, err := s.acquireVM(ctx, kh, c.ID, compat, nonce)
+	vm, err := s.acquireVMShedAware(ctx, c.clock, opts.Obs,
+		binary.LittleEndian.Uint64(kh[:8]), kh, c.ID, compat, nonce)
 	if err != nil {
 		return nil, nil, fmt.Errorf("gpurelay: launching recording VM: %w", err)
 	}

@@ -1,0 +1,316 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+
+	"gpurelay/internal/grterr"
+	"gpurelay/internal/trace"
+)
+
+// sampleChain builds a three-epoch chain: a base epoch carrying the region
+// map, a delta epoch inheriting it, and a delta epoch replacing it (the
+// region map changed at that boundary).
+func sampleChain(t *testing.T) *Chain {
+	t.Helper()
+	hdr := Epoch{
+		SessionID:  "phone/MNIST/00000000009e3779",
+		Workload:   "MNIST",
+		ProductID:  0x6221,
+		PoolSize:   1 << 20,
+		ClientSeed: 0x9e3779,
+		Variant:    3,
+		Network:    "wifi",
+	}
+	regions := []trace.RegionInfo{
+		{Name: "weights.0", Kind: 1, VA: 0x8000_0000, PA: 0x1000, Size: 4096},
+		{Name: "input", Kind: 2, VA: 0x8001_0000, PA: 0x2000, Size: 3136},
+	}
+	grown := append(append([]trace.RegionInfo(nil), regions...),
+		trace.RegionInfo{Name: "scratch", Kind: 3, VA: 0x8002_0000, PA: 0x3000, Size: 8192})
+	ev := func(n int, base uint32) []trace.Event {
+		out := make([]trace.Event, n)
+		for i := range out {
+			out[i] = trace.Event{Kind: trace.KWrite, Fn: "reg_write",
+				Reg: 0x1000, Value: base + uint32(i)}
+		}
+		return out
+	}
+
+	base := hdr
+	base.Seq = 0
+	base.Job = 0
+	base.Events = ev(4, 100)
+	base.Regions = regions
+	base.SyncOutFP, base.SyncInFP, base.HistorySigs = 11, 12, 1
+
+	ch := &Chain{}
+	if err := ch.Append(&base); err != nil {
+		t.Fatalf("append base: %v", err)
+	}
+
+	mid := hdr
+	mid.Seq = 1
+	mid.Job = 1
+	mid.StartEvent = 4
+	mid.Events = ev(3, 200)
+	mid.Regions = nil // inherit
+	mid.SyncOutFP, mid.SyncInFP, mid.HistorySigs = 21, 22, 2
+	fp, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid.Parent = fp
+	if err := ch.Append(&mid); err != nil {
+		t.Fatalf("append mid: %v", err)
+	}
+
+	tip := hdr
+	tip.Seq = 2
+	tip.Job = 3
+	tip.StartEvent = 7
+	tip.Events = ev(5, 300)
+	tip.Regions = grown
+	tip.SyncOutFP, tip.SyncInFP, tip.HistorySigs = 31, 32, 3
+	if fp, err = mid.Fingerprint(); err != nil {
+		t.Fatal(err)
+	}
+	tip.Parent = fp
+	if err := ch.Append(&tip); err != nil {
+		t.Fatalf("append tip: %v", err)
+	}
+	return ch
+}
+
+func TestEpochMarshalRoundTrip(t *testing.T) {
+	ch := sampleChain(t)
+	for i, e := range ch.Epochs {
+		data, err := e.MarshalBinary()
+		if err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+		var got Epoch
+		if err := got.UnmarshalBinary(data); err != nil {
+			t.Fatalf("epoch %d: %v", i, err)
+		}
+		if got.SessionID != e.SessionID || got.Workload != e.Workload ||
+			got.ProductID != e.ProductID || got.PoolSize != e.PoolSize ||
+			got.ClientSeed != e.ClientSeed || got.Variant != e.Variant ||
+			got.Network != e.Network || got.Seq != e.Seq || got.Parent != e.Parent ||
+			got.Job != e.Job || got.StartEvent != e.StartEvent ||
+			got.SyncOutFP != e.SyncOutFP || got.SyncInFP != e.SyncInFP ||
+			got.HistorySigs != e.HistorySigs {
+			t.Fatalf("epoch %d scalar fields differ:\ngot  %+v\nwant %+v", i, got, *e)
+		}
+		if len(got.Events) != len(e.Events) {
+			t.Fatalf("epoch %d events: %d vs %d", i, len(got.Events), len(e.Events))
+		}
+		for j := range got.Events {
+			if !got.Events[j].Equal(&e.Events[j]) {
+				t.Fatalf("epoch %d event %d differs", i, j)
+			}
+		}
+		// The inherit flag must round-trip exactly: nil stays nil, a carried
+		// map stays a map.
+		if (got.Regions == nil) != (e.Regions == nil) {
+			t.Fatalf("epoch %d inherit flag lost: got %v regions, want %v",
+				i, got.Regions, e.Regions)
+		}
+		if len(got.Regions) != len(e.Regions) {
+			t.Fatalf("epoch %d regions: %d vs %d", i, len(got.Regions), len(e.Regions))
+		}
+	}
+}
+
+func TestEpochSealOpenAndTamper(t *testing.T) {
+	ch := sampleChain(t)
+	key := []byte("epoch-test-session-key-000000001")
+	e := ch.Epochs[1]
+	signed, err := e.Seal(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenEpoch(signed, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != e.Seq || got.Parent != e.Parent || got.StartEvent != e.StartEvent {
+		t.Fatalf("opened epoch differs: %+v vs %+v", got, *e)
+	}
+
+	tampered := *signed
+	tampered.Payload = append([]byte(nil), signed.Payload...)
+	tampered.Payload[len(tampered.Payload)/2] ^= 0x01
+	if _, err := OpenEpoch(&tampered, key); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+		t.Fatalf("tampered payload: err = %v, want ErrCheckpointCorrupt", err)
+	}
+	wrongKey := append([]byte(nil), key...)
+	wrongKey[0] ^= 0x01
+	if _, err := OpenEpoch(signed, wrongKey); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+		t.Fatalf("wrong key: err = %v, want ErrCheckpointCorrupt", err)
+	}
+	if err := new(Epoch).UnmarshalBinary([]byte("GRTX garbage")); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// TestChainAppendViolations drives every linkage check: wrong base shape,
+// gaps in the sequence, offset mismatch, stalled job index, wrong parent
+// fingerprint, diverging session header.
+func TestChainAppendViolations(t *testing.T) {
+	ch := sampleChain(t)
+	tip := ch.Tip()
+	tipFP, err := tip.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextOff := tip.StartEvent + len(tip.Events)
+	good := func() *Epoch {
+		e := &Epoch{
+			SessionID: tip.SessionID, Workload: tip.Workload,
+			ProductID: tip.ProductID, PoolSize: tip.PoolSize,
+			ClientSeed: tip.ClientSeed, Variant: tip.Variant, Network: tip.Network,
+			Seq: tip.Seq + 1, Parent: tipFP, Job: tip.Job + 1, StartEvent: nextOff,
+			Events: []trace.Event{{Kind: trace.KIRQ, IRQJob: 1}},
+		}
+		return e
+	}
+	// The good continuation must be accepted (checked on a copy of the chain).
+	cp := &Chain{Epochs: append([]*Epoch(nil), ch.Epochs...)}
+	if err := cp.Append(good()); err != nil {
+		t.Fatalf("valid continuation rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Epoch)
+	}{
+		{"seq gap", func(e *Epoch) { e.Seq++ }},
+		{"offset mismatch", func(e *Epoch) { e.StartEvent++ }},
+		{"job stall", func(e *Epoch) { e.Job = tip.Job }},
+		{"parent mismatch", func(e *Epoch) { e.Parent[0] ^= 0x01 }},
+		{"session divergence", func(e *Epoch) { e.ClientSeed++ }},
+	}
+	for _, tc := range cases {
+		e := good()
+		tc.mut(e)
+		cp := &Chain{Epochs: append([]*Epoch(nil), ch.Epochs...)}
+		if err := cp.Append(e); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCheckpointCorrupt", tc.name, err)
+		}
+	}
+
+	baseCases := []struct {
+		name string
+		mut  func(*Epoch)
+	}{
+		{"base with seq", func(e *Epoch) { e.Seq = 1 }},
+		{"base with offset", func(e *Epoch) { e.StartEvent = 4 }},
+		{"base with parent", func(e *Epoch) { e.Parent[0] = 1 }},
+		{"base inheriting regions", func(e *Epoch) { e.Regions = nil }},
+		{"base without events", func(e *Epoch) { e.Events = nil }},
+	}
+	for _, tc := range baseCases {
+		e := &Epoch{
+			SessionID: "s", Workload: "w",
+			Events:  []trace.Event{{Kind: trace.KIRQ, IRQJob: 1}},
+			Regions: []trace.RegionInfo{{Name: "r", Size: 64}},
+		}
+		tc.mut(e)
+		if err := new(Chain).Append(e); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCheckpointCorrupt", tc.name, err)
+		}
+	}
+}
+
+// TestChainStitch checks the reconstruction: events concatenate in order,
+// the region map comes from the newest epoch that carried one, and the
+// boundary metadata comes from the tip — and the result survives the
+// ordinary Checkpoint seal round trip.
+func TestChainStitch(t *testing.T) {
+	ch := sampleChain(t)
+	cp, err := ch.Stitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tip := ch.Tip()
+	wantEvents := 0
+	for _, e := range ch.Epochs {
+		wantEvents += len(e.Events)
+	}
+	if len(cp.Events) != wantEvents {
+		t.Fatalf("stitched %d events, want %d", len(cp.Events), wantEvents)
+	}
+	off := 0
+	for _, e := range ch.Epochs {
+		for j := range e.Events {
+			if !cp.Events[off].Equal(&e.Events[j]) {
+				t.Fatalf("stitched event %d differs from epoch %d event %d", off, e.Seq, j)
+			}
+			off++
+		}
+	}
+	if len(cp.Regions) != len(tip.Regions) {
+		t.Fatalf("stitched %d regions, want the tip's %d (newest map wins)",
+			len(cp.Regions), len(tip.Regions))
+	}
+	if cp.Job != tip.Job || cp.SyncOutFP != tip.SyncOutFP ||
+		cp.SyncInFP != tip.SyncInFP || cp.HistorySigs != tip.HistorySigs {
+		t.Fatal("stitched boundary metadata does not come from the tip")
+	}
+
+	key := []byte("epoch-test-session-key-000000001")
+	signed, err := cp.Seal(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(signed, key); err != nil {
+		t.Fatalf("stitched checkpoint fails the checkpoint path: %v", err)
+	}
+
+	if _, err := new(Chain).Stitch(); !errors.Is(err, grterr.ErrCheckpointCorrupt) {
+		t.Fatalf("empty chain stitch: err = %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// TestChainSealedRoundTrip rebuilds a chain from sealed epochs — the resume
+// path a process restart takes: every link is opened (seal verified),
+// re-appended (linkage re-validated from the wire bytes), and the stitched
+// result matches the original chain's.
+func TestChainSealedRoundTrip(t *testing.T) {
+	ch := sampleChain(t)
+	key := []byte("epoch-test-session-key-000000001")
+	rebuilt := &Chain{}
+	for _, e := range ch.Epochs {
+		signed, err := e.Seal(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := OpenEpoch(signed, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rebuilt.Append(got); err != nil {
+			t.Fatalf("re-appending epoch %d from the wire: %v", e.Seq, err)
+		}
+	}
+	want, err := ch.Stitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rebuilt.Stitch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wb) != string(gb) {
+		t.Fatal("stitched checkpoint from sealed epochs differs from the original chain's")
+	}
+}

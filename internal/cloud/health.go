@@ -65,11 +65,21 @@ type HealthThresholds struct {
 	// window actually looked the cache up, so uncached services never
 	// false-degrade.
 	MinCacheHitRate float64
+	// MaxCkptConflictRate degrades the fleet when the windowed incremental
+	// checkpoint conflict rate (discarded staged captures / epoch commits)
+	// exceeds it — a fleet paying constant clean-capture fallbacks has lost
+	// the concurrency the incremental path exists for (0 → 0.5; negative →
+	// disabled). Checked only when the window committed epochs, so
+	// full-capture services never false-degrade.
+	MaxCkptConflictRate float64
 }
 
 func (t HealthThresholds) withDefaults() HealthThresholds {
 	if t.MaxAdmissionWaitP99 == 0 {
 		t.MaxAdmissionWaitP99 = 2 * time.Second
+	}
+	if t.MaxCkptConflictRate == 0 {
+		t.MaxCkptConflictRate = 0.5
 	}
 	return t
 }
@@ -108,6 +118,17 @@ type HealthStats struct {
 	CacheFills     int64   `json:"cache_fills"`
 	CacheKeys      int64   `json:"cache_keys"`
 	Shed           int64   `json:"shed"`
+	// ShedRetries counts admissions that waited out a shed partition's
+	// retry-after hint and re-admitted instead of failing.
+	ShedRetries int64 `json:"shed_retries"`
+	// Incremental checkpoint counters (DESIGN.md §14): epoch commits,
+	// staged captures discarded on validation conflict, and their ratio.
+	CkptEpochs       int64   `json:"ckpt_epochs"`
+	CkptConflicts    int64   `json:"ckpt_conflicts"`
+	CkptConflictRate float64 `json:"ckpt_conflict_rate"`
+	// SpecWarmImports counts speculation-history signatures seeded from
+	// fleet peers' exports (the cold-session warm start).
+	SpecWarmImports int64 `json:"spec_warm_imports"`
 	// RecordAmplification is records per unique workload this window. With
 	// cache instrumentation it is exact — completed record sessions over
 	// new cache keys; without it, the speculation-history-miss
@@ -233,9 +254,18 @@ func windowStats(cur, prev *obs.Snapshot) HealthStats {
 		CacheFills:     delta(cur, prev, obs.MCacheFills),
 		CacheKeys:      delta(cur, prev, obs.MCacheKeys),
 		Shed:           deltaTotal(cur, prev, obs.MShardShed),
+		// Totals across label sets: the epoch counter is labeled by capture
+		// kind on instrumented sessions and unlabeled on fleet-only counts.
+		ShedRetries:     deltaTotal(cur, prev, obs.MShedRetries),
+		CkptEpochs:      deltaTotal(cur, prev, obs.MCkptEpochs),
+		CkptConflicts:   deltaTotal(cur, prev, obs.MCkptEpochConflicts),
+		SpecWarmImports: deltaTotal(cur, prev, obs.MSpecWarmImports),
 	}
 	if st.Commits > 0 {
 		st.SpecHitRate = float64(st.SpecCommits) / float64(st.Commits)
+	}
+	if st.CkptEpochs > 0 {
+		st.CkptConflictRate = float64(st.CkptConflicts) / float64(st.CkptEpochs)
 	}
 	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
 		st.CacheHitRate = float64(st.CacheHits) / float64(lookups)
@@ -299,6 +329,10 @@ func EvaluateHealth(cur, prev *obs.Snapshot, thr HealthThresholds) *HealthReport
 	}
 	if st.Shed > 0 {
 		raise(Degraded, "%d admission(s) shed by saturated shards", st.Shed)
+	}
+	if thr.MaxCkptConflictRate > 0 && st.CkptEpochs > 0 && st.CkptConflictRate > thr.MaxCkptConflictRate {
+		raise(Degraded, "checkpoint conflict rate %.2f exceeds %.2f (%d conflict(s) / %d epoch(s))",
+			st.CkptConflictRate, thr.MaxCkptConflictRate, st.CkptConflicts, st.CkptEpochs)
 	}
 	return rep
 }
@@ -403,6 +437,10 @@ func (r *HealthReport) Render() string {
 	if st.CacheHits+st.CacheMisses+st.CacheFills+st.Shed > 0 {
 		fmt.Fprintf(&sb, "          cache hit rate %.2f (%d hit / %d miss), %d coalesced, %d filled, %d shed\n",
 			st.CacheHitRate, st.CacheHits, st.CacheMisses, st.CacheCoalesced, st.CacheFills, st.Shed)
+	}
+	if st.CkptEpochs+st.CkptConflicts+st.ShedRetries+st.SpecWarmImports > 0 {
+		fmt.Fprintf(&sb, "          ckpt epochs %d (conflict rate %.2f), %d shed retry(s), %d spec warm import(s)\n",
+			st.CkptEpochs, st.CkptConflictRate, st.ShedRetries, st.SpecWarmImports)
 	}
 	for _, s := range r.Sessions {
 		fmt.Fprintf(&sb, "  %-24s %-10s faults=%d resyncs=%d mispred=%d spec=%.2f\n",

@@ -188,3 +188,63 @@ func TestSessionHealthLadder(t *testing.T) {
 		t.Fatalf("guard violation: %s, want unhealthy", sh.State)
 	}
 }
+
+// TestHealthCkptConflictRate checks the PR9 incremental-checkpoint rollup:
+// the windowed conflict rate sums the labeled per-capture counters and the
+// unlabeled fleet-only series, degrades past the ceiling, and surfaces in
+// the rendered report together with shed retries and warm-start imports.
+func TestHealthCkptConflictRate(t *testing.T) {
+	reg := obs.NewRegistry()
+	// Instrumented sessions count commits per capture kind; uninstrumented
+	// sessions land unlabeled fleet-only totals. The window must sum both.
+	reg.Add(obs.MCkptEpochs, 6, obs.L("capture", "staged"))
+	reg.Add(obs.MCkptEpochs, 2, obs.L("capture", "clean"))
+	reg.Add(obs.MCkptEpochs, 2)
+	reg.Add(obs.MCkptEpochConflicts, 2)
+	thr := HealthThresholds{MaxFaultsPerSession: -1}
+	rep := EvaluateHealth(reg.Snapshot(), nil, thr)
+	if rep.Window.CkptEpochs != 10 || rep.Window.CkptConflicts != 2 {
+		t.Fatalf("window epochs=%d conflicts=%d, want 10/2",
+			rep.Window.CkptEpochs, rep.Window.CkptConflicts)
+	}
+	if rep.Window.CkptConflictRate != 0.2 {
+		t.Fatalf("conflict rate %v, want 0.2", rep.Window.CkptConflictRate)
+	}
+	if rep.State != Healthy {
+		t.Fatalf("rate 0.2 under the 0.5 default: state %s, want healthy (%v)",
+			rep.State, rep.Reasons)
+	}
+	if !strings.Contains(rep.Render(), "ckpt epochs 10") {
+		t.Error("Render() missing the checkpoint row")
+	}
+
+	reg.Add(obs.MCkptEpochConflicts, 6) // 8 conflicts / 10 epochs
+	rep = EvaluateHealth(reg.Snapshot(), nil, thr)
+	if rep.State != Degraded {
+		t.Fatalf("rate 0.8 over the 0.5 default: state %s, want degraded (%v)",
+			rep.State, rep.Reasons)
+	}
+	// A negative ceiling disables the check.
+	rep = EvaluateHealth(reg.Snapshot(), nil,
+		HealthThresholds{MaxFaultsPerSession: -1, MaxCkptConflictRate: -1})
+	if rep.State != Healthy {
+		t.Fatalf("check disabled: state %s, want healthy (%v)", rep.State, rep.Reasons)
+	}
+
+	// Conflicts without epoch commits (all captures fell back clean before a
+	// commit landed) must not divide by zero or degrade.
+	lone := obs.NewRegistry()
+	lone.Add(obs.MShedRetries, 3)
+	lone.Add(obs.MSpecWarmImports, 1)
+	rep = EvaluateHealth(lone.Snapshot(), nil, thr)
+	if rep.State != Healthy {
+		t.Fatalf("shed retries alone: state %s, want healthy (%v)", rep.State, rep.Reasons)
+	}
+	if rep.Window.ShedRetries != 3 || rep.Window.SpecWarmImports != 1 {
+		t.Fatalf("window shed=%d imports=%d, want 3/1",
+			rep.Window.ShedRetries, rep.Window.SpecWarmImports)
+	}
+	if !strings.Contains(rep.Render(), "3 shed retry(s)") {
+		t.Error("Render() missing the shed-retry count")
+	}
+}

@@ -127,6 +127,12 @@ type CaptureState struct {
 // It is the delta base the encoder should use.
 func (cs *CaptureState) Prev() *Snapshot { return cs.prev }
 
+// Watermark returns the pool generation observed just before the committed
+// snapshot's regions were read. A range with no writes past this watermark
+// (Pool.DirtySince == false) is guaranteed to hold the same bytes the
+// snapshot holds — the invariant incremental fingerprint caching relies on.
+func (cs *CaptureState) Watermark() uint64 { return cs.watermark }
+
 // Capture is a dirty-aware Capture: regions untouched since the previous
 // committed snapshot alias its buffers instead of being re-read. The caller
 // must pass the same pool, regions, and filter on every call; after encoding,

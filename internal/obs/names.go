@@ -46,6 +46,20 @@ const (
 	MCkptBytes        = "grt_ckpt_bytes_total" // sealed checkpoint payload bytes
 	MCkptResyncEvents = "grt_ckpt_resync_events_total"
 	MResumeBackoff    = "grt_resume_backoff_seconds" // virtual backoff before re-admission
+	MShedRetries      = "grt_shed_retries_total"     // admissions retried at a shed hint
+
+	// incremental (epoch-chained) checkpointing: concurrent capture staged at
+	// one job boundary, validated at the next; conflicts fall back to a clean
+	// re-capture (the PhoenixOS-style protocol, DESIGN.md §14).
+	MCkptEpochs         = "grt_ckpt_epoch_commits_total" // capture=staged|clean
+	MCkptEpochBytes     = "grt_ckpt_epoch_bytes_total"   // sealed epoch payload bytes
+	MCkptEpochConflicts = "grt_ckpt_epoch_conflicts_total"
+	MCkptEpochEvents    = "grt_ckpt_epoch_events_total" // delta events captured
+
+	// fleet-shared speculation warm-start: validated commit histories
+	// exchanged between services (keyed like the castore cache key).
+	MSpecWarmExports = "grt_spec_warm_exports_total" // validated signatures exported
+	MSpecWarmImports = "grt_spec_warm_imports_total" // signatures seeded on import
 
 	// ingestion trust boundary: recordings entering the service from
 	// untrusted storage or transit (bounded decode + structural audit).
@@ -86,6 +100,9 @@ const (
 	FKCacheMiss     = "cache_miss"
 	FKCacheCoalesce = "cache_coalesce"
 	FKShardShed     = "shard_shed"
+	FKCkptEpoch     = "ckpt_epoch"
+	FKCkptConflict  = "ckpt_conflict"
+	FKSpecWarm      = "spec_warm"
 
 	// fleet (service-owned registry; multi-tenant view).
 	MFleetActiveVMs      = "grt_fleet_active_vms"       // gauge

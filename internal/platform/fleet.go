@@ -12,6 +12,7 @@ import (
 	"gpurelay/internal/netsim"
 	"gpurelay/internal/obs"
 	"gpurelay/internal/record"
+	"gpurelay/internal/shim"
 	"gpurelay/internal/timesim"
 )
 
@@ -49,6 +50,15 @@ type FleetOptions struct {
 	// Thousand-session drills need this: the per-session results, not the
 	// live sessions, dominate a big drill's memory.
 	Compact bool
+	// WarmStart pre-seeds every session's speculation history from a fleet
+	// peer's validated-commit export (shim.HistoryStore.Export), so each
+	// session's first commits already predict. Seeding is import-only and
+	// per-session private — concurrent drill sessions must never share a
+	// live History (the mutation order would depend on the schedule), so
+	// each session gets its own copy of the matching (SKU, stack, workload)
+	// entry. Identical seeds still give byte-identical drills: the seeded
+	// state is a pure function of the snapshot.
+	WarmStart map[shim.HistoryKey]map[string]shim.Outcome
 }
 
 // FleetResult is what a drill reports: the determinism witnesses (per-session
@@ -171,6 +181,10 @@ func FleetDrill(ctx context.Context, eng timesim.Engine, opts FleetOptions) (*Fl
 		vms = append(vms, vm)
 	}
 
+	warm := opts.WarmStart[shim.HistoryKey{
+		SKU: opts.SKU.Name, Stack: img.Stack, Workload: opts.Model.Name,
+	}]
+
 	var results []*record.Result
 	if !opts.Compact {
 		results = make([]*record.Result, n)
@@ -182,11 +196,16 @@ func FleetDrill(ctx context.Context, eng timesim.Engine, opts FleetOptions) (*Fl
 		if scopes != nil {
 			sc = scopes[i]
 		}
+		var hist *shim.History
+		if warm != nil {
+			hist = shim.NewHistory(3)
+			hist.WarmStart(warm)
+		}
 		eng.Go(uint64(i), func(tm timesim.Time) error {
 			res, err := record.RunContext(ctx, record.Config{
 				Obs:     sc,
 				Variant: opts.Variant, Model: opts.Model, SKU: opts.SKU,
-				Network: network,
+				Network: network, History: hist,
 				// The drill signs with deterministic derived keys, not the
 				// VMs' attestation-derived ones: seals are the determinism
 				// witness, and attestation nonces are (correctly) random.

@@ -7,9 +7,13 @@ import (
 	"runtime"
 	"testing"
 
+	"gpurelay/internal/cloud"
 	"gpurelay/internal/mali"
 	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
 	"gpurelay/internal/obs"
+	"gpurelay/internal/record"
+	"gpurelay/internal/shim"
 	"gpurelay/internal/timesim"
 )
 
@@ -236,5 +240,75 @@ func TestFleetDrillInstrumented(t *testing.T) {
 	// A bare drill reports no observability state at all.
 	if bare.Fleet != nil || bare.Flight != nil || bare.EngineTrace != nil || bare.Scopes != nil {
 		t.Error("bare drill populated observability fields")
+	}
+}
+
+// TestFleetDrillWarmStart checks the fleet-shared speculation seeding: a
+// warm-started drill speculates strictly more than a cold one, and the
+// seeded state stays deterministic — identical seals across repeated runs
+// and across the serial and parallel engines, because every session gets
+// its own private copy of the snapshot.
+func TestFleetDrillWarmStart(t *testing.T) {
+	img := cloud.DefaultImage()
+	hist := shim.NewHistory(3)
+	_, err := record.RunContext(context.Background(), record.Config{
+		Model: mlfw.MNIST(), SKU: mali.G71MP8, Network: netsim.Loopback,
+		History:               hist,
+		SessionKey:            SessionKey(99, 0),
+		ClientSeed:            7,
+		InjectMispredictionAt: -1,
+		SessionID:             "warm-donor",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ready := hist.ExportReady()
+	if len(ready) == 0 {
+		t.Fatal("donor session validated no signatures")
+	}
+	warm := map[shim.HistoryKey]map[string]shim.Outcome{
+		{SKU: mali.G71MP8.Name, Stack: img.Stack, Workload: mlfw.MNIST().Name}: ready,
+	}
+
+	async := func(res *FleetResult) int {
+		total := 0
+		for _, r := range res.Results {
+			total += r.Stats.Shim.AsyncCommits
+		}
+		return total
+	}
+	cold, err := FleetDrill(context.Background(), timesim.NewSerialEngine(), drillOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOpts := drillOpts(4)
+	warmOpts.WarmStart = warm
+	warmed, err := FleetDrill(context.Background(), timesim.NewSerialEngine(), warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async(warmed) <= async(cold) {
+		t.Fatalf("warm-started drill speculated %d commits, cold %d — want strictly more",
+			async(warmed), async(cold))
+	}
+
+	// Determinism: the seeded drill reproduces its seals exactly, on either
+	// engine — the snapshot is import-only and per-session private, so
+	// neither repetition nor host parallelism can perturb the recordings.
+	again, err := FleetDrill(context.Background(), timesim.NewSerialEngine(), warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := FleetDrill(context.Background(), timesim.NewParallelEngine(), warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warmed.Seals {
+		if warmed.Seals[i] != again.Seals[i] {
+			t.Fatalf("session %d: warm drill seals differ across runs", i)
+		}
+		if warmed.Seals[i] != par.Seals[i] {
+			t.Fatalf("session %d: warm drill seals differ across engines", i)
+		}
 	}
 }

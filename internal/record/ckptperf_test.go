@@ -1,0 +1,116 @@
+package record
+
+import (
+	"testing"
+
+	"gpurelay/internal/gpumem"
+)
+
+func newPerf(t testing.TB, mode CkptMode, jobs, perJob int) *CkptPerf {
+	t.Helper()
+	p, err := NewCkptPerf(gpumem.MNISTFootprint, mode, jobs, perJob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCkptPerfFullCapturesEveryBoundary(t *testing.T) {
+	p := newPerf(t, CkptFull, 12, 16)
+	p.RunSession()
+	if p.Captures() != 12 {
+		t.Fatalf("full mode sealed %d captures, want 12", p.Captures())
+	}
+	if p.Sealed() == 0 {
+		t.Fatal("full mode sealed zero bytes")
+	}
+}
+
+func TestCkptPerfIncrementalCommitsChain(t *testing.T) {
+	p := newPerf(t, CkptIncremental, 12, 16)
+	p.RunSession()
+	// Base epoch at the first boundary, then staged commits landing one
+	// boundary late: the final staged capture is still in flight when the
+	// session ends, so jobs-1 epochs seal.
+	if p.Captures() != 11 {
+		t.Fatalf("incremental mode sealed %d epochs, want 11", p.Captures())
+	}
+	if p.Conflicts() != 0 {
+		t.Fatalf("undisturbed session hit %d conflicts, want 0", p.Conflicts())
+	}
+	if p.Sealed() == 0 {
+		t.Fatal("incremental mode sealed zero bytes")
+	}
+}
+
+func TestCkptPerfConflictFallsBackToCleanCapture(t *testing.T) {
+	p := newPerf(t, CkptIncremental, 12, 16)
+	p.Reset()
+	p.Boundary() // base epoch (clean)
+	p.Boundary() // stages boundary 1
+	p.InjectConflict()
+	p.Boundary() // validation fails -> conflict + clean capture of boundary 2
+	if p.Conflicts() != 1 {
+		t.Fatalf("conflicts = %d, want 1", p.Conflicts())
+	}
+	// base + the conflict's clean fallback sealed; the discarded stage did
+	// not.
+	if p.Captures() != 2 {
+		t.Fatalf("captures = %d, want 2", p.Captures())
+	}
+	before := p.Captures()
+	p.Boundary() // stages boundary 3 (nothing seals yet)
+	p.Boundary() // validates + commits it
+	if p.Captures() != before+1 {
+		t.Fatalf("capturer did not recover after conflict: captures = %d, want %d",
+			p.Captures(), before+1)
+	}
+	if p.Conflicts() != 1 {
+		t.Fatalf("conflicts = %d after recovery, want still 1", p.Conflicts())
+	}
+}
+
+// TestIncrementalCaptureAllocBudget gates the steady-state incremental
+// boundary's allocation count: the whole point of epoch capture is cost
+// proportional to the delta, so a boundary must not allocate proportionally
+// to the session (no log copies, no full-footprint hashing). The budget has
+// headroom over the measured count (capture snapshot + epoch marshal + HMAC
+// seal) but fails loudly if a session-sized copy sneaks back in.
+func TestIncrementalCaptureAllocBudget(t *testing.T) {
+	const allocBudget = 48
+	p := newPerf(t, CkptIncremental, 64, 32)
+	p.Reset()
+	for j := 0; j < 16; j++ { // warm: base epoch, caches, buffer pools
+		p.Boundary()
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		p.Boundary()
+	})
+	if avg > allocBudget {
+		t.Fatalf("incremental boundary allocates %.0f objects, budget %d", avg, allocBudget)
+	}
+}
+
+func BenchmarkCkptCaptureFull(b *testing.B) {
+	p, err := NewCkptPerf(gpumem.MNISTFootprint, CkptFull, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RunSession()
+	}
+	b.SetBytes(p.Sealed() / int64(b.N))
+}
+
+func BenchmarkCkptCaptureIncremental(b *testing.B) {
+	p, err := NewCkptPerf(gpumem.MNISTFootprint, CkptIncremental, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RunSession()
+	}
+	b.SetBytes(p.Sealed() / int64(b.N))
+}

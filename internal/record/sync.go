@@ -1,9 +1,7 @@
 package record
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 
 	"gpurelay/internal/gpumem"
 	"gpurelay/internal/kbase"
@@ -38,6 +36,27 @@ type syncer struct {
 	capIn     gpumem.CaptureState
 	bytesOut  int64
 	bytesIn   int64
+
+	// Per-region fingerprint caches for metaFP, one per direction. Keyed by
+	// region name; an entry is reused only while the pool's page-generation
+	// tracking proves the retained snapshot's bytes for that region cannot
+	// have changed (see snapFPCached). This makes metaFP cost proportional
+	// to what changed since the last call — the property the incremental
+	// checkpoint path depends on — while computing exactly the same value a
+	// cold cache (e.g. the resume side) computes from scratch.
+	outFPC map[string]regionFP
+	inFPC  map[string]regionFP
+}
+
+// regionFP caches one region's content hash. mark is the capture watermark
+// of the snapshot the hash was computed over: if the pool reports no writes
+// to the region past mark, every later dirty-aware capture aliased the same
+// buffer, so the hash still describes the retained snapshot's bytes.
+type regionFP struct {
+	h    uint64
+	mark uint64
+	pa   gpumem.PA
+	size int
 }
 
 // Label slices for countDump, built once: the dump counters fire twice per
@@ -92,29 +111,92 @@ func fingerprint(regions []*gpumem.Region) string {
 }
 
 // metaFP fingerprints the delta-encoder metastate in both directions: the
-// structural fingerprint plus the full content of the retained previous
-// snapshot. A checkpoint stores both; the resume path re-derives the syncer
-// state and refuses to continue past the boundary unless the fingerprints
-// match, since a divergent delta base would silently corrupt every later
-// dump.
+// structural fingerprint combined with per-region content hashes of the
+// retained previous snapshot. A checkpoint stores both; the resume path
+// re-derives the syncer state and refuses to continue past the boundary
+// unless the fingerprints match, since a divergent delta base would silently
+// corrupt every later dump.
+//
+// The combination is a hash of per-region hashes (not a hash of concatenated
+// content) precisely so each region's hash can be cached: at a steady-state
+// job boundary only the regions actually written since the last call are
+// re-hashed, which is what lets the incremental checkpoint path stage a
+// boundary fingerprint at cost proportional to change.
 func (s *syncer) metaFP() (out, in uint64) {
-	return snapFP(s.prevOutFP, s.capOut.Prev()), snapFP(s.prevInFP, s.capIn.Prev())
+	if s.outFPC == nil {
+		s.outFPC = make(map[string]regionFP)
+		s.inFPC = make(map[string]regionFP)
+	}
+	out = snapFPCached(s.prevOutFP, s.capOut.Prev(), s.cloud, s.capOut.Watermark(), s.outFPC)
+	in = snapFPCached(s.prevInFP, s.capIn.Prev(), s.client, s.capIn.Watermark(), s.inFPC)
+	return out, in
 }
 
-func snapFP(structure string, snap *gpumem.Snapshot) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(structure))
-	if snap != nil {
-		var pa [8]byte
-		for i := range snap.Regions {
-			r := &snap.Regions[i]
-			h.Write([]byte(r.Name))
-			binary.LittleEndian.PutUint64(pa[:], uint64(r.PA))
-			h.Write(pa[:])
-			h.Write(r.Data)
-		}
+// fnv64a is an inline, allocation-free FNV-64a accumulator (hash/fnv's
+// digest allocates; the steady-state epoch path is alloc-gated).
+type fnv64a uint64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func (h *fnv64a) string(s string) {
+	v := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		v = (v ^ uint64(s[i])) * fnvPrime64
 	}
-	return h.Sum64()
+	*h = fnv64a(v)
+}
+
+func (h *fnv64a) bytes(b []byte) {
+	v := uint64(*h)
+	for _, c := range b {
+		v = (v ^ uint64(c)) * fnvPrime64
+	}
+	*h = fnv64a(v)
+}
+
+func (h *fnv64a) u64(x uint64) {
+	v := uint64(*h)
+	for i := 0; i < 8; i++ {
+		v = (v ^ (x & 0xff)) * fnvPrime64
+		x >>= 8
+	}
+	*h = fnv64a(v)
+}
+
+// snapFPCached combines the structural fingerprint with every snapshot
+// region's content hash. cache entries are reused only when
+// pool.DirtySince proves no write touched the region past the watermark the
+// cached hash was computed under — false from DirtySince guarantees the
+// retained snapshot's buffer for the region still holds the hashed bytes
+// (dirty-aware captures alias clean buffers). The computed value is
+// independent of the cache state.
+func snapFPCached(structure string, snap *gpumem.Snapshot, pool *gpumem.Pool,
+	watermark uint64, cache map[string]regionFP) uint64 {
+	h := fnv64a(fnvOffset64)
+	h.string(structure)
+	if snap == nil {
+		return uint64(h)
+	}
+	for i := range snap.Regions {
+		r := &snap.Regions[i]
+		e, ok := cache[r.Name]
+		if !ok || e.pa != r.PA || e.size != len(r.Data) ||
+			pool.DirtySince(r.PA, uint64(len(r.Data)), e.mark) {
+			rh := fnv64a(fnvOffset64)
+			rh.string(r.Name)
+			rh.u64(uint64(r.PA))
+			rh.bytes(r.Data)
+			e = regionFP{h: uint64(rh), mark: watermark, pa: r.PA, size: len(r.Data)}
+			cache[r.Name] = e
+		}
+		h.string(r.Name)
+		h.u64(uint64(r.PA))
+		h.u64(e.h)
+	}
+	return uint64(h)
 }
 
 // beforeJob produces the cloud→client dump for job j and applies it to the

@@ -142,3 +142,56 @@ func (h *History) Signatures() int {
 	defer h.mu.Unlock()
 	return len(h.m)
 }
+
+// ExportReady returns the validated slice of the history: every signature
+// whose window currently satisfies the Predict criteria (at least K recorded
+// outcomes, the most recent K identical), mapped to that outcome. This is
+// the fleet-exchange payload — only entries a shim would actually speculate
+// on travel; unconfirmed or churning signatures stay local.
+func (h *History) ExportReady() map[string]Outcome {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]Outcome)
+	for sig, hist := range h.m {
+		if len(hist) < h.K {
+			continue
+		}
+		last := hist[len(hist)-1]
+		ok := true
+		for i := len(hist) - h.K; i < len(hist); i++ {
+			if !hist[i].Equal(last) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out[sig] = last
+		}
+	}
+	return out
+}
+
+// WarmStart seeds the history from a validated export: each absent signature
+// receives K copies of the outcome, so the very next Predict for it already
+// hits. Signatures with local outcomes are left alone — locally observed
+// truth outranks imported hearsay — and a later misprediction Invalidate
+// clears an imported entry exactly like a native one. Returns the number of
+// signatures seeded. Insertion order is irrelevant (windows are per
+// signature), so iterating the map is deterministic in effect.
+func (h *History) WarmStart(ready map[string]Outcome) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	seeded := 0
+	for sig, o := range ready {
+		if len(h.m[sig]) > 0 {
+			continue
+		}
+		window := make([]Outcome, h.K)
+		for i := range window {
+			window[i] = o
+		}
+		h.m[sig] = window
+		seeded++
+	}
+	return seeded
+}

@@ -76,3 +76,52 @@ func (s *HistoryStore) Len() int {
 	defer s.mu.Unlock()
 	return len(s.m)
 }
+
+// Export snapshots every key's validated commit history (see
+// History.ExportReady) for fleet-wide exchange. Keys with no Predict-ready
+// signatures are omitted, so an exchange between mostly-cold services stays
+// small.
+func (s *HistoryStore) Export() map[HistoryKey]map[string]Outcome {
+	s.mu.Lock()
+	hists := make(map[HistoryKey]*History, len(s.m))
+	for k, h := range s.m {
+		hists[k] = h
+	}
+	reg := s.reg
+	s.mu.Unlock()
+	out := make(map[HistoryKey]map[string]Outcome)
+	exported := int64(0)
+	for k, h := range hists {
+		ready := h.ExportReady()
+		if len(ready) == 0 {
+			continue
+		}
+		out[k] = ready
+		exported += int64(len(ready))
+	}
+	if reg != nil && exported > 0 {
+		reg.Add(obs.MSpecWarmExports, exported)
+	}
+	return out
+}
+
+// Import merges a peer's validated histories: each keyed history is created
+// on demand and warm-started with the peer's Predict-ready outcomes (local
+// outcomes always win; see History.WarmStart). Returns the number of
+// signatures actually seeded.
+func (s *HistoryStore) Import(snap map[HistoryKey]map[string]Outcome) int {
+	seeded := 0
+	for k, ready := range snap {
+		if len(ready) == 0 {
+			continue
+		}
+		seeded += s.Get(k).WarmStart(ready)
+	}
+	s.mu.Lock()
+	reg := s.reg
+	s.mu.Unlock()
+	if reg != nil && seeded > 0 {
+		reg.Add(obs.MSpecWarmImports, int64(seeded))
+	}
+	return seeded
+}
