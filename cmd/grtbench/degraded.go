@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gpurelay/internal/cloud"
+	"gpurelay/internal/faultsim"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/platform"
+	"gpurelay/internal/record"
+)
+
+// The -fleet -health-plan mode is the degraded-fleet drill: N record
+// sessions on one engine with a device-health fault plan (thermal throttle,
+// ECC, XID-79 fall-off) afflicting every fourth session. Every interrupted
+// session must migrate to a different VM's GPU and still seal a recording
+// byte-identical to its undisturbed baseline. The drill runs twice — the
+// second pass is the run-twice determinism witness — and the artifact gates
+// CI on a 1.0 migration success rate and zero non-identical recordings.
+
+// degradedRow is one drill pass's measurement in the artifact.
+type degradedRow struct {
+	WallMS       float64 `json:"wall_ms"`
+	VirtualMS    float64 `json:"virtual_ms"`
+	Events       int64   `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// degradedArtifact is the BENCH_PR10.json schema.
+type degradedArtifact struct {
+	Schema     string `json:"schema"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Timestamp  string `json:"timestamp"`
+	Plan       string `json:"plan"`
+	Sessions   int    `json:"sessions"`
+	Faulted    int    `json:"faulted"`
+	// Interrupted sessions lost at least one device; Migrated counts the
+	// cross-VM moves that kept them alive.
+	Interrupted int `json:"interrupted"`
+	Migrated    int `json:"migrated"`
+	// MigrationSuccessRate is interrupted sessions that finished with a
+	// byte-identical recording over interrupted sessions; the gate is 1.0.
+	MigrationSuccessRate float64 `json:"migration_success_rate"`
+	NonIdentical         int     `json:"non_identical"`
+	// Deterministic records that the second pass's seals matched the first's
+	// byte for byte.
+	Deterministic bool                       `json:"deterministic"`
+	HealthState   string                     `json:"health_state"`
+	Runs          []degradedRow              `json:"runs"`
+	PerSession    []platform.DegradedSession `json:"per_session"`
+	Devices       []cloud.DeviceInfo         `json:"devices"`
+}
+
+// runDegradedFleet runs the degraded-fleet drill twice and writes the
+// artifact. A migration success rate below 1.0, any non-byte-identical
+// recording, a drill that provoked no migrations at all, or run-twice
+// divergence is a hard failure (exit 1) — the artifact is still written so
+// CI can archive the evidence.
+func runDegradedFleet(plan *faultsim.Plan, planSpec string, sessions int, outPath, healthOut string) error {
+	if sessions <= 1 {
+		sessions = 100
+	}
+	fmt.Printf("=== degraded-fleet drill: %d record sessions under plan %q (GOMAXPROCS=%d) ===\n",
+		sessions, planSpec, runtime.GOMAXPROCS(0))
+	opts := platform.DegradedFleetOptions{
+		Sessions:   sessions,
+		Model:      mlfw.MNIST(),
+		SKU:        mali.G71MP8,
+		Variant:    record.OursMDS,
+		Seed:       42,
+		HealthPlan: plan,
+		Instrument: true,
+	}
+	rows := make([]degradedRow, 0, 2)
+	var first, second *platform.DegradedFleetResult
+	for pass := 0; pass < 2; pass++ {
+		res, err := platform.DegradedFleetDrill(context.Background(), opts)
+		if err != nil {
+			return fmt.Errorf("degraded drill pass %d: %w", pass+1, err)
+		}
+		rows = append(rows, degradedRow{
+			WallMS:       float64(res.Wall.Nanoseconds()) / 1e6,
+			VirtualMS:    float64(res.VirtualTime.Nanoseconds()) / 1e6,
+			Events:       res.Events,
+			EventsPerSec: float64(res.Events) / res.Wall.Seconds(),
+		})
+		if pass == 0 {
+			first = res
+		} else {
+			second = res
+		}
+	}
+	deterministic := true
+	for i := range first.Seals {
+		if first.Seals[i] != second.Seals[i] {
+			deterministic = false
+		}
+	}
+	migrationOK := 0
+	for _, ps := range first.PerSession {
+		if ps.Resumes > 0 && ps.ByteIdentical {
+			migrationOK++
+		}
+	}
+	rate := 0.0
+	if first.Interrupted > 0 {
+		rate = float64(migrationOK) / float64(first.Interrupted)
+	}
+	state := ""
+	if first.Health != nil {
+		state = string(first.Health.State)
+	}
+	art := degradedArtifact{
+		Schema: "grt-degraded/1", GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Plan:      planSpec,
+		Sessions:  first.Sessions, Faulted: first.Faulted,
+		Interrupted: first.Interrupted, Migrated: first.Migrated,
+		MigrationSuccessRate: rate, NonIdentical: first.NonIdentical,
+		Deterministic: deterministic, HealthState: state,
+		Runs: rows, PerSession: first.PerSession, Devices: first.Devices,
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%d/%d sessions interrupted, %d migrations, %d non-identical, success rate %.2f\n",
+		first.Interrupted, first.Sessions, first.Migrated, first.NonIdentical, rate)
+	fmt.Printf("wrote degraded-fleet artifact to %s\n", outPath)
+
+	if healthOut != "" && first.Health != nil {
+		f, err := os.Create(healthOut)
+		if err != nil {
+			return err
+		}
+		if err := first.Health.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote degraded-fleet health report to %s (state: %s)\n", healthOut, state)
+	}
+
+	switch {
+	case first.Interrupted == 0:
+		return fmt.Errorf("degraded drill: the plan interrupted no session — nothing was drilled")
+	case rate < 1:
+		return fmt.Errorf("degraded drill: migration success rate %.2f < 1.0", rate)
+	case first.NonIdentical != 0:
+		return fmt.Errorf("degraded drill: %d recording(s) differ from baseline", first.NonIdentical)
+	case !deterministic:
+		return fmt.Errorf("degraded drill: run-twice seals diverged")
+	}
+	fmt.Println("gate passed: every interrupted session migrated, all recordings byte-identical, run-twice deterministic")
+	return nil
+}

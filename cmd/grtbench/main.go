@@ -16,6 +16,9 @@
 //	grtbench -perf -ckpt-mode incremental -ckpt-gate 0.5
 //	                    # checkpoint capture, full vs incremental, plus the
 //	                    # fleet speculation warm start -> BENCH_PR9.json
+//	grtbench -fleet -health-plan dying-gpu -gpus 100
+//	                    # degraded-fleet drill: device faults, cross-VM
+//	                    # migration, byte-identity gate -> BENCH_PR10.json
 //
 // Inconsistent flag combinations (e.g. -clients without -fleet, or an
 // explicit -shards 0) are rejected with exit code 2 and a single-line JSON
@@ -25,12 +28,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"gpurelay/internal/experiments"
+	"gpurelay/internal/faultsim"
 	"gpurelay/internal/mlfw"
 	"gpurelay/internal/netsim"
 )
@@ -56,6 +61,24 @@ func rejectFlags(reason, msg string) {
 	os.Exit(2)
 }
 
+// rejectPlan reports an unparsable -health-plan the same way grtrecord's
+// -faults path does: one JSON line carrying the parser's stable reason
+// token, exit 2.
+func rejectPlan(err error) {
+	reason := "bad_plan"
+	var pe *faultsim.PlanError
+	if errors.As(err, &pe) {
+		reason = pe.Reason
+	}
+	line, merr := json.Marshal(flagRejection{Rejected: true, Stage: "fault-plan", Reason: reason, Error: err.Error()})
+	if merr != nil {
+		fmt.Fprintf(os.Stderr, `{"rejected":true,"stage":"fault-plan","reason":%q}`+"\n", reason)
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, string(line))
+	os.Exit(2)
+}
+
 func main() {
 	fast := flag.Bool("fast", false, "run only MNIST and AlexNet")
 	perf := flag.Bool("perf", false, "run memory-sync micro-benchmarks and write a perf artifact")
@@ -74,6 +97,8 @@ func main() {
 	ckptMode := flag.String("ckpt-mode", "", "with -perf: also benchmark checkpoint capture (full|incremental; incremental measures both modes plus the fleet speculation warm start) and write the checkpoint artifact")
 	ckptOut := flag.String("ckptout", "BENCH_PR9.json", "checkpoint artifact output path (with -perf -ckpt-mode)")
 	ckptGate := flag.Float64("ckpt-gate", 0, "with -perf -ckpt-mode incremental: fail (exit 1) when the incremental/full capture-time ratio reaches this ceiling on any footprint (0 = no gate)")
+	healthPlan := flag.String("health-plan", "", "with -fleet: run the degraded-fleet drill under this device-health fault plan (preset name or spec, e.g. dying-gpu); -gpus sets the fleet size (<=1 -> 100)")
+	degradedOut := flag.String("degradedout", "BENCH_PR10.json", "degraded-fleet artifact output path (with -fleet -health-plan)")
 	flag.Parse()
 
 	set := map[string]bool{}
@@ -143,6 +168,41 @@ func main() {
 			rejectFlags("trace_conflict", "the sharded drill exports no engine trace; -trace-out belongs to the -gpus drill")
 		}
 	}
+	var plan *faultsim.Plan
+	if set["health-plan"] || set["degradedout"] {
+		// The degraded drill's flag surface, same convention: misuse is
+		// reported machine-readably before anything runs.
+		if !set["health-plan"] {
+			rejectFlags("needs_health_plan", "-degradedout configures the degraded-fleet drill and needs -health-plan")
+		}
+		if !*fleet {
+			rejectFlags("needs_fleet", "-health-plan selects the degraded-fleet drill and needs -fleet")
+		}
+		if shardDrill {
+			rejectFlags("shard_conflict", "the degraded drill admits one session per GPU; -clients/-workloads/-shards belong to the sharded drill")
+		}
+		if set["engine"] && *engineFlag == "parallel" {
+			rejectFlags("engine_conflict", "the degraded drill replays device faults on its own serial engine; -engine parallel belongs to the plain -gpus drill")
+		}
+		if *traceOut != "" {
+			rejectFlags("trace_conflict", "the degraded drill exports no engine trace; -trace-out belongs to the plain -gpus drill")
+		}
+		var err error
+		if plan, err = faultsim.ParsePlan(*healthPlan); err != nil {
+			rejectPlan(err)
+		}
+		health := false
+		for _, f := range plan.Faults {
+			if f.Kind.Health() {
+				health = true
+				break
+			}
+		}
+		if !health {
+			rejectFlags("no_health_faults",
+				fmt.Sprintf("plan %q schedules no device-health fault (thermal/sbe/dbe/falloff); it cannot degrade a GPU", *healthPlan))
+		}
+	}
 	if *perf {
 		if err := runPerf(*perfOut); err != nil {
 			log.Fatal(err)
@@ -155,6 +215,12 @@ func main() {
 		return
 	}
 	if *fleet {
+		if plan != nil {
+			if err := runDegradedFleet(plan, *healthPlan, *gpus, *degradedOut, *healthOut); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
 		if shardDrill {
 			if err := runShardFleet(*clients, *workloads, *shards, *shardOut, *healthOut, *ampGate); err != nil {
 				log.Fatal(err)

@@ -41,6 +41,7 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -63,6 +64,29 @@ func rejectFlags(reason, msg string) {
 	}{Rejected: true, Stage: "flags", Reason: reason, Error: msg})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, `{"rejected":true,"stage":"flags","reason":%q}`+"\n", reason)
+		os.Exit(2)
+	}
+	fmt.Fprintln(os.Stderr, string(line))
+	os.Exit(2)
+}
+
+// rejectPlan mirrors rejectFlags for -faults spec errors: stage
+// "fault-plan", reason from the parser's stable machine-readable token
+// (e.g. "unknown_kind"), exit code 2.
+func rejectPlan(err error) {
+	reason := "bad_plan"
+	var pe *gpurelay.FaultPlanError
+	if errors.As(err, &pe) {
+		reason = pe.Reason
+	}
+	line, jerr := json.Marshal(struct {
+		Rejected bool   `json:"rejected"`
+		Stage    string `json:"stage"`
+		Reason   string `json:"reason"`
+		Error    string `json:"error"`
+	}{Rejected: true, Stage: "fault-plan", Reason: reason, Error: err.Error()})
+	if jerr != nil {
+		fmt.Fprintf(os.Stderr, `{"rejected":true,"stage":"fault-plan","reason":%q}`+"\n", reason)
 		os.Exit(2)
 	}
 	fmt.Fprintln(os.Stderr, string(line))
@@ -249,7 +273,7 @@ func main() {
 		if *faultsFlag != "" {
 			plan, err := gpurelay.ParseFaultPlan(*faultsFlag)
 			if err != nil {
-				log.Fatal(err)
+				rejectPlan(err)
 			}
 			opts.Faults = plan
 			fmt.Printf("injecting %v\n", plan)
@@ -311,6 +335,9 @@ func main() {
 	fmt.Printf("commits:             %d total, %d speculated, %d mispredicted\n",
 		stats.Shim.Commits, stats.Shim.AsyncCommits, stats.Shim.Mispredictions)
 	fmt.Printf("memory sync traffic: %.2f MB\n", float64(stats.MemSyncBytes)/1e6)
+	if stats.GPUThrottled > 0 {
+		fmt.Printf("GPU throttled:       %v (thermal windows; billed at the throttled draw)\n", stats.GPUThrottled)
+	}
 	fmt.Printf("client energy:       %.2f J\n", float64(stats.Energy))
 
 	if *outFlag != "" {

@@ -1,4 +1,4 @@
-// Recovery, in two acts.
+// Recovery, in three acts.
 //
 // Act 1 — the §7.3 misprediction experiment. Speculation predicts register
 // values from commit history; a wrong prediction must be detected when the
@@ -12,6 +12,12 @@
 // by replaying the checkpointed log (the same §4.2 rollback machinery), and
 // stitches a recording byte-identical to an uninterrupted run — verified
 // here by replaying both to identical outputs.
+//
+// Act 3 — device loss. The GPU itself falls off the bus mid-record (the
+// XID-79 shape). The loss surfaces as ErrDeviceLost, the dead device is
+// marked so admission never offers it again, and the resumed session lands
+// on a *different* VM's GPU — cross-VM migration, still sealing bytes
+// identical to the undisturbed run.
 package main
 
 import (
@@ -119,6 +125,40 @@ func main() {
 		}
 	}
 	fmt.Printf("replayed both recordings: outputs identical (%d probabilities)\n", len(resumed))
+
+	// ---- Act 3: the GPU dies, the session migrates ----
+
+	// The "falloff" preset drops the device off the bus ~0.6s in. Unlike
+	// Act 2 this is not the link's fault: the loss wraps ErrDeviceLost, the
+	// silicon is marked dead, and re-admission must land elsewhere.
+	fmt.Println()
+	devPlan, err := gpurelay.ParseFaultPlan("falloff")
+	if err != nil {
+		log.Fatal(err)
+	}
+	devSvc := gpurelay.NewService()
+	devClient := gpurelay.NewClient("resume-phone", gpurelay.MaliG71MP8)
+	devRec, devStats, err := devClient.RecordResumable(context.Background(), devSvc, gpurelay.MNIST(),
+		gpurelay.ResilienceOptions{Faults: devPlan})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if devStats.Resumes < 1 {
+		log.Fatalf("the fall-off never killed the session (resumes = %d)", devStats.Resumes)
+	}
+	for _, d := range devSvc.Devices() {
+		if d.State != "healthy" || d.Migrations > 0 {
+			fmt.Printf("device %s: %s, %d fall-off(s), %d migration(s) away from it\n",
+				d.ID, d.State, d.FallOffs, d.Migrations)
+		}
+	}
+	devPayload, _, _ := devRec.Bundle()
+	if !bytes.Equal(basePayload, devPayload) {
+		log.Fatalf("migrated recording differs from uninterrupted run (%d vs %d bytes)",
+			len(devPayload), len(basePayload))
+	}
+	fmt.Printf("migrated session: survived the dead GPU on different silicon, recording still byte-identical (%d bytes)\n",
+		len(devPayload))
 }
 
 // mustOutputs replays a recording on deterministic synthetic weights and

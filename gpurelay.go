@@ -84,6 +84,15 @@ var (
 	// liveness timeout or recording-VM death). RecordResumable retries
 	// these automatically; a plain Record surfaces them.
 	ErrSessionLost = grterr.ErrSessionLost
+	// ErrDeviceLost: the GPU itself failed under the session — an
+	// uncorrectable ECC fault or an XID-79 bus fall-off. Wraps
+	// ErrSessionLost, so RecordResumable's resume machinery fires
+	// unchanged; the re-admitted session lands on a *different* VM's GPU
+	// (the failed device is never scheduled again) and the stitched
+	// recording stays byte-identical. An ECC loss additionally wraps
+	// ErrBadRecording: without a resume path the poisoned run fails
+	// closed.
+	ErrDeviceLost = grterr.ErrDeviceLost
 	// ErrCheckpointCorrupt: a resume checkpoint failed authentication,
 	// parsing, or resync verification — the lost session cannot be
 	// reproduced from it.
@@ -672,6 +681,22 @@ func (s *Service) crashVM(vm *cloud.VM) {
 		return
 	}
 	s.mgr.Crash(vm)
+}
+
+// DeviceInfo is a point-in-time snapshot of one GPU device's health books:
+// state (healthy/degraded/dead), throttle time, ECC counts, fall-offs, and
+// sessions migrated off it.
+type DeviceInfo = cloud.DeviceInfo
+
+// Devices snapshots the health books of the fleet's GPU inventory, in
+// attachment order (shard order first under a sharded service). Devices a
+// health fault degraded or killed stay listed — the fleet's scar tissue is
+// the operator's signal.
+func (s *Service) Devices() []DeviceInfo {
+	if s.sharded != nil {
+		return s.sharded.Devices()
+	}
+	return s.mgr.Devices()
 }
 
 // Metrics returns a snapshot of the service's fleet-wide metrics registry.

@@ -13,6 +13,7 @@ import (
 
 	"gpurelay/internal/grterr"
 	"gpurelay/internal/mali"
+	"gpurelay/internal/obs"
 	"gpurelay/internal/tee"
 )
 
@@ -57,6 +58,11 @@ type VM struct {
 	Measurement [32]byte
 	ClientID    string
 	SessionKey  []byte
+	// Device is the physical GPU slot this VM's session records against.
+	// The back-pointer survives shard routing and crash teardown, so the
+	// resilience layer can mark the device degraded or dead no matter how
+	// the VM itself was released.
+	Device *Device
 
 	released bool
 }
@@ -71,6 +77,13 @@ type Service struct {
 	active    map[string][]*VM
 	perClient int
 	seq       int
+
+	// Device inventory (device.go): one entry per physical GPU slot ever
+	// attached. Launch assigns the first free healthy device and grows the
+	// inventory when none is available.
+	devices   []*Device
+	devPrefix string
+	devReg    *obs.Registry
 }
 
 // NewService creates a service hosting the given images. Clients may hold
@@ -151,6 +164,7 @@ func (s *Service) Launch(clientID, imageName, gpuCompatible string, clientNonce 
 		Measurement: m,
 		ClientID:    clientID,
 		SessionKey:  tee.DeriveSessionKey(m, clientNonce, cloudNonce),
+		Device:      s.assignDevice(),
 	}
 	s.active[clientID] = append(s.active[clientID], vm)
 	return vm, nil
@@ -177,6 +191,9 @@ func (s *Service) Release(vm *VM) {
 		s.active[vm.ClientID] = vms
 	}
 	vm.released = true
+	if vm.Device != nil {
+		vm.Device.setBusy(false)
+	}
 	// The recording never persists cloud-side: no caching across clients
 	// (§3.1), so the session key is scrubbed with the VM.
 	for i := range vm.SessionKey {

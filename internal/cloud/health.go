@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -135,6 +136,27 @@ type HealthStats struct {
 	// approximation (a miss warms a fresh (SKU, stack, workload) entry).
 	// 0 when the window recorded nothing.
 	RecordAmplification float64 `json:"record_amplification"`
+	// Device-health totals across the fleet's GPU inventory this window
+	// (the per-device breakdown rides in HealthReport.Devices).
+	DeviceThrottledNS int64 `json:"device_throttled_ns"`
+	DeviceECCSBE      int64 `json:"device_ecc_sbe"`
+	DeviceECCDBE      int64 `json:"device_ecc_dbe"`
+	DeviceFallOffs    int64 `json:"device_falloffs"`
+	DeviceMigrations  int64 `json:"device_migrations"`
+}
+
+// DeviceHealthRow is one physical GPU's health row, derived from the
+// grt_device_* series a fleet registry carries: windowed counter deltas
+// (throttle time, ECC counts, fall-offs, migrations) plus the current state
+// gauges. grtdiag health renders one such row per device.
+type DeviceHealthRow struct {
+	Device      string `json:"device"`
+	State       string `json:"state"`
+	ThrottledNS int64  `json:"throttled_ns"`
+	ECCSBE      int64  `json:"ecc_sbe"`
+	ECCDBE      int64  `json:"ecc_dbe"`
+	FallOffs    int64  `json:"falloffs"`
+	Migrations  int64  `json:"migrations"`
 }
 
 // SessionHealth is one session's (or VM's) rollup, evaluated from its
@@ -153,11 +175,12 @@ type SessionHealth struct {
 // HealthReport is the full rollup: fleet-wide state plus optional per-session
 // rows. Its JSON form is deterministic and stable (grt-health/1).
 type HealthReport struct {
-	Schema   string          `json:"schema"`
-	State    HealthState     `json:"state"`
-	Reasons  []string        `json:"reasons,omitempty"`
-	Window   HealthStats     `json:"window"`
-	Sessions []SessionHealth `json:"sessions,omitempty"`
+	Schema   string            `json:"schema"`
+	State    HealthState       `json:"state"`
+	Reasons  []string          `json:"reasons,omitempty"`
+	Window   HealthStats       `json:"window"`
+	Devices  []DeviceHealthRow `json:"devices,omitempty"`
+	Sessions []SessionHealth   `json:"sessions,omitempty"`
 }
 
 // delta reads a counter's windowed increase. Both snapshots may be nil (a
@@ -230,6 +253,93 @@ func histQuantile(cur, prev *obs.Snapshot, name string, q float64) float64 {
 	return fam.Buckets[len(fam.Buckets)-1]
 }
 
+// deviceRows derives per-device health rows from the grt_device_* series:
+// counters as windowed deltas, state from the current dead/degraded gauges.
+// Rows come back sorted by device ID, so reports are deterministic.
+func deviceRows(cur, prev *obs.Snapshot) []DeviceHealthRow {
+	if cur == nil {
+		return nil
+	}
+	rows := map[string]*DeviceHealthRow{}
+	row := func(dev string) *DeviceHealthRow {
+		r, ok := rows[dev]
+		if !ok {
+			r = &DeviceHealthRow{Device: dev, State: "healthy"}
+			rows[dev] = r
+		}
+		return r
+	}
+	labelVal := func(ls []obs.Label, key string) string {
+		for _, l := range ls {
+			if l.Key == key {
+				return l.Value
+			}
+		}
+		return ""
+	}
+	// Counters accumulate cur minus prev; the state gauges (dead, degraded)
+	// are absolute, so only cur's values set them.
+	scanCounters := func(s *obs.Snapshot, sign int64) {
+		if s == nil {
+			return
+		}
+		for i := range s.Families {
+			f := &s.Families[i]
+			for j := range f.Series {
+				ser := &f.Series[j]
+				dev := labelVal(ser.Labels, "device")
+				if dev == "" {
+					continue
+				}
+				switch f.Name {
+				case obs.MDeviceThrottleNS:
+					row(dev).ThrottledNS += sign * ser.Value
+				case obs.MDeviceECCErrors:
+					switch labelVal(ser.Labels, "kind") {
+					case "sbe":
+						row(dev).ECCSBE += sign * ser.Value
+					case "dbe":
+						row(dev).ECCDBE += sign * ser.Value
+					}
+				case obs.MDeviceFallOffs:
+					row(dev).FallOffs += sign * ser.Value
+				case obs.MDeviceMigrations:
+					row(dev).Migrations += sign * ser.Value
+				}
+			}
+		}
+	}
+	scanCounters(cur, 1)
+	scanCounters(prev, -1)
+	for i := range cur.Families {
+		f := &cur.Families[i]
+		if f.Name != obs.MDeviceDead && f.Name != obs.MDeviceDegraded {
+			continue
+		}
+		for j := range f.Series {
+			ser := &f.Series[j]
+			dev := labelVal(ser.Labels, "device")
+			if dev == "" || ser.Value == 0 {
+				continue
+			}
+			if f.Name == obs.MDeviceDead {
+				row(dev).State = "dead"
+			} else if row(dev).State != "dead" {
+				row(dev).State = "degraded"
+			}
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]DeviceHealthRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Device < out[b].Device })
+	return out
+}
+
 // windowStats folds the snapshot delta into one window's SLO summary.
 func windowStats(cur, prev *obs.Snapshot) HealthStats {
 	st := HealthStats{
@@ -287,7 +397,15 @@ func windowStats(cur, prev *obs.Snapshot) HealthStats {
 func EvaluateHealth(cur, prev *obs.Snapshot, thr HealthThresholds) *HealthReport {
 	thr = thr.withDefaults()
 	st := windowStats(cur, prev)
-	rep := &HealthReport{Schema: HealthSchema, State: Healthy, Window: st}
+	devices := deviceRows(cur, prev)
+	for _, d := range devices {
+		st.DeviceThrottledNS += d.ThrottledNS
+		st.DeviceECCSBE += d.ECCSBE
+		st.DeviceECCDBE += d.ECCDBE
+		st.DeviceFallOffs += d.FallOffs
+		st.DeviceMigrations += d.Migrations
+	}
+	rep := &HealthReport{Schema: HealthSchema, State: Healthy, Window: st, Devices: devices}
 	raise := func(s HealthState, format string, args ...any) {
 		if worse(s, rep.State) {
 			rep.State = s
@@ -333,6 +451,12 @@ func EvaluateHealth(cur, prev *obs.Snapshot, thr HealthThresholds) *HealthReport
 	if thr.MaxCkptConflictRate > 0 && st.CkptEpochs > 0 && st.CkptConflictRate > thr.MaxCkptConflictRate {
 		raise(Degraded, "checkpoint conflict rate %.2f exceeds %.2f (%d conflict(s) / %d epoch(s))",
 			st.CkptConflictRate, thr.MaxCkptConflictRate, st.CkptConflicts, st.CkptEpochs)
+	}
+	if st.DeviceFallOffs > 0 {
+		raise(Degraded, "%d GPU(s) fell off the bus (XID 79) this window", st.DeviceFallOffs)
+	}
+	if st.DeviceECCDBE > 0 {
+		raise(Degraded, "%d uncorrectable ECC fault(s) degraded GPU(s) this window", st.DeviceECCDBE)
 	}
 	return rep
 }
@@ -441,6 +565,14 @@ func (r *HealthReport) Render() string {
 	if st.CkptEpochs+st.CkptConflicts+st.ShedRetries+st.SpecWarmImports > 0 {
 		fmt.Fprintf(&sb, "          ckpt epochs %d (conflict rate %.2f), %d shed retry(s), %d spec warm import(s)\n",
 			st.CkptEpochs, st.CkptConflictRate, st.ShedRetries, st.SpecWarmImports)
+	}
+	if len(r.Devices) > 0 {
+		fmt.Fprintf(&sb, "  devices:\n")
+		for _, d := range r.Devices {
+			fmt.Fprintf(&sb, "    %-16s %-9s throttled=%s ecc=%d/%d falloffs=%d migrations=%d\n",
+				d.Device, d.State, time.Duration(d.ThrottledNS), d.ECCSBE, d.ECCDBE,
+				d.FallOffs, d.Migrations)
+		}
 	}
 	for _, s := range r.Sessions {
 		fmt.Fprintf(&sb, "  %-24s %-10s faults=%d resyncs=%d mispred=%d spec=%.2f\n",

@@ -166,6 +166,59 @@ func TestHealthReportJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHealthDeviceRows builds the device metrics a scarred fleet emits and
+// checks they roll up into per-device rows: state from the dead/degraded
+// gauges, counters windowed like every other health stat, rows sorted,
+// rendered under "devices:", and preserved across the JSON round trip.
+func TestHealthDeviceRows(t *testing.T) {
+	reg := obs.NewRegistry()
+	dev := func(id string) obs.Label { return obs.L("device", id) }
+	reg.Add(obs.MDeviceThrottleNS, 4000, dev("gpu-00"))
+	reg.Add(obs.MDeviceECCErrors, 2, dev("gpu-00"), obs.L("kind", "sbe"))
+	reg.Add(obs.MDeviceFallOffs, 1, dev("gpu-00"))
+	reg.GaugeSet(obs.MDeviceDead, 1, dev("gpu-00"))
+	reg.Add(obs.MDeviceMigrations, 1, dev("gpu-00"))
+	reg.Add(obs.MDeviceECCErrors, 1, dev("gpu-01"), obs.L("kind", "dbe"))
+	reg.GaugeSet(obs.MDeviceDegraded, 1, dev("gpu-01"))
+
+	rep := EvaluateHealth(reg.Snapshot(), nil, DefaultHealthThresholds())
+	if rep.State != Degraded {
+		t.Fatalf("state = %s (%v), want degraded (a GPU died)", rep.State, rep.Reasons)
+	}
+	if len(rep.Devices) != 2 || rep.Devices[0].Device != "gpu-00" || rep.Devices[1].Device != "gpu-01" {
+		t.Fatalf("device rows = %+v, want sorted gpu-00, gpu-01", rep.Devices)
+	}
+	d0, d1 := rep.Devices[0], rep.Devices[1]
+	if d0.State != "dead" || d0.ThrottledNS != 4000 || d0.ECCSBE != 2 || d0.FallOffs != 1 || d0.Migrations != 1 {
+		t.Fatalf("gpu-00 row = %+v", d0)
+	}
+	if d1.State != "degraded" || d1.ECCDBE != 1 {
+		t.Fatalf("gpu-01 row = %+v", d1)
+	}
+	w := rep.Window
+	if w.DeviceThrottledNS != 4000 || w.DeviceECCSBE != 2 || w.DeviceECCDBE != 1 ||
+		w.DeviceFallOffs != 1 || w.DeviceMigrations != 1 {
+		t.Fatalf("window device totals = %+v", w)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseHealthReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Devices) != 2 || back.Devices[0] != d0 || back.Devices[1] != d1 {
+		t.Fatalf("round trip dropped device rows: %+v", back.Devices)
+	}
+	out := back.Render()
+	if !strings.Contains(out, "devices:") || !strings.Contains(out, "gpu-00") ||
+		!strings.Contains(out, "falloffs=1") {
+		t.Fatalf("Render() missing device rows:\n%s", out)
+	}
+}
+
 func TestSessionHealthLadder(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Add(obs.MShimCommits, 6, obs.L("kind", "sync"))

@@ -97,6 +97,7 @@ func (m *SessionManager) Instrument(reg *obs.Registry) {
 	m.mu.Lock()
 	m.reg = reg
 	m.mu.Unlock()
+	m.svc.InstrumentDevices(reg)
 }
 
 // InstrumentShard attaches the fleet registry like Instrument, but labels
@@ -108,6 +109,7 @@ func (m *SessionManager) InstrumentShard(reg *obs.Registry, labels ...obs.Label)
 	m.reg = reg
 	m.gaugeLabels = labels
 	m.mu.Unlock()
+	m.svc.InstrumentDevices(reg)
 }
 
 // SetTimeSource measures subsequent admission waits on the given virtual
@@ -178,6 +180,9 @@ func (m *SessionManager) syncGauges() {
 
 // ActiveVMs reports the number of live recording VMs.
 func (m *SessionManager) ActiveVMs() int { return m.svc.ActiveVMs() }
+
+// Devices snapshots the health books of the service's GPU inventory.
+func (m *SessionManager) Devices() []DeviceInfo { return m.svc.Devices() }
 
 // Queued reports the number of admissions currently waiting for a slot.
 func (m *SessionManager) Queued() int {

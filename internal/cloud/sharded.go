@@ -110,6 +110,9 @@ func NewShardedService(img *Image, cfg ShardedConfig) *ShardedService {
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		svc := NewService(img)
+		// Namespace device IDs per shard ("s2/gpu-01") so one fleet
+		// registry carries distinct per-device health series.
+		svc.SetDevicePrefix("s" + strconv.Itoa(i) + "/")
 		s.svcs = append(s.svcs, svc)
 		s.mgrs = append(s.mgrs, NewSessionManager(svc, cfg.Shard))
 		s.labels = append(s.labels, obs.L("shard", strconv.Itoa(i)))
@@ -265,6 +268,15 @@ func (s *ShardedService) ActiveVMs() int {
 		n += m.ActiveVMs()
 	}
 	return n
+}
+
+// Devices snapshots the device inventory of every shard, shard order.
+func (s *ShardedService) Devices() []DeviceInfo {
+	var out []DeviceInfo
+	for _, svc := range s.svcs {
+		out = append(out, svc.Devices()...)
+	}
+	return out
 }
 
 // Queued totals waiting admissions across shards.

@@ -27,17 +27,22 @@ type Model struct {
 	// each round trip.
 	RadioTail  time.Duration
 	GPUActiveW float64
-	CPUActiveW float64
+	// GPUThrottledW is the draw while the GPU is thermally throttled: the
+	// clocks are capped precisely so the package pulls less power, so the
+	// extra (stretched) busy time is billed below GPUActiveW.
+	GPUThrottledW float64
+	CPUActiveW    float64
 }
 
 // Default is calibrated against Figure 9's ranges (record 1.8-8.2 J for the
 // optimized recorder, savings of 84-99 %, replay 0.01-1.3 J).
 func Default() Model {
 	return Model{
-		RadioActiveW: 0.8,
-		RadioTail:    20 * time.Millisecond,
-		GPUActiveW:   2.0,
-		CPUActiveW:   1.5,
+		RadioActiveW:  0.8,
+		RadioTail:     20 * time.Millisecond,
+		GPUActiveW:    2.0,
+		GPUThrottledW: 1.2,
+		CPUActiveW:    1.5,
 	}
 }
 
@@ -50,12 +55,25 @@ type Joules float64
 // with thousands of closely spaced exchanges, as the naive recorder
 // produces, it simply never sleeps).
 func (m Model) Record(link netsim.Stats, gpuBusy, clientCPU, total time.Duration) Joules {
+	return m.RecordThrottled(link, gpuBusy, 0, clientCPU, total)
+}
+
+// RecordThrottled is Record with throttle-aware GPU accounting:
+// gpuThrottled is the share of gpuBusy the device spent under a thermal
+// cap, billed at GPUThrottledW instead of GPUActiveW. A thermally stretched
+// run therefore takes longer but does not pay full-clock power for the
+// stretch.
+func (m Model) RecordThrottled(link netsim.Stats, gpuBusy, gpuThrottled, clientCPU, total time.Duration) Joules {
 	radio := link.Busy + time.Duration(link.TotalRTTs())*m.RadioTail
 	if total > 0 && radio > total {
 		radio = total
 	}
+	if gpuThrottled > gpuBusy {
+		gpuThrottled = gpuBusy
+	}
 	return Joules(m.RadioActiveW*radio.Seconds() +
-		m.GPUActiveW*gpuBusy.Seconds() +
+		m.GPUActiveW*(gpuBusy-gpuThrottled).Seconds() +
+		m.GPUThrottledW*gpuThrottled.Seconds() +
 		m.CPUActiveW*clientCPU.Seconds())
 }
 

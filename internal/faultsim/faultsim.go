@@ -13,6 +13,7 @@
 package faultsim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -36,10 +37,40 @@ const (
 	Degrade
 	// VMCrash kills the recording VM when job AtJob completes.
 	VMCrash
+	// ThermalThrottle caps the GPU's clocks for a window: device work
+	// (job chains, poll iterations) takes Factor times longer in virtual
+	// time. Durations stretch; event content — and therefore the sealed
+	// recording — does not change.
+	ThermalThrottle
+	// ECCSBE is a corrected single-bit ECC fault at a virtual instant:
+	// counters tick, the session is unharmed.
+	ECCSBE
+	// ECCDBE is an uncorrectable double-bit ECC fault: the device poisons
+	// the targeted recorded region (Region, "" = first region) and raises
+	// a fault IRQ; the attempt dies with an error that is both
+	// grterr.ErrDeviceLost and grterr.ErrBadRecording, so resumable
+	// sessions migrate and non-resumable ones fail closed.
+	ECCDBE
+	// XIDFallOff is the Navarch XID-79 shape: the GPU falls off the bus
+	// and the device is permanently dead. The attempt dies with
+	// grterr.ErrDeviceLost; resume must land on a different device.
+	XIDFallOff
 )
 
 var kindNames = [...]string{LinkOutage: "link_outage", LossBurst: "loss_burst",
-	Degrade: "degrade", VMCrash: "vm_crash"}
+	Degrade: "degrade", VMCrash: "vm_crash", ThermalThrottle: "thermal_throttle",
+	ECCSBE: "ecc_sbe", ECCDBE: "ecc_dbe", XIDFallOff: "xid_falloff"}
+
+// Health reports whether k is a device-health fault (GPU-side) as opposed
+// to a link or VM fault. Health faults are consulted by the GPU model via
+// DeviceTick and surface as FKHealthEvent flight events.
+func (k Kind) Health() bool {
+	switch k {
+	case ThermalThrottle, ECCSBE, ECCDBE, XIDFallOff:
+		return true
+	}
+	return false
+}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) && kindNames[k] != "" {
@@ -66,8 +97,12 @@ type Fault struct {
 	AtJob int
 	// LossPct is the extra loss probability (percent) of a LossBurst.
 	LossPct float64
-	// Factor is the latency multiplier of a Degrade window (>1).
+	// Factor is the latency multiplier of a Degrade or ThermalThrottle
+	// window (>1).
 	Factor float64
+	// Region names the recorded memory region an ECCDBE poisons; empty
+	// targets the session's first recorded region.
+	Region string
 }
 
 // Plan is a declarative chaos schedule for one record session.
@@ -134,6 +169,32 @@ type Session struct {
 
 	scope *obs.Scope
 	fleet *obs.Registry
+
+	// Cross-attempt device-health tallies. record.Stats are lost when an
+	// attempt dies, so the session keeps its own books for the health
+	// report the orchestrator files after the stitched run seals.
+	health HealthCounts
+}
+
+// HealthCounts tallies device-health faults fired across every attempt of
+// one logical session.
+type HealthCounts struct {
+	ThermalWindows int // throttle windows entered (per attempt)
+	SBE            int // corrected single-bit ECC faults
+	DBE            int // uncorrectable double-bit ECC faults (fatal)
+	FallOffs       int // XID-79 bus fall-offs (fatal)
+	// Throttled is the extra virtual time thermal windows added to device
+	// work, summed across every attempt — including attempts that died
+	// before their stats could be read. Mirrors mali's per-run
+	// Stats.Throttled accounting (same base×(stretch−1) formula).
+	Throttled time.Duration
+}
+
+// HealthCounts returns the device-health tallies accumulated so far.
+func (s *Session) HealthCounts() HealthCounts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health
 }
 
 // Instrument attaches telemetry: fired-fault counters land in the session
@@ -157,8 +218,12 @@ func (s *Session) NextAttempt() {
 
 // count records one fired fault. Callers hold s.mu.
 func (s *Session) count(k Kind) {
+	fk := obs.FKFault
+	if k.Health() {
+		fk = obs.FKHealthEvent
+	}
 	s.scope.Count(obs.MFaultsFired, 1, obs.L("kind", k.String()))
-	s.scope.Emit(obs.FKFault, k.String())
+	s.scope.Emit(fk, k.String())
 	if s.fleet != nil {
 		s.fleet.Add(obs.MFaultsFired, 1, obs.L("kind", k.String()))
 	}
@@ -229,4 +294,75 @@ func (s *Session) JobBoundary(job int) error {
 		return fmt.Errorf("faultsim: recording VM crashed after job %d: %w", job, grterr.ErrSessionLost)
 	}
 	return nil
+}
+
+// DeviceTick implements the GPU-model health hook (mali.HealthInjector,
+// structurally): the device consults it at every unit of device work — a
+// job-chain execution, a register poll iteration — with the virtual now.
+//
+// stretch is the multiplicative latency factor from every thermal-throttle
+// window covering now (≥ 1; windows compound). sbe counts corrected
+// single-bit ECC faults to note. A non-nil dbe means an uncorrectable
+// double-bit fault hit the recorded region named dbeRegion ("" = first):
+// the device must poison it, raise a fault IRQ, and die — the error is both
+// grterr.ErrDeviceLost and grterr.ErrBadRecording. A non-nil fallOff means
+// the GPU fell off the bus (grterr.ErrDeviceLost); the device is
+// permanently dead. Fatal faults are one-shot across resume attempts, and at
+// most one fires per tick — the earliest due — because a dead device cannot
+// take a second fatal: when coarse virtual-time jumps carry the clock past
+// two fatal instants at once, the later one stays armed and kills the *next*
+// attempt's replacement device instead of being silently consumed. That is
+// what makes a multi-fatal plan produce one migration per fatal.
+func (s *Session) DeviceTick(now, base time.Duration) (stretch float64, sbe int, dbeRegion string, dbe, fallOff error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stretch = 1
+	fatal := -1
+	var fatalAt time.Duration
+	for i := range s.plan.Faults {
+		f := &s.plan.Faults[i]
+		at := f.At + s.jitter[i]
+		switch f.Kind {
+		case ThermalThrottle:
+			if now >= at && now < at+f.Duration && f.Factor > 1 {
+				if !s.noted[i] {
+					s.health.ThermalWindows++
+				}
+				s.note(i, f.Kind)
+				stretch *= f.Factor
+			}
+		case ECCSBE:
+			if now >= at && !s.noted[i] {
+				s.noted[i] = true
+				s.health.SBE++
+				s.count(f.Kind)
+				sbe++
+			}
+		case ECCDBE, XIDFallOff:
+			if now >= at && !s.fired[i] && (fatal < 0 || at < fatalAt) {
+				fatal, fatalAt = i, at
+			}
+		}
+	}
+	if stretch > 1 {
+		s.health.Throttled += time.Duration(float64(base) * (stretch - 1))
+	}
+	if fatal >= 0 {
+		f := &s.plan.Faults[fatal]
+		s.fired[fatal] = true
+		switch f.Kind {
+		case ECCDBE:
+			s.health.DBE++
+			s.count(f.Kind)
+			dbeRegion = f.Region
+			dbe = fmt.Errorf("faultsim: uncorrectable ECC fault at %v (region %q): %w",
+				fatalAt, f.Region, errors.Join(grterr.ErrDeviceLost, grterr.ErrBadRecording))
+		case XIDFallOff:
+			s.health.FallOffs++
+			s.count(f.Kind)
+			fallOff = fmt.Errorf("faultsim: XID 79 at %v: GPU has fallen off the bus: %w",
+				fatalAt, grterr.ErrDeviceLost)
+		}
+	}
+	return stretch, sbe, dbeRegion, dbe, fallOff
 }

@@ -11,7 +11,7 @@ import (
 )
 
 func TestPresetsSorted(t *testing.T) {
-	want := []string{"flaky", "meltdown", "outage", "vm-crash"}
+	want := []string{"dying-gpu", "ecc", "falloff", "flaky", "meltdown", "outage", "thermal", "vm-crash"}
 	if got := Presets(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Presets() = %v, want %v", got, want)
 	}
@@ -81,12 +81,140 @@ func TestParsePlanErrors(t *testing.T) {
 func TestKindStrings(t *testing.T) {
 	cases := map[Kind]string{
 		LinkOutage: "link_outage", LossBurst: "loss_burst",
-		Degrade: "degrade", VMCrash: "vm_crash", Kind(99): "kind(99)",
+		Degrade: "degrade", VMCrash: "vm_crash",
+		ThermalThrottle: "thermal_throttle", ECCSBE: "ecc_sbe",
+		ECCDBE: "ecc_dbe", XIDFallOff: "xid_falloff", Kind(99): "kind(99)",
 	}
 	for k, want := range cases {
 		if got := k.String(); got != want {
 			t.Errorf("%d.String() = %q, want %q", k, got, want)
 		}
+	}
+	for k, health := range map[Kind]bool{
+		LinkOutage: false, VMCrash: false, ThermalThrottle: true,
+		ECCSBE: true, ECCDBE: true, XIDFallOff: true,
+	} {
+		if got := k.Health(); got != health {
+			t.Errorf("%v.Health() = %v, want %v", k, got, health)
+		}
+	}
+}
+
+func TestParsePlanHealthFaults(t *testing.T) {
+	p, err := ParsePlan("thermal@300ms+1s:x4, sbe@400ms, dbe@900ms:weights, falloff@600ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: ThermalThrottle, At: 300 * time.Millisecond, Duration: time.Second, Factor: 4},
+		{Kind: ECCSBE, At: 400 * time.Millisecond},
+		{Kind: ECCDBE, At: 900 * time.Millisecond, Region: "weights"},
+		{Kind: XIDFallOff, At: 600 * time.Millisecond},
+	}
+	if !reflect.DeepEqual(p.Faults, want) {
+		t.Fatalf("faults = %+v, want %+v", p.Faults, want)
+	}
+}
+
+func TestParsePlanErrorsAreTyped(t *testing.T) {
+	for spec, reason := range map[string]string{
+		"":                 "empty_spec",
+		"quake@1s+1s":      "unknown_kind",
+		"bogus":            "unknown_kind",
+		"thermal@1s+1s:3":  "bad_arg",
+		"thermal@1s+1s:x1": "bad_arg",
+		"sbe@-1s":          "bad_instant",
+		"sbe@1s:huh":       "bad_instant",
+		"falloff@soon":     "bad_instant",
+		"timeout=0s":       "bad_timeout",
+		"timeout=1s":       "no_faults",
+	} {
+		_, err := ParsePlan(spec)
+		var pe *PlanError
+		if !errors.As(err, &pe) {
+			t.Errorf("ParsePlan(%q) error %v is not a *PlanError", spec, err)
+			continue
+		}
+		if pe.Reason != reason {
+			t.Errorf("ParsePlan(%q) reason = %q, want %q", spec, pe.Reason, reason)
+		}
+	}
+}
+
+func TestDeviceTickThermalStretch(t *testing.T) {
+	p := &Plan{Name: "t", Faults: []Fault{
+		{Kind: ThermalThrottle, At: 100 * time.Millisecond, Duration: 200 * time.Millisecond, Factor: 4},
+	}}
+	s := p.Start(1)
+	for _, tc := range []struct {
+		now     time.Duration
+		stretch float64
+	}{
+		{50 * time.Millisecond, 1},
+		{100 * time.Millisecond, 4},
+		{299 * time.Millisecond, 4},
+		{300 * time.Millisecond, 1},
+	} {
+		stretch, sbe, _, dbe, fall := s.DeviceTick(tc.now, time.Millisecond)
+		if sbe != 0 || dbe != nil || fall != nil {
+			t.Fatalf("thermal tick at %v: sbe=%d dbe=%v fall=%v", tc.now, sbe, dbe, fall)
+		}
+		if stretch != tc.stretch {
+			t.Errorf("stretch at %v = %v, want %v", tc.now, stretch, tc.stretch)
+		}
+	}
+	hc := s.HealthCounts()
+	if hc.ThermalWindows != 1 {
+		t.Fatalf("ThermalWindows = %d, want 1", hc.ThermalWindows)
+	}
+	// Two of the four 1ms ticks landed inside the ×4 window, each booking
+	// base×(stretch−1) = 3ms of stretched time.
+	if want := 6 * time.Millisecond; hc.Throttled != want {
+		t.Fatalf("Throttled = %v, want %v", hc.Throttled, want)
+	}
+}
+
+func TestDeviceTickFatalsOneShot(t *testing.T) {
+	p := &Plan{Name: "t", Faults: []Fault{
+		{Kind: ECCSBE, At: 100 * time.Millisecond},
+		{Kind: XIDFallOff, At: 200 * time.Millisecond},
+		{Kind: ECCDBE, At: 300 * time.Millisecond, Region: "weights"},
+	}}
+	s := p.Start(9)
+	// Attempt 1 reaches 250ms: the SBE fires once, then the fall-off kills it.
+	_, sbe, _, dbe, fall := s.DeviceTick(150*time.Millisecond, 0)
+	if sbe != 1 || dbe != nil || fall != nil {
+		t.Fatalf("tick 150ms: sbe=%d dbe=%v fall=%v", sbe, dbe, fall)
+	}
+	_, sbe, _, _, fall = s.DeviceTick(250*time.Millisecond, 0)
+	if sbe != 0 {
+		t.Fatalf("SBE fired twice in one attempt")
+	}
+	if !errors.Is(fall, grterr.ErrDeviceLost) || !errors.Is(fall, grterr.ErrSessionLost) {
+		t.Fatalf("fall-off error = %v, want ErrDeviceLost wrapping ErrSessionLost", fall)
+	}
+	// Attempt 2 passes the same instants: SBE notes again, fall-off stays
+	// consumed, the DBE kills it naming its region.
+	s.NextAttempt()
+	_, sbe, region, dbe, fall := s.DeviceTick(350*time.Millisecond, 0)
+	if fall != nil {
+		t.Fatalf("fall-off fired twice across attempts: %v", fall)
+	}
+	if sbe != 1 {
+		t.Fatalf("SBE did not re-note on the new attempt")
+	}
+	if region != "weights" || !errors.Is(dbe, grterr.ErrDeviceLost) || !errors.Is(dbe, grterr.ErrBadRecording) {
+		t.Fatalf("DBE = %v (region %q), want ErrDeviceLost+ErrBadRecording on region weights", dbe, region)
+	}
+	// Attempt 3 is clean.
+	s.NextAttempt()
+	if _, _, _, dbe, fall := s.DeviceTick(time.Second, 0); dbe != nil || fall != nil {
+		t.Fatalf("fatal device faults fired twice: dbe=%v fall=%v", dbe, fall)
+	}
+	// Every attempt that passes the SBE instant notes it once: 3 attempts.
+	hc := s.HealthCounts()
+	if hc.SBE != 3 || hc.DBE != 1 || hc.FallOffs != 1 {
+		t.Fatalf("HealthCounts = %+v", hc)
 	}
 }
 

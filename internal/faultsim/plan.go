@@ -8,6 +8,22 @@ import (
 	"time"
 )
 
+// PlanError is a machine-readable plan-spec rejection. Reason is a stable
+// token CLIs fold into their JSON flag-rejection line (stage "fault-plan",
+// exit 2); Detail is the human-readable diagnosis. Every parse failure in
+// this file is a *PlanError, so an unknown fault kind can never be silently
+// ignored or reported as an unstructured string.
+type PlanError struct {
+	Reason string // stable token, e.g. "unknown_kind", "bad_window"
+	Detail string
+}
+
+func (e *PlanError) Error() string { return "faultsim: " + e.Detail }
+
+func planErr(reason, format string, args ...any) *PlanError {
+	return &PlanError{Reason: reason, Detail: fmt.Sprintf(format, args...)}
+}
+
 // Preset plans. Job indices assume the smallest shipped model (MNIST, 23
 // jobs) so every preset fires on every model; times assume OursMDS pacing.
 var presets = map[string]*Plan{
@@ -46,6 +62,47 @@ var presets = map[string]*Plan{
 			{Kind: LinkOutage, At: 2200 * time.Millisecond, Duration: 10 * time.Second},
 		},
 	},
+	// The GPU runs hot: one thermal window stretches device work 4x. The
+	// session survives; only durations (and energy) change — the sealed
+	// recording stays byte-identical to an unthrottled run.
+	"thermal": {
+		Name: "thermal",
+		Faults: []Fault{
+			{Kind: ThermalThrottle, At: 300 * time.Millisecond, Duration: 1500 * time.Millisecond, Factor: 4},
+		},
+	},
+	// ECC trouble: a corrected single-bit fault, then an uncorrectable
+	// double-bit fault that poisons the first recorded region and kills
+	// the device under the session.
+	"ecc": {
+		Name: "ecc",
+		Faults: []Fault{
+			{Kind: ECCSBE, At: 200 * time.Millisecond},
+			{Kind: ECCDBE, At: 700 * time.Millisecond},
+		},
+	},
+	// The Navarch XID-79 shape: the GPU falls off the bus mid-record and
+	// the session must migrate to another device.
+	"falloff": {
+		Name: "falloff",
+		Faults: []Fault{
+			{Kind: XIDFallOff, At: 600 * time.Millisecond},
+		},
+	},
+	// A GPU dying in stages: it throttles, corrects a single-bit fault,
+	// falls off the bus (attempt 1 dies at 600ms), and the migrated
+	// attempt takes an uncorrectable ECC hit (attempt 2 dies at 900ms)
+	// before the third attempt finishes the run. Two migrations per
+	// session.
+	"dying-gpu": {
+		Name: "dying-gpu",
+		Faults: []Fault{
+			{Kind: ThermalThrottle, At: 250 * time.Millisecond, Duration: 2 * time.Second, Factor: 3},
+			{Kind: ECCSBE, At: 400 * time.Millisecond},
+			{Kind: XIDFallOff, At: 600 * time.Millisecond},
+			{Kind: ECCDBE, At: 900 * time.Millisecond},
+		},
+	},
 }
 
 // Presets lists the built-in plan names, sorted.
@@ -65,13 +122,18 @@ func Presets() []string {
 //	crash@job8               VM crash after job 8 completes
 //	loss@200ms+1s:15         +15% packet loss from 200ms lasting 1s
 //	degrade@100ms+2s:x3      3x exchange latency from 100ms lasting 2s
+//	thermal@300ms+1s:x4      GPU thermally throttled 4x from 300ms lasting 1s
+//	sbe@400ms                corrected single-bit ECC fault at 400ms
+//	dbe@900ms[:region]       uncorrectable ECC fault at 900ms (fatal)
+//	falloff@600ms            GPU falls off the bus at 600ms (fatal)
 //	timeout=1s               override the link liveness timeout
 //
-// e.g. "loss@200ms+1s:15,crash@job8,timeout=1s".
+// e.g. "loss@200ms+1s:15,crash@job8,timeout=1s". Any error returned is a
+// *PlanError carrying a stable machine-readable reason token.
 func ParsePlan(spec string) (*Plan, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
-		return nil, fmt.Errorf("faultsim: empty plan spec")
+		return nil, planErr("empty_spec", "empty plan spec")
 	}
 	if p, ok := presets[spec]; ok {
 		// Copy so callers can't mutate the shared preset.
@@ -88,14 +150,15 @@ func ParsePlan(spec string) (*Plan, error) {
 		if v, ok := strings.CutPrefix(part, "timeout="); ok {
 			d, err := time.ParseDuration(v)
 			if err != nil || d <= 0 {
-				return nil, fmt.Errorf("faultsim: bad timeout %q", v)
+				return nil, planErr("bad_timeout", "bad timeout %q", v)
 			}
 			plan.Timeout = d
 			continue
 		}
 		kind, rest, ok := strings.Cut(part, "@")
 		if !ok {
-			return nil, fmt.Errorf("faultsim: bad fault %q (want kind@position, a preset name, or timeout=)", part)
+			return nil, planErr("unknown_kind",
+				"bad fault %q (want kind@position, a preset name, or timeout=)", part)
 		}
 		f, err := parseFault(kind, rest)
 		if err != nil {
@@ -104,65 +167,93 @@ func ParsePlan(spec string) (*Plan, error) {
 		plan.Faults = append(plan.Faults, f)
 	}
 	if len(plan.Faults) == 0 {
-		return nil, fmt.Errorf("faultsim: plan %q declares no faults", spec)
+		return nil, planErr("no_faults", "plan %q declares no faults", spec)
 	}
 	return plan, nil
 }
 
 func parseFault(kind, rest string) (Fault, error) {
-	if kind == "crash" {
+	switch kind {
+	case "crash":
 		jobStr, ok := strings.CutPrefix(rest, "job")
 		if !ok {
-			return Fault{}, fmt.Errorf("faultsim: bad crash position %q (want crash@jobN)", rest)
+			return Fault{}, planErr("bad_crash", "bad crash position %q (want crash@jobN)", rest)
 		}
 		job, err := strconv.Atoi(jobStr)
 		if err != nil || job < 0 {
-			return Fault{}, fmt.Errorf("faultsim: bad crash job %q", jobStr)
+			return Fault{}, planErr("bad_crash", "bad crash job %q", jobStr)
 		}
 		return Fault{Kind: VMCrash, AtJob: job}, nil
+	case "sbe", "dbe", "falloff":
+		// Instant device faults: at[:region] — no window duration.
+		atStr, arg, hasArg := strings.Cut(rest, ":")
+		at, err := time.ParseDuration(atStr)
+		if err != nil || at < 0 {
+			return Fault{}, planErr("bad_instant", "bad %s instant %q (want %s@400ms)", kind, atStr, kind)
+		}
+		f := Fault{At: at}
+		switch kind {
+		case "sbe":
+			f.Kind = ECCSBE
+		case "dbe":
+			f.Kind = ECCDBE
+			f.Region = arg // "" targets the first recorded region
+			hasArg = false // dbe is the only instant fault with an argument
+		case "falloff":
+			f.Kind = XIDFallOff
+		}
+		if hasArg {
+			return Fault{}, planErr("bad_instant", "%s takes no argument, got %q", kind, arg)
+		}
+		return f, nil
 	}
-	// Link faults: at+duration[:arg]
+	// Window faults: at+duration[:arg]
 	window, arg, hasArg := strings.Cut(rest, ":")
 	atStr, durStr, ok := strings.Cut(window, "+")
 	if !ok {
-		return Fault{}, fmt.Errorf("faultsim: bad window %q (want at+duration)", window)
+		return Fault{}, planErr("bad_window", "bad window %q (want at+duration)", window)
 	}
 	at, err := time.ParseDuration(atStr)
 	if err != nil || at < 0 {
-		return Fault{}, fmt.Errorf("faultsim: bad window start %q", atStr)
+		return Fault{}, planErr("bad_window", "bad window start %q", atStr)
 	}
 	dur, err := time.ParseDuration(durStr)
 	if err != nil || dur <= 0 {
-		return Fault{}, fmt.Errorf("faultsim: bad window duration %q", durStr)
+		return Fault{}, planErr("bad_window", "bad window duration %q", durStr)
 	}
 	f := Fault{At: at, Duration: dur}
 	switch kind {
 	case "outage":
 		if hasArg {
-			return Fault{}, fmt.Errorf("faultsim: outage takes no argument, got %q", arg)
+			return Fault{}, planErr("bad_arg", "outage takes no argument, got %q", arg)
 		}
 		f.Kind = LinkOutage
 	case "loss":
 		if !hasArg {
-			return Fault{}, fmt.Errorf("faultsim: loss needs a percentage, e.g. loss@200ms+1s:15")
+			return Fault{}, planErr("bad_arg", "loss needs a percentage, e.g. loss@200ms+1s:15")
 		}
 		pct, err := strconv.ParseFloat(arg, 64)
 		if err != nil || pct <= 0 || pct > 100 {
-			return Fault{}, fmt.Errorf("faultsim: bad loss percentage %q", arg)
+			return Fault{}, planErr("bad_arg", "bad loss percentage %q", arg)
 		}
 		f.Kind, f.LossPct = LossBurst, pct
-	case "degrade":
+	case "degrade", "thermal":
 		factorStr, ok := strings.CutPrefix(arg, "x")
 		if !hasArg || !ok {
-			return Fault{}, fmt.Errorf("faultsim: degrade needs a factor, e.g. degrade@100ms+2s:x3")
+			return Fault{}, planErr("bad_arg", "%s needs a factor, e.g. %s@100ms+2s:x3", kind, kind)
 		}
 		factor, err := strconv.ParseFloat(factorStr, 64)
 		if err != nil || factor <= 1 {
-			return Fault{}, fmt.Errorf("faultsim: bad degrade factor %q (want >1)", arg)
+			return Fault{}, planErr("bad_arg", "bad %s factor %q (want >1)", kind, arg)
 		}
-		f.Kind, f.Factor = Degrade, factor
+		if kind == "degrade" {
+			f.Kind = Degrade
+		} else {
+			f.Kind = ThermalThrottle
+		}
+		f.Factor = factor
 	default:
-		return Fault{}, fmt.Errorf("faultsim: unknown fault kind %q", kind)
+		return Fault{}, planErr("unknown_kind", "unknown fault kind %q", kind)
 	}
 	return f, nil
 }

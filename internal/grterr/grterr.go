@@ -9,7 +9,10 @@
 // without cycles; the public gpurelay package re-exports the sentinels.
 package grterr
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 var (
 	// ErrAttestation marks a VM whose launch measurement did not match
@@ -35,6 +38,15 @@ var (
 	// authentication, parsing, or resync verification — resuming from it
 	// would not reproduce the interrupted session.
 	ErrCheckpointCorrupt = errors.New("checkpoint failed verification")
+	// ErrDeviceLost marks a session whose GPU died under it: an
+	// uncorrectable (double-bit) ECC fault poisoned a recorded region, or
+	// the device fell off the bus entirely (the Navarch XID-79 shape). It
+	// wraps ErrSessionLost — to the resume machinery a dead device is just
+	// another dead session, resumable from the epoch chain — but callers
+	// and the cloud device registry distinguish it with errors.Is to drive
+	// cross-VM migration: the replacement attempt must not land on the
+	// same device again.
+	ErrDeviceLost = fmt.Errorf("GPU device lost: %w", ErrSessionLost)
 	// ErrShedding marks an admission a sharded service refused because the
 	// target shard's pool and queue are both full. Unlike ErrCapacity it is
 	// a per-partition verdict and carries a retry-after hint (see

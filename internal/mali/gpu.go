@@ -71,6 +71,14 @@ type Stats struct {
 	// Busy is total virtual time the GPU spent executing jobs and
 	// maintenance operations, for the energy model.
 	Busy time.Duration
+	// Throttled is the share of Busy attributable to thermal throttling:
+	// the extra virtual time work took because the clocks were capped.
+	// The energy model bills it at the throttled (lower) power draw.
+	Throttled time.Duration
+	// ECC and bus health (device-health injection; health.go).
+	ECCSBE   int // corrected single-bit ECC faults
+	ECCDBE   int // uncorrectable double-bit ECC faults (fatal)
+	FallOffs int // XID-79-style bus fall-offs (fatal, permanent)
 }
 
 // GPU is one instance of the hardware model. All register accesses go
@@ -108,6 +116,13 @@ type GPU struct {
 	sched    timesim.Scheduler
 	schedKey uint64
 	onJobIRQ func()
+
+	// Device-health injection (health.go). dead flips on a bus fall-off
+	// and never clears: a fallen-off GPU answers no MMIO again.
+	health        HealthInjector
+	resolveRegion RegionResolver
+	dead          bool
+	deadErr       error
 
 	stats Stats
 }
@@ -228,6 +243,7 @@ func (g *GPU) asOf(r Reg) (int, Reg, bool) {
 func (g *GPU) ReadReg(r Reg) uint32 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.checkDead()
 	switch r {
 	case GPU_ID:
 		return g.sku.ProductID
@@ -380,9 +396,13 @@ func (g *GPU) readAS(as int, off Reg) uint32 {
 }
 
 // opDone accounts the hardware time of a completed internal operation.
+// Under a thermal-throttle window the operation takes longer — this is how
+// throttling stretches poll loops — but the iteration count the recording
+// captures is untouched.
 func (g *GPU) opDone() {
-	g.clock.Advance(busyOpTime)
-	g.stats.Busy += busyOpTime
+	d := g.healthTick(busyOpTime)
+	g.clock.Advance(d)
+	g.stats.Busy += d
 }
 
 func (g *GPU) tickPowerTransition(r Reg) uint32 {
@@ -437,6 +457,7 @@ func (g *GPU) tickCacheClean() {
 func (g *GPU) WriteReg(r Reg, v uint32) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.checkDead()
 	switch r {
 	case GPU_IRQ_CLEAR:
 		g.gpuIRQRaw &^= v
@@ -647,6 +668,9 @@ func (g *GPU) runJobChain(slot int) {
 		})
 		return
 	}
+	// Health plan: an ECC/fall-off fault due now kills the chain (and the
+	// device) here; a thermal window stretches the chain's latency.
+	duration = g.healthTick(duration)
 	g.clock.Advance(duration)
 	g.stats.Busy += duration
 	g.stats.JobsExecuted++

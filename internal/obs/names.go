@@ -41,7 +41,7 @@ const (
 	// resilience: deterministic fault injection (internal/faultsim) and
 	// job-boundary checkpoint/resume (internal/ckpt).
 	MNetFaultStallNS  = "grt_net_fault_stall_ns_total" // injected link-fault latency, virtual ns
-	MFaultsFired      = "grt_faults_fired_total"       // kind=link_outage|loss_burst|degrade|vm_crash
+	MFaultsFired      = "grt_faults_fired_total"       // kind=link_outage|loss_burst|degrade|vm_crash|thermal_throttle|ecc_sbe|ecc_dbe|xid_falloff
 	MCkptCheckpoints  = "grt_ckpt_checkpoints_total"
 	MCkptBytes        = "grt_ckpt_bytes_total" // sealed checkpoint payload bytes
 	MCkptResyncEvents = "grt_ckpt_resync_events_total"
@@ -83,6 +83,17 @@ const (
 	MShardRequests = "grt_shard_requests_total" // shard=N
 	MShardShed     = "grt_shard_shed_total"     // shard=N; typed ErrShedding rejections
 
+	// per-device GPU health (cloud device registry; the Navarch health-event
+	// vocabulary folded into the fleet view). Every series carries a
+	// device=<id> label so grt-health/1 reports and grtdiag health can
+	// render one row per physical GPU.
+	MDeviceThrottleNS = "grt_device_throttle_ns_total" // virtual ns spent thermally throttled
+	MDeviceECCErrors  = "grt_device_ecc_errors_total"  // kind=sbe|dbe
+	MDeviceFallOffs   = "grt_device_falloffs_total"    // XID-79-style bus fall-offs (terminal)
+	MDeviceMigrations = "grt_device_migrations_total"  // sessions migrated OFF this device
+	MDeviceDegraded   = "grt_device_degraded"          // gauge: 1 while health-degraded
+	MDeviceDead       = "grt_device_dead"              // gauge: 1 once fallen off the bus
+
 	// flight-recorder event kinds (FlightEvent.Kind). Stable tokens: they
 	// appear in JSONL exports, diagnostic bundles, and grtdiag filters.
 	FKAdmission     = "admission"
@@ -103,6 +114,8 @@ const (
 	FKCkptEpoch     = "ckpt_epoch"
 	FKCkptConflict  = "ckpt_conflict"
 	FKSpecWarm      = "spec_warm"
+	FKHealthEvent   = "health_event"   // a device health fault fired (thermal/ECC/fall-off)
+	FKHealthMigrate = "health_migrate" // a session moved to a different device's VM
 
 	// fleet (service-owned registry; multi-tenant view).
 	MFleetActiveVMs      = "grt_fleet_active_vms"       // gauge

@@ -1,0 +1,392 @@
+// The degraded-fleet drill: N record sessions on one discrete-event engine,
+// a deterministic device-health plan (thermal throttle windows, ECC faults,
+// XID-79 bus fall-offs) afflicting every k-th session, and an inline
+// checkpoint/resume loop that migrates each interrupted session to a
+// *different* VM's GPU — the failed device is marked degraded or dead and
+// never scheduled again. The drill self-witnesses: it first runs the same
+// fleet with no plan, then proves every drilled session's recording is
+// byte-identical to its undisturbed baseline.
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"gpurelay/internal/ckpt"
+	"gpurelay/internal/cloud"
+	"gpurelay/internal/faultsim"
+	"gpurelay/internal/grterr"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/netsim"
+	"gpurelay/internal/obs"
+	"gpurelay/internal/record"
+	"gpurelay/internal/timesim"
+)
+
+// DegradedFleetOptions configures a degraded-fleet drill.
+type DegradedFleetOptions struct {
+	// Sessions is the fleet size; 0 selects 16.
+	Sessions int
+	// Model and SKU describe every session's workload; both required.
+	Model *mlfw.Model
+	SKU   *mali.SKU
+	// Network is each session's link condition; zero selects WiFi — unlike
+	// the scheduling-focused FleetDrill, the degraded drill wants the
+	// realistic link the fault presets' virtual-time instants are tuned
+	// for (an MNIST session spans ~5s over WiFi vs ~18ms over loopback,
+	// and a health fault can only interrupt a session that is still
+	// running when it fires).
+	Network netsim.Condition
+	// Variant selects the recorder; the zero value is OursMDS.
+	Variant record.Variant
+	// Seed derives every session's key and client seed; identical seeds
+	// give byte-identical drills.
+	Seed uint64
+	// PoolSize overrides per-session shared memory (0 sizes from the model).
+	PoolSize uint64
+	// HealthPlan is the device-health fault schedule applied to afflicted
+	// sessions (each gets its own seed-jittered faultsim.Session). Required.
+	HealthPlan *faultsim.Plan
+	// FaultEvery afflicts every k-th session (0 → 4; 1 afflicts all).
+	FaultEvery int
+	// MaxResumes bounds per-session migrations before the drill fails
+	// (0 → 3).
+	MaxResumes int
+	// Incremental selects epoch-chained checkpoint capture: the resume
+	// point is stitched from the incremental chain instead of a full
+	// capture per job.
+	Incremental bool
+	// CkptCadence is completed jobs between captures; 0 and 1 mean every
+	// job.
+	CkptCadence int
+	// Instrument attaches a fleet metrics registry and flight recorder and
+	// rolls a health report. Instrumentation only reads the timeline, so
+	// seals are identical either way.
+	Instrument bool
+}
+
+// DegradedSession is one session's drill outcome.
+type DegradedSession struct {
+	Session string `json:"session"`
+	// Faulted reports whether the health plan was injected.
+	Faulted bool `json:"faulted"`
+	// Resumes is how many device losses the session survived.
+	Resumes int `json:"resumes"`
+	// Migrations is how many times the session moved to a different
+	// device; equal to Resumes when every loss was a device fault.
+	Migrations int `json:"migrations"`
+	// ByteIdentical reports whether the final (possibly stitched)
+	// recording's seal matches the undisturbed baseline's.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// DegradedFleetResult is what the drill reports: survival and byte-identity
+// verdicts plus the device registry's scar tissue.
+type DegradedFleetResult struct {
+	// Sessions is the fleet size.
+	Sessions int `json:"sessions"`
+	// Faulted counts sessions the plan was injected into.
+	Faulted int `json:"faulted"`
+	// Interrupted counts sessions that lost at least one device.
+	Interrupted int `json:"interrupted"`
+	// Migrated counts cross-VM migrations fleet-wide.
+	Migrated int `json:"migrated"`
+	// NonIdentical counts sessions whose recording differs from baseline —
+	// the drill's pass condition is 0.
+	NonIdentical int `json:"non_identical"`
+	// PerSession are the per-session verdicts, session order.
+	PerSession []DegradedSession `json:"per_session"`
+	// Devices is the fleet device inventory after the drill, including the
+	// degraded and dead entries.
+	Devices []cloud.DeviceInfo `json:"devices"`
+	// Seals and BaselineSeals are the determinism witnesses.
+	Seals         [][32]byte `json:"-"`
+	BaselineSeals [][32]byte `json:"-"`
+	// Wall, VirtualTime and Events describe the drill pass (not baseline).
+	Wall        time.Duration `json:"wall_ns"`
+	VirtualTime time.Duration `json:"virtual_ns"`
+	Events      int64         `json:"events"`
+
+	// Health, Fleet and Flight are populated when instrumented.
+	Health *cloud.HealthReport `json:"health,omitempty"`
+	Fleet  *obs.Registry       `json:"-"`
+	Flight *obs.FlightRecorder `json:"-"`
+}
+
+// DegradedFleetDrill runs the baseline fleet and then the drilled fleet,
+// each on its own serial engine, and compares. Every interrupted session
+// must re-admit on a healthy device and finish with a byte-identical
+// recording for the drill to pass; a session that exhausts its resumes
+// fails the drill with an error that wraps the device loss.
+func DegradedFleetDrill(ctx context.Context, opts DegradedFleetOptions) (*DegradedFleetResult, error) {
+	if opts.Model == nil || opts.SKU == nil {
+		return nil, fmt.Errorf("platform: degraded drill needs a model and a SKU")
+	}
+	if opts.HealthPlan == nil {
+		return nil, fmt.Errorf("platform: degraded drill needs a health plan")
+	}
+	n := opts.Sessions
+	if n == 0 {
+		n = 16
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("platform: fleet of %d sessions", n)
+	}
+	every := opts.FaultEvery
+	if every <= 0 {
+		every = 4
+	}
+	maxResumes := opts.MaxResumes
+	if maxResumes <= 0 {
+		maxResumes = 3
+	}
+	network := opts.Network
+	if network.Name == "" {
+		network = netsim.WiFi
+	}
+	poolSize := opts.PoolSize
+	if poolSize == 0 {
+		poolSize = fleetPoolSize(opts.Model)
+	}
+	compat := ""
+	for c, sku := range mali.Catalog {
+		if sku == opts.SKU {
+			compat = c
+			break
+		}
+	}
+	if compat == "" {
+		return nil, fmt.Errorf("platform: SKU %s not in catalog", opts.SKU)
+	}
+	clientSeed := func(i int) uint64 { return opts.Seed*1_000_003 + uint64(i)*7 + 1 }
+
+	// Baseline pass: the same fleet, no plan, no cloud — recording bytes
+	// depend only on (seed, model, SKU, network, variant), so the baseline
+	// seal is what an undisturbed run of session i produces.
+	baseline := make([][32]byte, n)
+	beng := timesim.NewSerialEngine()
+	for i := 0; i < n; i++ {
+		i := i
+		beng.Go(uint64(i), func(tm timesim.Time) error {
+			res, err := record.RunContext(ctx, record.Config{
+				Variant: opts.Variant, Model: opts.Model, SKU: opts.SKU,
+				Network:               network,
+				SessionKey:            SessionKey(opts.Seed, i),
+				ClientSeed:            clientSeed(i),
+				InjectMispredictionAt: -1,
+				PoolSize:              poolSize,
+				SessionID:             fmt.Sprintf("baseline-%04d", i),
+				Clock:                 tm,
+			})
+			if err != nil {
+				return fmt.Errorf("platform: baseline session %d: %w", i, err)
+			}
+			baseline[i] = res.Signed.MAC
+			return nil
+		})
+	}
+	if err := beng.Run(); err != nil {
+		return nil, err
+	}
+
+	// Drill pass: admission through a session manager whose device
+	// inventory the migrations scar.
+	img := cloud.DefaultImage()
+	mgr := cloud.NewSessionManager(cloud.NewService(img), cloud.SessionConfig{
+		Capacity: n,
+	})
+	eng := timesim.NewSerialEngine()
+	mgr.SetTimeSource(eng)
+	var (
+		fleetReg *obs.Registry
+		flight   *obs.FlightRecorder
+	)
+	if opts.Instrument {
+		fleetReg = obs.NewRegistry()
+		flight = obs.NewFlightRecorder(0)
+		mgr.Instrument(fleetReg)
+		mgr.InstrumentFlight(flight)
+	}
+
+	out := &DegradedFleetResult{
+		Sessions:      n,
+		PerSession:    make([]DegradedSession, n),
+		Seals:         make([][32]byte, n),
+		BaselineSeals: baseline,
+		Fleet:         fleetReg,
+		Flight:        flight,
+	}
+	vms := make([]*cloud.VM, n)
+	defer func() {
+		for _, vm := range vms {
+			if vm != nil {
+				mgr.Release(vm)
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		vm, err := mgr.Acquire(ctx, fmt.Sprintf("drill-%04d", i), img.Name, compat,
+			SessionKey(opts.Seed, i)[:16])
+		if err != nil {
+			return nil, fmt.Errorf("platform: admitting drill session %d: %w", i, err)
+		}
+		vms[i] = vm
+	}
+
+	ckptMode := record.CkptFull
+	if opts.Incremental {
+		ckptMode = record.CkptIncremental
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		sessionID := fmt.Sprintf("drill-%04d", i)
+		ps := &out.PerSession[i]
+		ps.Session = sessionID
+		var faults *faultsim.Session
+		if i%every == 0 {
+			ps.Faulted = true
+			faults = opts.HealthPlan.Start(clientSeed(i))
+			if fleetReg != nil {
+				faults.Instrument(nil, fleetReg)
+			}
+		}
+		eng.Go(uint64(i), func(tm timesim.Time) error {
+			var (
+				last          *ckpt.Checkpoint
+				bookedSBE     int
+				bookedStretch time.Duration
+			)
+			// Attribute the attempt's corrected ECC faults and throttled
+			// time to whichever device hosted it — faultsim's cross-attempt
+			// books survive the attempts whose record stats died with them.
+			book := func(vm *cloud.VM) {
+				if faults == nil || vm.Device == nil {
+					return
+				}
+				hc := faults.HealthCounts()
+				if d := hc.SBE - bookedSBE; d > 0 {
+					vm.Device.AddSBE(d)
+					bookedSBE = hc.SBE
+				}
+				if d := hc.Throttled - bookedStretch; d > 0 {
+					vm.Device.AddThrottle(d)
+					bookedStretch = hc.Throttled
+				}
+			}
+			for attempt := 0; ; attempt++ {
+				var chain *ckpt.Chain
+				var onCkpt func(*ckpt.Checkpoint)
+				var onEpoch func(*ckpt.Epoch)
+				if ckptMode == record.CkptIncremental {
+					ch := &ckpt.Chain{}
+					chain = ch
+					onEpoch = func(e *ckpt.Epoch) { _ = ch.Append(e) }
+				} else {
+					onCkpt = func(cp *ckpt.Checkpoint) { last = cp }
+				}
+				res, err := record.RunContext(ctx, record.Config{
+					Variant: opts.Variant, Model: opts.Model, SKU: opts.SKU,
+					Network:               network,
+					SessionKey:            SessionKey(opts.Seed, i),
+					ClientSeed:            clientSeed(i),
+					InjectMispredictionAt: -1,
+					PoolSize:              poolSize,
+					SessionID:             sessionID,
+					Clock:                 tm,
+					Faults:                faults,
+					Resume:                last,
+					OnCheckpoint:          onCkpt,
+					CkptMode:              ckptMode,
+					CkptCadence:           opts.CkptCadence,
+					OnEpoch:               onEpoch,
+				})
+				vm := vms[i]
+				book(vm)
+				if err == nil {
+					out.Seals[i] = res.Signed.MAC
+					ps.Resumes = attempt
+					return nil
+				}
+				if !errors.Is(err, grterr.ErrSessionLost) {
+					return fmt.Errorf("platform: drill session %d: %w", i, err)
+				}
+				// Device lost mid-job: mark the silicon so the re-admission
+				// below cannot land back on it, then migrate.
+				lostDev := vm.Device
+				if errors.Is(err, grterr.ErrDeviceLost) && lostDev != nil {
+					if errors.Is(err, grterr.ErrBadRecording) {
+						lostDev.MarkDBE()
+					} else {
+						lostDev.MarkFallOff()
+					}
+					if flight != nil {
+						flight.Emit(tm.Now(), sessionID, obs.FKHealthEvent,
+							"device_lost "+lostDev.ID(), obs.A("attempt", int64(attempt)))
+					}
+				}
+				mgr.Crash(vm)
+				vms[i] = nil
+				if chain != nil && chain.Tip() != nil {
+					// The resume point is stitched from the incremental epoch
+					// chain — the only O(session) stitch the drill pays.
+					if cp, serr := chain.Stitch(); serr == nil {
+						last = cp
+					}
+				}
+				if attempt >= maxResumes {
+					return fmt.Errorf("platform: drill session %d lost after %d attempts: %w",
+						i, attempt+1, err)
+				}
+				nvm, aerr := mgr.Acquire(ctx, sessionID, img.Name, compat,
+					SessionKey(opts.Seed, i)[:16])
+				if aerr != nil {
+					return fmt.Errorf("platform: re-admitting drill session %d: %w", i, aerr)
+				}
+				vms[i] = nvm
+				if lostDev != nil {
+					lostDev.NoteMigration()
+					ps.Migrations++
+					if flight != nil {
+						to := ""
+						if nvm.Device != nil {
+							to = nvm.Device.ID()
+						}
+						flight.Emit(tm.Now(), sessionID, obs.FKHealthMigrate,
+							lostDev.ID()+"->"+to, obs.A("attempt", int64(attempt+1)))
+					}
+				}
+			}
+		})
+	}
+	wallStart := time.Now()
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	out.Wall = time.Since(wallStart)
+	out.VirtualTime = eng.Now()
+	out.Events = eng.Events()
+
+	for i := range out.PerSession {
+		ps := &out.PerSession[i]
+		if ps.Faulted {
+			out.Faulted++
+		}
+		if ps.Resumes > 0 {
+			out.Interrupted++
+		}
+		out.Migrated += ps.Migrations
+		ps.ByteIdentical = out.Seals[i] == baseline[i]
+		if !ps.ByteIdentical {
+			out.NonIdentical++
+		}
+	}
+	out.Devices = mgr.Devices()
+	if fleetReg != nil {
+		out.Health = cloud.EvaluateHealth(fleetReg.Snapshot(), nil,
+			cloud.DefaultHealthThresholds())
+	}
+	return out, nil
+}

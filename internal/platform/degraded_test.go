@@ -1,0 +1,143 @@
+package platform
+
+import (
+	"context"
+	"testing"
+
+	"gpurelay/internal/cloud"
+	"gpurelay/internal/faultsim"
+	"gpurelay/internal/mali"
+	"gpurelay/internal/mlfw"
+	"gpurelay/internal/obs"
+)
+
+// TestDegradedFleetDrill drills a small fleet through the dying-gpu plan:
+// every afflicted session must migrate off its dead silicon and still
+// produce a byte-identical recording.
+func TestDegradedFleetDrill(t *testing.T) {
+	plan, err := faultsim.ParsePlan("dying-gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DegradedFleetDrill(context.Background(), DegradedFleetOptions{
+		Sessions:   8,
+		Model:      mlfw.MNIST(),
+		SKU:        mali.G71MP8,
+		Seed:       42,
+		HealthPlan: plan,
+		FaultEvery: 4, // sessions 0 and 4
+		Instrument: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faulted != 2 {
+		t.Fatalf("faulted sessions = %d, want 2", res.Faulted)
+	}
+	if res.Interrupted != res.Faulted {
+		t.Fatalf("interrupted = %d, want %d (every afflicted session must lose its device)",
+			res.Interrupted, res.Faulted)
+	}
+	// dying-gpu kills twice per session (fall-off, then ECC-DBE on the
+	// replacement), so each afflicted session migrates twice.
+	if want := 2 * res.Faulted; res.Migrated != want {
+		t.Fatalf("migrations = %d, want %d", res.Migrated, want)
+	}
+	if res.NonIdentical != 0 {
+		t.Fatalf("%d recording(s) differ from baseline", res.NonIdentical)
+	}
+	var dead, degraded int
+	for _, d := range res.Devices {
+		switch d.State {
+		case "dead":
+			dead++
+			if d.FallOffs == 0 {
+				t.Fatalf("dead device %s has no fall-offs booked", d.ID)
+			}
+		case "degraded":
+			degraded++
+			if d.ECCDBE == 0 {
+				t.Fatalf("degraded device %s has no DBE booked", d.ID)
+			}
+		}
+		if d.Migrations > 0 && d.State == "healthy" {
+			t.Fatalf("device %s has migrations but is healthy", d.ID)
+		}
+	}
+	if dead != res.Faulted || degraded != res.Faulted {
+		t.Fatalf("device states: %d dead, %d degraded, want %d of each",
+			dead, degraded, res.Faulted)
+	}
+	// The fleet grew replacements: n originals + one per migration.
+	if want := res.Sessions + res.Migrated; len(res.Devices) != want {
+		t.Fatalf("device inventory = %d, want %d", len(res.Devices), want)
+	}
+	if res.Health == nil {
+		t.Fatal("instrumented drill produced no health report")
+	}
+	st := res.Health.Window
+	if st.DeviceFallOffs != int64(res.Faulted) || st.DeviceECCDBE != int64(res.Faulted) {
+		t.Fatalf("health window: falloffs=%d dbe=%d, want %d of each",
+			st.DeviceFallOffs, st.DeviceECCDBE, res.Faulted)
+	}
+	if st.DeviceMigrations != int64(res.Migrated) {
+		t.Fatalf("health window migrations = %d, want %d", st.DeviceMigrations, res.Migrated)
+	}
+	if st.DeviceThrottledNS <= 0 {
+		t.Fatal("thermal windows stretched no virtual time")
+	}
+	if res.Health.State != cloud.Degraded {
+		t.Fatalf("fleet state = %s, want degraded (GPUs died)", res.Health.State)
+	}
+	if res.Fleet.Snapshot().CounterTotal(obs.MDeviceMigrations) != int64(res.Migrated) {
+		t.Fatal("grt_device_migrations_total does not match drill count")
+	}
+}
+
+// TestDegradedFleetDrillDeterministic runs the drill twice and under the
+// incremental checkpoint mode, expecting identical seals everywhere.
+func TestDegradedFleetDrillDeterministic(t *testing.T) {
+	plan, err := faultsim.ParsePlan("dying-gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DegradedFleetOptions{
+		Sessions:   4,
+		Model:      mlfw.MNIST(),
+		SKU:        mali.G71MP8,
+		Seed:       7,
+		HealthPlan: plan,
+		FaultEvery: 2,
+	}
+	a, err := DegradedFleetDrill(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DegradedFleetDrill(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := base
+	inc.Incremental = true
+	c, err := DegradedFleetDrill(context.Background(), inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Seals {
+		if a.Seals[i] != b.Seals[i] {
+			t.Fatalf("session %d: run-twice seals differ", i)
+		}
+		if a.Seals[i] != c.Seals[i] {
+			t.Fatalf("session %d: incremental-mode seal differs", i)
+		}
+		if a.Seals[i] != a.BaselineSeals[i] {
+			t.Fatalf("session %d: seal differs from baseline", i)
+		}
+	}
+	if a.NonIdentical != 0 || c.NonIdentical != 0 {
+		t.Fatalf("non-identical recordings: full=%d incremental=%d", a.NonIdentical, c.NonIdentical)
+	}
+	if a.Migrated == 0 || a.Migrated != c.Migrated {
+		t.Fatalf("migrations: full=%d incremental=%d", a.Migrated, c.Migrated)
+	}
+}

@@ -156,6 +156,10 @@ type Stats struct {
 	// shim CPU time. Both feed the Figure 9 energy model.
 	GPUBusy   time.Duration
 	ClientCPU time.Duration
+	// GPUThrottled is the share of GPUBusy spent thermally throttled
+	// (extra virtual time from capped clocks); the energy model bills it
+	// at the throttled power draw.
+	GPUThrottled time.Duration
 	// Energy is the client's record-run energy (Figure 9).
 	Energy energy.Joules
 	Jobs   int
@@ -307,6 +311,13 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 			res, err = nil, fmt.Errorf("record: session aborted: %w", e.Err)
 		case netsim.SessionLost:
 			res, err = nil, fmt.Errorf("record: session lost: %w", e.Err)
+		case mali.DeviceLost:
+			// The GPU died under the session (uncorrectable ECC or a bus
+			// fall-off). e.Err wraps grterr.ErrDeviceLost — itself wrapping
+			// ErrSessionLost — so resumable callers migrate to a different
+			// device and non-resumable ECC runs still fail closed
+			// (errors.Is(err, ErrBadRecording)): nothing was sealed.
+			res, err = nil, fmt.Errorf("record: device lost: %w", e.Err)
 		case shim.ResyncDiverged:
 			res, err = nil, fmt.Errorf("record: %v: %w", e, grterr.ErrCheckpointCorrupt)
 		default:
@@ -392,6 +403,7 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 
 	start := timesim.StartWatch(clock)
 	gpuBusyStart := gpu.Stats().Busy
+	gpuThrottledStart := gpu.Stats().Throttled
 
 	// The cloud VM boots its GPU stack: driver probe runs against the
 	// remote GPU through the shim.
@@ -410,6 +422,28 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	endPhase()
 	if err != nil {
 		return nil, fmt.Errorf("record: runtime init: %w", err)
+	}
+	if cfg.Faults != nil {
+		// Device-health injection: the GPU consults the fault plan at every
+		// unit of device work. The resolver maps an ECC fault's region name
+		// to the physical range to poison ("" = the first recorded region);
+		// it is attached after runtime init because the regions only exist
+		// once the model is loaded.
+		gpu.AttachHealth(cfg.Faults, func(name string) (gpumem.PA, uint64, bool) {
+			regions := rt.Context().Regions()
+			if len(regions) == 0 {
+				return 0, 0, false
+			}
+			if name == "" {
+				return regions[0].PA, regions[0].Size, true
+			}
+			for _, r := range regions {
+				if r.Name == name {
+					return r.PA, r.Size, true
+				}
+			}
+			return 0, 0, false
+		})
 	}
 
 	sync := &syncer{
@@ -566,6 +600,7 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		MemSyncBytes:    sync.bytesOut + sync.bytesIn,
 		Shim:            dshim.Stats(),
 		GPUBusy:         gpu.Stats().Busy - gpuBusyStart,
+		GPUThrottled:    gpu.Stats().Throttled - gpuThrottledStart,
 		ClientCPU:       gshim.CPUTime(),
 		Jobs:            runRes.Jobs,
 		GuardViolations: guardViolations,
@@ -577,7 +612,7 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		st.CkptEpochs = ec.epochs
 		st.CkptConflicts = ec.conflicts
 	}
-	st.Energy = energy.Default().Record(st.Link, st.GPUBusy, st.ClientCPU, st.RecordingDelay)
+	st.Energy = energy.Default().RecordThrottled(st.Link, st.GPUBusy, st.GPUThrottled, st.ClientCPU, st.RecordingDelay)
 	st.Obs = cfg.Obs.Snapshot()
 	return &Result{
 		Recording: rec, Signed: signed, Stats: st,

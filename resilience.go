@@ -42,7 +42,21 @@ const (
 	FaultLossBurst  = faultsim.LossBurst
 	FaultDegrade    = faultsim.Degrade
 	FaultVMCrash    = faultsim.VMCrash
+	// Device-health kinds (Navarch-style GPU events): a thermal window
+	// stretches job latencies, corrected single-bit ECC faults are
+	// telemetry, an uncorrectable double-bit fault poisons a recorded
+	// region and loses the device, and an XID-79 fall-off kills it.
+	FaultThermalThrottle = faultsim.ThermalThrottle
+	FaultECCSBE          = faultsim.ECCSBE
+	FaultECCDBE          = faultsim.ECCDBE
+	FaultXIDFallOff      = faultsim.XIDFallOff
 )
+
+// FaultPlanError is the typed rejection ParseFaultPlan returns for a
+// malformed spec: a stable machine-readable Reason token (e.g.
+// "unknown_kind", "bad_window") plus human detail. CLIs surface it as a
+// structured JSON rejection with exit status 2.
+type FaultPlanError = faultsim.PlanError
 
 // ParseFaultPlan parses a fault-plan spec: a preset name (see FaultPresets)
 // or a comma-separated fault list such as
@@ -265,6 +279,30 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 		inject = opts.InjectMispredictionAt
 	}
 
+	// Device-health bookkeeping across attempts: lostDev is the GPU the
+	// previous attempt died on (marked degraded or dead, awaiting its
+	// migration note once the session re-admits on different silicon);
+	// bookedSBE/bookedStretch track how much of faultsim's cross-attempt
+	// tally has already been attributed to a device — the injector's books
+	// are the only record that survives an attempt whose stats died with it.
+	var lostDev *cloud.Device
+	bookedSBE := 0
+	var bookedStretch time.Duration
+	bookHealth := func(vm *cloud.VM) {
+		if faults == nil || vm.Device == nil {
+			return
+		}
+		hc := faults.HealthCounts()
+		if d := hc.SBE - bookedSBE; d > 0 {
+			vm.Device.AddSBE(d)
+			bookedSBE = hc.SBE
+		}
+		if d := hc.Throttled - bookedStretch; d > 0 {
+			vm.Device.AddThrottle(d)
+			bookedStretch = hc.Throttled
+		}
+	}
+
 	for attempt := 0; ; attempt++ {
 		nonce := make([]byte, 16)
 		if _, err := rand.Read(nonce); err != nil {
@@ -282,6 +320,23 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 				svc.image.Name, compat, ErrAttestation)
 		}
 		opts.Obs.Annotate("session.attested", "session")
+		if lostDev != nil {
+			// Cross-VM migration landed: the replacement VM's device is
+			// different silicon by construction — degraded and dead devices
+			// are never offered to new sessions (cloud.assignDevice).
+			lostDev.NoteMigration()
+			toDev := ""
+			if vm.Device != nil {
+				toDev = vm.Device.ID()
+			}
+			// Flight args are numeric; the migration route rides in the
+			// outcome ("gpu-00->gpu-01"), greppable in trace exports.
+			svc.flight.Emit(c.clock.Now(), sessionID, obs.FKHealthMigrate,
+				lostDev.ID()+"->"+toDev, obs.A("attempt", int64(attempt)))
+			opts.Obs.Annotate("session.migrated "+lostDev.ID()+"->"+toDev, "session",
+				obs.A("attempt", int64(attempt)))
+			lostDev = nil
+		}
 		key := append([]byte(nil), vm.SessionKey...)
 		if ckptKey == nil {
 			// Checkpoints stay sealed under the first attempt's session
@@ -352,6 +407,7 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 			CkptMode: opts.CkptMode, CkptCadence: opts.CkptCadence, OnEpoch: onEpoch,
 		})
 		if err == nil {
+			bookHealth(vm)
 			svc.releaseVM(vm)
 			c.clock.Advance(res.Stats.RecordingDelay)
 			res.Stats.Resumes = attempt
@@ -380,6 +436,22 @@ func (c *Client) RecordResumable(ctx context.Context, svc *Service, model *Model
 		// Session lost: the VM (and its key) are gone. Under incremental
 		// capture the resume point is the chain, stitched now — this is the
 		// only place an in-process resume pays the O(session) stitch.
+		bookHealth(vm)
+		if errors.Is(err, grterr.ErrDeviceLost) && vm.Device != nil {
+			// The GPU itself failed, not the link or VM. Mark the device so
+			// it is never scheduled again, and remember it so the migration
+			// is noted once the session re-admits elsewhere. An uncorrectable
+			// ECC fault degrades (orderly teardown, poisoned memory); a bus
+			// fall-off (XID 79) kills the device outright.
+			if errors.Is(err, grterr.ErrBadRecording) {
+				vm.Device.MarkDBE()
+			} else {
+				vm.Device.MarkFallOff()
+			}
+			lostDev = vm.Device
+			svc.flight.Emit(c.clock.Now(), sessionID, obs.FKHealthEvent,
+				"device_lost "+vm.Device.ID(), obs.A("attempt", int64(attempt)))
+		}
 		svc.crashVM(vm)
 		if chain != nil && chain.Tip() != nil {
 			if cp, serr := chain.Stitch(); serr == nil {

@@ -201,6 +201,170 @@ func TestChaosMatrix(t *testing.T) {
 	}
 }
 
+// Device-fault axis of the chaos matrix. The thermal cell uses a window
+// wide enough to cover any model's whole record timeline (guaranteeing
+// stretched GPU work); ecc and falloff are the fatal presets, each killing
+// the device under the session exactly once.
+var deviceChaosPlans = []struct {
+	name  string
+	spec  string
+	fatal bool
+}{
+	{"thermal", "thermal@100ms+5m:x4", false},
+	{"ecc", "ecc", true},
+	{"falloff", "falloff", true},
+}
+
+// TestChaosDeviceMatrix records every model under every device-health plan
+// and checks the (possibly migrated) recording against an undisturbed
+// baseline, plus the device registry's scar tissue: thermal throttling
+// stretches GPU time but loses nothing; an uncorrectable ECC fault degrades
+// the device; a bus fall-off kills it. Either fatal plan must drive exactly
+// one cross-VM migration, and all three must seal byte-identical bytes.
+func TestChaosDeviceMatrix(t *testing.T) {
+	models := chaosModels
+	if raceDetectorEnabled && os.Getenv("GRT_CHAOS_FULL") == "" {
+		models = models[:1]
+		t.Logf("race detector: trimming the matrix to %s (set GRT_CHAOS_FULL=1 for all models)", models[0].name)
+	}
+
+	type baseline struct {
+		once    sync.Once
+		payload []byte
+		outputs []float32
+		err     error
+	}
+	baselines := map[string]*baseline{}
+	for _, m := range chaosModels {
+		baselines[m.name] = &baseline{}
+	}
+
+	for _, m := range models {
+		for _, pc := range deviceChaosPlans {
+			m, pc := m, pc
+			t.Run(m.name+"/"+pc.name, func(t *testing.T) {
+				t.Parallel()
+				b := baselines[m.name]
+				b.once.Do(func() {
+					client := NewClient("devchaos-base-"+m.name, MaliG71MP8)
+					rec, _, err := client.Record(NewService(), m.model(), RecordOptions{})
+					if err != nil {
+						b.err = err
+						return
+					}
+					b.payload, _, _ = rec.Bundle()
+					b.outputs = replayOutputs(t, client, rec, m.inputElems)
+				})
+				if b.err != nil {
+					t.Fatalf("baseline record: %v", b.err)
+				}
+
+				plan, err := ParseFaultPlan(pc.spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// A fresh service per cell so the device inventory shows only
+				// this cell's scars.
+				svc := NewService()
+				client := NewClient("devchaos-"+m.name+"-"+pc.name, MaliG71MP8)
+				rec, stats, err := client.RecordResumable(context.Background(), svc, m.model(),
+					ResilienceOptions{Faults: plan})
+				if err != nil {
+					t.Fatalf("device chaos record: %v", err)
+				}
+
+				var degraded, dead, migrations int
+				for _, d := range svc.Devices() {
+					switch d.State {
+					case "degraded":
+						degraded++
+						if d.ECCDBE == 0 {
+							t.Errorf("degraded device %s has no DBE booked", d.ID)
+						}
+					case "dead":
+						dead++
+						if d.FallOffs == 0 {
+							t.Errorf("dead device %s has no fall-off booked", d.ID)
+						}
+					}
+					migrations += d.Migrations
+				}
+				if pc.fatal {
+					if stats.Resumes < 1 {
+						t.Fatalf("plan %q never killed the device (resumes = %d)", pc.spec, stats.Resumes)
+					}
+					if migrations != 1 {
+						t.Fatalf("plan %q drove %d migrations, want 1", pc.spec, migrations)
+					}
+					if pc.name == "ecc" && degraded != 1 {
+						t.Fatalf("ecc plan left %d degraded devices, want 1", degraded)
+					}
+					if pc.name == "falloff" && dead != 1 {
+						t.Fatalf("falloff plan left %d dead devices, want 1", dead)
+					}
+				} else {
+					if stats.Resumes != 0 {
+						t.Fatalf("thermal throttling killed the session (resumes = %d)", stats.Resumes)
+					}
+					if stats.GPUThrottled <= 0 {
+						t.Fatal("thermal window stretched no GPU time")
+					}
+					if degraded+dead+migrations != 0 {
+						t.Fatalf("thermal plan scarred the fleet: %d degraded, %d dead, %d migrations",
+							degraded, dead, migrations)
+					}
+				}
+
+				payload, mac, key := rec.Bundle()
+				if !bytes.Equal(b.payload, payload) {
+					t.Fatalf("recording differs from baseline: %d vs %d bytes",
+						len(payload), len(b.payload))
+				}
+				if _, err := RecordingFromBundle(payload, mac, key); err != nil {
+					t.Fatalf("recording fails verification: %v", err)
+				}
+				out := replayOutputs(t, client, rec, m.inputElems)
+				for i := range out {
+					if out[i] != b.outputs[i] {
+						t.Fatalf("replay output %d differs: %v vs %v", i, out[i], b.outputs[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestECCFailsClosedWithoutResume proves the fail-closed half of the ECC
+// path: when resumes are disabled, an uncorrectable ECC fault surfaces as a
+// loss that wraps BOTH ErrDeviceLost and ErrBadRecording — the poisoned
+// attempt can never be mistaken for a sealable recording — and the device
+// is still marked degraded so later admissions avoid it.
+func TestECCFailsClosedWithoutResume(t *testing.T) {
+	plan, err := ParseFaultPlan("ecc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService()
+	rec, _, err := NewClient("ecc-fail-closed", MaliG71MP8).RecordResumable(
+		context.Background(), svc, MNIST(),
+		ResilienceOptions{Faults: plan, MaxResumes: -1})
+	if rec != nil {
+		t.Fatal("a poisoned session sealed a recording")
+	}
+	if !errors.Is(err, ErrDeviceLost) || !errors.Is(err, ErrBadRecording) {
+		t.Fatalf("error = %v, want ErrDeviceLost wrapping ErrBadRecording", err)
+	}
+	degraded := 0
+	for _, d := range svc.Devices() {
+		if d.State == "degraded" {
+			degraded++
+		}
+	}
+	if degraded != 1 {
+		t.Fatalf("%d degraded devices after the DBE, want 1", degraded)
+	}
+}
+
 // TestResumableNoFaults checks RecordResumable degenerates to Record when
 // nothing goes wrong.
 func TestResumableNoFaults(t *testing.T) {
